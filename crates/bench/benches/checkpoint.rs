@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks — incremental vs full checkpoint cost
+//! (§II.F.2's motivation for journaled state containers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tart_model::{CheckpointMode, CkptMap};
+
+fn loaded_map(entries: usize) -> CkptMap<String, u64> {
+    let mut m = CkptMap::new();
+    for i in 0..entries {
+        m.insert(format!("word{i}"), i as u64);
+    }
+    // Settle the journal so subsequent measurements isolate the deltas.
+    let _ = m.take_chunk(CheckpointMode::Full);
+    m
+}
+
+/// Full capture of an N-entry table.
+fn bench_full_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_full");
+    for entries in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut m = loaded_map(entries);
+                b.iter(|| std::hint::black_box(m.take_chunk(CheckpointMode::Full)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Incremental capture after touching only 10 keys of an N-entry table —
+/// the case incremental checkpointing exists for.
+fn bench_incremental_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_incremental_10_dirty");
+    for entries in [100usize, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let mut m = loaded_map(entries);
+                b.iter(|| {
+                    for i in 0..10 {
+                        m.insert(format!("word{i}"), 99);
+                    }
+                    std::hint::black_box(m.take_chunk(CheckpointMode::Incremental))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_full_checkpoint, bench_incremental_checkpoint
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks for the canonical codec — the cost of
+//! serializing checkpoints and logged messages.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tart_codec::{Decode, Encode};
+use tart_model::Value;
+
+fn sample_map(entries: usize) -> HashMap<String, u64> {
+    (0..entries)
+        .map(|i| (format!("word{i}"), i as u64))
+        .collect()
+}
+
+fn sample_value() -> Value {
+    Value::map([
+        ("seq", Value::I64(42)),
+        ("total", Value::I64(1_000_000)),
+        (
+            "words",
+            Value::List(vec![Value::from("the"), Value::from("cat")]),
+        ),
+    ])
+}
+
+fn bench_map_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_hashmap_encode_canonical");
+    for entries in [10usize, 100, 1_000] {
+        let map = sample_map(entries);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &map, |b, m| {
+            b.iter(|| std::hint::black_box(m.to_bytes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_round_trip(c: &mut Criterion) {
+    let v = sample_value();
+    let bytes = v.to_bytes();
+    c.bench_function("codec_value_encode", |b| {
+        b.iter(|| std::hint::black_box(v.to_bytes()))
+    });
+    c.bench_function("codec_value_decode", |b| {
+        b.iter(|| std::hint::black_box(Value::from_bytes(&bytes).expect("valid")))
+    });
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let payload = vec![0xabu8; 4096];
+    c.bench_function("crc32_4k", |b| {
+        b.iter(|| std::hint::black_box(tart_codec::crc32(&payload)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_map_encode, bench_value_round_trip, bench_crc
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the deterministic merge gate — the
+//! per-message cost of TART's scheduling decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tart_sched::{GateDecision, MergeGate};
+use tart_vtime::{VirtualTime, WireId};
+
+fn vt(t: u64) -> VirtualTime {
+    VirtualTime::from_ticks(t)
+}
+
+/// Push + deliver one message through a gate with `fan_in` input wires, all
+/// others silent — the steady-state fast path.
+fn bench_gate_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_gate_deliver");
+    for fan_in in [1u32, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(fan_in), &fan_in, |b, &n| {
+            let mut gate: MergeGate<u64> = MergeGate::new((0..n).map(WireId::new));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 10;
+                for w in 0..n {
+                    gate.promise_silence(WireId::new(w), vt(t - 1));
+                }
+                gate.push_message(WireId::new(0), vt(t), t)
+                    .expect("monotone");
+                for w in 1..n {
+                    gate.promise_silence(WireId::new(w), vt(t));
+                }
+                match gate.try_next() {
+                    GateDecision::Deliver { msg, .. } => std::hint::black_box(msg),
+                    other => panic!("expected delivery, got {other:?}"),
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The blocked path: how expensive is discovering a pessimism delay?
+fn bench_gate_blocked_poll(c: &mut Criterion) {
+    c.bench_function("merge_gate_blocked_poll_8_wires", |b| {
+        let mut gate: MergeGate<u64> = MergeGate::new((0..8).map(WireId::new));
+        gate.push_message(WireId::new(0), vt(1_000), 1)
+            .expect("monotone");
+        b.iter(|| std::hint::black_box(gate.try_next()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gate_throughput, bench_gate_blocked_poll
+}
+criterion_main!(benches);

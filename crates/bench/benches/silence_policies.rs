@@ -1,0 +1,53 @@
+//! Criterion benchmark — end-to-end simulation cost per silence policy.
+//!
+//! Times a complete §III.A simulation run (1000 messages/sender) under each
+//! propagation strategy, measuring the simulator's wall-clock cost, which
+//! tracks total protocol traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tart_silence::SilencePolicy;
+use tart_sim::{ExecMode, FanInSim, SimConfig};
+use tart_vtime::VirtualDuration;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_1000_msgs");
+    let policies: Vec<(&str, ExecMode, SilencePolicy)> = vec![
+        ("nondet", ExecMode::NonDeterministic, SilencePolicy::Lazy),
+        ("lazy", ExecMode::Deterministic, SilencePolicy::Lazy),
+        (
+            "curiosity",
+            ExecMode::Deterministic,
+            SilencePolicy::Curiosity,
+        ),
+        (
+            "aggressive",
+            ExecMode::Deterministic,
+            SilencePolicy::Aggressive {
+                max_quiet: VirtualDuration::from_micros(200),
+            },
+        ),
+    ];
+    for (name, mode, policy) in policies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(mode, policy),
+            |b, &(mode, policy)| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::paper_iii_a();
+                    cfg.messages_per_sender = 1_000;
+                    cfg.mode = mode;
+                    cfg.silence = policy;
+                    std::hint::black_box(FanInSim::new(cfg).run().completed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation — fan-in scaling (the paper's §IV conjecture).
+//!
+//! "If fan-in is high, or if sending components are remote, we conjecture
+//! that curiosity-based silence propagation will have to be augmented with
+//! other approaches including aggressive and hyper-aggressive silence
+//! propagation." The paper leaves this unmeasured; this ablation tests it:
+//! the Fig 1 system generalized to N senders, holding the merger's
+//! utilization constant, comparing curiosity vs aggressive propagation as
+//! N grows.
+
+use tart_bench::{print_table, quick_mode};
+use tart_silence::SilencePolicy;
+use tart_sim::{ExecMode, FanInSim, SimConfig};
+use tart_vtime::VirtualDuration;
+
+fn main() {
+    let quick = quick_mode();
+    let total_messages: u64 = if quick { 8_000 } else { 60_000 };
+    println!(
+        "Fan-in ablation: ~{total_messages} total messages per point, merger held at 80% load"
+    );
+
+    let mut rows = Vec::new();
+    let mut curiosity_ovh = Vec::new();
+    let mut aggressive_ovh = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        // Hold the merger at 80 %: n senders × rate × 400 µs = 0.8.
+        let interarrival_ns = (n as u64) * 500_000;
+        let per_sender = total_messages / n as u64;
+        let base = {
+            let mut cfg = SimConfig::paper_iii_a();
+            cfg.n_senders = n;
+            cfg.mean_interarrival_ns = interarrival_ns;
+            cfg.messages_per_sender = per_sender;
+            cfg
+        };
+        let run = |mode: ExecMode, silence: SilencePolicy| {
+            let mut cfg = base.clone();
+            cfg.mode = mode;
+            cfg.silence = silence;
+            FanInSim::new(cfg).run()
+        };
+        let nondet = run(ExecMode::NonDeterministic, SilencePolicy::Curiosity);
+        let curiosity = run(ExecMode::Deterministic, SilencePolicy::Curiosity);
+        let aggressive = run(
+            ExecMode::Deterministic,
+            SilencePolicy::Aggressive {
+                max_quiet: VirtualDuration::from_micros(100),
+            },
+        );
+        let c_ovh = curiosity.overhead_percent_vs(&nondet);
+        let a_ovh = aggressive.overhead_percent_vs(&nondet);
+        curiosity_ovh.push(c_ovh);
+        aggressive_ovh.push(a_ovh);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", nondet.avg_latency_micros()),
+            format!("{:.1}", curiosity.avg_latency_micros()),
+            format!("{c_ovh:+.1}%"),
+            format!("{:.2}", curiosity.probes_per_message()),
+            format!("{:.1}", aggressive.avg_latency_micros()),
+            format!("{a_ovh:+.1}%"),
+        ]);
+    }
+    print_table(
+        "Fan-in scaling: curiosity vs aggressive silence (paper §IV conjecture)",
+        &[
+            "senders",
+            "non-det µs",
+            "curiosity µs",
+            "cur ovh",
+            "probes/msg",
+            "aggressive µs",
+            "agg ovh",
+        ],
+        &rows,
+    );
+
+    let conjecture_holds = aggressive_ovh.last().unwrap() <= curiosity_ovh.last().unwrap();
+    println!(
+        "\nAt fan-in 16: curiosity {:+.1}% vs aggressive {:+.1}% — the paper's conjecture that \
+         aggressive propagation helps at high fan-in {}.",
+        curiosity_ovh.last().unwrap(),
+        aggressive_ovh.last().unwrap(),
+        if conjecture_holds {
+            "HOLDS"
+        } else {
+            "does NOT hold at this load"
+        },
+    );
+}

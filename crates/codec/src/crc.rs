@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3) checksum for log-record integrity.
+
+/// Computes the CRC-32 (IEEE polynomial, reflected) of `data`.
+///
+/// Used by the append-only external-message log to detect torn or corrupt
+/// records during replay after a failure.
+///
+/// # Example
+///
+/// ```
+/// use tart_codec::crc32;
+///
+/// // Standard check value for the ASCII string "123456789".
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+/// Lookup table for the reflected IEEE polynomial 0xEDB88320.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"external message payload at vt 50000";
+        let base = crc32(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(crc32(&data), crc32(&data));
+    }
+}

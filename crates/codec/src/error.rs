@@ -1,0 +1,103 @@
+//! Decoding errors.
+
+use std::fmt;
+
+/// An error produced while decoding TART's canonical binary form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum encoded width.
+    VarintOverflow,
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag {
+        /// The offending tag value.
+        tag: u8,
+        /// The type being decoded (static description for diagnostics).
+        type_name: &'static str,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A declared length exceeded the number of available input bytes —
+    /// rejected early so corrupt input cannot trigger huge allocations.
+    LengthOverflow {
+        /// The declared element count or byte length.
+        declared: u64,
+    },
+    /// [`crate::Decode::from_bytes`] finished with input left over.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A checksum did not match (corrupt log record).
+    ChecksumMismatch,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeded maximum width"),
+            DecodeError::InvalidTag { tag, type_name } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field held invalid UTF-8"),
+            DecodeError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds available input")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DecodeError::UnexpectedEof {
+            needed: 4,
+            remaining: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "unexpected end of input: needed 4 bytes, 1 remain"
+        );
+        let e = DecodeError::InvalidTag {
+            tag: 9,
+            type_name: "Value",
+        };
+        assert!(e.to_string().contains("Value"));
+        assert!(!DecodeError::VarintOverflow.to_string().is_empty());
+        assert!(!DecodeError::InvalidUtf8.to_string().is_empty());
+        assert!(!DecodeError::ChecksumMismatch.to_string().is_empty());
+        assert!(DecodeError::LengthOverflow { declared: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(DecodeError::TrailingBytes { remaining: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(DecodeError::InvalidUtf8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cursor over an input byte slice.
+
+use crate::DecodeError;
+
+/// A cheap cursor over a byte slice, tracking the decode position.
+///
+/// # Example
+///
+/// ```
+/// use tart_codec::Reader;
+///
+/// let mut r = Reader::new(&[1, 2, 3]);
+/// assert_eq!(r.read_u8()?, 1);
+/// assert_eq!(r.take(2)?, &[2, 3]);
+/// assert_eq!(r.remaining(), 0);
+/// # Ok::<(), tart_codec::DecodeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current byte offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] at end of input.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof {
+            needed: 1,
+            remaining: 0,
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Consumes exactly `n` bytes and returns them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Validates that a declared element count can possibly fit in the
+    /// remaining input (at `min_elem_size` bytes per element), guarding
+    /// against allocation bombs from corrupt input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LengthOverflow`] when it cannot.
+    pub fn check_len(&self, declared: u64, min_elem_size: usize) -> Result<usize, DecodeError> {
+        let declared_usize =
+            usize::try_from(declared).map_err(|_| DecodeError::LengthOverflow { declared })?;
+        let need = declared_usize
+            .checked_mul(min_elem_size.max(1))
+            .ok_or(DecodeError::LengthOverflow { declared })?;
+        if need > self.remaining() {
+            return Err(DecodeError::LengthOverflow { declared });
+        }
+        Ok(declared_usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_and_take_advance_position() {
+        let mut r = Reader::new(&[9, 8, 7, 6]);
+        assert_eq!(r.read_u8().unwrap(), 9);
+        assert_eq!(r.position(), 1);
+        assert_eq!(r.take(2).unwrap(), &[8, 7]);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn eof_is_an_error() {
+        let mut r = Reader::new(&[1]);
+        r.read_u8().unwrap();
+        assert_eq!(
+            r.read_u8().unwrap_err(),
+            DecodeError::UnexpectedEof {
+                needed: 1,
+                remaining: 0
+            }
+        );
+        assert!(matches!(r.take(1), Err(DecodeError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn check_len_rejects_allocation_bombs() {
+        let r = Reader::new(&[0; 8]);
+        assert_eq!(r.check_len(8, 1).unwrap(), 8);
+        assert!(r.check_len(9, 1).is_err());
+        assert!(r.check_len(u64::MAX, 1).is_err());
+        assert!(r.check_len(5, 2).is_err());
+        // Zero-size elements still count as one byte minimum.
+        assert!(r.check_len(100, 0).is_err());
+    }
+}

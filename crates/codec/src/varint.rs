@@ -1,0 +1,128 @@
+//! LEB128 varints and zig-zag signed mapping.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::{DecodeError, Reader};
+
+/// Maximum encoded width of a `u64` varint (⌈64 / 7⌉ bytes).
+pub(crate) const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub(crate) fn write_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+pub(crate) fn read_varint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    for i in 0..MAX_VARINT_LEN {
+        let byte = r.read_u8()?;
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute the single remaining bit.
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+/// Zig-zag maps a signed value into an unsigned one with small magnitudes
+/// staying small: 0, -1, 1, -2, 2, … → 0, 1, 2, 3, 4, …
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(v: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        let out = read_varint(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            assert_eq!(round(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, 61);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes.
+        let bytes = [0x80u8; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            read_varint(&mut r).unwrap_err(),
+            DecodeError::VarintOverflow
+        );
+        // A 10-byte varint whose last byte exceeds the single remaining bit.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            read_varint(&mut r).unwrap_err(),
+            DecodeError::VarintOverflow
+        );
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let bytes = [0x80u8, 0x80];
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            read_varint(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [i64::MIN, i64::MAX, -12345, 12345, 0] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

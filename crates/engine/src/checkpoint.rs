@@ -1,0 +1,250 @@
+//! Engine checkpoints and the passive replica store.
+
+use std::collections::BTreeMap;
+
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_estimator::DeterminismFault;
+use tart_model::Snapshot;
+use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
+
+/// A soft checkpoint of one engine's state (§II.F.2).
+///
+/// Carries, per hosted component, a [`Snapshot`] (full on the first
+/// checkpoint, incremental afterwards) plus the scheduler bookkeeping a
+/// promoted replica needs: component clocks, per-input-wire consumed
+/// watermarks (where to ask for replay from), and per-output-wire send
+/// watermarks (where the `prev_vt` chain stood).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineCheckpoint {
+    /// The engine whose state this is.
+    pub engine: EngineId,
+    /// Monotone checkpoint sequence number.
+    pub seq: u64,
+    /// Per-component state snapshots.
+    pub components: BTreeMap<ComponentId, Snapshot>,
+    /// Per-component virtual clocks at capture time.
+    pub clocks: BTreeMap<ComponentId, VirtualTime>,
+    /// Per-input-wire: virtual time of the last *consumed* (processed)
+    /// message. Replay after restore starts one tick later.
+    pub consumed: BTreeMap<WireId, VirtualTime>,
+    /// Per-output-wire: virtual time of the last transmitted data tick.
+    pub sent: BTreeMap<WireId, VirtualTime>,
+}
+
+impl EngineCheckpoint {
+    /// Creates an empty checkpoint shell.
+    pub fn new(engine: EngineId, seq: u64) -> Self {
+        EngineCheckpoint {
+            engine,
+            seq,
+            components: BTreeMap::new(),
+            clocks: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+            sent: BTreeMap::new(),
+        }
+    }
+
+    /// Total serialized payload bytes across component snapshots (the
+    /// checkpoint-overhead metric).
+    pub fn payload_bytes(&self) -> usize {
+        self.components.values().map(Snapshot::payload_bytes).sum()
+    }
+}
+
+impl Encode for EngineCheckpoint {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.engine.encode(buf);
+        self.seq.encode(buf);
+        self.components.encode(buf);
+        self.clocks.encode(buf);
+        self.consumed.encode(buf);
+        self.sent.encode(buf);
+    }
+}
+
+impl Decode for EngineCheckpoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(EngineCheckpoint {
+            engine: EngineId::decode(r)?,
+            seq: u64::decode(r)?,
+            components: BTreeMap::decode(r)?,
+            clocks: BTreeMap::decode(r)?,
+            consumed: BTreeMap::decode(r)?,
+            sent: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+/// The passive replica: holds checkpoint chains and the synchronously
+/// logged determinism faults, does no processing until promoted (§I.B,
+/// §II.F.3).
+///
+/// Shared between the active engine (writer) and the failover manager
+/// (reader) behind a mutex; checkpoint shipping is "asynchronous" in the
+/// sense that the engine never waits for the replica to apply anything.
+#[derive(Clone, Default)]
+pub struct ReplicaStore {
+    inner: Arc<Mutex<ReplicaInner>>,
+}
+
+#[derive(Default)]
+struct ReplicaInner {
+    /// Checkpoint chain in seq order: one full head + incremental tail.
+    chain: Vec<EngineCheckpoint>,
+    /// Determinism faults logged synchronously (§II.G.4), per component.
+    faults: Vec<(ComponentId, DeterminismFault)>,
+}
+
+impl ReplicaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ReplicaStore::default()
+    }
+
+    /// Accepts a shipped checkpoint. Checkpoints with stale sequence
+    /// numbers (possible when a promoted engine restarts the sequence) are
+    /// appended regardless; order of arrival is the order of application.
+    pub fn push_checkpoint(&self, ckpt: EngineCheckpoint) {
+        self.inner.lock().chain.push(ckpt);
+    }
+
+    /// Synchronously logs a determinism fault. Must complete before the
+    /// engine uses the re-calibrated estimator.
+    pub fn log_fault(&self, component: ComponentId, fault: DeterminismFault) {
+        self.inner.lock().faults.push((component, fault));
+    }
+
+    /// The checkpoint chain, oldest first.
+    pub fn chain(&self) -> Vec<EngineCheckpoint> {
+        self.inner.lock().chain.clone()
+    }
+
+    /// All logged determinism faults, oldest first.
+    pub fn faults(&self) -> Vec<(ComponentId, DeterminismFault)> {
+        self.inner.lock().faults.clone()
+    }
+
+    /// Number of checkpoints held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().chain.len()
+    }
+
+    /// Returns `true` if no checkpoint has ever been shipped.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().chain.is_empty()
+    }
+
+    /// Drops everything (used when re-arming a replica after promotion).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.chain.clear();
+        inner.faults.clear();
+    }
+
+    /// Serialized size of the whole chain, for overhead accounting.
+    pub fn total_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .chain
+            .iter()
+            .map(|c| c.to_bytes().len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for ReplicaStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ReplicaStore")
+            .field("checkpoints", &inner.chain.len())
+            .field("faults", &inner.faults.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tart_estimator::EstimatorSpec;
+    use tart_model::{BlockId, StateChunk};
+    use tart_vtime::VirtualDuration;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn sample_checkpoint(seq: u64) -> EngineCheckpoint {
+        let mut ckpt = EngineCheckpoint::new(EngineId::new(1), seq);
+        let mut snap = Snapshot::new(vt(100));
+        snap.put("counts", StateChunk::Full(vec![1, 2, 3]));
+        ckpt.components.insert(ComponentId::new(0), snap);
+        ckpt.clocks.insert(ComponentId::new(0), vt(100));
+        ckpt.consumed.insert(WireId::new(2), vt(90));
+        ckpt.sent.insert(WireId::new(3), vt(95));
+        ckpt
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let ckpt = sample_checkpoint(7);
+        let bytes = ckpt.to_bytes();
+        assert_eq!(EngineCheckpoint::from_bytes(&bytes).unwrap(), ckpt);
+        assert_eq!(ckpt.payload_bytes(), 3);
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ckpt = EngineCheckpoint::new(EngineId::new(0), 0);
+        assert_eq!(
+            EngineCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap(),
+            ckpt
+        );
+        assert_eq!(ckpt.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn replica_accumulates_chain() {
+        let store = ReplicaStore::new();
+        assert!(store.is_empty());
+        store.push_checkpoint(sample_checkpoint(0));
+        store.push_checkpoint(sample_checkpoint(1));
+        assert_eq!(store.len(), 2);
+        let chain = store.chain();
+        assert_eq!(chain[0].seq, 0);
+        assert_eq!(chain[1].seq, 1);
+        assert!(store.total_bytes() > 0);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn replica_logs_faults_in_order() {
+        let store = ReplicaStore::new();
+        let f1 = DeterminismFault {
+            vt: vt(1_000),
+            new_spec: EstimatorSpec::per_iteration(BlockId(0), 62_000),
+        };
+        let f2 = DeterminismFault {
+            vt: vt(2_000),
+            new_spec: EstimatorSpec::constant(VirtualDuration::from_micros(600)),
+        };
+        store.log_fault(ComponentId::new(0), f1.clone());
+        store.log_fault(ComponentId::new(1), f2.clone());
+        let faults = store.faults();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0], (ComponentId::new(0), f1));
+        assert_eq!(faults[1], (ComponentId::new(1), f2));
+    }
+
+    #[test]
+    fn store_is_cloneable_and_shared() {
+        let a = ReplicaStore::new();
+        let b = a.clone();
+        a.push_checkpoint(sample_checkpoint(0));
+        assert_eq!(b.len(), 1, "clones share the store");
+        assert!(format!("{a:?}").contains("ReplicaStore"));
+    }
+}

@@ -1,0 +1,601 @@
+//! Cluster deployment, external I/O, failover orchestration.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use tart_estimator::EstimatorSpec;
+use tart_model::{AppSpec, Value};
+use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
+
+use crate::core::{EngineCore, Flow};
+use crate::router::EXTERNAL_ENGINE;
+use crate::{
+    ClusterConfig, EngineMetrics, Envelope, MessageLog, OutputRecord, Placement, ReplicaStore,
+    Router,
+};
+
+/// Errors raised at deployment time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeployError {
+    /// The placement does not assign every component.
+    IncompletePlacement,
+    /// The configured log file could not be created.
+    LogUnavailable,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::IncompletePlacement => {
+                write!(f, "placement does not cover every component")
+            }
+            DeployError::LogUnavailable => {
+                write!(
+                    f,
+                    "the configured external-input log file could not be created"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Shared per-external-wire producer state: the timestamp floor (covering
+/// data and heartbeat silence) so data and silence never contradict.
+struct SourceState {
+    wire: WireId,
+    target: EngineId,
+    /// Every tick `<= watermark` is accounted (data sent or silence
+    /// promised).
+    watermark: Option<VirtualTime>,
+    /// The last data tick actually sent (the `prev_vt` chain head).
+    last_data: Option<VirtualTime>,
+    finished: bool,
+}
+
+/// A handle for feeding one external producer's messages into the system.
+///
+/// Sends are timestamped with the cluster clock, logged (§II.E: external
+/// messages are the only logged messages), and routed to the engine hosting
+/// the destination component.
+#[derive(Clone)]
+pub struct Injector {
+    name: String,
+    state: Arc<Mutex<SourceState>>,
+    log: Arc<Mutex<MessageLog>>,
+    router: Router,
+    clock: Arc<dyn crate::TimeSource>,
+}
+
+impl Injector {
+    /// Sends one external message; returns the virtual time it was stamped
+    /// with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Injector::finish`] was already called.
+    pub fn send(&self, payload: Value) -> VirtualTime {
+        let mut state = self.state.lock();
+        assert!(!state.finished, "injector {} already finished", self.name);
+        let now = self.clock.now();
+        let ts = match state.watermark {
+            Some(w) => now.max_with(w.next()),
+            None => now,
+        };
+        state.watermark = Some(ts);
+        let prev_vt = state.last_data.unwrap_or(VirtualTime::ZERO);
+        state.last_data = Some(ts);
+        self.log
+            .lock()
+            .append(state.wire, ts, &payload)
+            .expect("timestamps are monotone by construction");
+        self.router.send(
+            state.target,
+            Envelope::Data {
+                wire: state.wire,
+                vt: ts,
+                prev_vt,
+                payload,
+            },
+        );
+        ts
+    }
+
+    /// Promises silence up to (just before) the present: an idle external
+    /// producer's way of letting downstream pessimism resolve.
+    pub fn heartbeat(&self) {
+        let mut state = self.state.lock();
+        if state.finished {
+            return;
+        }
+        let bound = self.clock.now().prev();
+        if state.watermark.is_none_or(|w| bound > w) {
+            state.watermark = Some(bound);
+            self.router.send(
+                state.target,
+                Envelope::Silence {
+                    wire: state.wire,
+                    through: bound,
+                    last_data: state.last_data.unwrap_or(VirtualTime::ZERO),
+                },
+            );
+        }
+    }
+
+    /// Declares end-of-stream: unbounded silence. No further sends allowed.
+    pub fn finish(&self) {
+        let mut state = self.state.lock();
+        if state.finished {
+            return;
+        }
+        state.finished = true;
+        self.router.send(
+            state.target,
+            Envelope::Eos {
+                wire: state.wire,
+                last_data: state.last_data.unwrap_or(VirtualTime::ZERO),
+            },
+        );
+    }
+
+    /// The producer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for Injector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Injector")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+struct EngineSlot {
+    sender: Sender<Envelope>,
+    thread: Option<JoinHandle<()>>,
+    replica: ReplicaStore,
+    metrics: Arc<Mutex<EngineMetrics>>,
+    alive: bool,
+}
+
+/// A deployed TART application: engines on threads, passive replicas,
+/// external injectors and collectors, and the failover manager.
+///
+/// See the crate-level example. The failure drill is:
+///
+/// ```text
+/// cluster.kill(engine);     // fail-stop: state and in-flight traffic lost
+/// cluster.promote(engine);  // replica restores checkpoint, replays, resumes
+/// ```
+pub struct Cluster {
+    spec: AppSpec,
+    placement: Placement,
+    config: ClusterConfig,
+    router: Router,
+    engines: HashMap<EngineId, EngineSlot>,
+    injectors: HashMap<String, Injector>,
+    sources: HashMap<WireId, Arc<Mutex<SourceState>>>,
+    log: Arc<Mutex<MessageLog>>,
+    outputs_rx: Receiver<OutputRecord>,
+    outputs_tx: Sender<OutputRecord>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Deploys `spec` across engines per `placement` and starts every
+    /// engine thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::IncompletePlacement`] if any component is
+    /// unassigned.
+    pub fn deploy(
+        spec: AppSpec,
+        placement: Placement,
+        config: ClusterConfig,
+    ) -> Result<Cluster, DeployError> {
+        if !placement.covers(&spec) {
+            return Err(DeployError::IncompletePlacement);
+        }
+        let router = Router::new(config.faults.clone());
+        let (outputs_tx, outputs_rx) = unbounded();
+        let log = match &config.log_path {
+            Some(path) => Arc::new(Mutex::new(
+                MessageLog::file_backed(path).map_err(|_| DeployError::LogUnavailable)?,
+            )),
+            None => Arc::new(Mutex::new(MessageLog::in_memory())),
+        };
+        let mut cluster = Cluster {
+            spec,
+            placement,
+            config,
+            router,
+            engines: HashMap::new(),
+            injectors: HashMap::new(),
+            sources: HashMap::new(),
+            log,
+            outputs_rx,
+            outputs_tx,
+            supervisor: None,
+        };
+        for engine in cluster.placement.engines() {
+            cluster.start_engine(engine, None);
+        }
+        // External producers.
+        for w in cluster.spec.external_inputs() {
+            let name = match w.from() {
+                tart_model::Endpoint::External { name } => name.clone(),
+                _ => unreachable!("external input wires start externally"),
+            };
+            let target_component = w.to().component().expect("external inputs feed components");
+            let target = cluster
+                .placement
+                .engine_of(target_component)
+                .expect("placement covers the app");
+            let state = Arc::new(Mutex::new(SourceState {
+                wire: w.id(),
+                target,
+                watermark: None,
+                last_data: None,
+                finished: false,
+            }));
+            cluster.sources.insert(w.id(), Arc::clone(&state));
+            cluster.injectors.insert(
+                name.clone(),
+                Injector {
+                    name,
+                    state,
+                    log: Arc::clone(&cluster.log),
+                    router: cluster.router.clone(),
+                    clock: Arc::clone(&cluster.config.clock),
+                },
+            );
+        }
+        cluster.spawn_supervisor();
+        Ok(cluster)
+    }
+
+    /// The supervisor answers replay requests for external wires from the
+    /// message log (§II.F.4: external messages "are re-sent from the log").
+    fn spawn_supervisor(&mut self) {
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(EXTERNAL_ENGINE, tx);
+        let router = self.router.clone();
+        let log = Arc::clone(&self.log);
+        let sources: HashMap<WireId, Arc<Mutex<SourceState>>> = self
+            .sources
+            .iter()
+            .map(|(w, s)| (*w, Arc::clone(s)))
+            .collect();
+        let targets: HashMap<WireId, EngineId> = self
+            .spec
+            .external_inputs()
+            .iter()
+            .filter_map(|w| {
+                let c = w.to().component()?;
+                Some((w.id(), self.placement.engine_of(c)?))
+            })
+            .collect();
+        let thread = std::thread::Builder::new()
+            .name("tart-supervisor".into())
+            .spawn(move || {
+                while let Ok(env) = rx.recv() {
+                    match env {
+                        Envelope::ReplayRequest { wire, from } => {
+                            let Some(&target) = targets.get(&wire) else {
+                                continue;
+                            };
+                            let frames = log.lock().replay_from(wire, from);
+                            let count = frames.len() as u64;
+                            let mut prev = VirtualTime::ZERO;
+                            for (vt, payload) in frames {
+                                router.send(
+                                    target,
+                                    Envelope::Data {
+                                        wire,
+                                        vt,
+                                        prev_vt: prev,
+                                        payload,
+                                    },
+                                );
+                                prev = vt;
+                            }
+                            let through = sources
+                                .get(&wire)
+                                .map(|s| {
+                                    let s = s.lock();
+                                    if s.finished {
+                                        VirtualTime::MAX
+                                    } else {
+                                        s.watermark.unwrap_or(VirtualTime::ZERO)
+                                    }
+                                })
+                                .unwrap_or(VirtualTime::ZERO);
+                            router.send(
+                                target,
+                                Envelope::ReplayDone {
+                                    wire,
+                                    through,
+                                    frames: count,
+                                },
+                            );
+                        }
+                        Envelope::Die => return,
+                        _ => {}
+                    }
+                }
+            })
+            .expect("spawn supervisor thread");
+        self.supervisor = Some(thread);
+    }
+
+    fn start_engine(&mut self, id: EngineId, restored: Option<EngineCore>) {
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(id, tx.clone());
+        let replica = restored
+            .as_ref()
+            .map(|_| ReplicaStore::new())
+            .unwrap_or_default();
+        let mut core = match restored {
+            Some(core) => core,
+            None => EngineCore::new(
+                id,
+                &self.spec,
+                &self.placement,
+                &self.config,
+                self.router.clone(),
+                replica.clone(),
+                self.outputs_tx.clone(),
+            ),
+        };
+        let metrics = core.metrics_handle();
+        let idle = Duration::from_micros(self.config.idle_poll_micros);
+        let thread = std::thread::Builder::new()
+            .name(format!("tart-engine-{}", id.raw()))
+            .spawn(move || {
+                let mut draining = false;
+                loop {
+                    match rx.recv_timeout(idle) {
+                        Ok(env) => {
+                            match core.handle(env) {
+                                Flow::Die => return, // fail-stop: drop everything
+                                Flow::Drain => draining = true,
+                                Flow::Continue => {}
+                            }
+                            // Batch whatever else is already queued.
+                            while let Ok(env) = rx.try_recv() {
+                                match core.handle(env) {
+                                    Flow::Die => return,
+                                    Flow::Drain => draining = true,
+                                    Flow::Continue => {}
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            core.on_idle_tick();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                    core.pump();
+                    if draining && core.drain_step() {
+                        core.take_checkpoint();
+                        return;
+                    }
+                }
+            })
+            .expect("spawn engine thread");
+        self.engines.insert(
+            id,
+            EngineSlot {
+                sender: tx,
+                thread: Some(thread),
+                replica,
+                metrics,
+                alive: true,
+            },
+        );
+    }
+
+    /// The injector for the external producer `name`.
+    pub fn injector(&self, name: &str) -> Option<&Injector> {
+        self.injectors.get(name)
+    }
+
+    /// Declares end-of-stream on every external producer.
+    pub fn finish_inputs(&self) {
+        for inj in self.injectors.values() {
+            inj.finish();
+        }
+    }
+
+    /// Heartbeats every idle external producer (promising silence up to
+    /// now), unsticking downstream pessimism delays in real-time runs.
+    pub fn heartbeat_inputs(&self) {
+        for inj in self.injectors.values() {
+            inj.heartbeat();
+        }
+    }
+
+    /// Triggers an immediate soft checkpoint on `engine`.
+    pub fn checkpoint_now(&self, engine: EngineId) {
+        self.router.send(engine, Envelope::Checkpoint);
+    }
+
+    /// Switches the silence propagation strategy on every engine, live.
+    /// No determinism fault is needed: only the communication of silence
+    /// changes, never which ticks are silent (§II.G.4).
+    pub fn set_silence_policy(&self, policy: tart_silence::SilencePolicy) {
+        for (id, slot) in &self.engines {
+            if slot.alive {
+                self.router.send(*id, Envelope::SetSilencePolicy { policy });
+            }
+        }
+    }
+
+    /// Installs a re-calibrated estimator for `component` (a determinism
+    /// fault, logged before use — §II.G.4).
+    pub fn recalibrate(&self, component: ComponentId, spec: EstimatorSpec) {
+        if let Some(engine) = self.placement.engine_of(component) {
+            self.router
+                .send(engine, Envelope::Recalibrate { component, spec });
+        }
+    }
+
+    /// Fail-stops `engine`: its thread exits immediately, losing all state
+    /// and all envelopes in its inbox (the §II.A failure model). Returns
+    /// once the thread is gone.
+    pub fn kill(&mut self, engine: EngineId) {
+        self.router.send(engine, Envelope::Die);
+        self.router.deregister(engine);
+        if let Some(slot) = self.engines.get_mut(&engine) {
+            slot.alive = false;
+            if let Some(t) = slot.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Promotes `engine`'s passive replica: rebuilds the components from the
+    /// checkpoint chain and the determinism-fault log, re-registers the
+    /// inbox, and replays — from upstream retention for internal wires and
+    /// from the message log for external wires (§II.F.3–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is still alive.
+    pub fn promote(&mut self, engine: EngineId) {
+        let slot = self.engines.get(&engine).expect("engine was deployed");
+        assert!(
+            !slot.alive,
+            "promote requires a dead engine (call kill first)"
+        );
+        let replica = slot.replica.clone();
+        let chain = replica.chain();
+        let faults = replica.faults();
+
+        let fresh_replica = ReplicaStore::new();
+        let mut core = EngineCore::new(
+            engine,
+            &self.spec,
+            &self.placement,
+            &self.config,
+            self.router.clone(),
+            fresh_replica.clone(),
+            self.outputs_tx.clone(),
+        );
+
+        // Register the new inbox FIRST so the replay responses triggered by
+        // restore (and live traffic) reach the restored engine.
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(engine, tx.clone());
+
+        // Restore state and issue replay requests — to upstream engines for
+        // internal wires, to the supervisor (message log) for external ones.
+        core.restore(&chain, &faults);
+
+        // Spawn the thread around the restored core.
+        let metrics = core.metrics_handle();
+        let idle = Duration::from_micros(self.config.idle_poll_micros);
+        let thread = std::thread::Builder::new()
+            .name(format!("tart-engine-{}r", engine.raw()))
+            .spawn(move || {
+                let mut draining = false;
+                loop {
+                    match rx.recv_timeout(idle) {
+                        Ok(env) => match core.handle(env) {
+                            Flow::Die => return,
+                            Flow::Drain => draining = true,
+                            Flow::Continue => {}
+                        },
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => core.on_idle_tick(),
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                    core.pump();
+                    if draining && core.drain_step() {
+                        core.take_checkpoint();
+                        return;
+                    }
+                }
+            })
+            .expect("spawn engine thread");
+        self.engines.insert(
+            engine,
+            EngineSlot {
+                sender: tx,
+                thread: Some(thread),
+                replica: fresh_replica,
+                metrics,
+                alive: true,
+            },
+        );
+    }
+
+    /// A snapshot of `engine`'s metrics.
+    pub fn engine_metrics(&self, engine: EngineId) -> Option<EngineMetrics> {
+        self.engines.get(&engine).map(|s| s.metrics.lock().clone())
+    }
+
+    /// `(dropped, duplicated)` counts from the link fault injector.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        self.router.fault_counts()
+    }
+
+    /// Number of checkpoints currently held by `engine`'s replica.
+    pub fn replica_depth(&self, engine: EngineId) -> usize {
+        self.engines.get(&engine).map_or(0, |s| s.replica.len())
+    }
+
+    /// Non-blocking drain of whatever outputs have been produced so far.
+    pub fn take_outputs(&self) -> Vec<OutputRecord> {
+        self.outputs_rx.try_iter().collect()
+    }
+
+    /// Gracefully drains and joins every engine, returning all external
+    /// outputs (including any recovery stutter — see
+    /// [`Cluster::dedup_outputs`]).
+    pub fn shutdown(mut self) -> Vec<OutputRecord> {
+        for slot in self.engines.values() {
+            if slot.alive {
+                let _ = slot.sender.send(Envelope::Drain);
+            }
+        }
+        for slot in self.engines.values_mut() {
+            if let Some(t) = slot.thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.router.send(EXTERNAL_ENGINE, Envelope::Die);
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+        drop(self.outputs_tx);
+        self.outputs_rx.try_iter().collect()
+    }
+
+    /// Removes output stutter: keeps, per wire, only the first record at
+    /// each virtual time, in virtual-time order — exactly the compensation
+    /// the paper expects monotonic-output consumers to apply (§II.A).
+    pub fn dedup_outputs(mut outputs: Vec<OutputRecord>) -> Vec<OutputRecord> {
+        outputs.sort_by_key(|o| (o.wire, o.vt));
+        outputs.dedup_by_key(|o| (o.wire, o.vt));
+        outputs.sort_by_key(|o| (o.vt, o.wire));
+        outputs
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("engines", &self.engines.len())
+            .field("injectors", &self.injectors.len())
+            .finish()
+    }
+}

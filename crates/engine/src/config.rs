@@ -1,0 +1,330 @@
+//! Deployment configuration: placement and runtime tuning.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tart_estimator::EstimatorSpec;
+use tart_model::{AppSpec, BlockId};
+use tart_silence::SilencePolicy;
+use tart_vtime::{ComponentId, EngineId, VirtualDuration, WireId};
+
+use crate::{FaultPlan, LogicalClock, RealClock, TimeSource};
+
+/// Assigns components to execution engines — the placement service of
+/// §II.C ("a placement service assigns individual components to execution
+/// engines within the distributed system").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Placement {
+    assignments: BTreeMap<ComponentId, EngineId>,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Assigns `component` to `engine`.
+    pub fn assign(&mut self, component: ComponentId, engine: EngineId) -> &mut Self {
+        self.assignments.insert(component, engine);
+        self
+    }
+
+    /// Places every component of `spec` on engine 0.
+    pub fn single_engine(spec: &AppSpec) -> Self {
+        let mut p = Placement::new();
+        for c in spec.components() {
+            p.assign(c.id(), EngineId::new(0));
+        }
+        p
+    }
+
+    /// Round-robins components across `n` engines in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn round_robin(spec: &AppSpec, n: u32) -> Self {
+        assert!(n > 0, "need at least one engine");
+        let mut p = Placement::new();
+        for (i, c) in spec.components().iter().enumerate() {
+            p.assign(c.id(), EngineId::new(i as u32 % n));
+        }
+        p
+    }
+
+    /// The engine hosting `component`.
+    pub fn engine_of(&self, component: ComponentId) -> Option<EngineId> {
+        self.assignments.get(&component).copied()
+    }
+
+    /// All engines used, deduplicated, ascending.
+    pub fn engines(&self) -> Vec<EngineId> {
+        let mut v: Vec<EngineId> = self.assignments.values().copied().collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The components hosted on `engine`, ascending.
+    pub fn components_on(&self, engine: EngineId) -> Vec<ComponentId> {
+        self.assignments
+            .iter()
+            .filter(|(_, e)| **e == engine)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Returns `true` if every component of `spec` is assigned.
+    pub fn covers(&self, spec: &AppSpec) -> bool {
+        spec.components()
+            .iter()
+            .all(|c| self.assignments.contains_key(&c.id()))
+    }
+}
+
+/// Cluster-wide runtime tuning (§II.G's controls).
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Deterministic (virtual-time-ordered) scheduling. Disabling it gives
+    /// the paper's measurement baseline: a conventional runtime processing
+    /// messages in real-time arrival order — overhead-free but
+    /// unrecoverable (§III's "non-deterministic" mode).
+    pub deterministic: bool,
+    /// Silence propagation strategy.
+    ///
+    /// Note: in the live engine, [`SilencePolicy::HyperAggressive`] behaves
+    /// like curiosity without the bias floor. Sound bias promises require
+    /// logging each pre-promise like a determinism fault (a promise made
+    /// from volatile idle state constrains which ticks may carry data after
+    /// a replay); the paper leaves this dynamic machinery as future work
+    /// (§IV), and so does this engine — the simulator implements the full
+    /// bias algorithm for the §III studies.
+    pub silence: SilencePolicy,
+    /// Take a soft checkpoint after this many processed messages per
+    /// engine ("the checkpoint frequency is a tuning parameter", §II.F.2).
+    pub checkpoint_every: u64,
+    /// Per-component estimators; components without an entry default to
+    /// 1 tick per execution of block 0.
+    pub estimators: BTreeMap<ComponentId, EstimatorSpec>,
+    /// Per-component minimum handler cost, used in silence oracles
+    /// ("the computation time of the shortest possible processing", §II.H).
+    pub min_work: BTreeMap<ComponentId, VirtualDuration>,
+    /// Per-wire transmission-delay estimate added to output virtual times
+    /// (constant, per §II.G.1's "crude estimate … based upon expected
+    /// communication delay").
+    pub link_delay: BTreeMap<WireId, VirtualDuration>,
+    /// Timestamp source for external input.
+    pub clock: Arc<dyn TimeSource>,
+    /// Link-fault injection plan.
+    pub faults: FaultPlan,
+    /// How long an engine blocks on an empty inbox before re-evaluating
+    /// (also the re-probe period after lost probes), in microseconds.
+    pub idle_poll_micros: u64,
+    /// Persist the external-input log to this CRC-protected append-only
+    /// file (the paper's "stable storage" flavour, §II.E); `None` keeps the
+    /// log in memory only (the "backup machine" flavour).
+    pub log_path: Option<std::path::PathBuf>,
+    /// Dynamic re-tuning (§II.G.4): after this many measured handler
+    /// executions, a component's estimator is re-fitted by linear
+    /// regression on block 0 and installed as a determinism fault.
+    /// `None` disables measurement entirely (no timing overhead).
+    pub auto_recalibrate_after: Option<u64>,
+}
+
+impl ClusterConfig {
+    /// Production-flavoured defaults: real clock, curiosity silence,
+    /// checkpoint every 100 messages, no faults.
+    pub fn real_time() -> Self {
+        ClusterConfig {
+            deterministic: true,
+            silence: SilencePolicy::Curiosity,
+            checkpoint_every: 100,
+            estimators: BTreeMap::new(),
+            min_work: BTreeMap::new(),
+            link_delay: BTreeMap::new(),
+            clock: Arc::new(RealClock::new()),
+            faults: FaultPlan::none(),
+            idle_poll_micros: 200,
+            log_path: None,
+            auto_recalibrate_after: None,
+        }
+    }
+
+    /// Test-flavoured defaults: logical clock stepping 1 ms per event so
+    /// whole-cluster runs are reproducible.
+    pub fn logical_time() -> Self {
+        ClusterConfig {
+            clock: Arc::new(LogicalClock::new(1_000_000)),
+            ..ClusterConfig::real_time()
+        }
+    }
+
+    /// Sets the estimator for a component (builder style).
+    pub fn with_estimator(mut self, component: ComponentId, spec: EstimatorSpec) -> Self {
+        self.estimators.insert(component, spec);
+        self
+    }
+
+    /// Sets the silence policy (builder style).
+    pub fn with_silence(mut self, policy: SilencePolicy) -> Self {
+        self.silence = policy;
+        self
+    }
+
+    /// Selects the non-deterministic (arrival-order) baseline mode
+    /// (builder style).
+    pub fn non_deterministic(mut self) -> Self {
+        self.deterministic = false;
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Persists the external-input log to `path` (builder style).
+    pub fn with_log_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.log_path = Some(path.into());
+        self
+    }
+
+    /// Enables dynamic estimator re-tuning after `samples` measured handler
+    /// executions per component (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn with_auto_recalibrate_after(mut self, samples: u64) -> Self {
+        assert!(samples > 0, "need at least one sample to calibrate");
+        self.auto_recalibrate_after = Some(samples);
+        self
+    }
+
+    /// Sets the checkpoint interval (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// The estimator for `component` (falling back to the default).
+    pub fn estimator_for(&self, component: ComponentId) -> EstimatorSpec {
+        self.estimators
+            .get(&component)
+            .cloned()
+            .unwrap_or_else(|| EstimatorSpec::per_iteration(BlockId(0), 1))
+    }
+
+    /// The minimum-work bound for `component`.
+    pub fn min_work_for(&self, component: ComponentId) -> VirtualDuration {
+        self.min_work
+            .get(&component)
+            .copied()
+            .unwrap_or(VirtualDuration::TICK)
+    }
+
+    /// The link-delay estimate for `wire`.
+    pub fn link_delay_for(&self, wire: WireId) -> VirtualDuration {
+        self.link_delay
+            .get(&wire)
+            .copied()
+            .unwrap_or(VirtualDuration::ZERO)
+    }
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("silence", &self.silence)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("estimators", &self.estimators.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tart_model::reference::fan_in_app;
+
+    #[test]
+    fn single_engine_placement_covers_everything() {
+        let spec = fan_in_app(2).unwrap();
+        let p = Placement::single_engine(&spec);
+        assert!(p.covers(&spec));
+        assert_eq!(p.engines(), vec![EngineId::new(0)]);
+        assert_eq!(p.components_on(EngineId::new(0)).len(), 3);
+        assert_eq!(p.engine_of(ComponentId::new(0)), Some(EngineId::new(0)));
+        assert_eq!(p.engine_of(ComponentId::new(99)), None);
+    }
+
+    #[test]
+    fn round_robin_spreads_components() {
+        let spec = fan_in_app(3).unwrap(); // 4 components
+        let p = Placement::round_robin(&spec, 2);
+        assert!(p.covers(&spec));
+        assert_eq!(p.engines(), vec![EngineId::new(0), EngineId::new(1)]);
+        assert_eq!(p.components_on(EngineId::new(0)).len(), 2);
+        assert_eq!(p.components_on(EngineId::new(1)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one engine")]
+    fn round_robin_rejects_zero() {
+        let spec = fan_in_app(1).unwrap();
+        let _ = Placement::round_robin(&spec, 0);
+    }
+
+    #[test]
+    fn manual_placement() {
+        let spec = fan_in_app(2).unwrap();
+        let merger = spec.component_by_name("Merger").unwrap().id();
+        let s1 = spec.component_by_name("Sender1").unwrap().id();
+        let s2 = spec.component_by_name("Sender2").unwrap().id();
+        let mut p = Placement::new();
+        p.assign(s1, EngineId::new(0))
+            .assign(s2, EngineId::new(0))
+            .assign(merger, EngineId::new(1));
+        assert!(p.covers(&spec));
+        assert_eq!(p.components_on(EngineId::new(1)), vec![merger]);
+    }
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let cfg = ClusterConfig::logical_time()
+            .with_checkpoint_every(10)
+            .with_silence(SilencePolicy::Lazy)
+            .with_estimator(
+                ComponentId::new(0),
+                EstimatorSpec::per_iteration(BlockId(0), 61_000),
+            )
+            .with_faults(FaultPlan::none());
+        assert_eq!(cfg.checkpoint_every, 10);
+        assert_eq!(cfg.silence, SilencePolicy::Lazy);
+        assert_eq!(
+            cfg.estimator_for(ComponentId::new(0)),
+            EstimatorSpec::per_iteration(BlockId(0), 61_000)
+        );
+        // Fallbacks.
+        assert_eq!(
+            cfg.estimator_for(ComponentId::new(5)),
+            EstimatorSpec::per_iteration(BlockId(0), 1)
+        );
+        assert_eq!(cfg.min_work_for(ComponentId::new(5)), VirtualDuration::TICK);
+        assert_eq!(cfg.link_delay_for(WireId::new(3)), VirtualDuration::ZERO);
+        assert!(format!("{cfg:?}").contains("ClusterConfig"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_checkpoint_interval_rejected() {
+        let _ = ClusterConfig::logical_time().with_checkpoint_every(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! The handler context the engine passes to components.
+
+use tart_model::{BlockId, Ctx, Features, Value};
+use tart_vtime::{ComponentId, PortId, VirtualTime};
+
+use crate::core::EngineCore;
+
+/// The live [`Ctx`] implementation: collects sends and features, answers
+/// `now()` with the deterministic dequeue time, and executes same-engine
+/// two-way calls inline.
+///
+/// Cross-engine calls are not supported in this implementation: the paper's
+/// model allows them (a component "blocks … waiting for a return from a
+/// service call", §II.B), but the measured configurations use one-way sends
+/// only; see DESIGN.md.
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) core: &'a mut EngineCore,
+    pub(crate) component: ComponentId,
+    pub(crate) now: VirtualTime,
+    pub(crate) sends: Vec<(PortId, Value)>,
+    pub(crate) features: Features,
+}
+
+impl<'a> EngineCtx<'a> {
+    pub(crate) fn new(core: &'a mut EngineCore, component: ComponentId, now: VirtualTime) -> Self {
+        EngineCtx {
+            core,
+            component,
+            now,
+            sends: Vec::new(),
+            features: Features::new(),
+        }
+    }
+}
+
+impl Ctx for EngineCtx<'_> {
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    fn send(&mut self, port: PortId, msg: Value) {
+        self.sends.push((port, msg));
+    }
+
+    fn call(&mut self, port: PortId, req: Value) -> Value {
+        self.core.execute_call(self.component, port, req, self.now)
+    }
+
+    fn tick_block(&mut self, block: BlockId, count: u64) {
+        self.features.add(block, count);
+    }
+}

@@ -1,0 +1,401 @@
+//! The external-input message log.
+//!
+//! "When a message arrives at the system from an external source, it is (a)
+//! given a timestamp, and then is (b) logged — either to external stable
+//! storage, or to the backup machine. … Only external messages are logged"
+//! (§II.E). The log is the replay source for external wires after a
+//! failover.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+use bytes::BytesMut;
+use tart_codec::{crc32, Decode, DecodeError, Encode};
+use tart_model::Value;
+use tart_vtime::{VirtualTime, WireId};
+
+/// Errors from the message log.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A persisted record failed its CRC or decode check.
+    Corrupt(DecodeError),
+    /// A record's timestamp was not strictly increasing for its wire.
+    NonMonotonic {
+        /// The offending wire.
+        wire: WireId,
+        /// The offending timestamp.
+        got: VirtualTime,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log i/o failed: {e}"),
+            LogError::Corrupt(e) => write!(f, "log record corrupt: {e}"),
+            LogError::NonMonotonic { wire, got } => {
+                write!(
+                    f,
+                    "log record for {wire} at {got} is not after its predecessor"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            LogError::Corrupt(e) => Some(e),
+            LogError::NonMonotonic { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+impl From<DecodeError> for LogError {
+    fn from(e: DecodeError) -> Self {
+        LogError::Corrupt(e)
+    }
+}
+
+/// One logged external message.
+#[derive(Clone, Debug, PartialEq)]
+struct LogRecord {
+    wire: WireId,
+    vt: VirtualTime,
+    payload: Value,
+}
+
+impl Encode for LogRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.wire.encode(buf);
+        self.vt.encode(buf);
+        self.payload.encode(buf);
+    }
+}
+
+impl Decode for LogRecord {
+    fn decode(r: &mut tart_codec::Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(LogRecord {
+            wire: WireId::decode(r)?,
+            vt: VirtualTime::decode(r)?,
+            payload: Value::decode(r)?,
+        })
+    }
+}
+
+/// An append-only log of timestamped external messages, indexed by wire,
+/// optionally persisted to a CRC-protected file.
+///
+/// # Example
+///
+/// ```
+/// use tart_engine::MessageLog;
+/// use tart_model::Value;
+/// use tart_vtime::{VirtualTime, WireId};
+///
+/// let mut log = MessageLog::in_memory();
+/// let w = WireId::new(0);
+/// log.append(w, VirtualTime::from_ticks(100), &Value::from("payload"))?;
+/// let replayed = log.replay_from(w, VirtualTime::ZERO);
+/// assert_eq!(replayed.len(), 1);
+/// # Ok::<(), tart_engine::LogError>(())
+/// ```
+pub struct MessageLog {
+    /// wire → (vt → payload); BTreeMap gives range replay directly.
+    entries: BTreeMap<WireId, BTreeMap<VirtualTime, Value>>,
+    file: Option<File>,
+}
+
+impl MessageLog {
+    /// Creates a purely in-memory log (the "backup machine" flavour).
+    pub fn in_memory() -> Self {
+        MessageLog {
+            entries: BTreeMap::new(),
+            file: None,
+        }
+    }
+
+    /// Creates (or truncates) a file-backed log (the "stable storage"
+    /// flavour). Each record is length-prefixed and CRC-protected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] if the file cannot be created.
+    pub fn file_backed(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(MessageLog {
+            entries: BTreeMap::new(),
+            file: Some(file),
+        })
+    }
+
+    /// Recovers a log from a previously written file, verifying every
+    /// record's CRC. A torn final record (partial write at crash) is
+    /// tolerated and discarded; corruption in the middle is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`] on read failure or [`LogError::Corrupt`] on
+    /// CRC/decode mismatch.
+    pub fn recover(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        let mut reader = BufReader::new(File::open(path.as_ref())?);
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let mut log = MessageLog::in_memory();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            // Frame: u32 length (BE) | u32 crc (BE) | record bytes.
+            if pos + 8 > bytes.len() {
+                break; // torn header
+            }
+            let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if pos + 8 + len > bytes.len() {
+                break; // torn body
+            }
+            let body = &bytes[pos + 8..pos + 8 + len];
+            if crc32(body) != crc {
+                return Err(LogError::Corrupt(DecodeError::ChecksumMismatch));
+            }
+            let record = LogRecord::from_bytes(body)?;
+            log.insert(record)?;
+            pos += 8 + len;
+        }
+        // Re-open for appending.
+        log.file = Some(OpenOptions::new().append(true).open(path)?);
+        Ok(log)
+    }
+
+    fn insert(&mut self, record: LogRecord) -> Result<(), LogError> {
+        let per_wire = self.entries.entry(record.wire).or_default();
+        if let Some((&last, _)) = per_wire.iter().next_back() {
+            if record.vt <= last {
+                return Err(LogError::NonMonotonic {
+                    wire: record.wire,
+                    got: record.vt,
+                });
+            }
+        }
+        per_wire.insert(record.vt, record.payload);
+        Ok(())
+    }
+
+    /// Appends one external message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::NonMonotonic`] if `vt` does not exceed the wire's
+    /// last logged timestamp, or [`LogError::Io`] if persistence fails.
+    pub fn append(
+        &mut self,
+        wire: WireId,
+        vt: VirtualTime,
+        payload: &Value,
+    ) -> Result<(), LogError> {
+        let record = LogRecord {
+            wire,
+            vt,
+            payload: payload.clone(),
+        };
+        let body = record.to_bytes();
+        self.insert(record)?;
+        if let Some(file) = &mut self.file {
+            let mut frame = Vec::with_capacity(body.len() + 8);
+            frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            frame.extend_from_slice(&crc32(&body).to_be_bytes());
+            frame.extend_from_slice(&body);
+            file.write_all(&frame)?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// All logged messages on `wire` with `vt >= from`, in order.
+    pub fn replay_from(&self, wire: WireId, from: VirtualTime) -> Vec<(VirtualTime, Value)> {
+        self.entries
+            .get(&wire)
+            .map(|m| m.range(from..).map(|(vt, v)| (*vt, v.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// The last logged timestamp on `wire`.
+    pub fn last_vt(&self, wire: WireId) -> Option<VirtualTime> {
+        self.entries
+            .get(&wire)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Total records across all wires.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(BTreeMap::len).sum()
+    }
+
+    /// Returns `true` if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for MessageLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MessageLog")
+            .field("records", &self.len())
+            .field("persistent", &self.file.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn w(n: u32) -> WireId {
+        WireId::new(n)
+    }
+
+    #[test]
+    fn in_memory_append_and_replay() {
+        let mut log = MessageLog::in_memory();
+        assert!(log.is_empty());
+        log.append(w(0), vt(10), &Value::I64(1)).unwrap();
+        log.append(w(0), vt(20), &Value::I64(2)).unwrap();
+        log.append(w(1), vt(15), &Value::I64(3)).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.last_vt(w(0)), Some(vt(20)));
+        assert_eq!(log.last_vt(w(9)), None);
+
+        let all = log.replay_from(w(0), VirtualTime::ZERO);
+        assert_eq!(all, vec![(vt(10), Value::I64(1)), (vt(20), Value::I64(2))]);
+        let tail = log.replay_from(w(0), vt(11));
+        assert_eq!(tail, vec![(vt(20), Value::I64(2))]);
+        let exact = log.replay_from(w(0), vt(20));
+        assert_eq!(exact.len(), 1);
+        assert!(log.replay_from(w(0), vt(21)).is_empty());
+        assert!(log.replay_from(w(7), VirtualTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn rejects_non_monotonic_timestamps_per_wire() {
+        let mut log = MessageLog::in_memory();
+        log.append(w(0), vt(10), &Value::Unit).unwrap();
+        assert!(matches!(
+            log.append(w(0), vt(10), &Value::Unit),
+            Err(LogError::NonMonotonic { .. })
+        ));
+        assert!(log.append(w(0), vt(5), &Value::Unit).is_err());
+        // Other wires are independent timelines.
+        log.append(w(1), vt(5), &Value::Unit).unwrap();
+    }
+
+    #[test]
+    fn file_round_trip_with_crc() {
+        let dir = std::env::temp_dir().join(format!("tart-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.log");
+        {
+            let mut log = MessageLog::file_backed(&path).unwrap();
+            log.append(w(0), vt(100), &Value::from("first")).unwrap();
+            log.append(w(0), vt(200), &Value::from("second")).unwrap();
+            log.append(w(2), vt(150), &Value::I64(-5)).unwrap();
+        }
+        let recovered = MessageLog::recover(&path).unwrap();
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(
+            recovered.replay_from(w(0), VirtualTime::ZERO),
+            vec![
+                (vt(100), Value::from("first")),
+                (vt(200), Value::from("second"))
+            ]
+        );
+        assert_eq!(recovered.replay_from(w(2), vt(150)).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_log_accepts_further_appends() {
+        let dir = std::env::temp_dir().join(format!("tart-log-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.log");
+        {
+            let mut log = MessageLog::file_backed(&path).unwrap();
+            log.append(w(0), vt(1), &Value::I64(1)).unwrap();
+        }
+        {
+            let mut log = MessageLog::recover(&path).unwrap();
+            log.append(w(0), vt(2), &Value::I64(2)).unwrap();
+        }
+        let log = MessageLog::recover(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_corrupt_middle_is_error() {
+        let dir = std::env::temp_dir().join(format!("tart-log-test3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Torn tail: truncate the file mid-record.
+        let path = dir.join("torn.log");
+        {
+            let mut log = MessageLog::file_backed(&path).unwrap();
+            log.append(w(0), vt(1), &Value::from("keep")).unwrap();
+            log.append(w(0), vt(2), &Value::from("torn")).unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 3).unwrap();
+        drop(f);
+        let log = MessageLog::recover(&path).unwrap();
+        assert_eq!(log.len(), 1, "torn final record discarded");
+
+        // Bit flip inside the first record body: checksum error.
+        let path2 = dir.join("flip.log");
+        {
+            let mut log = MessageLog::file_backed(&path2).unwrap();
+            log.append(w(0), vt(1), &Value::from("payload")).unwrap();
+        }
+        let mut bytes = std::fs::read(&path2).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path2, &bytes).unwrap();
+        assert!(matches!(
+            MessageLog::recover(&path2),
+            Err(LogError::Corrupt(DecodeError::ChecksumMismatch))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LogError::NonMonotonic {
+            wire: w(1),
+            got: vt(9),
+        };
+        assert!(e.to_string().contains("w1"));
+        let e = LogError::Corrupt(DecodeError::ChecksumMismatch);
+        assert!(e.to_string().contains("corrupt"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,311 @@
+//! TCP transport: the multi-host building block.
+//!
+//! The paper's §III.C measurement ran on two physical machines. The
+//! in-process [`Router`] covers single-host deployments and
+//! tests; this module extends it across hosts: every [`Envelope`] is
+//! [`Encode`]-stable, so a frame is just a length-prefixed, CRC-protected
+//! `(target engine, envelope)` pair on a TCP stream (which is itself
+//! reliable and FIFO, matching the §II.A link model; loss at *failure* is
+//! still covered by the replay protocol).
+//!
+//! Topology: each process runs a [`TcpInbound`] acceptor that delivers
+//! arriving frames into its local router, and registers a
+//! [`remote_engine`] proxy in that router for every engine hosted
+//! elsewhere. Wires between hosts then work exactly like local ones.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tart_engine::net::{remote_engine, TcpInbound};
+//! use tart_engine::{FaultPlan, Router};
+//! use tart_vtime::EngineId;
+//!
+//! // Host B: accept frames for the engines it hosts.
+//! let router_b = Router::new(FaultPlan::none());
+//! let inbound = TcpInbound::listen("0.0.0.0:7400", router_b.clone())?;
+//!
+//! // Host A: route engine 1's traffic over TCP to host B.
+//! let router_a = Router::new(FaultPlan::none());
+//! remote_engine(&router_a, EngineId::new(1), &format!("hostb:{}", inbound.port()))?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::unbounded;
+use tart_codec::{crc32, Decode, Encode};
+use tart_vtime::EngineId;
+
+use crate::{Envelope, Router};
+
+/// Maximum accepted frame body, guarding against corrupt length prefixes.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Writes one `(target, envelope)` frame:
+/// `u32 BE body length | u32 BE crc32(body) | body`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the underlying stream.
+pub fn write_frame(w: &mut impl Write, target: EngineId, env: &Envelope) -> io::Result<()> {
+    let body = (target, env.clone()).to_bytes();
+    let mut frame = Vec::with_capacity(body.len() + 8);
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&crc32(&body).to_be_bytes());
+    frame.extend_from_slice(&body);
+    w.write_all(&frame)
+}
+
+/// Reads one frame; `Ok(None)` signals a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on CRC mismatch, oversized length, or a malformed
+/// body; `UnexpectedEof` on a mid-frame disconnect; and propagates other
+/// I/O failures.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(EngineId, Envelope)>> {
+    let mut header = [0u8; 8];
+    // Distinguish clean EOF (no bytes) from a torn header.
+    match r.read(&mut header[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut header[1..])?,
+    }
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+    let crc = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    if crc32(&body) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    <(EngineId, Envelope)>::from_bytes(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Accepts TCP connections and feeds every arriving frame into the local
+/// router — the receive half of a multi-host deployment.
+pub struct TcpInbound {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpInbound {
+    /// Binds `addr` and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn listen(addr: impl ToSocketAddrs, router: Router) -> io::Result<TcpInbound> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("tart-tcp-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !stop_accept.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            stream.set_nonblocking(false).ok();
+                            let router = router.clone();
+                            let handle = std::thread::Builder::new()
+                                .name("tart-tcp-conn".into())
+                                .spawn(move || {
+                                    let mut stream = stream;
+                                    loop {
+                                        match read_frame(&mut stream) {
+                                            Ok(Some((target, env))) => router.send(target, env),
+                                            Ok(None) | Err(_) => return,
+                                        }
+                                    }
+                                })
+                                .expect("spawn connection thread");
+                            conns.push(handle);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                }
+                // Connection threads exit when their peers disconnect.
+                drop(conns);
+            })
+            .expect("spawn accept thread");
+        Ok(TcpInbound {
+            local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound port (useful with a `0` bind).
+    pub fn port(&self) -> u16 {
+        self.local.port()
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for TcpInbound {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Registers `engine` in `router` as a remote engine reachable at `addr`:
+/// envelopes routed to it are forwarded over a dedicated TCP connection by
+/// a background writer thread.
+///
+/// Envelopes sent while the connection is broken are dropped — exactly the
+/// in-transit-loss semantics of an engine failure, which the replay
+/// protocol already masks.
+///
+/// # Errors
+///
+/// Propagates the initial connection failure.
+pub fn remote_engine(
+    router: &Router,
+    engine: EngineId,
+    addr: impl ToSocketAddrs,
+) -> io::Result<JoinHandle<()>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let (tx, rx) = unbounded::<Envelope>();
+    router.register(engine, tx);
+    let handle = std::thread::Builder::new()
+        .name(format!("tart-tcp-out-{}", engine.raw()))
+        .spawn(move || {
+            while let Ok(env) = rx.recv() {
+                if write_frame(&mut stream, engine, &env).is_err() {
+                    // Peer gone: drain and drop (in-transit loss).
+                    return;
+                }
+            }
+        })
+        .expect("spawn writer thread");
+    Ok(handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+    use tart_model::Value;
+    use tart_vtime::{VirtualTime, WireId};
+
+    fn data(n: u64) -> Envelope {
+        Envelope::Data {
+            wire: WireId::new(0),
+            vt: VirtualTime::from_ticks(n),
+            prev_vt: VirtualTime::from_ticks(n.saturating_sub(1)),
+            payload: Value::map([("n", Value::I64(n as i64))]),
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_over_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, EngineId::new(3), &data(7)).unwrap();
+        write_frame(&mut buf, EngineId::new(4), &Envelope::Checkpoint).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((EngineId::new(3), data(7)))
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((EngineId::new(4), Envelope::Checkpoint))
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, EngineId::new(0), &data(1)).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_header_is_eof_error() {
+        let buf = [0u8; 3];
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn envelopes_cross_a_real_socket() {
+        // Receiving side: a router with a plain channel standing in for an
+        // engine inbox.
+        let router_b = Router::new(FaultPlan::none());
+        let (tx, rx) = unbounded();
+        router_b.register(EngineId::new(1), tx);
+        let inbound = TcpInbound::listen("127.0.0.1:0", router_b).unwrap();
+
+        // Sending side: engine 1 is remote.
+        let router_a = Router::new(FaultPlan::none());
+        let _writer =
+            remote_engine(&router_a, EngineId::new(1), ("127.0.0.1", inbound.port())).unwrap();
+
+        for n in 0..100 {
+            router_a.send(EngineId::new(1), data(n));
+        }
+        router_a.send(EngineId::new(1), Envelope::Drain);
+
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while got.len() < 101 && std::time::Instant::now() < deadline {
+            if let Ok(env) = rx.recv_timeout(Duration::from_millis(100)) {
+                got.push(env)
+            }
+        }
+        assert_eq!(got.len(), 101, "all frames delivered");
+        assert_eq!(got[0], data(0));
+        assert_eq!(got[99], data(99));
+        assert_eq!(got[100], Envelope::Drain);
+        // FIFO preserved.
+        for (i, env) in got[..100].iter().enumerate() {
+            assert_eq!(env, &data(i as u64));
+        }
+    }
+}

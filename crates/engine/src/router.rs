@@ -1,0 +1,275 @@
+//! Inter-engine message routing with fault injection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use tart_stats::DetRng;
+use tart_vtime::EngineId;
+
+/// Sentinel engine id under which the cluster supervisor registers: the
+/// service that answers replay requests for *external* wires from the
+/// message log.
+pub(crate) const EXTERNAL_ENGINE: EngineId = EngineId::new(u32::MAX);
+
+use crate::Envelope;
+
+/// Link-fault injection plan: probabilistic drop and duplication of payload
+/// traffic (Data/Silence envelopes), exercising the correctness criterion's
+/// "link failures (causing loss, re-ordering, or duplication of messages
+/// sent over physical links)" (§II.A).
+///
+/// Duplicated envelopes are delivered back-to-back; combined with drops on
+/// retransmission paths this also produces effective re-ordering of silence
+/// relative to data. Control-plane envelopes are never disturbed.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability a faultable envelope is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a faultable envelope is delivered twice.
+    pub dup_prob: f64,
+    /// Seed for the fault RNG.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns `true` if this plan can never disturb traffic.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0
+    }
+}
+
+/// Routes envelopes to engine inboxes, with hot-swappable targets (failover
+/// replaces a dead engine's inbox) and optional fault injection.
+///
+/// Cloneable and shared by every engine, injector and the failover manager.
+#[derive(Clone)]
+pub struct Router {
+    targets: Arc<RwLock<HashMap<EngineId, Sender<Envelope>>>>,
+    faults: Arc<Mutex<FaultState>>,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    rng: DetRng,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl Router {
+    /// Creates a router with the given fault plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = DetRng::seed_from(plan.seed);
+        Router {
+            targets: Arc::new(RwLock::new(HashMap::new())),
+            faults: Arc::new(Mutex::new(FaultState {
+                plan,
+                rng,
+                dropped: 0,
+                duplicated: 0,
+            })),
+        }
+    }
+
+    /// Registers (or replaces, during failover) the inbox of `engine`.
+    pub fn register(&self, engine: EngineId, inbox: Sender<Envelope>) {
+        self.targets.write().insert(engine, inbox);
+    }
+
+    /// Removes an engine's inbox (its channel closes once the engine thread
+    /// drops the receiver). Subsequent sends to it vanish — exactly the
+    /// fail-stop message-loss semantics.
+    pub fn deregister(&self, engine: EngineId) {
+        self.targets.write().remove(&engine);
+    }
+
+    /// Sends `env` to `engine`. Envelopes to unknown/dead engines are
+    /// dropped silently (in-transit loss at failure). Faultable envelopes
+    /// pass through the fault plan.
+    pub fn send(&self, engine: EngineId, env: Envelope) {
+        if env.faultable() {
+            let mut f = self.faults.lock();
+            if !f.plan.is_noop() {
+                let roll = f.rng.next_f64();
+                if roll < f.plan.drop_prob {
+                    f.dropped += 1;
+                    return;
+                }
+                if roll < f.plan.drop_prob + f.plan.dup_prob {
+                    f.duplicated += 1;
+                    drop(f);
+                    self.raw_send(engine, env.clone());
+                    self.raw_send(engine, env);
+                    return;
+                }
+            }
+        }
+        self.raw_send(engine, env);
+    }
+
+    fn raw_send(&self, engine: EngineId, env: Envelope) {
+        if let Some(tx) = self.targets.read().get(&engine) {
+            // A closed channel means the engine died between lookup and
+            // send: the message is lost in transit, which replay covers.
+            let _ = tx.send(env);
+        }
+    }
+
+    /// `(dropped, duplicated)` counts from the fault injector.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        let f = self.faults.lock();
+        (f.dropped, f.duplicated)
+    }
+
+    /// Whether `engine` currently has a registered inbox.
+    pub fn is_registered(&self, engine: EngineId) -> bool {
+        self.targets.read().contains_key(&engine)
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("engines", &self.targets.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use tart_model::Value;
+    use tart_vtime::{VirtualTime, WireId};
+
+    fn data(n: u64) -> Envelope {
+        Envelope::Data {
+            wire: WireId::new(0),
+            vt: VirtualTime::from_ticks(n),
+            prev_vt: VirtualTime::ZERO,
+            payload: Value::I64(n as i64),
+        }
+    }
+
+    #[test]
+    fn routes_to_registered_engine() {
+        let router = Router::new(FaultPlan::none());
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        assert!(router.is_registered(EngineId::new(0)));
+        router.send(EngineId::new(0), data(1));
+        assert_eq!(rx.try_recv().unwrap(), data(1));
+    }
+
+    #[test]
+    fn unknown_engine_drops_silently() {
+        let router = Router::new(FaultPlan::none());
+        router.send(EngineId::new(9), data(1));
+        assert!(!router.is_registered(EngineId::new(9)));
+    }
+
+    #[test]
+    fn deregister_then_send_loses_message() {
+        let router = Router::new(FaultPlan::none());
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        router.deregister(EngineId::new(0));
+        router.send(EngineId::new(0), data(1));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn register_swaps_inbox_for_failover() {
+        let router = Router::new(FaultPlan::none());
+        let (tx1, rx1) = unbounded();
+        let (tx2, rx2) = unbounded();
+        router.register(EngineId::new(0), tx1);
+        router.register(EngineId::new(0), tx2);
+        router.send(EngineId::new(0), data(1));
+        assert!(rx1.try_recv().is_err(), "old inbox no longer receives");
+        assert_eq!(rx2.try_recv().unwrap(), data(1));
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_statistically() {
+        let plan = FaultPlan {
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            seed: 42,
+        };
+        let router = Router::new(plan);
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        let n = 10_000;
+        for i in 0..n {
+            router.send(EngineId::new(0), data(i));
+        }
+        let received = rx.try_iter().count() as f64;
+        let (dropped, duplicated) = router.fault_counts();
+        assert!(dropped > 0 && duplicated > 0);
+        // Expected: n * (1 - 0.2 + 0.1) = 0.9 n.
+        let expect = n as f64 * 0.9;
+        assert!(
+            (received - expect).abs() < expect * 0.1,
+            "received {received} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn control_traffic_is_never_faulted() {
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            dup_prob: 0.0,
+            seed: 1,
+        };
+        let router = Router::new(plan);
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        router.send(EngineId::new(0), Envelope::Checkpoint);
+        router.send(
+            EngineId::new(0),
+            Envelope::ReplayRequest {
+                wire: WireId::new(0),
+                from: VirtualTime::ZERO,
+            },
+        );
+        assert_eq!(rx.try_iter().count(), 2);
+        // But all data dies under drop_prob = 1.
+        router.send(EngineId::new(0), data(1));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let plan = FaultPlan {
+            drop_prob: 0.3,
+            dup_prob: 0.2,
+            seed: 7,
+        };
+        let run = || {
+            let router = Router::new(plan.clone());
+            let (tx, rx) = unbounded();
+            router.register(EngineId::new(0), tx);
+            for i in 0..1_000 {
+                router.send(EngineId::new(0), data(i));
+            }
+            rx.try_iter()
+                .map(|e| match e {
+                    Envelope::Data { vt, .. } => vt.as_ticks(),
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,378 @@
+//! Estimator calibration by linear regression over measured samples.
+
+use std::fmt;
+
+use tart_model::{BlockId, Features};
+use tart_stats::{fit_multiple, fit_simple, fit_through_origin, Fit, MultiFit, MultiFitError};
+use tart_vtime::VirtualDuration;
+
+use crate::EstimatorSpec;
+
+/// An error produced during calibration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Not enough samples were collected to fit reliably.
+    TooFewSamples {
+        /// Samples required.
+        need: usize,
+        /// Samples available.
+        have: usize,
+    },
+    /// The chosen block never executed (regressor identically zero) or had
+    /// no variance, so no coefficient can be estimated.
+    DegenerateRegressor {
+        /// The offending block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::TooFewSamples { need, have } => {
+                write!(f, "calibration needs {need} samples, only {have} collected")
+            }
+            CalibrationError::DegenerateRegressor { block } => {
+                write!(f, "block {block} has no usable variation in the samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Collects `(features, measured real time)` samples and fits estimator
+/// coefficients by linear regression.
+///
+/// This reproduces §II.H: "Before execution, a rough estimate of the βᵢ's is
+/// made based upon known costs per instruction. Later, after some execution
+/// samples are taken … a linear regression is taken to fit the
+/// coefficients." The paper fits Code Body 1's single coefficient to
+/// 61.827 µs/iteration with R² = 0.9154 over 10,000 samples (Fig 2).
+///
+/// # Example
+///
+/// ```
+/// use tart_estimator::Calibrator;
+/// use tart_model::{BlockId, Features};
+///
+/// let mut cal = Calibrator::new(3);
+/// for iters in [1u64, 2, 3, 4] {
+///     // Pretend each iteration took exactly 61 827 ticks.
+///     cal.add_sample(Features::single(BlockId(0), iters), 61_827 * iters);
+/// }
+/// let (spec, fit) = cal.fit_through_origin(BlockId(0))?;
+/// assert!(fit.r_squared > 0.999);
+/// # Ok::<(), tart_estimator::CalibrationError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Calibrator {
+    min_samples: usize,
+    samples: Vec<(Features, u64)>,
+}
+
+impl Calibrator {
+    /// Creates a calibrator requiring at least `min_samples` samples before
+    /// it will fit (the paper waits for "several hundreds of messages").
+    pub fn new(min_samples: usize) -> Self {
+        Calibrator {
+            min_samples,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one handler invocation: its feature counts and its measured
+    /// real duration in ticks (nanoseconds).
+    pub fn add_sample(&mut self, features: Features, measured_ticks: u64) {
+        self.samples.push((features, measured_ticks));
+    }
+
+    /// Number of samples collected so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` once enough samples have accumulated to fit.
+    pub fn is_ready(&self) -> bool {
+        self.samples.len() >= self.min_samples
+    }
+
+    /// Discards all samples (used after a successful re-calibration so the
+    /// next fit reflects only post-fault behaviour).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Fits `measured = β·ξ(block)` through the origin, the paper's Eq. 2
+    /// form, and returns the resulting estimator plus fit diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// * [`CalibrationError::TooFewSamples`] before `min_samples` samples;
+    /// * [`CalibrationError::DegenerateRegressor`] if `block` never ran.
+    pub fn fit_through_origin(
+        &self,
+        block: BlockId,
+    ) -> Result<(EstimatorSpec, Fit), CalibrationError> {
+        let (x, y) = self.regressors(block)?;
+        if x.iter().all(|&v| v == 0.0) {
+            return Err(CalibrationError::DegenerateRegressor { block });
+        }
+        let fit = fit_through_origin(&x, &y);
+        let ticks = non_negative_ticks(fit.slope);
+        Ok((EstimatorSpec::per_iteration(block, ticks), fit))
+    }
+
+    /// Fits `measured = β₀ + β₁·ξ(block)` and returns the resulting
+    /// estimator plus fit diagnostics. Negative fitted values clamp to zero
+    /// (estimates must never move virtual time backward).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Calibrator::fit_through_origin`], plus a
+    /// degenerate error when the block count never varies.
+    pub fn fit_affine(&self, block: BlockId) -> Result<(EstimatorSpec, Fit), CalibrationError> {
+        let (x, y) = self.regressors(block)?;
+        let first = x[0];
+        if x.iter().all(|&v| v == first) {
+            return Err(CalibrationError::DegenerateRegressor { block });
+        }
+        let fit = fit_simple(&x, &y);
+        let base = VirtualDuration::from_ticks(non_negative_ticks(fit.intercept));
+        let ticks = non_negative_ticks(fit.slope);
+        Ok((EstimatorSpec::linear(base, [(block, ticks)]), fit))
+    }
+
+    /// Fits the paper's full Eq. 1 form `τ = β₀ + Σᵢ βᵢ·ξᵢ` over several
+    /// basic blocks at once, returning a multi-coefficient linear estimator
+    /// plus fit diagnostics. Negative fitted coefficients clamp to zero.
+    ///
+    /// # Errors
+    ///
+    /// * [`CalibrationError::TooFewSamples`] before `min_samples` samples
+    ///   (or fewer samples than coefficients);
+    /// * [`CalibrationError::DegenerateRegressor`] if the regressors are
+    ///   collinear or constant — the first block is reported.
+    pub fn fit_blocks(
+        &self,
+        blocks: &[BlockId],
+    ) -> Result<(EstimatorSpec, MultiFit), CalibrationError> {
+        if !self.is_ready() {
+            return Err(CalibrationError::TooFewSamples {
+                need: self.min_samples,
+                have: self.samples.len(),
+            });
+        }
+        let rows: Vec<Vec<f64>> = self
+            .samples
+            .iter()
+            .map(|(f, _)| blocks.iter().map(|b| f.count(*b) as f64).collect())
+            .collect();
+        let y: Vec<f64> = self.samples.iter().map(|(_, m)| *m as f64).collect();
+        let first = blocks.first().copied().unwrap_or(BlockId(0));
+        let fit = fit_multiple(&rows, &y).map_err(|e| match e {
+            MultiFitError::TooFewSamples => CalibrationError::TooFewSamples {
+                need: blocks.len() + 1,
+                have: self.samples.len(),
+            },
+            MultiFitError::Singular => CalibrationError::DegenerateRegressor { block: first },
+        })?;
+        let base = VirtualDuration::from_ticks(non_negative_ticks(fit.intercept));
+        let coeffs: Vec<(BlockId, u64)> = blocks
+            .iter()
+            .zip(&fit.slopes)
+            .map(|(b, s)| (*b, non_negative_ticks(*s)))
+            .collect();
+        Ok((EstimatorSpec::linear(base, coeffs), fit))
+    }
+
+    fn regressors(&self, block: BlockId) -> Result<(Vec<f64>, Vec<f64>), CalibrationError> {
+        if !self.is_ready() {
+            return Err(CalibrationError::TooFewSamples {
+                need: self.min_samples,
+                have: self.samples.len(),
+            });
+        }
+        let mut x = Vec::with_capacity(self.samples.len());
+        let mut y = Vec::with_capacity(self.samples.len());
+        for (features, measured) in &self.samples {
+            x.push(features.count(block) as f64);
+            y.push(*measured as f64);
+        }
+        Ok((x, y))
+    }
+}
+
+fn non_negative_ticks(v: f64) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        v.round() as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Estimator;
+    use tart_stats::{DetRng, LogNormal, Sample, UniformInt};
+
+    #[test]
+    fn exact_samples_recover_exact_coefficient() {
+        let mut cal = Calibrator::new(2);
+        for iters in 1..=10u64 {
+            cal.add_sample(Features::single(BlockId(0), iters), 61_000 * iters);
+        }
+        let (spec, fit) = cal.fit_through_origin(BlockId(0)).unwrap();
+        assert_eq!(spec, EstimatorSpec::per_iteration(BlockId(0), 61_000));
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_shaped_calibration() {
+        // Reproduce the shape of Fig 2: 10,000 samples, iterations uniform
+        // 1..=19, right-skewed noise around 61 827 ticks/iteration.
+        let mut rng = DetRng::seed_from(42);
+        let iters = UniformInt::new(1, 19);
+        let noise = LogNormal::from_mean_sd(1.0, 0.17);
+        let mut cal = Calibrator::new(500);
+        for _ in 0..10_000 {
+            let k = iters.sample_int(&mut rng);
+            let measured = (61_827.0 * k as f64 * noise.sample(&mut rng)) as u64;
+            cal.add_sample(Features::single(BlockId(0), k), measured);
+        }
+        assert!(cal.is_ready());
+        let (spec, fit) = cal.fit_through_origin(BlockId(0)).unwrap();
+        let coeff = spec.estimate(&Features::single(BlockId(0), 1)).as_ticks();
+        assert!(
+            (coeff as i64 - 61_827).unsigned_abs() < 1_000,
+            "coefficient {coeff} should be near 61 827"
+        );
+        assert!(
+            fit.r_squared > 0.85 && fit.r_squared < 0.99,
+            "R² {}",
+            fit.r_squared
+        );
+        assert!(fit.residuals.skewness() > 0.3, "right-skewed residuals");
+        assert!(fit.residual_correlation.abs() < 0.1, "good linear fit");
+    }
+
+    #[test]
+    fn affine_fit_recovers_base_cost() {
+        let mut cal = Calibrator::new(2);
+        for iters in 0..=20u64 {
+            cal.add_sample(Features::single(BlockId(0), iters), 5_000 + 100 * iters);
+        }
+        let (spec, fit) = cal.fit_affine(BlockId(0)).unwrap();
+        assert!((fit.intercept - 5_000.0).abs() < 1.0);
+        assert!((fit.slope - 100.0).abs() < 0.01);
+        assert_eq!(
+            spec.estimate(&Features::single(BlockId(0), 10)).as_ticks(),
+            6_000
+        );
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let mut cal = Calibrator::new(100);
+        cal.add_sample(Features::single(BlockId(0), 1), 10);
+        assert!(!cal.is_ready());
+        assert_eq!(
+            cal.fit_through_origin(BlockId(0)).unwrap_err(),
+            CalibrationError::TooFewSamples { need: 100, have: 1 }
+        );
+        assert_eq!(cal.sample_count(), 1);
+    }
+
+    #[test]
+    fn degenerate_block_is_an_error() {
+        let mut cal = Calibrator::new(1);
+        cal.add_sample(Features::single(BlockId(0), 3), 10);
+        cal.add_sample(Features::single(BlockId(0), 3), 12);
+        // Block 9 never executed.
+        assert_eq!(
+            cal.fit_through_origin(BlockId(9)).unwrap_err(),
+            CalibrationError::DegenerateRegressor { block: BlockId(9) }
+        );
+        // Affine fit additionally requires variance in the regressor.
+        assert_eq!(
+            cal.fit_affine(BlockId(0)).unwrap_err(),
+            CalibrationError::DegenerateRegressor { block: BlockId(0) }
+        );
+    }
+
+    #[test]
+    fn reset_discards_samples() {
+        let mut cal = Calibrator::new(1);
+        cal.add_sample(Features::single(BlockId(0), 1), 10);
+        cal.reset();
+        assert_eq!(cal.sample_count(), 0);
+        assert!(!cal.is_ready());
+    }
+
+    #[test]
+    fn negative_fits_clamp_to_zero() {
+        // A pathological sample set with a negative slope.
+        let mut cal = Calibrator::new(2);
+        cal.add_sample(Features::single(BlockId(0), 1), 100);
+        cal.add_sample(Features::single(BlockId(0), 10), 10);
+        let (spec, _) = cal.fit_affine(BlockId(0)).unwrap();
+        // Slope clamps to 0; base stays positive.
+        let small = spec.estimate(&Features::single(BlockId(0), 1));
+        let large = spec.estimate(&Features::single(BlockId(0), 100));
+        assert_eq!(small, large, "clamped slope predicts constant time");
+    }
+
+    #[test]
+    fn multi_block_fit_recovers_eq1() {
+        // τ = 500 + 61 000·ξ₁ + 2 000·ξ₂ exactly (the paper's Eq. 1 with
+        // the loop block and the conditional block).
+        let mut cal = Calibrator::new(4);
+        for k in 1..=19u64 {
+            let cond = k / 2;
+            let mut f = Features::single(BlockId(0), k);
+            f.add(BlockId(1), cond);
+            cal.add_sample(f, 500 + 61_000 * k + 2_000 * cond);
+        }
+        let (spec, fit) = cal.fit_blocks(&[BlockId(0), BlockId(1)]).unwrap();
+        assert!(fit.r_squared > 0.999999);
+        let mut probe = Features::single(BlockId(0), 10);
+        probe.add(BlockId(1), 4);
+        assert_eq!(
+            spec.estimate(&probe).as_ticks(),
+            500 + 61_000 * 10 + 2_000 * 4
+        );
+    }
+
+    #[test]
+    fn multi_block_fit_rejects_collinear_blocks() {
+        let mut cal = Calibrator::new(2);
+        for k in 1..=10u64 {
+            let mut f = Features::single(BlockId(0), k);
+            f.add(BlockId(1), 2 * k); // perfectly collinear
+            cal.add_sample(f, 100 * k);
+        }
+        assert!(matches!(
+            cal.fit_blocks(&[BlockId(0), BlockId(1)]),
+            Err(CalibrationError::DegenerateRegressor { .. })
+        ));
+        // Too few samples for the coefficient count.
+        let mut tiny = Calibrator::new(1);
+        tiny.add_sample(Features::single(BlockId(0), 1), 10);
+        tiny.add_sample(Features::single(BlockId(0), 2), 20);
+        assert!(matches!(
+            tiny.fit_blocks(&[BlockId(0), BlockId(1), BlockId(2)]),
+            Err(CalibrationError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CalibrationError::TooFewSamples { need: 5, have: 1 }
+            .to_string()
+            .contains('5'));
+        assert!(CalibrationError::DegenerateRegressor { block: BlockId(2) }
+            .to_string()
+            .contains("b2"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Virtual-time estimators, calibration, and determinism faults.
+//!
+//! TART stamps every outgoing message with the virtual time at which it will
+//! arrive at the receiver: `out_vt = dequeue_vt + estimate(compute) +
+//! estimate(transmission)`. *Any* estimate yielding a future time is correct;
+//! performance depends on how closely the estimate tracks real time (§II.E).
+//! This crate provides:
+//!
+//! * [`Estimator`] / [`EstimatorSpec`] — deterministic estimate functions:
+//!   the crude [`EstimatorSpec::constant`] ("dumb" estimator, §III.A) and the
+//!   linear-in-block-counts [`EstimatorSpec::linear`] form of Eq. 1;
+//! * [`Calibrator`] — fits coefficients from measured samples by linear
+//!   regression, reproducing the paper's τ = 61.827·ξ₁ fit (Eq. 2, Fig 2);
+//! * [`EstimatorSchedule`] + [`DeterminismFault`] — versioned estimators.
+//!   Re-calibrating a live estimator changes virtual-time arithmetic, so it
+//!   must be logged as a *determinism fault* and re-applied at exactly the
+//!   same virtual time during replay (§II.G.4).
+//!
+//! # Example
+//!
+//! ```
+//! use tart_estimator::{Estimator, EstimatorSpec};
+//! use tart_model::{BlockId, Features};
+//! use tart_vtime::{VirtualDuration, VirtualTime};
+//!
+//! // The paper's example: 61000 ticks per loop iteration.
+//! let est = EstimatorSpec::linear(VirtualDuration::ZERO, [(BlockId(0), 61_000)]);
+//! let sentence_len_3 = Features::single(BlockId(0), 3);
+//! let dequeue = VirtualTime::from_ticks(50_000);
+//! let arrival = dequeue + est.estimate(&sentence_len_3);
+//! assert_eq!(arrival.as_ticks(), 233_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod schedule;
+mod spec;
+
+pub use calibrate::{CalibrationError, Calibrator};
+pub use schedule::{DeterminismFault, EstimatorSchedule, ScheduleError};
+pub use spec::{Estimator, EstimatorSpec};

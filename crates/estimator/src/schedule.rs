@@ -1,0 +1,317 @@
+//! Versioned estimators and determinism faults.
+
+use std::fmt;
+
+use bytes::BytesMut;
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_model::Features;
+use tart_vtime::{VirtualDuration, VirtualTime};
+
+use crate::{Estimator, EstimatorSpec};
+
+/// A logged record of an estimator re-calibration.
+///
+/// §II.G.4: "Since detecting and reacting to such a condition
+/// non-deterministically affects virtual times, we must treat such a
+/// situation as an exception to the determinism principle — a determinism
+/// fault. In order for replay to work correctly in the presence of
+/// determinism faults, we must log these events synchronously." The record
+/// carries everything replay needs: the virtual time of the switch and the
+/// new estimator parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeterminismFault {
+    /// The virtual time from which the new estimator takes effect.
+    pub vt: VirtualTime,
+    /// The replacement estimator.
+    pub new_spec: EstimatorSpec,
+}
+
+impl Encode for DeterminismFault {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vt.encode(buf);
+        self.new_spec.encode(buf);
+    }
+}
+
+impl Decode for DeterminismFault {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(DeterminismFault {
+            vt: VirtualTime::decode(r)?,
+            new_spec: EstimatorSpec::decode(r)?,
+        })
+    }
+}
+
+/// An error mutating an [`EstimatorSchedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A re-calibration was requested at or before an existing switch point;
+    /// switches must be strictly ordered in virtual time.
+    NonMonotonicSwitch {
+        /// The requested switch time.
+        requested: VirtualTime,
+        /// The latest existing switch time.
+        latest: VirtualTime,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NonMonotonicSwitch { requested, latest } => write!(
+                f,
+                "estimator switch at {requested} is not after the latest switch at {latest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// An estimator with a history of re-calibrations, each taking effect at a
+/// known virtual time.
+///
+/// During replay "the component must be careful to use the old estimator
+/// until reaching time 100,000,000, and only then using the new estimator"
+/// (§II.G.4). [`estimate_at`](EstimatorSchedule::estimate_at) implements
+/// exactly that lookup.
+///
+/// # Example
+///
+/// ```
+/// use tart_estimator::{EstimatorSchedule, EstimatorSpec};
+/// use tart_model::{BlockId, Features};
+/// use tart_vtime::VirtualTime;
+///
+/// let mut sched = EstimatorSchedule::new(EstimatorSpec::per_iteration(BlockId(0), 61_000));
+/// let fault = sched
+///     .recalibrate_at(
+///         VirtualTime::from_ticks(100_000_000),
+///         EstimatorSpec::per_iteration(BlockId(0), 62_000),
+///     )?;
+/// let f = Features::single(BlockId(0), 1);
+/// assert_eq!(sched.estimate_at(VirtualTime::from_ticks(99_999_999), &f).as_ticks(), 61_000);
+/// assert_eq!(sched.estimate_at(fault.vt, &f).as_ticks(), 62_000);
+/// # Ok::<(), tart_estimator::ScheduleError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EstimatorSchedule {
+    /// `(effective_from, spec)` entries; first entry is always at tick zero,
+    /// entries strictly increasing in time.
+    entries: Vec<(VirtualTime, EstimatorSpec)>,
+}
+
+impl EstimatorSchedule {
+    /// Creates a schedule whose initial estimator is effective from tick
+    /// zero.
+    pub fn new(initial: EstimatorSpec) -> Self {
+        EstimatorSchedule {
+            entries: vec![(VirtualTime::ZERO, initial)],
+        }
+    }
+
+    /// The estimator in effect at virtual time `vt`.
+    pub fn active_at(&self, vt: VirtualTime) -> &EstimatorSpec {
+        let idx = self.entries.partition_point(|(from, _)| *from <= vt);
+        &self.entries[idx - 1].1
+    }
+
+    /// Estimates with whichever estimator is active at `vt`.
+    pub fn estimate_at(&self, vt: VirtualTime, features: &Features) -> VirtualDuration {
+        self.active_at(vt).estimate(features)
+    }
+
+    /// Installs a new estimator effective from `vt`, returning the
+    /// [`DeterminismFault`] record that must be logged synchronously before
+    /// the new estimator is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NonMonotonicSwitch`] unless `vt` is strictly
+    /// after every existing switch point.
+    pub fn recalibrate_at(
+        &mut self,
+        vt: VirtualTime,
+        spec: EstimatorSpec,
+    ) -> Result<DeterminismFault, ScheduleError> {
+        let latest = self.entries.last().expect("schedule is never empty").0;
+        if vt <= latest {
+            return Err(ScheduleError::NonMonotonicSwitch {
+                requested: vt,
+                latest,
+            });
+        }
+        self.entries.push((vt, spec.clone()));
+        Ok(DeterminismFault { vt, new_spec: spec })
+    }
+
+    /// Re-applies a logged fault during replay.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EstimatorSchedule::recalibrate_at`].
+    pub fn apply_fault(&mut self, fault: &DeterminismFault) -> Result<(), ScheduleError> {
+        self.recalibrate_at(fault.vt, fault.new_spec.clone())?;
+        Ok(())
+    }
+
+    /// Number of estimator versions (1 + number of re-calibrations).
+    pub fn versions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(effective_from, spec)` entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtualTime, &EstimatorSpec)> {
+        self.entries.iter().map(|(vt, s)| (*vt, s))
+    }
+}
+
+impl Encode for EstimatorSchedule {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.entries.encode(buf);
+    }
+}
+
+impl Decode for EstimatorSchedule {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let entries: Vec<(VirtualTime, EstimatorSpec)> = Vec::decode(r)?;
+        if entries.is_empty() || entries[0].0 != VirtualTime::ZERO {
+            return Err(DecodeError::InvalidTag {
+                tag: 0,
+                type_name: "EstimatorSchedule (must start at tick zero)",
+            });
+        }
+        for w in entries.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(DecodeError::InvalidTag {
+                    tag: 1,
+                    type_name: "EstimatorSchedule (switches must increase)",
+                });
+            }
+        }
+        Ok(EstimatorSchedule { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tart_model::BlockId;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn per_iter(ticks: u64) -> EstimatorSpec {
+        EstimatorSpec::per_iteration(BlockId(0), ticks)
+    }
+
+    #[test]
+    fn paper_recalibration_scenario() {
+        // §II.G.4: coefficient 61 000 → 62 000 at vt 100,000,000.
+        let mut sched = EstimatorSchedule::new(per_iter(61_000));
+        let fault = sched
+            .recalibrate_at(vt(100_000_000), per_iter(62_000))
+            .unwrap();
+        assert_eq!(fault.vt, vt(100_000_000));
+        let f = Features::single(BlockId(0), 10);
+        assert_eq!(sched.estimate_at(vt(0), &f).as_ticks(), 610_000);
+        assert_eq!(sched.estimate_at(vt(99_999_999), &f).as_ticks(), 610_000);
+        assert_eq!(sched.estimate_at(vt(100_000_000), &f).as_ticks(), 620_000);
+        assert_eq!(sched.estimate_at(VirtualTime::MAX, &f).as_ticks(), 620_000);
+        assert_eq!(sched.versions(), 2);
+    }
+
+    #[test]
+    fn switches_must_be_strictly_increasing() {
+        let mut sched = EstimatorSchedule::new(per_iter(1));
+        sched.recalibrate_at(vt(100), per_iter(2)).unwrap();
+        assert!(matches!(
+            sched.recalibrate_at(vt(100), per_iter(3)),
+            Err(ScheduleError::NonMonotonicSwitch { .. })
+        ));
+        assert!(sched.recalibrate_at(vt(50), per_iter(3)).is_err());
+        assert!(sched.recalibrate_at(vt(0), per_iter(3)).is_err());
+        assert_eq!(sched.versions(), 2);
+    }
+
+    #[test]
+    fn replay_reapplies_faults_identically() {
+        // Original run: two re-calibrations.
+        let mut original = EstimatorSchedule::new(per_iter(61_000));
+        let f1 = original
+            .recalibrate_at(vt(1_000), per_iter(61_500))
+            .unwrap();
+        let f2 = original
+            .recalibrate_at(vt(5_000), per_iter(62_000))
+            .unwrap();
+
+        // Replay: rebuild from the initial spec plus the fault log.
+        let mut replay = EstimatorSchedule::new(per_iter(61_000));
+        replay.apply_fault(&f1).unwrap();
+        replay.apply_fault(&f2).unwrap();
+        assert_eq!(replay, original);
+        let feats = Features::single(BlockId(0), 3);
+        for t in [0, 999, 1_000, 4_999, 5_000, 1_000_000] {
+            assert_eq!(
+                replay.estimate_at(vt(t), &feats),
+                original.estimate_at(vt(t), &feats)
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_round_trips_through_codec() {
+        let mut sched = EstimatorSchedule::new(per_iter(61_827));
+        sched.recalibrate_at(vt(7), per_iter(60_000)).unwrap();
+        let bytes = sched.to_bytes();
+        assert_eq!(EstimatorSchedule::from_bytes(&bytes).unwrap(), sched);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_schedules() {
+        // Empty schedule.
+        let empty: Vec<(VirtualTime, EstimatorSpec)> = vec![];
+        assert!(EstimatorSchedule::from_bytes(&empty.to_bytes()).is_err());
+        // First entry not at zero.
+        let bad = vec![(vt(5), per_iter(1))];
+        assert!(EstimatorSchedule::from_bytes(&bad.to_bytes()).is_err());
+        // Non-increasing switches.
+        let bad = vec![
+            (vt(0), per_iter(1)),
+            (vt(9), per_iter(2)),
+            (vt(9), per_iter(3)),
+        ];
+        assert!(EstimatorSchedule::from_bytes(&bad.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn fault_round_trips() {
+        let fault = DeterminismFault {
+            vt: vt(123),
+            new_spec: per_iter(99),
+        };
+        assert_eq!(
+            DeterminismFault::from_bytes(&fault.to_bytes()).unwrap(),
+            fault
+        );
+    }
+
+    #[test]
+    fn iter_exposes_history() {
+        let mut sched = EstimatorSchedule::new(per_iter(1));
+        sched.recalibrate_at(vt(10), per_iter(2)).unwrap();
+        let history: Vec<VirtualTime> = sched.iter().map(|(t, _)| t).collect();
+        assert_eq!(history, vec![vt(0), vt(10)]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::NonMonotonicSwitch {
+            requested: vt(5),
+            latest: vt(9),
+        };
+        assert!(e.to_string().contains("vt:5"));
+        assert!(e.to_string().contains("vt:9"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Estimate functions.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_model::{BlockId, Features};
+use tart_vtime::VirtualDuration;
+
+/// A deterministic function from handler features to predicted compute (or
+/// transmission) time.
+///
+/// Estimators **must be deterministic**: the same features always produce
+/// the same duration, on every run, because estimates feed directly into the
+/// virtual times that make replay possible. They must not consult wall
+/// clocks, queue lengths, or any other non-deterministic state (§II.G.1).
+pub trait Estimator: Send + Sync + fmt::Debug {
+    /// Predicts the duration of a handler invocation with the given
+    /// basic-block counts.
+    fn estimate(&self, features: &Features) -> VirtualDuration;
+}
+
+/// A concrete, serializable estimator.
+///
+/// Serializability matters: when a determinism fault re-calibrates an
+/// estimator mid-run, the new parameters are written to the fault log so
+/// replay can reinstall them at the same virtual time (§II.G.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EstimatorSpec {
+    /// The "dumb" estimator of §III.A: a fixed cost per message, ignoring
+    /// features entirely (e.g. the 600 µs average in the paper's study).
+    Constant {
+        /// Predicted duration of every invocation.
+        per_message: VirtualDuration,
+    },
+    /// The linear model of Eq. 1: `τ = β₀ + Σᵢ βᵢ·ξᵢ`, with integer tick
+    /// coefficients so the arithmetic is exactly reproducible.
+    Linear {
+        /// Fixed cost β₀ in ticks.
+        base: VirtualDuration,
+        /// Per-block coefficients `(block, ticks per execution)`, sorted by
+        /// block id.
+        coeffs: Vec<(BlockId, u64)>,
+    },
+}
+
+impl EstimatorSpec {
+    /// Creates the constant ("dumb") estimator.
+    pub fn constant(per_message: VirtualDuration) -> Self {
+        EstimatorSpec::Constant { per_message }
+    }
+
+    /// Creates a linear estimator from a base cost and per-block tick
+    /// coefficients.
+    pub fn linear(base: VirtualDuration, coeffs: impl IntoIterator<Item = (BlockId, u64)>) -> Self {
+        let mut coeffs: Vec<(BlockId, u64)> = coeffs.into_iter().collect();
+        coeffs.sort_by_key(|&(b, _)| b);
+        coeffs.dedup_by_key(|&mut (b, _)| b);
+        EstimatorSpec::Linear { base, coeffs }
+    }
+
+    /// Convenience for the common single-loop shape of Code Body 1:
+    /// `τ = ticks_per_iteration · ξ`.
+    pub fn per_iteration(block: BlockId, ticks_per_iteration: u64) -> Self {
+        EstimatorSpec::linear(VirtualDuration::ZERO, [(block, ticks_per_iteration)])
+    }
+}
+
+impl Estimator for EstimatorSpec {
+    fn estimate(&self, features: &Features) -> VirtualDuration {
+        match self {
+            EstimatorSpec::Constant { per_message } => *per_message,
+            EstimatorSpec::Linear { base, coeffs } => {
+                let mut total = base.as_ticks();
+                for &(block, ticks) in coeffs {
+                    total = total.saturating_add(ticks.saturating_mul(features.count(block)));
+                }
+                VirtualDuration::from_ticks(total)
+            }
+        }
+    }
+}
+
+impl Encode for EstimatorSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            EstimatorSpec::Constant { per_message } => {
+                buf.put_u8(0);
+                per_message.encode(buf);
+            }
+            EstimatorSpec::Linear { base, coeffs } => {
+                buf.put_u8(1);
+                base.encode(buf);
+                (coeffs.len() as u64).encode(buf);
+                for (block, ticks) in coeffs {
+                    block.0.encode(buf);
+                    ticks.encode(buf);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for EstimatorSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(EstimatorSpec::Constant {
+                per_message: VirtualDuration::decode(r)?,
+            }),
+            1 => {
+                let base = VirtualDuration::decode(r)?;
+                let declared = u64::decode(r)?;
+                let len = r.check_len(declared, 2)?;
+                let mut coeffs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let block = BlockId(u16::decode(r)?);
+                    let ticks = u64::decode(r)?;
+                    coeffs.push((block, ticks));
+                }
+                Ok(EstimatorSpec::Linear { base, coeffs })
+            }
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "EstimatorSpec",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_features() {
+        let est = EstimatorSpec::constant(VirtualDuration::from_micros(600));
+        assert_eq!(
+            est.estimate(&Features::new()),
+            VirtualDuration::from_micros(600)
+        );
+        assert_eq!(
+            est.estimate(&Features::single(BlockId(0), 1000)),
+            VirtualDuration::from_micros(600)
+        );
+    }
+
+    #[test]
+    fn linear_matches_paper_arithmetic() {
+        // §II.E: outVT = inVT + 61000 * sent.length.
+        let est = EstimatorSpec::per_iteration(BlockId(0), 61_000);
+        assert_eq!(
+            est.estimate(&Features::single(BlockId(0), 3)).as_ticks(),
+            183_000
+        );
+        assert_eq!(
+            est.estimate(&Features::single(BlockId(0), 2)).as_ticks(),
+            122_000
+        );
+        assert_eq!(est.estimate(&Features::new()).as_ticks(), 0);
+    }
+
+    #[test]
+    fn linear_multi_block_eq1() {
+        // τ = β₀ + β₁ξ₁ + β₂ξ₂.
+        let est = EstimatorSpec::linear(
+            VirtualDuration::from_ticks(500),
+            [(BlockId(0), 61_000), (BlockId(1), 2_000)],
+        );
+        let mut f = Features::new();
+        f.add(BlockId(0), 10);
+        f.add(BlockId(1), 4);
+        f.add(BlockId(9), 99); // no coefficient: ignored
+        assert_eq!(est.estimate(&f).as_ticks(), 500 + 610_000 + 8_000);
+    }
+
+    #[test]
+    fn linear_constructor_sorts_and_dedups() {
+        let est = EstimatorSpec::linear(
+            VirtualDuration::ZERO,
+            [(BlockId(5), 1), (BlockId(1), 2), (BlockId(5), 99)],
+        );
+        match &est {
+            EstimatorSpec::Linear { coeffs, .. } => {
+                assert_eq!(coeffs, &[(BlockId(1), 2), (BlockId(5), 1)]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn estimate_saturates_instead_of_overflowing() {
+        let est = EstimatorSpec::linear(VirtualDuration::ZERO, [(BlockId(0), u64::MAX)]);
+        let d = est.estimate(&Features::single(BlockId(0), u64::MAX));
+        assert_eq!(d.as_ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn spec_round_trips_through_codec() {
+        for spec in [
+            EstimatorSpec::constant(VirtualDuration::from_micros(600)),
+            EstimatorSpec::per_iteration(BlockId(0), 61_827),
+            EstimatorSpec::linear(
+                VirtualDuration::from_ticks(3),
+                [(BlockId(0), 1), (BlockId(7), 2)],
+            ),
+        ] {
+            let bytes = spec.to_bytes();
+            assert_eq!(EstimatorSpec::from_bytes(&bytes).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn spec_decode_rejects_bad_tag() {
+        assert!(matches!(
+            EstimatorSpec::from_bytes(&[9]),
+            Err(DecodeError::InvalidTag { tag: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let est: Box<dyn Estimator> = Box::new(EstimatorSpec::per_iteration(BlockId(0), 10));
+        assert_eq!(
+            est.estimate(&Features::single(BlockId(0), 5)).as_ticks(),
+            50
+        );
+        assert!(!format!("{est:?}").is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The component trait and handler context.
+
+use std::fmt;
+
+use tart_vtime::{PortId, VirtualTime};
+
+use crate::{CheckpointMode, RestoreError, Snapshot, Value};
+
+/// Identifies a basic block inside a component's handler code for estimator
+/// feature counting.
+///
+/// The paper's deployment-time transformation instruments each basic block
+/// and models compute time as a linear function of block execution counts
+/// (Eq. 1: τ = β₀ + β₁ξ₁ + β₂ξ₂, §II.H). In this Rust rendering the
+/// component reports counts explicitly through [`Ctx::tick_block`]; see
+/// DESIGN.md §3 for why this substitution preserves the evaluated behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u16);
+
+/// Basic-block execution counts for one handler invocation — the regressors
+/// (ξ₁, ξ₂, …) an estimator maps to predicted compute time.
+///
+/// # Example
+///
+/// ```
+/// use tart_model::{BlockId, Features};
+///
+/// let mut f = Features::new();
+/// f.add(BlockId(0), 3); // loop ran three times
+/// f.add(BlockId(0), 1);
+/// assert_eq!(f.count(BlockId(0)), 4);
+/// assert_eq!(f.count(BlockId(9)), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Sparse `(block, count)` pairs, kept sorted by block id.
+    counts: Vec<(BlockId, u64)>,
+}
+
+impl Features {
+    /// Creates an empty feature vector.
+    pub fn new() -> Self {
+        Features { counts: Vec::new() }
+    }
+
+    /// Creates a feature vector with a single block count — the common case
+    /// of a handler dominated by one loop.
+    pub fn single(block: BlockId, count: u64) -> Self {
+        Features {
+            counts: vec![(block, count)],
+        }
+    }
+
+    /// Adds `count` executions of `block`.
+    pub fn add(&mut self, block: BlockId, count: u64) {
+        match self.counts.binary_search_by_key(&block, |&(b, _)| b) {
+            Ok(i) => self.counts[i].1 += count,
+            Err(i) => self.counts.insert(i, (block, count)),
+        }
+    }
+
+    /// The accumulated count for `block` (zero if never ticked).
+    pub fn count(&self, block: BlockId) -> u64 {
+        self.counts
+            .binary_search_by_key(&block, |&(b, _)| b)
+            .map(|i| self.counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(block, count)` pairs in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, u64)> + '_ {
+        self.counts.iter().copied()
+    }
+
+    /// Returns `true` if no blocks were ticked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Resets all counts.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// The handler's window on the runtime.
+///
+/// A `Ctx` is passed to every [`Component`] handler invocation. All
+/// interaction with the outside world flows through it, which is what lets
+/// the runtime keep execution deterministic:
+///
+/// * [`now`](Ctx::now) is **virtual** time — the paper's deterministic
+///   timing service ("a component may request the current time, because this
+///   call is implemented by retrieving the current deterministic virtual
+///   time", §II.B);
+/// * [`send`](Ctx::send) / [`call`](Ctx::call) are the only communication
+///   primitives (no shared memory, §II.B);
+/// * [`tick_block`](Ctx::tick_block) reports basic-block counts so the
+///   runtime can compute output virtual times with the component's
+///   estimator.
+pub trait Ctx {
+    /// The current deterministic virtual time.
+    fn now(&self) -> VirtualTime;
+
+    /// Sends a one-way message out of `port`.
+    fn send(&mut self, port: PortId, msg: Value);
+
+    /// Makes a two-way call out of `port`, blocking this component (and only
+    /// this component) until the reply arrives.
+    fn call(&mut self, port: PortId, req: Value) -> Value;
+
+    /// Records `count` executions of basic block `block` for estimator
+    /// feature accounting.
+    fn tick_block(&mut self, block: BlockId, count: u64);
+}
+
+/// A stateful TART component.
+///
+/// Components are ordinary Rust structs holding ordinary state (ideally in
+/// the checkpointable containers of [`crate::CkptMap`] and friends). The
+/// restrictions of §II.B apply: no internal concurrency, no
+/// non-deterministic operations (use [`Ctx::now`] for time), interaction
+/// only through the context.
+///
+/// The paper relies on the Guava dialect of Java to statically enforce that
+/// "components don't inadvertently share state" (§I.B); in this Rust
+/// rendering the ownership system plays that role for free — a `Component`
+/// owns its state, handlers take `&mut self`, and nothing hands out shared
+/// mutable aliases.
+///
+/// # Determinism contract
+///
+/// Given the same state and the same `(port, msg, ctx.now())`, a handler
+/// must perform the same computation: same state updates, same sends with
+/// the same payloads, same block ticks. The runtime guarantees in exchange
+/// that handlers are invoked in the same order with the same virtual times
+/// on every replay.
+pub trait Component: Send {
+    /// Handles a one-way message arriving on `port`.
+    fn on_message(&mut self, port: PortId, msg: &Value, ctx: &mut dyn Ctx);
+
+    /// Handles a two-way call arriving on `port` and produces the reply.
+    ///
+    /// The default implementation panics: components that never receive
+    /// calls need not implement it.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation always panics.
+    fn on_call(&mut self, port: PortId, req: &Value, ctx: &mut dyn Ctx) -> Value {
+        let _ = (req, ctx);
+        panic!("component received a call on {port} but does not implement on_call");
+    }
+
+    /// Captures a checkpoint of the component's state.
+    ///
+    /// In [`CheckpointMode::Incremental`] mode, only state changed since the
+    /// previous `checkpoint` call need be captured. `vt` records the virtual
+    /// time through which the state is current.
+    fn checkpoint(&mut self, mode: CheckpointMode, vt: VirtualTime) -> Snapshot;
+
+    /// Applies one snapshot from a restore chain (one full snapshot followed
+    /// by incremental ones, in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RestoreError`] if a chunk is corrupt or inconsistent.
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), RestoreError>;
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A recording [`Ctx`] for driving components outside a runtime: unit
+/// tests, calibration harnesses, and the engine's internal execution all
+/// use it to capture what a handler did.
+///
+/// # Example
+///
+/// ```
+/// use tart_model::{BlockId, Ctx, RecordingCtx, Value};
+/// use tart_vtime::{PortId, VirtualTime};
+///
+/// let mut ctx = RecordingCtx::at(VirtualTime::from_ticks(50_000));
+/// ctx.tick_block(BlockId(0), 3);
+/// ctx.send(PortId::new(1), Value::from(7i64));
+/// assert_eq!(ctx.sends().len(), 1);
+/// assert_eq!(ctx.features().count(BlockId(0)), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordingCtx {
+    now: VirtualTime,
+    sends: Vec<(PortId, Value)>,
+    features: Features,
+    /// Scripted replies for `call`; popped front-first.
+    call_replies: Vec<Value>,
+    calls: Vec<(PortId, Value)>,
+}
+
+impl RecordingCtx {
+    /// Creates a context whose `now()` reports `vt`.
+    pub fn at(vt: VirtualTime) -> Self {
+        RecordingCtx {
+            now: vt,
+            ..RecordingCtx::default()
+        }
+    }
+
+    /// Queues a reply for the next [`Ctx::call`] the component makes.
+    pub fn expect_call_reply(&mut self, reply: Value) {
+        self.call_replies.push(reply);
+    }
+
+    /// The messages sent so far, in order.
+    pub fn sends(&self) -> &[(PortId, Value)] {
+        &self.sends
+    }
+
+    /// The calls made so far, in order.
+    pub fn calls(&self) -> &[(PortId, Value)] {
+        &self.calls
+    }
+
+    /// The accumulated feature counts.
+    pub fn features(&self) -> &Features {
+        &self.features
+    }
+
+    /// Drains and returns the recorded sends.
+    pub fn take_sends(&mut self) -> Vec<(PortId, Value)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Drains and returns the accumulated features.
+    pub fn take_features(&mut self) -> Features {
+        std::mem::take(&mut self.features)
+    }
+}
+
+impl Ctx for RecordingCtx {
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    fn send(&mut self, port: PortId, msg: Value) {
+        self.sends.push((port, msg));
+    }
+
+    fn call(&mut self, port: PortId, req: Value) -> Value {
+        self.calls.push((port, req));
+        if self.call_replies.is_empty() {
+            panic!("component called {port} but no reply was scripted");
+        }
+        self.call_replies.remove(0)
+    }
+
+    fn tick_block(&mut self, block: BlockId, count: u64) {
+        self.features.add(block, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_accumulate_and_sort() {
+        let mut f = Features::new();
+        f.add(BlockId(2), 5);
+        f.add(BlockId(0), 1);
+        f.add(BlockId(2), 5);
+        assert_eq!(f.count(BlockId(2)), 10);
+        assert_eq!(f.count(BlockId(0)), 1);
+        assert_eq!(f.count(BlockId(1)), 0);
+        let order: Vec<BlockId> = f.iter().map(|(b, _)| b).collect();
+        assert_eq!(order, vec![BlockId(0), BlockId(2)]);
+        assert!(!f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn features_single() {
+        let f = Features::single(BlockId(0), 3);
+        assert_eq!(f.count(BlockId(0)), 3);
+        assert_eq!(f.iter().count(), 1);
+    }
+
+    #[test]
+    fn recording_ctx_captures_everything() {
+        let mut ctx = RecordingCtx::at(VirtualTime::from_ticks(100));
+        assert_eq!(ctx.now(), VirtualTime::from_ticks(100));
+        ctx.send(PortId::new(1), Value::I64(7));
+        ctx.tick_block(BlockId(0), 2);
+        ctx.expect_call_reply(Value::from("pong"));
+        let reply = ctx.call(PortId::new(2), Value::from("ping"));
+        assert_eq!(reply, Value::from("pong"));
+        assert_eq!(ctx.sends(), &[(PortId::new(1), Value::I64(7))]);
+        assert_eq!(ctx.calls(), &[(PortId::new(2), Value::from("ping"))]);
+        assert_eq!(ctx.features().count(BlockId(0)), 2);
+        let sends = ctx.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(ctx.sends().is_empty());
+        let f = ctx.take_features();
+        assert_eq!(f.count(BlockId(0)), 2);
+        assert!(ctx.features().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no reply was scripted")]
+    fn unscripted_call_panics() {
+        let mut ctx = RecordingCtx::default();
+        let _ = ctx.call(PortId::new(0), Value::Unit);
+    }
+
+    struct MessageOnly;
+    impl Component for MessageOnly {
+        fn on_message(&mut self, _p: PortId, _m: &Value, _c: &mut dyn Ctx) {}
+        fn checkpoint(&mut self, _m: CheckpointMode, vt: VirtualTime) -> Snapshot {
+            Snapshot::new(vt)
+        }
+        fn restore(&mut self, _s: &Snapshot) -> Result<(), RestoreError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement on_call")]
+    fn default_on_call_panics() {
+        let mut c = MessageOnly;
+        let mut ctx = RecordingCtx::default();
+        let _ = c.on_call(PortId::new(0), &Value::Unit, &mut ctx);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(3).to_string(), "b3");
+    }
+}

@@ -1,0 +1,158 @@
+//! Automatic (semi-transparent) instrumentation.
+
+use tart_vtime::{PortId, VirtualTime};
+
+use crate::{BlockId, CheckpointMode, Component, Ctx, RestoreError, Snapshot, Value};
+
+/// Wraps a component with automatic per-port feature counting, so
+/// estimators can be calibrated without touching the component's code.
+///
+/// The paper's deployment step rewrites bytecode to count basic-block
+/// executions (§II.C); a component written without any
+/// [`Ctx::tick_block`] calls would otherwise present an empty feature
+/// vector and only constant estimators could fit it. `Instrumented` supplies
+/// the coarsest useful feature set transparently:
+///
+/// * block `PORT_BLOCK_BASE + port` counts messages per input port;
+/// * block [`PAYLOAD_SIZE_BLOCK`] counts the message's payload weight
+///   (list/map length, string length in 16-byte units) — a serviceable
+///   stand-in for loop trip counts that scale with input size, exactly the
+///   ξ of Code Body 1, where the loop runs once per word.
+///
+/// Components that *do* self-instrument compose fine too: wrapped and inner
+/// block ids share one [`crate::Features`] space, so keep component-private
+/// blocks below [`PORT_BLOCK_BASE`].
+///
+/// # Example
+///
+/// ```
+/// use tart_model::{Component, Ctx, Instrumented, RecordingCtx, Value};
+/// use tart_model::{CheckpointMode, RestoreError, Snapshot};
+/// use tart_model::{PAYLOAD_SIZE_BLOCK, PORT_BLOCK_BASE, BlockId};
+/// use tart_vtime::{PortId, VirtualTime};
+///
+/// // A component with no instrumentation of its own.
+/// struct Plain;
+/// impl Component for Plain {
+///     fn on_message(&mut self, _p: PortId, _m: &Value, _c: &mut dyn Ctx) {}
+///     fn checkpoint(&mut self, _m: CheckpointMode, vt: VirtualTime) -> Snapshot {
+///         Snapshot::new(vt)
+///     }
+///     fn restore(&mut self, _s: &Snapshot) -> Result<(), RestoreError> { Ok(()) }
+/// }
+///
+/// let mut wrapped = Instrumented::new(Plain);
+/// let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+/// let sentence = Value::List(vec![Value::from("the"), Value::from("cat")]);
+/// wrapped.on_message(PortId::new(0), &sentence, &mut ctx);
+/// assert_eq!(ctx.features().count(BlockId(PORT_BLOCK_BASE)), 1);
+/// assert_eq!(ctx.features().count(PAYLOAD_SIZE_BLOCK), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Instrumented<C> {
+    inner: C,
+}
+
+/// First block id used for per-port message counting: port `p` ticks block
+/// `PORT_BLOCK_BASE + p`.
+pub const PORT_BLOCK_BASE: u16 = 0x8000;
+
+/// Block id carrying the payload-weight feature.
+pub const PAYLOAD_SIZE_BLOCK: BlockId = BlockId(0xFFFF);
+
+/// The payload-weight feature: how much input a handler has to walk.
+fn payload_weight(v: &Value) -> u64 {
+    match v {
+        Value::Unit | Value::Bool(_) | Value::I64(_) | Value::F64(_) => 1,
+        Value::Str(s) => (s.len() as u64 / 16).max(1),
+        Value::Bytes(b) => (b.len() as u64 / 16).max(1),
+        Value::List(items) => items.len() as u64,
+        Value::Map(m) => m.len() as u64,
+    }
+}
+
+impl<C: Component> Instrumented<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> Self {
+        Instrumented { inner }
+    }
+
+    /// Borrows the wrapped component.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Component> Component for Instrumented<C> {
+    fn on_message(&mut self, port: PortId, msg: &Value, ctx: &mut dyn Ctx) {
+        ctx.tick_block(BlockId(PORT_BLOCK_BASE.saturating_add(port.raw())), 1);
+        ctx.tick_block(PAYLOAD_SIZE_BLOCK, payload_weight(msg));
+        self.inner.on_message(port, msg, ctx);
+    }
+
+    fn on_call(&mut self, port: PortId, req: &Value, ctx: &mut dyn Ctx) -> Value {
+        ctx.tick_block(BlockId(PORT_BLOCK_BASE.saturating_add(port.raw())), 1);
+        ctx.tick_block(PAYLOAD_SIZE_BLOCK, payload_weight(req));
+        self.inner.on_call(port, req, ctx)
+    }
+
+    fn checkpoint(&mut self, mode: CheckpointMode, vt: VirtualTime) -> Snapshot {
+        self.inner.checkpoint(mode, vt)
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), RestoreError> {
+        self.inner.restore(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{WordCountSender, IN_PORT, SENDER_LOOP_BLOCK};
+    use crate::RecordingCtx;
+
+    #[test]
+    fn counts_ports_and_payload_weight() {
+        let mut c = Instrumented::new(WordCountSender::new());
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        let msg = Value::List(vec![Value::from("a"), Value::from("b"), Value::from("c")]);
+        c.on_message(IN_PORT, &msg, &mut ctx);
+        // The wrapper's features…
+        assert_eq!(ctx.features().count(BlockId(PORT_BLOCK_BASE)), 1);
+        assert_eq!(ctx.features().count(PAYLOAD_SIZE_BLOCK), 3);
+        // …compose with the component's own instrumentation.
+        assert_eq!(ctx.features().count(SENDER_LOOP_BLOCK), 3);
+        // And the inner behaviour is untouched.
+        assert_eq!(ctx.sends().len(), 1);
+        assert_eq!(c.inner().distinct_words(), 3);
+    }
+
+    #[test]
+    fn payload_weights() {
+        assert_eq!(payload_weight(&Value::Unit), 1);
+        assert_eq!(payload_weight(&Value::I64(9)), 1);
+        assert_eq!(payload_weight(&Value::from("x")), 1);
+        assert_eq!(payload_weight(&Value::from("x".repeat(64).as_str())), 4);
+        assert_eq!(payload_weight(&Value::Bytes(vec![0; 48])), 3);
+        assert_eq!(payload_weight(&Value::List(vec![Value::Unit; 5])), 5);
+        assert_eq!(payload_weight(&Value::map([("a", Value::Unit)])), 1);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_delegate() {
+        let mut c = Instrumented::new(WordCountSender::new());
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        c.on_message(IN_PORT, &Value::from("w1 w2"), &mut ctx);
+        let snap = c.checkpoint(CheckpointMode::Full, VirtualTime::from_ticks(9));
+        let mut fresh = Instrumented::new(WordCountSender::new());
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.inner().count_of("w1"), 1);
+        let unwrapped = fresh.into_inner();
+        assert_eq!(unwrapped.count_of("w2"), 1);
+    }
+}

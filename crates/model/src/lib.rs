@@ -1,0 +1,54 @@
+//! The TART component model.
+//!
+//! A TART application is a network of stateful [`Component`]s that interact
+//! only through one-way *sends* and two-way *calls* over statically wired
+//! ports (§II.B of the paper). This crate defines everything a component
+//! author touches:
+//!
+//! * [`Value`] — the self-describing payload type messages carry;
+//! * [`Component`] — the handler trait (message, call, checkpoint, restore);
+//! * [`Ctx`] — the handler's window on the runtime: deterministic virtual
+//!   `now()`, sends, calls, and estimator feature counting
+//!   ([`Ctx::tick_block`]);
+//! * checkpointable state containers ([`CkptCell`], [`CkptMap`],
+//!   [`CkptVec`]) supporting both full and *incremental* checkpoints, as
+//!   required for "large structures like hash tables needing incremental
+//!   checkpointing" (§II.F.2);
+//! * [`Snapshot`] / [`StateChunk`] — the serialized checkpoint form shipped
+//!   to passive replicas;
+//! * [`AppSpec`] — the static component/wire topology, fixed before
+//!   deployment ("the code and wiring of the components are known prior to
+//!   deployment", §II.B);
+//! * [`mod@reference`] — the paper's running example (Code Body 1 word-count
+//!   senders fanning into a merger, Fig 1), reused by examples, tests and
+//!   benchmarks throughout the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use tart_model::{AppSpec, Value};
+//! use tart_model::reference::{self, WordCountSender};
+//!
+//! // The Fig 1 topology: two senders fanning into a merger.
+//! let spec = reference::fan_in_app(2).expect("valid topology");
+//! assert_eq!(spec.components().len(), 3);
+//! assert_eq!(spec.wires().len(), 5); // 2 inputs + 2 internal + 1 output
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod instrumented;
+pub mod reference;
+mod snapshot;
+mod state;
+mod topology;
+mod value;
+
+pub use component::{BlockId, Component, Ctx, Features, RecordingCtx};
+pub use instrumented::{Instrumented, PAYLOAD_SIZE_BLOCK, PORT_BLOCK_BASE};
+pub use snapshot::{CheckpointMode, RestoreError, Snapshot, StateChunk};
+pub use state::{CkptCell, CkptMap, CkptVec};
+pub use topology::{AppSpec, AppSpecBuilder, ComponentSpec, Endpoint, TopologyError, WireSpec};
+pub use value::Value;

@@ -1,0 +1,476 @@
+//! Reference components: the paper's running example.
+//!
+//! Code Body 1 of the paper is a word-count sender: it receives sentences,
+//! maintains per-word counts in a hash map, and emits the total prior count
+//! of the sentence's words. Two such senders fan into a merger (Fig 1).
+//! These components are used throughout the workspace — by examples,
+//! integration tests, the calibration harness (Fig 2) and the distributed
+//! measurement (Fig 5).
+
+use std::sync::Arc;
+
+use tart_vtime::{PortId, VirtualTime};
+
+use crate::{
+    AppSpec, BlockId, CheckpointMode, CkptCell, CkptMap, Component, Ctx, RestoreError, Snapshot,
+    TopologyError, Value,
+};
+
+/// Conventional input port (0) used by the reference components.
+pub const IN_PORT: PortId = PortId::new(0);
+/// Conventional output port (1) used by the reference components.
+pub const OUT_PORT: PortId = PortId::new(1);
+
+/// The basic block representing the word-count loop body (ξ₁ in Eq. 1/2).
+pub const SENDER_LOOP_BLOCK: BlockId = BlockId(0);
+/// The basic block representing the merger's fixed work.
+pub const MERGER_BLOCK: BlockId = BlockId(0);
+
+/// The paper's Code Body 1: a stateful word-count sender.
+///
+/// ```java
+/// public void processSentence(String[] sent) {
+///     int count = 0;
+///     for (int i = 0; i < sent.length; i++) { ... }
+///     port1.send(count);
+/// }
+/// ```
+///
+/// State lives in an incremental-checkpointable [`CkptMap`], exactly the
+/// "large structure like a hash table" of §II.F.2. The loop body ticks
+/// [`SENDER_LOOP_BLOCK`] once per word so estimators see ξ₁ = sentence
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use tart_model::reference::{WordCountSender, IN_PORT, SENDER_LOOP_BLOCK};
+/// use tart_model::{Component, RecordingCtx, Value};
+/// use tart_vtime::VirtualTime;
+///
+/// let mut sender = WordCountSender::new();
+/// let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+/// let sentence = Value::from("the cat saw the dog");
+/// sender.on_message(IN_PORT, &sentence, &mut ctx);
+/// // First sighting of every word: prior counts are all zero except the
+/// // second "the", which was seen once before within this sentence.
+/// assert_eq!(ctx.sends()[0].1, Value::I64(1));
+/// assert_eq!(ctx.features().count(SENDER_LOOP_BLOCK), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct WordCountSender {
+    counts: CkptMap<String, u64>,
+}
+
+impl WordCountSender {
+    /// Creates a sender with an empty word-count table.
+    pub fn new() -> Self {
+        WordCountSender {
+            counts: CkptMap::new(),
+        }
+    }
+
+    /// The number of distinct words seen so far.
+    pub fn distinct_words(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count recorded for `word`.
+    pub fn count_of(&self, word: &str) -> u64 {
+        self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    fn words_of(msg: &Value) -> Vec<String> {
+        match msg {
+            Value::Str(s) => s.split_whitespace().map(str::to_owned).collect(),
+            Value::List(items) => items
+                .iter()
+                .filter_map(|v| v.as_str().map(str::to_owned))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Component for WordCountSender {
+    fn on_message(&mut self, _port: PortId, msg: &Value, ctx: &mut dyn Ctx) {
+        let words = Self::words_of(msg);
+        let mut count: i64 = 0;
+        for word in words {
+            ctx.tick_block(SENDER_LOOP_BLOCK, 1);
+            let word_count = self.counts.get(&word).copied().unwrap_or(0);
+            self.counts.insert(word, word_count + 1);
+            count += word_count as i64;
+        }
+        ctx.send(OUT_PORT, Value::I64(count));
+    }
+
+    fn checkpoint(&mut self, mode: CheckpointMode, vt: VirtualTime) -> Snapshot {
+        let mut snap = Snapshot::new(vt);
+        if let Some(chunk) = self.counts.take_chunk(mode) {
+            snap.put("counts", chunk);
+        }
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), RestoreError> {
+        for (field, chunk) in snapshot.iter() {
+            match field {
+                "counts" => {
+                    self.counts
+                        .apply_chunk(chunk)
+                        .map_err(|source| RestoreError::Corrupt {
+                            field: field.to_owned(),
+                            source,
+                        })?
+                }
+                other => {
+                    return Err(RestoreError::UnknownField {
+                        field: other.to_owned(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Fig 1 merger: accumulates the counts it receives and emits a
+/// sequence-numbered running total to the external consumer.
+///
+/// The sequence number makes the output *monotonic*, so output stutter after
+/// recovery is observable and discardable by the consumer (§II.A).
+#[derive(Debug, Default)]
+pub struct Merger {
+    total: CkptCell<i64>,
+    seq: CkptCell<u64>,
+}
+
+impl Merger {
+    /// Creates a merger with zeroed accumulators.
+    pub fn new() -> Self {
+        Merger {
+            total: CkptCell::new(0),
+            seq: CkptCell::new(0),
+        }
+    }
+
+    /// The running total of all counts received.
+    pub fn total(&self) -> i64 {
+        *self.total.get()
+    }
+
+    /// The number of messages merged so far.
+    pub fn merged(&self) -> u64 {
+        *self.seq.get()
+    }
+}
+
+impl Component for Merger {
+    fn on_message(&mut self, _port: PortId, msg: &Value, ctx: &mut dyn Ctx) {
+        ctx.tick_block(MERGER_BLOCK, 1);
+        let count = msg.as_i64().unwrap_or(0);
+        self.total.update(|t| *t += count);
+        self.seq.update(|s| *s += 1);
+        ctx.send(
+            OUT_PORT,
+            Value::map([
+                ("seq", Value::I64(*self.seq.get() as i64)),
+                ("total", Value::I64(*self.total.get())),
+            ]),
+        );
+    }
+
+    fn checkpoint(&mut self, mode: CheckpointMode, vt: VirtualTime) -> Snapshot {
+        let mut snap = Snapshot::new(vt);
+        if let Some(chunk) = self.total.take_chunk(mode) {
+            snap.put("total", chunk);
+        }
+        if let Some(chunk) = self.seq.take_chunk(mode) {
+            snap.put("seq", chunk);
+        }
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), RestoreError> {
+        for (field, chunk) in snapshot.iter() {
+            let result = match field {
+                "total" => self.total.apply_chunk(chunk),
+                "seq" => self.seq.apply_chunk(chunk),
+                other => {
+                    return Err(RestoreError::UnknownField {
+                        field: other.to_owned(),
+                    })
+                }
+            };
+            result.map_err(|source| RestoreError::Corrupt {
+                field: field.to_owned(),
+                source,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// A stateless constant-work relay, as used by the Fig 5 distributed
+/// experiment ("constant-time services and ad-hoc estimators", §III.C).
+///
+/// Forwards every message unchanged after ticking its block once.
+#[derive(Debug, Default)]
+pub struct ConstantService;
+
+impl ConstantService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        ConstantService
+    }
+}
+
+impl Component for ConstantService {
+    fn on_message(&mut self, _port: PortId, msg: &Value, ctx: &mut dyn Ctx) {
+        ctx.tick_block(BlockId(0), 1);
+        ctx.send(OUT_PORT, msg.clone());
+    }
+
+    fn checkpoint(&mut self, _mode: CheckpointMode, vt: VirtualTime) -> Snapshot {
+        Snapshot::new(vt)
+    }
+
+    fn restore(&mut self, _snapshot: &Snapshot) -> Result<(), RestoreError> {
+        Ok(())
+    }
+}
+
+/// Builds the Fig 1 topology generalized to `n` senders: each sender has an
+/// external producer, all senders feed the merger's input port, and the
+/// merger emits to one external consumer.
+///
+/// # Errors
+///
+/// Returns a [`TopologyError`] if `n` produces an invalid topology (only
+/// possible for `n == 0`, which has no external input).
+///
+/// # Example
+///
+/// ```
+/// use tart_model::reference::fan_in_app;
+///
+/// let spec = fan_in_app(2)?;
+/// let merger = spec.component_by_name("Merger").unwrap().id();
+/// assert_eq!(spec.input_wires_of(merger).len(), 2);
+/// # Ok::<(), tart_model::TopologyError>(())
+/// ```
+pub fn fan_in_app(n: usize) -> Result<AppSpec, TopologyError> {
+    let mut b = AppSpec::builder();
+    let merger = b.component(
+        "Merger",
+        Arc::new(|| Box::new(Merger::new()) as Box<dyn Component>),
+    );
+    let mut senders = Vec::new();
+    for i in 0..n {
+        let s = b.component(
+            &format!("Sender{}", i + 1),
+            Arc::new(|| Box::new(WordCountSender::new()) as Box<dyn Component>),
+        );
+        senders.push(s);
+    }
+    for (i, s) in senders.iter().enumerate() {
+        b.wire_in(&format!("client{}", i + 1), *s, IN_PORT);
+    }
+    for s in &senders {
+        b.wire(*s, OUT_PORT, merger, IN_PORT);
+    }
+    b.wire_out(merger, OUT_PORT, "consumer");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordingCtx;
+
+    fn run_sentence(sender: &mut WordCountSender, sentence: &str) -> (i64, u64) {
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        sender.on_message(IN_PORT, &Value::from(sentence), &mut ctx);
+        let count = ctx.sends()[0].1.as_i64().unwrap();
+        let iters = ctx.features().count(SENDER_LOOP_BLOCK);
+        (count, iters)
+    }
+
+    #[test]
+    fn word_count_semantics_match_code_body_1() {
+        let mut s = WordCountSender::new();
+        // First sentence: no word seen before.
+        let (count, iters) = run_sentence(&mut s, "a b c");
+        assert_eq!(count, 0);
+        assert_eq!(iters, 3);
+        // Second sentence: "a" and "b" each seen once before.
+        let (count, iters) = run_sentence(&mut s, "a b d");
+        assert_eq!(count, 2);
+        assert_eq!(iters, 3);
+        // Third: a=2, d=1 prior.
+        let (count, _) = run_sentence(&mut s, "a d");
+        assert_eq!(count, 3);
+        assert_eq!(s.distinct_words(), 4);
+        assert_eq!(s.count_of("a"), 3);
+        assert_eq!(s.count_of("never"), 0);
+    }
+
+    #[test]
+    fn repeated_word_within_sentence_counts_increment() {
+        let mut s = WordCountSender::new();
+        let (count, iters) = run_sentence(&mut s, "the the the");
+        // Prior counts at each step: 0, 1, 2.
+        assert_eq!(count, 3);
+        assert_eq!(iters, 3);
+    }
+
+    #[test]
+    fn sender_accepts_list_payloads() {
+        let mut s = WordCountSender::new();
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        let msg = Value::List(vec![Value::from("x"), Value::from("y")]);
+        s.on_message(IN_PORT, &msg, &mut ctx);
+        assert_eq!(ctx.features().count(SENDER_LOOP_BLOCK), 2);
+        // Non-string payloads produce an empty sentence, not a panic.
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        s.on_message(IN_PORT, &Value::I64(5), &mut ctx);
+        assert_eq!(ctx.sends()[0].1, Value::I64(0));
+    }
+
+    #[test]
+    fn sender_checkpoint_restore_round_trip() {
+        let mut live = WordCountSender::new();
+        let _ = run_sentence(&mut live, "a b a");
+        let full = live.checkpoint(CheckpointMode::Full, VirtualTime::from_ticks(10));
+        let _ = run_sentence(&mut live, "c a");
+        let delta = live.checkpoint(CheckpointMode::Incremental, VirtualTime::from_ticks(20));
+
+        let mut replica = WordCountSender::new();
+        replica.restore(&full).unwrap();
+        replica.restore(&delta).unwrap();
+        assert_eq!(replica.count_of("a"), 3);
+        assert_eq!(replica.count_of("c"), 1);
+        assert_eq!(replica.distinct_words(), 3);
+
+        // Replica now behaves identically to live.
+        let (lc, _) = run_sentence(&mut live, "a b c");
+        let (rc, _) = run_sentence(&mut replica, "a b c");
+        assert_eq!(lc, rc);
+    }
+
+    #[test]
+    fn sender_restore_rejects_unknown_field() {
+        let mut snap = Snapshot::new(VirtualTime::ZERO);
+        snap.put("bogus", crate::StateChunk::Full(vec![]));
+        let mut s = WordCountSender::new();
+        assert!(matches!(
+            s.restore(&snap),
+            Err(RestoreError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn sender_restore_rejects_corrupt_chunk() {
+        let mut snap = Snapshot::new(VirtualTime::ZERO);
+        snap.put("counts", crate::StateChunk::Full(vec![0xff, 0xff, 0xff]));
+        let mut s = WordCountSender::new();
+        assert!(matches!(
+            s.restore(&snap),
+            Err(RestoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn merger_accumulates_and_sequences() {
+        let mut m = Merger::new();
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        m.on_message(IN_PORT, &Value::I64(3), &mut ctx);
+        m.on_message(IN_PORT, &Value::I64(4), &mut ctx);
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.merged(), 2);
+        let out = &ctx.sends()[1].1;
+        assert_eq!(out.get("seq").and_then(Value::as_i64), Some(2));
+        assert_eq!(out.get("total").and_then(Value::as_i64), Some(7));
+        // Junk payloads count as zero.
+        m.on_message(IN_PORT, &Value::from("junk"), &mut ctx);
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.merged(), 3);
+    }
+
+    #[test]
+    fn merger_checkpoint_restore_round_trip() {
+        let mut live = Merger::new();
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        live.on_message(IN_PORT, &Value::I64(10), &mut ctx);
+        let full = live.checkpoint(CheckpointMode::Full, VirtualTime::from_ticks(5));
+        live.on_message(IN_PORT, &Value::I64(20), &mut ctx);
+        let delta = live.checkpoint(CheckpointMode::Incremental, VirtualTime::from_ticks(6));
+
+        let mut replica = Merger::new();
+        replica.restore(&full).unwrap();
+        assert_eq!(replica.total(), 10);
+        replica.restore(&delta).unwrap();
+        assert_eq!(replica.total(), 30);
+        assert_eq!(replica.merged(), 2);
+    }
+
+    #[test]
+    fn merger_clean_incremental_checkpoint_is_empty() {
+        let mut m = Merger::new();
+        let _ = m.checkpoint(CheckpointMode::Full, VirtualTime::ZERO);
+        let snap = m.checkpoint(CheckpointMode::Incremental, VirtualTime::from_ticks(1));
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn constant_service_forwards() {
+        let mut c = ConstantService::new();
+        let mut ctx = RecordingCtx::at(VirtualTime::ZERO);
+        c.on_message(IN_PORT, &Value::from("payload"), &mut ctx);
+        assert_eq!(ctx.sends(), &[(OUT_PORT, Value::from("payload"))]);
+        let snap = c.checkpoint(CheckpointMode::Full, VirtualTime::ZERO);
+        assert!(snap.is_empty());
+        assert!(c.restore(&snap).is_ok());
+    }
+
+    #[test]
+    fn fan_in_app_shapes() {
+        let spec = fan_in_app(2).unwrap();
+        assert_eq!(spec.components().len(), 3);
+        assert_eq!(spec.wires().len(), 5);
+        let merger = spec.component_by_name("Merger").unwrap().id();
+        assert_eq!(spec.input_wires_of(merger).len(), 2);
+        assert_eq!(spec.external_inputs().len(), 2);
+        assert_eq!(spec.external_outputs().len(), 1);
+
+        let big = fan_in_app(8).unwrap();
+        assert_eq!(big.components().len(), 9);
+        let merger = big.component_by_name("Merger").unwrap().id();
+        assert_eq!(big.input_wires_of(merger).len(), 8);
+
+        assert!(fan_in_app(0).is_err());
+    }
+
+    #[test]
+    fn determinism_same_input_same_behaviour() {
+        // The determinism contract: two instances fed identical inputs
+        // produce identical sends, features and checkpoints.
+        let sentences = ["the cat", "sat on the mat", "the cat sat"];
+        let mut a = WordCountSender::new();
+        let mut b = WordCountSender::new();
+        for s in sentences {
+            let (ca, ia) = run_sentence(&mut a, s);
+            let (cb, ib) = run_sentence(&mut b, s);
+            assert_eq!(ca, cb);
+            assert_eq!(ia, ib);
+        }
+        let snap_a = a.checkpoint(CheckpointMode::Full, VirtualTime::ZERO);
+        let snap_b = b.checkpoint(CheckpointMode::Full, VirtualTime::ZERO);
+        assert_eq!(
+            tart_codec::Encode::to_bytes(&snap_a),
+            tart_codec::Encode::to_bytes(&snap_b),
+            "checkpoints are byte-identical"
+        );
+    }
+}

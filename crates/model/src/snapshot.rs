@@ -1,0 +1,307 @@
+//! Serialized checkpoint state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_vtime::VirtualTime;
+
+/// Whether a checkpoint captures all state or only changes since the last
+/// checkpoint.
+///
+/// §II.F.2: "For large structures like hash tables needing incremental
+/// checkpointing, updates since the last checkpoint are stored in an
+/// auxiliary structure."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckpointMode {
+    /// Capture the complete state of every field.
+    Full,
+    /// Capture only fields (or parts of fields) modified since the previous
+    /// checkpoint; unchanged fields are omitted.
+    Incremental,
+}
+
+/// One field's contribution to a snapshot.
+#[derive(Clone, PartialEq, Eq)]
+pub enum StateChunk {
+    /// The complete canonical encoding of the field.
+    Full(Vec<u8>),
+    /// A journal of updates to apply on top of previously restored state.
+    Delta(Vec<u8>),
+}
+
+impl StateChunk {
+    /// The payload bytes, regardless of kind.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            StateChunk::Full(b) | StateChunk::Delta(b) => b,
+        }
+    }
+
+    /// Returns `true` for a full (self-contained) chunk.
+    pub fn is_full(&self) -> bool {
+        matches!(self, StateChunk::Full(_))
+    }
+}
+
+impl fmt::Debug for StateChunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateChunk::Full(b) => write!(f, "Full({} bytes)", b.len()),
+            StateChunk::Delta(b) => write!(f, "Delta({} bytes)", b.len()),
+        }
+    }
+}
+
+impl Encode for StateChunk {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            StateChunk::Full(b) => {
+                buf.put_u8(0);
+                b.encode(buf);
+            }
+            StateChunk::Delta(b) => {
+                buf.put_u8(1);
+                b.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for StateChunk {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(StateChunk::Full(Vec::decode(r)?)),
+            1 => Ok(StateChunk::Delta(Vec::decode(r)?)),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "StateChunk",
+            }),
+        }
+    }
+}
+
+/// A checkpoint of one component's state at a virtual time.
+///
+/// Snapshots are produced by [`Component::checkpoint`](crate::Component::checkpoint)
+/// and shipped (asynchronously, as "soft checkpoints") to the passive
+/// replica. A replica reconstructs state by applying a full snapshot
+/// followed by any number of incremental ones, in virtual-time order.
+///
+/// # Example
+///
+/// ```
+/// use tart_model::{Snapshot, StateChunk};
+/// use tart_vtime::VirtualTime;
+///
+/// let mut snap = Snapshot::new(VirtualTime::from_ticks(1000));
+/// snap.put("counts", StateChunk::Full(vec![1, 2, 3]));
+/// assert!(snap.get("counts").is_some());
+/// assert_eq!(snap.vt(), VirtualTime::from_ticks(1000));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    vt: VirtualTime,
+    chunks: BTreeMap<String, StateChunk>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot taken at virtual time `vt`.
+    pub fn new(vt: VirtualTime) -> Self {
+        Snapshot {
+            vt,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// The virtual time at which the state was captured: all messages with
+    /// dequeue time ≤ `vt` are reflected, none after.
+    pub fn vt(&self) -> VirtualTime {
+        self.vt
+    }
+
+    /// Adds (or replaces) a field's chunk.
+    pub fn put(&mut self, field: &str, chunk: StateChunk) {
+        self.chunks.insert(field.to_owned(), chunk);
+    }
+
+    /// Looks up a field's chunk.
+    pub fn get(&self, field: &str) -> Option<&StateChunk> {
+        self.chunks.get(field)
+    }
+
+    /// Iterates over `(field, chunk)` pairs in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StateChunk)> {
+        self.chunks.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of fields captured.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Returns `true` if no fields were captured (a legal incremental
+    /// snapshot when nothing changed).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total payload bytes across chunks (for overhead accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.chunks.values().map(|c| c.bytes().len()).sum()
+    }
+
+    /// Returns `true` if every chunk is full (the snapshot is
+    /// self-contained and can seed a restore chain).
+    pub fn is_self_contained(&self) -> bool {
+        self.chunks.values().all(StateChunk::is_full)
+    }
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vt.encode(buf);
+        self.chunks.encode(buf);
+    }
+}
+
+impl Decode for Snapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Snapshot {
+            vt: VirtualTime::decode(r)?,
+            chunks: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+/// An error restoring component state from snapshots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A chunk failed to decode.
+    Corrupt {
+        /// Field whose chunk was corrupt.
+        field: String,
+        /// Underlying decode error.
+        source: DecodeError,
+    },
+    /// A delta chunk arrived for a field that has not seen a full chunk.
+    DeltaWithoutBase {
+        /// The offending field.
+        field: String,
+    },
+    /// The snapshot named a field the component does not declare.
+    UnknownField {
+        /// The offending field.
+        field: String,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Corrupt { field, source } => {
+                write!(f, "field {field:?} failed to decode: {source}")
+            }
+            RestoreError::DeltaWithoutBase { field } => {
+                write!(f, "delta chunk for field {field:?} before any full chunk")
+            }
+            RestoreError::UnknownField { field } => {
+                write!(f, "snapshot names unknown field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestoreError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut s = Snapshot::new(vt(500));
+        s.put("a", StateChunk::Full(vec![1, 2]));
+        s.put("b", StateChunk::Delta(vec![3]));
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.vt(), vt(500));
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.payload_bytes(), 3);
+        assert!(!back.is_self_contained());
+        assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_is_legal() {
+        let s = Snapshot::new(vt(0));
+        assert!(s.is_empty());
+        assert!(s.is_self_contained());
+        let back = Snapshot::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn put_replaces() {
+        let mut s = Snapshot::new(vt(1));
+        s.put("x", StateChunk::Full(vec![1]));
+        s.put("x", StateChunk::Full(vec![2]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("x").unwrap().bytes(), &[2]);
+    }
+
+    #[test]
+    fn iter_is_field_ordered() {
+        let mut s = Snapshot::new(vt(1));
+        s.put("zeta", StateChunk::Full(vec![]));
+        s.put("alpha", StateChunk::Full(vec![]));
+        let fields: Vec<&str> = s.iter().map(|(f, _)| f).collect();
+        assert_eq!(fields, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn chunk_debug_and_kind() {
+        let full = StateChunk::Full(vec![0; 4]);
+        let delta = StateChunk::Delta(vec![0; 2]);
+        assert!(full.is_full());
+        assert!(!delta.is_full());
+        assert_eq!(format!("{full:?}"), "Full(4 bytes)");
+        assert_eq!(format!("{delta:?}"), "Delta(2 bytes)");
+    }
+
+    #[test]
+    fn chunk_invalid_tag() {
+        assert!(matches!(
+            StateChunk::from_bytes(&[9]),
+            Err(DecodeError::InvalidTag { tag: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn restore_error_display() {
+        let e = RestoreError::DeltaWithoutBase { field: "m".into() };
+        assert!(e.to_string().contains("\"m\""));
+        let e = RestoreError::UnknownField { field: "q".into() };
+        assert!(e.to_string().contains("unknown"));
+        let e = RestoreError::Corrupt {
+            field: "c".into(),
+            source: DecodeError::InvalidUtf8,
+        };
+        assert!(e.to_string().contains("failed to decode"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

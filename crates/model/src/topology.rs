@@ -1,0 +1,588 @@
+//! Static application topology: components and wires.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tart_vtime::{ComponentId, PortId, WireId};
+
+use crate::Component;
+
+/// Factory producing fresh instances of a component.
+///
+/// Topologies carry factories rather than instances because the same
+/// component must be instantiable in several places: on the active engine at
+/// deployment, and again on a promoted replica after failover.
+pub type ComponentFactory = Arc<dyn Fn() -> Box<dyn Component> + Send + Sync>;
+
+/// One component in the application graph.
+#[derive(Clone)]
+pub struct ComponentSpec {
+    id: ComponentId,
+    name: String,
+    factory: ComponentFactory,
+}
+
+impl ComponentSpec {
+    /// The component's id (assigned by the builder, in declaration order).
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The component's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instantiates a fresh copy of the component.
+    pub fn instantiate(&self) -> Box<dyn Component> {
+        (self.factory)()
+    }
+}
+
+impl fmt::Debug for ComponentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentSpec")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// One end of a wire.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A port on a component.
+    Component {
+        /// The component.
+        component: ComponentId,
+        /// The port on that component.
+        port: PortId,
+    },
+    /// The external world: a producer (for wire sources) or consumer (for
+    /// wire sinks), named for identification in logs and outputs.
+    External {
+        /// Stable name of the external party.
+        name: String,
+    },
+}
+
+impl Endpoint {
+    /// The component id, if this endpoint is a component port.
+    pub fn component(&self) -> Option<ComponentId> {
+        match self {
+            Endpoint::Component { component, .. } => Some(*component),
+            Endpoint::External { .. } => None,
+        }
+    }
+
+    /// The port, if this endpoint is a component port.
+    pub fn port(&self) -> Option<PortId> {
+        match self {
+            Endpoint::Component { port, .. } => Some(*port),
+            Endpoint::External { .. } => None,
+        }
+    }
+
+    /// Returns `true` for an external endpoint.
+    pub fn is_external(&self) -> bool {
+        matches!(self, Endpoint::External { .. })
+    }
+}
+
+/// A directed wire: a reliable FIFO stream of ticks from `from` to `to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpec {
+    id: WireId,
+    from: Endpoint,
+    to: Endpoint,
+}
+
+impl WireSpec {
+    /// The wire's id — also the deterministic tie-breaker for simultaneous
+    /// messages, so ids are assigned in declaration order and never change.
+    pub fn id(&self) -> WireId {
+        self.id
+    }
+
+    /// The sending endpoint.
+    pub fn from(&self) -> &Endpoint {
+        &self.from
+    }
+
+    /// The receiving endpoint.
+    pub fn to(&self) -> &Endpoint {
+        &self.to
+    }
+
+    /// Returns `true` if this wire carries external input into the system.
+    pub fn is_external_input(&self) -> bool {
+        self.from.is_external()
+    }
+
+    /// Returns `true` if this wire delivers output to an external consumer.
+    pub fn is_external_output(&self) -> bool {
+        self.to.is_external()
+    }
+}
+
+/// Errors detected while validating a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two components share a name.
+    DuplicateComponentName {
+        /// The offending name.
+        name: String,
+    },
+    /// A component name was empty.
+    EmptyComponentName,
+    /// A wire endpoint referenced a component id the builder never created.
+    UnknownComponent {
+        /// The offending id.
+        component: ComponentId,
+    },
+    /// A wire connected two external endpoints.
+    ExternalToExternal,
+    /// The application has no components.
+    NoComponents,
+    /// The application has no external producer (§II.A requires at least
+    /// one).
+    MissingExternalInput,
+    /// The application has no external consumer (§II.A requires at least
+    /// one).
+    MissingExternalOutput,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateComponentName { name } => {
+                write!(f, "duplicate component name {name:?}")
+            }
+            TopologyError::EmptyComponentName => write!(f, "component name is empty"),
+            TopologyError::UnknownComponent { component } => {
+                write!(f, "wire references unknown component {component}")
+            }
+            TopologyError::ExternalToExternal => {
+                write!(f, "wire connects two external endpoints")
+            }
+            TopologyError::NoComponents => write!(f, "application has no components"),
+            TopologyError::MissingExternalInput => {
+                write!(f, "application has no external producer")
+            }
+            TopologyError::MissingExternalOutput => {
+                write!(f, "application has no external consumer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated, immutable application topology.
+///
+/// Produced by [`AppSpecBuilder`]; consumed by placement and by the engines.
+/// Per §II.B "the code and wiring of the components are known prior to
+/// deployment": there is no dynamic rewiring.
+#[derive(Clone, Debug)]
+pub struct AppSpec {
+    components: Vec<ComponentSpec>,
+    wires: Vec<WireSpec>,
+}
+
+impl AppSpec {
+    /// Starts building a topology.
+    pub fn builder() -> AppSpecBuilder {
+        AppSpecBuilder::default()
+    }
+
+    /// All components, in declaration order (index == raw id).
+    pub fn components(&self) -> &[ComponentSpec] {
+        &self.components
+    }
+
+    /// All wires, in declaration order (index == raw id).
+    pub fn wires(&self) -> &[WireSpec] {
+        &self.wires
+    }
+
+    /// Looks up a component by id.
+    pub fn component(&self, id: ComponentId) -> Option<&ComponentSpec> {
+        self.components.get(id.raw() as usize)
+    }
+
+    /// Looks up a component by name.
+    pub fn component_by_name(&self, name: &str) -> Option<&ComponentSpec> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a wire by id.
+    pub fn wire(&self, id: WireId) -> Option<&WireSpec> {
+        self.wires.get(id.raw() as usize)
+    }
+
+    /// The wires delivering messages *to* `component`, in id order.
+    pub fn input_wires_of(&self, component: ComponentId) -> Vec<&WireSpec> {
+        self.wires
+            .iter()
+            .filter(|w| w.to.component() == Some(component))
+            .collect()
+    }
+
+    /// The wires carrying messages *from* `component`, in id order.
+    pub fn output_wires_of(&self, component: ComponentId) -> Vec<&WireSpec> {
+        self.wires
+            .iter()
+            .filter(|w| w.from.component() == Some(component))
+            .collect()
+    }
+
+    /// The wires leaving `component` from a specific output `port`
+    /// (more than one means broadcast).
+    pub fn wires_from_port(&self, component: ComponentId, port: PortId) -> Vec<&WireSpec> {
+        self.wires
+            .iter()
+            .filter(|w| w.from.component() == Some(component) && w.from.port() == Some(port))
+            .collect()
+    }
+
+    /// All external-input wires.
+    pub fn external_inputs(&self) -> Vec<&WireSpec> {
+        self.wires
+            .iter()
+            .filter(|w| w.is_external_input())
+            .collect()
+    }
+
+    /// All external-output wires.
+    pub fn external_outputs(&self) -> Vec<&WireSpec> {
+        self.wires
+            .iter()
+            .filter(|w| w.is_external_output())
+            .collect()
+    }
+}
+
+/// Incremental builder for [`AppSpec`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tart_model::reference::WordCountSender;
+/// use tart_model::AppSpec;
+/// use tart_vtime::PortId;
+///
+/// let mut b = AppSpec::builder();
+/// let sender = b.component("Sender1", Arc::new(|| Box::new(WordCountSender::new())));
+/// b.wire_in("client", sender, PortId::new(0));
+/// b.wire_out(sender, PortId::new(1), "sink");
+/// let spec = b.build()?;
+/// assert_eq!(spec.components().len(), 1);
+/// # Ok::<(), tart_model::TopologyError>(())
+/// ```
+#[derive(Default)]
+pub struct AppSpecBuilder {
+    components: Vec<ComponentSpec>,
+    wires: Vec<WireSpec>,
+}
+
+impl AppSpecBuilder {
+    /// Declares a component; returns its id.
+    pub fn component(&mut self, name: &str, factory: ComponentFactory) -> ComponentId {
+        let id = ComponentId::new(self.components.len() as u32);
+        self.components.push(ComponentSpec {
+            id,
+            name: name.to_owned(),
+            factory,
+        });
+        id
+    }
+
+    /// Declares an internal wire from `(from, from_port)` to `(to, to_port)`;
+    /// returns its id.
+    pub fn wire(
+        &mut self,
+        from: ComponentId,
+        from_port: PortId,
+        to: ComponentId,
+        to_port: PortId,
+    ) -> WireId {
+        self.push_wire(
+            Endpoint::Component {
+                component: from,
+                port: from_port,
+            },
+            Endpoint::Component {
+                component: to,
+                port: to_port,
+            },
+        )
+    }
+
+    /// Declares an external-input wire from producer `name` into
+    /// `(to, to_port)`; returns its id.
+    pub fn wire_in(&mut self, name: &str, to: ComponentId, to_port: PortId) -> WireId {
+        self.push_wire(
+            Endpoint::External {
+                name: name.to_owned(),
+            },
+            Endpoint::Component {
+                component: to,
+                port: to_port,
+            },
+        )
+    }
+
+    /// Declares an external-output wire from `(from, from_port)` to consumer
+    /// `name`; returns its id.
+    pub fn wire_out(&mut self, from: ComponentId, from_port: PortId, name: &str) -> WireId {
+        self.push_wire(
+            Endpoint::Component {
+                component: from,
+                port: from_port,
+            },
+            Endpoint::External {
+                name: name.to_owned(),
+            },
+        )
+    }
+
+    fn push_wire(&mut self, from: Endpoint, to: Endpoint) -> WireId {
+        let id = WireId::new(self.wires.len() as u32);
+        self.wires.push(WireSpec { id, from, to });
+        id
+    }
+
+    /// Validates and freezes the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] describing the first violation found:
+    /// duplicate or empty names, dangling component references,
+    /// external-to-external wires, or a missing external producer/consumer.
+    pub fn build(self) -> Result<AppSpec, TopologyError> {
+        if self.components.is_empty() {
+            return Err(TopologyError::NoComponents);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.components {
+            if c.name.is_empty() {
+                return Err(TopologyError::EmptyComponentName);
+            }
+            if !seen.insert(c.name.clone()) {
+                return Err(TopologyError::DuplicateComponentName {
+                    name: c.name.clone(),
+                });
+            }
+        }
+        let known = |id: ComponentId| (id.raw() as usize) < self.components.len();
+        let mut has_in = false;
+        let mut has_out = false;
+        for w in &self.wires {
+            match (&w.from, &w.to) {
+                (Endpoint::External { .. }, Endpoint::External { .. }) => {
+                    return Err(TopologyError::ExternalToExternal)
+                }
+                (Endpoint::External { .. }, _) => has_in = true,
+                (_, Endpoint::External { .. }) => has_out = true,
+                _ => {}
+            }
+            for ep in [&w.from, &w.to] {
+                if let Some(c) = ep.component() {
+                    if !known(c) {
+                        return Err(TopologyError::UnknownComponent { component: c });
+                    }
+                }
+            }
+        }
+        if !has_in {
+            return Err(TopologyError::MissingExternalInput);
+        }
+        if !has_out {
+            return Err(TopologyError::MissingExternalOutput);
+        }
+        Ok(AppSpec {
+            components: self.components,
+            wires: self.wires,
+        })
+    }
+}
+
+impl fmt::Debug for AppSpecBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppSpecBuilder")
+            .field("components", &self.components.len())
+            .field("wires", &self.wires.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::WordCountSender;
+
+    fn sender_factory() -> ComponentFactory {
+        Arc::new(|| Box::new(WordCountSender::new()))
+    }
+
+    fn p(n: u16) -> PortId {
+        PortId::new(n)
+    }
+
+    #[test]
+    fn fig1_topology_builds_and_queries() {
+        let mut b = AppSpec::builder();
+        let s1 = b.component("Sender1", sender_factory());
+        let s2 = b.component("Sender2", sender_factory());
+        let merger = b.component("Merger", sender_factory());
+        let w_in1 = b.wire_in("client1", s1, p(0));
+        let w_in2 = b.wire_in("client2", s2, p(0));
+        let w1 = b.wire(s1, p(1), merger, p(0));
+        let w2 = b.wire(s2, p(1), merger, p(0));
+        let w_out = b.wire_out(merger, p(1), "consumer");
+        let spec = b.build().unwrap();
+
+        assert_eq!(spec.components().len(), 3);
+        assert_eq!(spec.wires().len(), 5);
+        assert_eq!(spec.component_by_name("Merger").unwrap().id(), merger);
+        assert!(spec.component_by_name("Nope").is_none());
+        assert_eq!(spec.component(s1).unwrap().name(), "Sender1");
+        assert!(spec.component(ComponentId::new(99)).is_none());
+        assert_eq!(spec.wire(w1).unwrap().id(), w1);
+        assert!(spec.wire(WireId::new(99)).is_none());
+
+        let merger_in: Vec<WireId> = spec.input_wires_of(merger).iter().map(|w| w.id()).collect();
+        assert_eq!(merger_in, vec![w1, w2]);
+        let s1_out: Vec<WireId> = spec.output_wires_of(s1).iter().map(|w| w.id()).collect();
+        assert_eq!(s1_out, vec![w1]);
+        assert_eq!(spec.wires_from_port(merger, p(1))[0].id(), w_out);
+        assert!(spec.wires_from_port(merger, p(9)).is_empty());
+
+        let ins: Vec<WireId> = spec.external_inputs().iter().map(|w| w.id()).collect();
+        assert_eq!(ins, vec![w_in1, w_in2]);
+        assert_eq!(spec.external_outputs()[0].id(), w_out);
+        assert!(spec.wire(w_in1).unwrap().is_external_input());
+        assert!(!spec.wire(w_in1).unwrap().is_external_output());
+        assert!(spec.wire(w_out).unwrap().is_external_output());
+    }
+
+    #[test]
+    fn wire_ids_follow_declaration_order() {
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        let w0 = b.wire_in("in", c, p(0));
+        let w1 = b.wire_out(c, p(1), "out");
+        assert_eq!(w0, WireId::new(0));
+        assert_eq!(w1, WireId::new(1));
+    }
+
+    #[test]
+    fn instantiate_produces_fresh_components() {
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_in("in", c, p(0));
+        b.wire_out(c, p(1), "out");
+        let spec = b.build().unwrap();
+        let _a = spec.component(c).unwrap().instantiate();
+        let _b = spec.component(c).unwrap().instantiate();
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        assert_eq!(
+            AppSpec::builder().build().unwrap_err(),
+            TopologyError::NoComponents
+        );
+
+        let mut b = AppSpec::builder();
+        b.component("X", sender_factory());
+        b.component("X", sender_factory());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateComponentName { .. }
+        ));
+
+        let mut b = AppSpec::builder();
+        b.component("", sender_factory());
+        assert_eq!(b.build().unwrap_err(), TopologyError::EmptyComponentName);
+
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_in("in", ComponentId::new(9), p(0));
+        b.wire_out(c, p(1), "out");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::UnknownComponent { .. }
+        ));
+
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_out(c, p(1), "out");
+        assert_eq!(b.build().unwrap_err(), TopologyError::MissingExternalInput);
+
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_in("in", c, p(0));
+        assert_eq!(b.build().unwrap_err(), TopologyError::MissingExternalOutput);
+
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_in("in", c, p(0));
+        b.wire_out(c, p(1), "out");
+        b.push_wire(
+            Endpoint::External { name: "a".into() },
+            Endpoint::External { name: "b".into() },
+        );
+        assert_eq!(b.build().unwrap_err(), TopologyError::ExternalToExternal);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        for (err, needle) in [
+            (
+                TopologyError::DuplicateComponentName { name: "X".into() },
+                "duplicate",
+            ),
+            (TopologyError::EmptyComponentName, "empty"),
+            (
+                TopologyError::UnknownComponent {
+                    component: ComponentId::new(3),
+                },
+                "c3",
+            ),
+            (TopologyError::ExternalToExternal, "external"),
+            (TopologyError::NoComponents, "no components"),
+            (TopologyError::MissingExternalInput, "producer"),
+            (TopologyError::MissingExternalOutput, "consumer"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn endpoint_accessors() {
+        let e = Endpoint::Component {
+            component: ComponentId::new(1),
+            port: p(2),
+        };
+        assert_eq!(e.component(), Some(ComponentId::new(1)));
+        assert_eq!(e.port(), Some(p(2)));
+        assert!(!e.is_external());
+        let x = Endpoint::External { name: "n".into() };
+        assert_eq!(x.component(), None);
+        assert_eq!(x.port(), None);
+        assert!(x.is_external());
+    }
+
+    #[test]
+    fn specs_are_debuggable() {
+        let mut b = AppSpec::builder();
+        let c = b.component("C", sender_factory());
+        b.wire_in("in", c, p(0));
+        b.wire_out(c, p(1), "out");
+        assert!(format!("{b:?}").contains("AppSpecBuilder"));
+        let spec = b.build().unwrap();
+        assert!(format!("{spec:?}").contains("AppSpec"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Self-describing message payloads.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+
+/// A self-describing payload carried by TART messages.
+///
+/// Components exchange `Value`s rather than arbitrary Rust types so that the
+/// runtime can serialize any in-flight message into the external-input log
+/// and into replay buffers without knowing component-specific types, and so
+/// that payload bytes are canonical (equal values ⇒ equal encodings).
+///
+/// # Example
+///
+/// ```
+/// use tart_model::Value;
+///
+/// let sentence = Value::from(vec![Value::from("the"), Value::from("cat")]);
+/// assert_eq!(sentence.as_list().unwrap().len(), 2);
+/// assert_eq!(Value::from(7i64).as_i64(), Some(7));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// The empty payload.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A string-keyed map of values (ordered, for canonical encoding).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `I64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is an `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the map if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key if this is a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    /// Returns `true` for [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Convenience constructor for a map payload.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tart_model::Value;
+    ///
+    /// let v = Value::map([("count", Value::from(3i64))]);
+    /// assert_eq!(v.get("count").and_then(Value::as_i64), Some(3));
+    /// ```
+    pub fn map<'a>(entries: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+}
+
+impl From<()> for Value {
+    fn from((): ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "{} bytes", b.len()),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_MAP: u8 = 7;
+
+impl Encode for Value {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Unit => buf.put_u8(TAG_UNIT),
+            Value::Bool(b) => {
+                buf.put_u8(TAG_BOOL);
+                b.encode(buf);
+            }
+            Value::I64(v) => {
+                buf.put_u8(TAG_I64);
+                v.encode(buf);
+            }
+            Value::F64(v) => {
+                buf.put_u8(TAG_F64);
+                v.encode(buf);
+            }
+            Value::Str(s) => {
+                buf.put_u8(TAG_STR);
+                s.encode(buf);
+            }
+            Value::Bytes(b) => {
+                buf.put_u8(TAG_BYTES);
+                b.encode(buf);
+            }
+            Value::List(l) => {
+                buf.put_u8(TAG_LIST);
+                l.encode(buf);
+            }
+            Value::Map(m) => {
+                buf.put_u8(TAG_MAP);
+                m.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            TAG_UNIT => Ok(Value::Unit),
+            TAG_BOOL => Ok(Value::Bool(bool::decode(r)?)),
+            TAG_I64 => Ok(Value::I64(i64::decode(r)?)),
+            TAG_F64 => Ok(Value::F64(f64::decode(r)?)),
+            TAG_STR => Ok(Value::Str(String::decode(r)?)),
+            TAG_BYTES => Ok(Value::Bytes(Vec::decode(r)?)),
+            TAG_LIST => Ok(Value::List(Vec::decode(r)?)),
+            TAG_MAP => Ok(Value::Map(BTreeMap::decode(r)?)),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "Value",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let bytes = v.to_bytes();
+        assert_eq!(&Value::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(&Value::Unit);
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::I64(-42));
+        round_trip(&Value::F64(61.827));
+        round_trip(&Value::from("hello"));
+        round_trip(&Value::Bytes(vec![0, 255, 128]));
+        round_trip(&Value::List(vec![Value::I64(1), Value::from("x")]));
+        round_trip(&Value::map([
+            ("count", Value::I64(3)),
+            ("word", Value::from("cat")),
+            ("nested", Value::List(vec![Value::Unit])),
+        ]));
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::I64(5).as_i64(), Some(5));
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::Bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+        assert_eq!(Value::List(vec![]).as_list(), Some(&[][..]));
+        assert!(Value::Unit.is_unit());
+        // Cross-variant access is None.
+        assert_eq!(Value::I64(1).as_str(), None);
+        assert_eq!(Value::Unit.as_i64(), None);
+        assert_eq!(Value::from("x").as_map(), None);
+        assert_eq!(Value::Unit.get("k"), None);
+    }
+
+    #[test]
+    fn map_lookup() {
+        let v = Value::map([("a", Value::I64(1)), ("b", Value::from("two"))]);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("two"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn canonical_encoding_of_maps() {
+        let a = Value::map([("x", Value::I64(1)), ("y", Value::I64(2))]);
+        let b = Value::map([("y", Value::I64(2)), ("x", Value::I64(1))]);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn invalid_tag_is_error() {
+        assert!(matches!(
+            Value::from_bytes(&[99]),
+            Err(DecodeError::InvalidTag { tag: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::map([("n", Value::I64(1))]);
+        assert_eq!(v.to_string(), "{n: 1}");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(
+            Value::List(vec![Value::I64(1), Value::I64(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "3 bytes");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::F64(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(()), Value::Unit);
+        assert_eq!(Value::from(3u32), Value::I64(3));
+        assert_eq!(Value::from(String::from("s")), Value::Str("s".into()));
+        assert_eq!(Value::from(vec![1u8, 2]), Value::Bytes(vec![1, 2]));
+        assert_eq!(Value::default(), Value::Unit);
+    }
+
+    #[test]
+    fn deeply_nested_round_trip() {
+        let mut v = Value::I64(0);
+        for _ in 0..50 {
+            v = Value::List(vec![v]);
+        }
+        round_trip(&v);
+    }
+}

@@ -1,0 +1,541 @@
+//! The deterministic merge gate.
+
+use std::collections::BTreeMap;
+
+use tart_vtime::{EventStamp, VirtualTime, WireClock, WireClockError, WireId};
+
+/// What a [`MergeGate`] can tell its caller when asked for the next message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateDecision<T> {
+    /// The earliest pending message is safe to process.
+    Deliver {
+        /// The wire it arrived on.
+        wire: WireId,
+        /// The message's own virtual time.
+        vt: VirtualTime,
+        /// The effective dequeue time: `max(vt, component clock)` (§II.E).
+        dequeue_vt: VirtualTime,
+        /// The payload.
+        msg: T,
+    },
+    /// A message is pending but cannot yet be proven earliest — the gate is
+    /// in **pessimism delay** (§II.E). Under curiosity-driven propagation
+    /// the caller should probe the `lagging` wires.
+    Blocked {
+        /// Stamp of the held message.
+        head: EventStamp,
+        /// Wires that could still produce an earlier event, paired with the
+        /// virtual time through which their silence is needed.
+        lagging: Vec<(WireId, VirtualTime)>,
+    },
+    /// No messages are pending on any wire.
+    Idle,
+}
+
+/// Counters the gate maintains for overhead accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GateMetrics {
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages that arrived in a different order than their virtual times
+    /// (the "# Msgs Received out of RT-order" series of Fig 4).
+    pub out_of_order_arrivals: u64,
+    /// Number of distinct pessimism-delay episodes: transitions from a
+    /// deliverable/idle gate into a blocked one.
+    pub pessimism_episodes: u64,
+}
+
+/// Merges a component's input wires into a single deterministic stream.
+///
+/// The gate owns one [`WireClock`] per input wire and applies the paper's
+/// delivery rule: the pending message with the smallest [`EventStamp`] is
+/// deliverable iff every other wire's earliest possible future stamp is
+/// larger. Ties are impossible by construction — stamps embed the wire id
+/// (§II.E footnote 2).
+#[derive(Clone, Debug)]
+pub struct MergeGate<T> {
+    /// Keyed by wire id: deterministic iteration order.
+    wires: BTreeMap<WireId, WireClock<T>>,
+    clock: VirtualTime,
+    max_vt_arrived: VirtualTime,
+    was_blocked: bool,
+    metrics: GateMetrics,
+}
+
+impl<T> MergeGate<T> {
+    /// Creates a gate over the given input wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty or contains duplicates.
+    pub fn new(wires: impl IntoIterator<Item = WireId>) -> Self {
+        let mut map = BTreeMap::new();
+        for w in wires {
+            let prev = map.insert(w, WireClock::new(w));
+            assert!(prev.is_none(), "duplicate input wire {w}");
+        }
+        assert!(
+            !map.is_empty(),
+            "a merge gate needs at least one input wire"
+        );
+        MergeGate {
+            wires: map,
+            clock: VirtualTime::ZERO,
+            max_vt_arrived: VirtualTime::ZERO,
+            was_blocked: false,
+            metrics: GateMetrics::default(),
+        }
+    }
+
+    /// The component clock: the virtual time through which the component has
+    /// already computed. Dequeue times never precede it.
+    pub fn clock(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// Advances the component clock (typically to the completion time of the
+    /// handler that just ran). The clock never moves backward.
+    pub fn advance_clock(&mut self, vt: VirtualTime) {
+        if vt > self.clock {
+            self.clock = vt;
+        }
+    }
+
+    /// Accepts a data message from `wire` stamped `vt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireClockError::NonMonotonicMessage`] if the wire protocol
+    /// is violated (senders must emit strictly increasing virtual times).
+    pub fn push_message(
+        &mut self,
+        wire: WireId,
+        vt: VirtualTime,
+        msg: T,
+    ) -> Result<(), WireClockError> {
+        let clock = self
+            .wires
+            .get_mut(&wire)
+            .unwrap_or_else(|| panic!("message on unknown wire {wire}"));
+        clock.push_message(vt, msg)?;
+        if vt < self.max_vt_arrived {
+            self.metrics.out_of_order_arrivals += 1;
+        } else {
+            self.max_vt_arrived = vt;
+        }
+        Ok(())
+    }
+
+    /// Accepts a silence promise from `wire` through `vt` (never retracts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not an input of this gate.
+    pub fn promise_silence(&mut self, wire: WireId, vt: VirtualTime) {
+        self.wires
+            .get_mut(&wire)
+            .unwrap_or_else(|| panic!("silence on unknown wire {wire}"))
+            .promise_silence_through(vt);
+    }
+
+    /// The watermark through which `wire` is fully accounted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not an input of this gate.
+    pub fn accounted_through(&self, wire: WireId) -> VirtualTime {
+        self.wires[&wire].accounted_through()
+    }
+
+    /// Whether `wire` has ever delivered a message or silence promise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not an input of this gate.
+    pub fn has_heard(&self, wire: WireId) -> bool {
+        self.wires[&wire].has_heard_anything()
+    }
+
+    /// The earliest virtual time a pending or future message on `wire`
+    /// could carry (the sender-oracle building block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not an input of this gate.
+    pub fn earliest_possible_vt(&self, wire: WireId) -> VirtualTime {
+        self.wires[&wire].earliest_possible_stamp().vt
+    }
+
+    /// Total messages pending across all wires.
+    pub fn pending_len(&self) -> usize {
+        self.wires.values().map(WireClock::pending_len).sum()
+    }
+
+    /// The overhead counters.
+    pub fn metrics(&self) -> GateMetrics {
+        self.metrics
+    }
+
+    /// Stamp of the earliest pending message, if any (does not check
+    /// deliverability).
+    pub fn head_stamp(&self) -> Option<EventStamp> {
+        self.wires.values().filter_map(WireClock::head_stamp).min()
+    }
+
+    /// Attempts to dequeue the next message in deterministic order.
+    ///
+    /// Non-destructive when blocked or idle: calling repeatedly while
+    /// waiting for silence is the expected usage.
+    pub fn try_next(&mut self) -> GateDecision<T> {
+        let Some(head) = self.head_stamp() else {
+            self.was_blocked = false;
+            return GateDecision::Idle;
+        };
+        let mut lagging = Vec::new();
+        for (id, wire) in &self.wires {
+            if *id == head.wire {
+                continue;
+            }
+            let earliest = wire.earliest_possible_stamp();
+            if earliest < head {
+                // This wire could still produce an earlier event; its
+                // silence is needed through the head's virtual time.
+                lagging.push((*id, head.vt));
+            }
+        }
+        if !lagging.is_empty() {
+            if !self.was_blocked {
+                self.metrics.pessimism_episodes += 1;
+                self.was_blocked = true;
+            }
+            return GateDecision::Blocked { head, lagging };
+        }
+        self.was_blocked = false;
+        let (vt, msg) = self
+            .wires
+            .get_mut(&head.wire)
+            .expect("head wire exists")
+            .pop()
+            .expect("head message exists");
+        self.metrics.delivered += 1;
+        let dequeue_vt = vt.max_with(self.clock);
+        GateDecision::Deliver {
+            wire: head.wire,
+            vt,
+            dequeue_vt,
+            msg,
+        }
+    }
+
+    /// Iterates over the input wire ids in deterministic (ascending) order.
+    pub fn wire_ids(&self) -> impl Iterator<Item = WireId> + '_ {
+        self.wires.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn w(n: u32) -> WireId {
+        WireId::new(n)
+    }
+
+    fn gate2() -> MergeGate<&'static str> {
+        MergeGate::new([w(1), w(2)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input wire")]
+    fn empty_gate_rejected() {
+        let _: MergeGate<u8> = MergeGate::new([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate input wire")]
+    fn duplicate_wire_rejected() {
+        let _: MergeGate<u8> = MergeGate::new([w(1), w(1)]);
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        let mut g = gate2();
+        assert_eq!(g.try_next(), GateDecision::Idle);
+        assert_eq!(g.pending_len(), 0);
+        assert_eq!(g.head_stamp(), None);
+    }
+
+    #[test]
+    fn paper_example_delivers_in_vt_order() {
+        // §II.E: Sender1's message (vt 233000) arrives before Sender2's
+        // (vt 202000); the gate must deliver Sender2's first.
+        let mut g = gate2();
+        g.push_message(w(1), vt(233_000), "s1").unwrap();
+        match g.try_next() {
+            GateDecision::Blocked { head, lagging } => {
+                assert_eq!(head, EventStamp::new(vt(233_000), w(1)));
+                assert_eq!(lagging, vec![(w(2), vt(233_000))]);
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+        g.push_message(w(2), vt(202_000), "s2").unwrap();
+        // One arrival out of real-time order (202000 after 233000).
+        assert_eq!(g.metrics().out_of_order_arrivals, 1);
+        match g.try_next() {
+            GateDecision::Deliver {
+                wire,
+                vt: t,
+                msg,
+                dequeue_vt,
+            } => {
+                assert_eq!((wire, t, msg), (w(2), vt(202_000), "s2"));
+                assert_eq!(dequeue_vt, vt(202_000));
+            }
+            other => panic!("{other:?}"),
+        }
+        // s1 still blocked: wire 2 not yet silent through 233000.
+        assert!(matches!(g.try_next(), GateDecision::Blocked { .. }));
+        g.promise_silence(w(2), vt(232_999));
+        // Still blocked: could produce an event AT 233000, and wire 2 < ...
+        // no wait: earliest possible on wire2 is (233000, w2) which is
+        // greater than (233000, w1) by tie-break, so deliverable.
+        match g.try_next() {
+            GateDecision::Deliver { wire, msg, .. } => {
+                assert_eq!((wire, msg), (w(1), "s1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(g.metrics().delivered, 2);
+        assert_eq!(g.metrics().pessimism_episodes, 2);
+    }
+
+    #[test]
+    fn tie_break_by_wire_id() {
+        let mut g = gate2();
+        g.push_message(w(2), vt(100), "high wire").unwrap();
+        g.push_message(w(1), vt(100), "low wire").unwrap();
+        match g.try_next() {
+            GateDecision::Deliver { wire, .. } => assert_eq!(wire, w(1)),
+            other => panic!("{other:?}"),
+        }
+        match g.try_next() {
+            GateDecision::Deliver { wire, .. } => assert_eq!(wire, w(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tie_with_possible_lower_wire_blocks() {
+        // Wire 2 has a message at t; wire 1 silent only through t-1. Wire 1
+        // could still produce a message at exactly t, which would win the
+        // tie-break — so the gate must hold.
+        let mut g = gate2();
+        g.push_message(w(2), vt(100), "m").unwrap();
+        g.promise_silence(w(1), vt(99));
+        assert!(matches!(g.try_next(), GateDecision::Blocked { .. }));
+        g.promise_silence(w(1), vt(100));
+        assert!(matches!(g.try_next(), GateDecision::Deliver { .. }));
+    }
+
+    #[test]
+    fn tie_with_possible_higher_wire_delivers() {
+        // Mirror image: wire 1 holds the message; wire 2 silent through t-1.
+        // Wire 2's earliest possible stamp is (t, w2) which loses the
+        // tie-break, so the gate can deliver immediately.
+        let mut g = gate2();
+        g.push_message(w(1), vt(100), "m").unwrap();
+        g.promise_silence(w(2), vt(99));
+        assert!(matches!(g.try_next(), GateDecision::Deliver { .. }));
+    }
+
+    #[test]
+    fn single_wire_never_blocks() {
+        let mut g: MergeGate<u32> = MergeGate::new([w(7)]);
+        g.push_message(w(7), vt(10), 1).unwrap();
+        g.push_message(w(7), vt(20), 2).unwrap();
+        assert!(matches!(g.try_next(), GateDecision::Deliver { msg: 1, .. }));
+        assert!(matches!(g.try_next(), GateDecision::Deliver { msg: 2, .. }));
+        assert_eq!(g.try_next(), GateDecision::Idle);
+        assert_eq!(g.metrics().pessimism_episodes, 0);
+    }
+
+    #[test]
+    fn dequeue_vt_respects_component_clock() {
+        let mut g: MergeGate<u32> = MergeGate::new([w(1)]);
+        g.advance_clock(vt(500));
+        g.push_message(w(1), vt(100), 9).unwrap();
+        match g.try_next() {
+            GateDecision::Deliver {
+                vt: t, dequeue_vt, ..
+            } => {
+                assert_eq!(t, vt(100));
+                assert_eq!(dequeue_vt, vt(500), "max(msg vt, clock)");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Clock never moves backward.
+        g.advance_clock(vt(200));
+        assert_eq!(g.clock(), vt(500));
+    }
+
+    #[test]
+    fn blocked_is_nondestructive_and_episode_counted_once() {
+        let mut g = gate2();
+        g.push_message(w(1), vt(50), "m").unwrap();
+        for _ in 0..5 {
+            assert!(matches!(g.try_next(), GateDecision::Blocked { .. }));
+        }
+        assert_eq!(g.metrics().pessimism_episodes, 1, "one episode, many polls");
+        g.promise_silence(w(2), vt(50));
+        assert!(matches!(g.try_next(), GateDecision::Deliver { .. }));
+        assert_eq!(g.pending_len(), 0);
+    }
+
+    #[test]
+    fn lagging_excludes_wires_with_later_messages() {
+        let mut g: MergeGate<&str> = MergeGate::new([w(1), w(2), w(3)]);
+        g.push_message(w(2), vt(100), "head").unwrap();
+        g.push_message(w(3), vt(200), "later").unwrap();
+        match g.try_next() {
+            GateDecision::Blocked { lagging, .. } => {
+                // Wire 3 has a pending later message: not lagging.
+                // Wire 1 has nothing: lagging, needed through 100.
+                assert_eq!(lagging, vec![(w(1), vt(100))]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_violation_surfaces() {
+        let mut g = gate2();
+        g.promise_silence(w(1), vt(100));
+        assert!(g.push_message(w(1), vt(50), "late").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown wire")]
+    fn unknown_wire_panics() {
+        let mut g = gate2();
+        let _ = g.push_message(w(9), vt(1), "x");
+    }
+
+    #[test]
+    fn wire_ids_in_order() {
+        let g: MergeGate<u8> = MergeGate::new([w(5), w(2), w(9)]);
+        assert_eq!(g.wire_ids().collect::<Vec<_>>(), vec![w(2), w(5), w(9)]);
+    }
+
+    #[test]
+    fn accounted_through_tracks_both_kinds() {
+        let mut g = gate2();
+        g.push_message(w(1), vt(100), "m").unwrap();
+        g.promise_silence(w(2), vt(40));
+        assert_eq!(g.accounted_through(w(1)), vt(100));
+        assert_eq!(g.accounted_through(w(2)), vt(40));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    /// Per-wire strictly increasing virtual times, as senders must produce.
+    fn arb_wire_times() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(1u64..50, 0..12).prop_map(|gaps| {
+            let mut t = 0;
+            gaps.into_iter()
+                .map(|g| {
+                    t += g;
+                    t
+                })
+                .collect()
+        })
+    }
+
+    /// Drives a gate to completion given an arrival interleaving, returning
+    /// the delivered (wire, vt) sequence. `order` indexes into the flattened
+    /// arrival list to pick which wire delivers its next message.
+    fn run(wires: &[Vec<u64>], interleave_seed: u64) -> Vec<(WireId, u64)> {
+        let ids: Vec<WireId> = (0..wires.len() as u32).map(WireId::new).collect();
+        let mut gate: MergeGate<u64> = MergeGate::new(ids.iter().copied());
+        let mut cursors = vec![0usize; wires.len()];
+        let mut delivered = Vec::new();
+        let mut rng_state = interleave_seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next_rand = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        loop {
+            // Wires with messages left to "arrive".
+            let live: Vec<usize> = (0..wires.len())
+                .filter(|&i| cursors[i] < wires[i].len())
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let pick = live[(next_rand() % live.len() as u64) as usize];
+            let t = wires[pick][cursors[pick]];
+            cursors[pick] += 1;
+            gate.push_message(WireId::new(pick as u32), vt(t), t)
+                .unwrap();
+            // Greedily drain whatever has become deliverable.
+            while let GateDecision::Deliver { wire, vt: t, .. } = gate.try_next() {
+                delivered.push((wire, t.as_ticks()));
+            }
+        }
+        // End of stream: all senders promise silence forever.
+        for id in ids {
+            gate.promise_silence(id, VirtualTime::MAX);
+        }
+        while let GateDecision::Deliver { wire, vt: t, .. } = gate.try_next() {
+            delivered.push((wire, t.as_ticks()));
+        }
+        delivered
+    }
+
+    proptest! {
+        /// The determinism theorem: delivery order is independent of the
+        /// real-time arrival interleaving.
+        #[test]
+        fn delivery_order_independent_of_arrival_order(
+            wires in proptest::collection::vec(arb_wire_times(), 1..5),
+            seed_a in any::<u64>(),
+            seed_b in any::<u64>(),
+        ) {
+            let a = run(&wires, seed_a);
+            let b = run(&wires, seed_b);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Deliveries come out sorted by (virtual time, wire id) — exactly
+        /// the paper's merge semantics.
+        #[test]
+        fn deliveries_are_stamp_sorted(
+            wires in proptest::collection::vec(arb_wire_times(), 1..5),
+            seed in any::<u64>(),
+        ) {
+            let delivered = run(&wires, seed);
+            let total: usize = wires.iter().map(Vec::len).sum();
+            prop_assert_eq!(delivered.len(), total, "nothing lost, nothing duplicated");
+            let stamps: Vec<EventStamp> = delivered
+                .iter()
+                .map(|&(w, t)| EventStamp::new(vt(t), w))
+                .collect();
+            for pair in stamps.windows(2) {
+                prop_assert!(pair[0] < pair[1], "out of order: {:?}", pair);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic pessimistic scheduling for TART.
+//!
+//! Unlike Jefferson's optimistic Time Warp, "TART's scheduling algorithm is
+//! pessimistic: a scheduler processes input messages in strict virtual time
+//! order without rollback" (§II.D). The decision of *when the earliest
+//! pending message is safe to dequeue* is made by a [`MergeGate`]: a message
+//! stamped `t` on wire `w` may be delivered only once every other input wire
+//! can no longer produce an event stamped before `(t, w)` — either because a
+//! pending message proves it, or because the sender promised silence.
+//!
+//! The gate is pure logic over [`tart_vtime::WireClock`]s; the simulator and
+//! the real engine both drive it, supplying real transports and real time.
+//! Its central property — **the delivery sequence is a function of the
+//! message set alone, independent of arrival interleaving** — is what makes
+//! checkpoint–replay recovery correct, and is enforced here by property
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use tart_sched::{GateDecision, MergeGate};
+//! use tart_vtime::{VirtualTime, WireId};
+//!
+//! let vt = VirtualTime::from_ticks;
+//! let (w1, w2) = (WireId::new(1), WireId::new(2));
+//! let mut gate: MergeGate<&str> = MergeGate::new([w1, w2]);
+//!
+//! // Sender1's message arrives FIRST in real time, but at a LATER virtual
+//! // time (the paper's running example: 233000 vs 202000).
+//! gate.push_message(w1, vt(233_000), "from sender 1").unwrap();
+//! // Pessimism delay: wire 2 might still produce something earlier.
+//! assert!(matches!(gate.try_next(), GateDecision::Blocked { .. }));
+//!
+//! gate.push_message(w2, vt(202_000), "from sender 2").unwrap();
+//! // Now the gate delivers in virtual-time order: Sender2 first.
+//! match gate.try_next() {
+//!     GateDecision::Deliver { wire, msg, .. } => {
+//!         assert_eq!(wire, w2);
+//!         assert_eq!(msg, "from sender 2");
+//!     }
+//!     other => panic!("expected delivery, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gate;
+mod mux;
+
+pub use gate::{GateDecision, GateMetrics, MergeGate};
+pub use mux::InputMux;

@@ -1,0 +1,252 @@
+//! Routing incoming wires to per-component merge gates.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tart_vtime::{ComponentId, VirtualTime, WireClockError, WireId};
+
+use crate::{GateDecision, MergeGate};
+
+/// An engine-level multiplexer: one [`MergeGate`] per hosted component, plus
+/// the wire → component routing table.
+///
+/// An execution engine hosts several components, each with its own logical
+/// input queue (§II.B: "there is one logical queue of all messages waiting
+/// to enter a component"). The mux routes arriving envelopes to the right
+/// gate and lets the engine poll components for ready work in a
+/// deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use tart_sched::{GateDecision, InputMux};
+/// use tart_vtime::{ComponentId, VirtualTime, WireId};
+///
+/// let merger = ComponentId::new(0);
+/// let mut mux: InputMux<&str> = InputMux::new();
+/// mux.add_component(merger, [WireId::new(1), WireId::new(2)]);
+/// mux.push_message(WireId::new(1), VirtualTime::from_ticks(10), "hello").unwrap();
+/// mux.promise_silence(WireId::new(2), VirtualTime::from_ticks(10));
+/// let (who, decision) = mux.poll().expect("merger is ready");
+/// assert_eq!(who, merger);
+/// assert!(matches!(decision, GateDecision::Deliver { .. }));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InputMux<T> {
+    gates: BTreeMap<ComponentId, MergeGate<T>>,
+    route: HashMap<WireId, ComponentId>,
+}
+
+impl<T> InputMux<T> {
+    /// Creates an empty mux.
+    pub fn new() -> Self {
+        InputMux {
+            gates: BTreeMap::new(),
+            route: HashMap::new(),
+        }
+    }
+
+    /// Registers a component and its input wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is already registered, a wire is already
+    /// routed elsewhere, or `wires` is empty.
+    pub fn add_component(&mut self, id: ComponentId, wires: impl IntoIterator<Item = WireId>) {
+        let wires: Vec<WireId> = wires.into_iter().collect();
+        for w in &wires {
+            let prev = self.route.insert(*w, id);
+            assert!(prev.is_none(), "wire {w} already routed to {:?}", prev);
+        }
+        let prev = self.gates.insert(id, MergeGate::new(wires));
+        assert!(prev.is_none(), "component {id} already registered");
+    }
+
+    /// The component a wire delivers to, if routed.
+    pub fn target_of(&self, wire: WireId) -> Option<ComponentId> {
+        self.route.get(&wire).copied()
+    }
+
+    /// Mutable access to a component's gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is not registered.
+    pub fn gate_mut(&mut self, id: ComponentId) -> &mut MergeGate<T> {
+        self.gates
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown component {id}"))
+    }
+
+    /// Shared access to a component's gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is not registered.
+    pub fn gate(&self, id: ComponentId) -> &MergeGate<T> {
+        self.gates
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown component {id}"))
+    }
+
+    /// Routes a data message to the owning gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WireClockError`] from the gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not routed to any component.
+    pub fn push_message(
+        &mut self,
+        wire: WireId,
+        vt: VirtualTime,
+        msg: T,
+    ) -> Result<(), WireClockError> {
+        let target = self.route[&wire];
+        self.gates
+            .get_mut(&target)
+            .expect("routed component exists")
+            .push_message(wire, vt, msg)
+    }
+
+    /// Routes a silence promise to the owning gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is not routed to any component.
+    pub fn promise_silence(&mut self, wire: WireId, vt: VirtualTime) {
+        let target = self.route[&wire];
+        self.gates
+            .get_mut(&target)
+            .expect("routed component exists")
+            .promise_silence(wire, vt);
+    }
+
+    /// Polls components in deterministic (id) order and returns the first
+    /// deliverable message, or `None` when every gate is idle or blocked.
+    pub fn poll(&mut self) -> Option<(ComponentId, GateDecision<T>)> {
+        for (id, gate) in self.gates.iter_mut() {
+            let decision = gate.try_next();
+            if matches!(decision, GateDecision::Deliver { .. }) {
+                return Some((*id, decision));
+            }
+        }
+        None
+    }
+
+    /// Collects the blocked components and their lagging wires — the
+    /// curiosity-probe work list.
+    pub fn blocked(&mut self) -> Vec<(ComponentId, GateDecision<T>)> {
+        let mut out = Vec::new();
+        for (id, gate) in self.gates.iter_mut() {
+            let decision = gate.try_next();
+            if matches!(decision, GateDecision::Blocked { .. }) {
+                out.push((*id, decision));
+            }
+        }
+        out
+    }
+
+    /// Iterates over registered component ids in deterministic order.
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.gates.keys().copied()
+    }
+
+    /// Total pending messages across all gates.
+    pub fn pending_len(&self) -> usize {
+        self.gates.values().map(MergeGate::pending_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn w(n: u32) -> WireId {
+        WireId::new(n)
+    }
+
+    fn c(n: u32) -> ComponentId {
+        ComponentId::new(n)
+    }
+
+    fn two_component_mux() -> InputMux<u32> {
+        let mut mux = InputMux::new();
+        mux.add_component(c(0), [w(0)]);
+        mux.add_component(c(1), [w(1), w(2)]);
+        mux
+    }
+
+    #[test]
+    fn routing_and_polling() {
+        let mut mux = two_component_mux();
+        assert_eq!(mux.target_of(w(0)), Some(c(0)));
+        assert_eq!(mux.target_of(w(2)), Some(c(1)));
+        assert_eq!(mux.target_of(w(9)), None);
+
+        mux.push_message(w(1), vt(5), 11).unwrap();
+        // c1 blocked on w2; c0 idle → poll yields nothing.
+        assert!(mux.poll().is_none());
+        let blocked = mux.blocked();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].0, c(1));
+
+        mux.promise_silence(w(2), vt(5));
+        let (id, decision) = mux.poll().unwrap();
+        assert_eq!(id, c(1));
+        assert!(matches!(decision, GateDecision::Deliver { msg: 11, .. }));
+        assert!(mux.poll().is_none());
+    }
+
+    #[test]
+    fn poll_order_is_deterministic_by_component_id() {
+        let mut mux = two_component_mux();
+        mux.push_message(w(0), vt(100), 1).unwrap(); // c0 ready
+        mux.push_message(w(1), vt(1), 2).unwrap();
+        mux.promise_silence(w(2), vt(1)); // c1 ready too
+        let (first, _) = mux.poll().unwrap();
+        assert_eq!(first, c(0), "lowest component id polls first");
+        let (second, _) = mux.poll().unwrap();
+        assert_eq!(second, c(1));
+    }
+
+    #[test]
+    fn pending_and_ids() {
+        let mut mux = two_component_mux();
+        assert_eq!(mux.component_ids().collect::<Vec<_>>(), vec![c(0), c(1)]);
+        mux.push_message(w(0), vt(1), 0).unwrap();
+        mux.push_message(w(1), vt(1), 0).unwrap();
+        assert_eq!(mux.pending_len(), 2);
+        assert_eq!(mux.gate(c(1)).pending_len(), 1);
+        mux.gate_mut(c(0)).advance_clock(vt(9));
+        assert_eq!(mux.gate(c(0)).clock(), vt(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "already routed")]
+    fn wire_cannot_feed_two_components() {
+        let mut mux: InputMux<u8> = InputMux::new();
+        mux.add_component(c(0), [w(0)]);
+        mux.add_component(c(1), [w(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn component_cannot_register_twice() {
+        let mut mux: InputMux<u8> = InputMux::new();
+        mux.add_component(c(0), [w(0)]);
+        mux.add_component(c(0), [w(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn unknown_gate_lookup_panics() {
+        let mux: InputMux<u8> = InputMux::new();
+        let _ = mux.gate(c(9));
+    }
+}

@@ -1,0 +1,145 @@
+//! Sender-side bookkeeping of advertised silence.
+
+use tart_vtime::{VirtualTime, WireId};
+
+/// Tracks, per output wire, how far silence has already been advertised,
+/// so the sender never transmits redundant or retracting advances.
+///
+/// The advertiser does not decide *what is* silent — that comes from the
+/// sender's silence oracle (idle/busy/prescient reasoning, §II.H) — only
+/// whether a freshly computed bound is worth transmitting.
+///
+/// # Example
+///
+/// ```
+/// use tart_silence::SilenceAdvertiser;
+/// use tart_vtime::{VirtualTime, WireId};
+///
+/// let vt = VirtualTime::from_ticks;
+/// let mut adv = SilenceAdvertiser::new(WireId::new(3));
+/// // Sending data at t implicitly advertises everything through t.
+/// adv.record_data(vt(232_999));
+/// // A silence bound at or below the watermark is not worth sending…
+/// assert_eq!(adv.advance_to(vt(100_000)), None);
+/// // …a later one is.
+/// assert_eq!(adv.advance_to(vt(300_000)), Some(vt(300_000)));
+/// // And it is never re-sent.
+/// assert_eq!(adv.advance_to(vt(300_000)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SilenceAdvertiser {
+    wire: WireId,
+    advertised_through: VirtualTime,
+    advertised_anything: bool,
+    /// Count of explicit silence advances emitted (overhead metric).
+    advances_sent: u64,
+}
+
+impl SilenceAdvertiser {
+    /// Creates an advertiser for one output wire with nothing advertised.
+    pub fn new(wire: WireId) -> Self {
+        SilenceAdvertiser {
+            wire,
+            advertised_through: VirtualTime::ZERO,
+            advertised_anything: false,
+            advances_sent: 0,
+        }
+    }
+
+    /// The wire this advertiser covers.
+    pub fn wire(&self) -> WireId {
+        self.wire
+    }
+
+    /// The watermark through which the receiver already knows this wire's
+    /// ticks (via data or explicit silence).
+    pub fn advertised_through(&self) -> VirtualTime {
+        self.advertised_through
+    }
+
+    /// Records that a data message stamped `vt` was sent: the receiver now
+    /// knows every tick through `vt`.
+    pub fn record_data(&mut self, vt: VirtualTime) {
+        if !self.advertised_anything || vt > self.advertised_through {
+            self.advertised_through = vt;
+            self.advertised_anything = true;
+        }
+    }
+
+    /// Offers a freshly computed silence bound. Returns `Some(bound)` if an
+    /// explicit silence advance should be transmitted (and records it as
+    /// sent), or `None` if the receiver already knows at least this much.
+    pub fn advance_to(&mut self, silent_through: VirtualTime) -> Option<VirtualTime> {
+        if self.advertised_anything && silent_through <= self.advertised_through {
+            return None;
+        }
+        self.advertised_through = silent_through;
+        self.advertised_anything = true;
+        self.advances_sent += 1;
+        Some(silent_through)
+    }
+
+    /// Number of explicit silence advances emitted so far (an overhead
+    /// metric: lazy propagation keeps this at zero).
+    pub fn advances_sent(&self) -> u64 {
+        self.advances_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    #[test]
+    fn fresh_advertiser_sends_first_bound() {
+        let mut adv = SilenceAdvertiser::new(WireId::new(1));
+        assert_eq!(adv.wire(), WireId::new(1));
+        // Even a bound of tick 0 is news when nothing was advertised.
+        assert_eq!(adv.advance_to(vt(0)), Some(vt(0)));
+        assert_eq!(adv.advances_sent(), 1);
+    }
+
+    #[test]
+    fn data_supersedes_explicit_silence() {
+        let mut adv = SilenceAdvertiser::new(WireId::new(1));
+        adv.record_data(vt(500));
+        assert_eq!(adv.advertised_through(), vt(500));
+        assert_eq!(adv.advance_to(vt(400)), None, "already implied by data");
+        assert_eq!(adv.advance_to(vt(500)), None, "exactly the watermark");
+        assert_eq!(adv.advance_to(vt(501)), Some(vt(501)));
+    }
+
+    #[test]
+    fn data_never_moves_watermark_backward() {
+        let mut adv = SilenceAdvertiser::new(WireId::new(1));
+        adv.advance_to(vt(1_000));
+        adv.record_data(vt(900)); // late-arriving bookkeeping; ignored
+        assert_eq!(adv.advertised_through(), vt(1_000));
+    }
+
+    #[test]
+    fn advances_are_monotone_and_counted() {
+        let mut adv = SilenceAdvertiser::new(WireId::new(2));
+        assert!(adv.advance_to(vt(10)).is_some());
+        assert!(adv.advance_to(vt(20)).is_some());
+        assert!(adv.advance_to(vt(20)).is_none());
+        assert!(adv.advance_to(vt(15)).is_none());
+        assert_eq!(adv.advances_sent(), 2);
+        assert_eq!(adv.advertised_through(), vt(20));
+    }
+
+    #[test]
+    fn lazy_usage_sends_no_advances() {
+        // Lazy propagation only ever calls record_data.
+        let mut adv = SilenceAdvertiser::new(WireId::new(3));
+        for t in [100, 200, 300] {
+            adv.record_data(vt(t));
+        }
+        assert_eq!(adv.advances_sent(), 0);
+        assert_eq!(adv.advertised_through(), vt(300));
+    }
+}

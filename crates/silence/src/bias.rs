@@ -1,0 +1,135 @@
+//! The hyper-aggressive bias floor.
+
+use tart_vtime::{VirtualDuration, VirtualTime};
+
+/// Sender-side state for hyper-aggressive silence propagation (the "bias
+/// algorithm", §II.G.1/§II.G.3).
+///
+/// When a slow sender goes idle it promises silence `bias` ticks *beyond*
+/// what its oracle can actually guarantee, eagerly marking "certain ticks as
+/// silent before knowing whether they normally would be silent or not". The
+/// price is a **floor**: every later message must carry a virtual time past
+/// the promised range, so the sender's estimates are clamped upward. Because
+/// the floor changes virtual-time arithmetic, enabling/disabling or resizing
+/// the bias at runtime requires a determinism fault (§II.G.4).
+///
+/// # Example
+///
+/// ```
+/// use tart_silence::BiasFloor;
+/// use tart_vtime::{VirtualDuration, VirtualTime};
+///
+/// let vt = VirtualTime::from_ticks;
+/// let mut bias = BiasFloor::new(VirtualDuration::from_ticks(500));
+/// // Oracle says silent through 1000; the bias promises through 1500.
+/// let promised = bias.promise_on_idle(vt(1000));
+/// assert_eq!(promised, vt(1500));
+/// // A message the estimator placed at 1200 must now move past the floor.
+/// assert_eq!(bias.clamp_send_vt(vt(1200)), vt(1501));
+/// // Estimates already beyond the floor pass through unchanged.
+/// assert_eq!(bias.clamp_send_vt(vt(9000)), vt(9000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BiasFloor {
+    bias: VirtualDuration,
+    /// Every tick `<= floor` has been promised silent; data must be later.
+    floor: VirtualTime,
+    active: bool,
+}
+
+impl BiasFloor {
+    /// Creates a floor that promises `bias` extra ticks on each idle.
+    pub fn new(bias: VirtualDuration) -> Self {
+        BiasFloor {
+            bias,
+            floor: VirtualTime::ZERO,
+            active: false,
+        }
+    }
+
+    /// The configured bias.
+    pub fn bias(&self) -> VirtualDuration {
+        self.bias
+    }
+
+    /// The current floor: all ticks through it are promised silent.
+    pub fn floor(&self) -> Option<VirtualTime> {
+        self.active.then_some(self.floor)
+    }
+
+    /// Called when the sender goes idle and its oracle guarantees silence
+    /// through `oracle_bound`. Extends the promise by the bias and returns
+    /// the new bound to advertise.
+    pub fn promise_on_idle(&mut self, oracle_bound: VirtualTime) -> VirtualTime {
+        let promised = oracle_bound.saturating_add(self.bias);
+        if !self.active || promised > self.floor {
+            self.floor = promised;
+            self.active = true;
+        }
+        self.floor
+    }
+
+    /// Clamps an estimator-produced send time so it never lands inside the
+    /// promised-silent range.
+    pub fn clamp_send_vt(&self, estimated: VirtualTime) -> VirtualTime {
+        if self.active && estimated <= self.floor {
+            self.floor.next()
+        } else {
+            estimated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn d(t: u64) -> VirtualDuration {
+        VirtualDuration::from_ticks(t)
+    }
+
+    #[test]
+    fn inactive_floor_is_transparent() {
+        let bias = BiasFloor::new(d(100));
+        assert_eq!(bias.floor(), None);
+        assert_eq!(bias.clamp_send_vt(vt(5)), vt(5));
+        assert_eq!(bias.bias(), d(100));
+    }
+
+    #[test]
+    fn idle_promise_extends_by_bias() {
+        let mut bias = BiasFloor::new(d(100));
+        assert_eq!(bias.promise_on_idle(vt(1_000)), vt(1_100));
+        assert_eq!(bias.floor(), Some(vt(1_100)));
+        // Messages inside the promised range are pushed just past it.
+        assert_eq!(bias.clamp_send_vt(vt(1_100)), vt(1_101));
+        assert_eq!(bias.clamp_send_vt(vt(1_050)), vt(1_101));
+        assert_eq!(bias.clamp_send_vt(vt(1_101)), vt(1_101));
+    }
+
+    #[test]
+    fn floor_never_retracts() {
+        let mut bias = BiasFloor::new(d(10));
+        bias.promise_on_idle(vt(1_000));
+        bias.promise_on_idle(vt(500)); // stale oracle bound
+        assert_eq!(bias.floor(), Some(vt(1_010)));
+        bias.promise_on_idle(vt(2_000));
+        assert_eq!(bias.floor(), Some(vt(2_010)));
+    }
+
+    #[test]
+    fn zero_bias_degenerates_to_plain_promises() {
+        let mut bias = BiasFloor::new(VirtualDuration::ZERO);
+        assert_eq!(bias.promise_on_idle(vt(700)), vt(700));
+        assert_eq!(
+            bias.clamp_send_vt(vt(700)),
+            vt(701),
+            "floor tick itself is promised"
+        );
+        assert_eq!(bias.clamp_send_vt(vt(701)), vt(701));
+    }
+}

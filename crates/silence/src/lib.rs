@@ -1,0 +1,38 @@
+//! Silence propagation strategies.
+//!
+//! In TART every tick on a wire is either a data tick or a *silence* tick
+//! (§II.D). A receiver may only dequeue the earliest pending message once
+//! every other input wire has promised silence through that message's
+//! virtual time; the wait for those promises is **pessimism delay**, the
+//! principal overhead of deterministic scheduling (§II.E). How eagerly
+//! senders communicate silence is therefore the main performance lever
+//! (§II.G.3):
+//!
+//! * **Lazy** — silence travels only implicitly with the next data message;
+//! * **Curiosity-driven** — a receiver in pessimism delay sends a
+//!   [`ProbeRequest`] asking the sender to compute a fresh silence bound;
+//! * **Aggressive** — senders volunteer silence after a quiet period,
+//!   unprompted;
+//! * **Hyper-aggressive (bias)** — a slow sender *pre-promises* future ticks
+//!   silent before knowing whether they would be silent, constraining its
+//!   own future sends to later virtual times ([`BiasFloor`]). Changing this
+//!   bias changes virtual-time arithmetic and therefore requires a
+//!   determinism fault, unlike the other strategies (§II.G.4).
+//!
+//! The types here are pure protocol bookkeeping — deciding *when* to
+//! advertise silence and *what* to ask — shared by the simulator
+//! (`tart-sim`) and the real runtime (`tart-engine`), both of which supply
+//! the transport.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advertiser;
+mod bias;
+mod policy;
+mod probe;
+
+pub use advertiser::SilenceAdvertiser;
+pub use bias::BiasFloor;
+pub use policy::SilencePolicy;
+pub use probe::{ProbeReply, ProbeRequest, ProbeTracker};

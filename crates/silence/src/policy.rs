@@ -1,0 +1,170 @@
+//! Silence propagation policy selection.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_vtime::VirtualDuration;
+
+/// Which silence propagation strategy a deployment uses (§II.G.3).
+///
+/// Lazy, curiosity-driven and aggressive propagation "can be arbitrarily
+/// mixed and/or dynamically changed without requiring a determinism fault",
+/// because they change only how silence is *communicated*, not which ticks
+/// are silent. Hyper-aggressive bias is different: it changes which future
+/// ticks may carry data, so switching it requires a determinism fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SilencePolicy {
+    /// Silence travels only implicitly with the next data message: a message
+    /// at `t2` retroactively accounts ticks `t1+1 ..= t2-1` as silent. Can
+    /// cause unbounded pessimism delay on idle wires.
+    Lazy,
+    /// Receivers in pessimism delay explicitly probe the lagging senders,
+    /// which respond with a freshly computed silence bound. This is the
+    /// paper's measured configuration (§II.H, §III).
+    Curiosity,
+    /// Senders volunteer a silence advance whenever they have been quiet for
+    /// `max_quiet` of real time, without being asked.
+    Aggressive {
+        /// Quiet period after which silence is volunteered.
+        max_quiet: VirtualDuration,
+    },
+    /// Curiosity plus a sender-side bias: a slow sender eagerly promises
+    /// `bias` extra ticks of silence whenever it goes idle, at the cost of
+    /// pushing its own future messages past the promised range (the "bias
+    /// algorithm" of Aguilera & Strom, §II.G.1 item 3).
+    HyperAggressive {
+        /// Extra silence promised beyond the oracle bound.
+        bias: VirtualDuration,
+    },
+}
+
+impl SilencePolicy {
+    /// Returns `true` if receivers should issue curiosity probes under this
+    /// policy.
+    pub fn probes(&self) -> bool {
+        matches!(
+            self,
+            SilencePolicy::Curiosity | SilencePolicy::HyperAggressive { .. }
+        )
+    }
+
+    /// Returns `true` if switching *to or from* this policy at runtime
+    /// requires a determinism fault.
+    pub fn switch_needs_determinism_fault(&self) -> bool {
+        matches!(self, SilencePolicy::HyperAggressive { .. })
+    }
+}
+
+impl fmt::Display for SilencePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SilencePolicy::Lazy => write!(f, "lazy"),
+            SilencePolicy::Curiosity => write!(f, "curiosity"),
+            SilencePolicy::Aggressive { max_quiet } => write!(f, "aggressive({max_quiet})"),
+            SilencePolicy::HyperAggressive { bias } => write!(f, "hyper-aggressive({bias})"),
+        }
+    }
+}
+
+impl Encode for SilencePolicy {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SilencePolicy::Lazy => buf.put_u8(0),
+            SilencePolicy::Curiosity => buf.put_u8(1),
+            SilencePolicy::Aggressive { max_quiet } => {
+                buf.put_u8(2);
+                max_quiet.encode(buf);
+            }
+            SilencePolicy::HyperAggressive { bias } => {
+                buf.put_u8(3);
+                bias.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for SilencePolicy {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(SilencePolicy::Lazy),
+            1 => Ok(SilencePolicy::Curiosity),
+            2 => Ok(SilencePolicy::Aggressive {
+                max_quiet: VirtualDuration::decode(r)?,
+            }),
+            3 => Ok(SilencePolicy::HyperAggressive {
+                bias: VirtualDuration::decode(r)?,
+            }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                type_name: "SilencePolicy",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_behaviour_by_policy() {
+        assert!(!SilencePolicy::Lazy.probes());
+        assert!(SilencePolicy::Curiosity.probes());
+        assert!(!SilencePolicy::Aggressive {
+            max_quiet: VirtualDuration::from_micros(100)
+        }
+        .probes());
+        assert!(SilencePolicy::HyperAggressive {
+            bias: VirtualDuration::from_micros(50)
+        }
+        .probes());
+    }
+
+    #[test]
+    fn only_bias_switches_need_faults() {
+        assert!(!SilencePolicy::Lazy.switch_needs_determinism_fault());
+        assert!(!SilencePolicy::Curiosity.switch_needs_determinism_fault());
+        assert!(!SilencePolicy::Aggressive {
+            max_quiet: VirtualDuration::TICK
+        }
+        .switch_needs_determinism_fault());
+        assert!(SilencePolicy::HyperAggressive {
+            bias: VirtualDuration::TICK
+        }
+        .switch_needs_determinism_fault());
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        for p in [
+            SilencePolicy::Lazy,
+            SilencePolicy::Curiosity,
+            SilencePolicy::Aggressive {
+                max_quiet: VirtualDuration::from_micros(200),
+            },
+            SilencePolicy::HyperAggressive {
+                bias: VirtualDuration::from_micros(50),
+            },
+        ] {
+            assert_eq!(SilencePolicy::from_bytes(&p.to_bytes()).unwrap(), p);
+        }
+        assert!(SilencePolicy::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SilencePolicy::Lazy.to_string(), "lazy");
+        assert_eq!(SilencePolicy::Curiosity.to_string(), "curiosity");
+        assert!(SilencePolicy::Aggressive {
+            max_quiet: VirtualDuration::from_ticks(5)
+        }
+        .to_string()
+        .starts_with("aggressive"));
+        assert!(SilencePolicy::HyperAggressive {
+            bias: VirtualDuration::from_ticks(5)
+        }
+        .to_string()
+        .starts_with("hyper"));
+    }
+}

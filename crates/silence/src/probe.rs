@@ -1,0 +1,190 @@
+//! Curiosity probes: receiver-initiated silence requests.
+
+use std::collections::HashMap;
+
+use bytes::BytesMut;
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+use tart_vtime::{VirtualTime, WireId};
+
+/// A receiver's request that the sender of `wire` compute and transmit a
+/// fresh silence bound, because the receiver is stuck in a pessimism delay
+/// needing to know the wire's ticks through `needed_through` (§II.H).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProbeRequest {
+    /// The wire whose silence is needed.
+    pub wire: WireId,
+    /// The receiver can dequeue once this wire is accounted through here.
+    pub needed_through: VirtualTime,
+}
+
+/// The sender's answer to a [`ProbeRequest`]: the wire is silent through
+/// `silent_through` (no message with `vt <= silent_through` will ever be
+/// sent beyond those already transmitted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProbeReply {
+    /// The probed wire.
+    pub wire: WireId,
+    /// The freshly computed silence bound.
+    pub silent_through: VirtualTime,
+}
+
+impl Encode for ProbeRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.wire.encode(buf);
+        self.needed_through.encode(buf);
+    }
+}
+
+impl Decode for ProbeRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProbeRequest {
+            wire: WireId::decode(r)?,
+            needed_through: VirtualTime::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ProbeReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.wire.encode(buf);
+        self.silent_through.encode(buf);
+    }
+}
+
+impl Decode for ProbeReply {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProbeReply {
+            wire: WireId::decode(r)?,
+            silent_through: VirtualTime::decode(r)?,
+        })
+    }
+}
+
+/// Receiver-side probe duplicate suppression.
+///
+/// While a probe for a wire is outstanding, re-probing the same wire for the
+/// same (or an earlier) need is wasted traffic; a *later* need justifies a
+/// new probe. The tracker enforces exactly that.
+///
+/// # Example
+///
+/// ```
+/// use tart_silence::ProbeTracker;
+/// use tart_vtime::{VirtualTime, WireId};
+///
+/// let vt = VirtualTime::from_ticks;
+/// let w = WireId::new(1);
+/// let mut probes = ProbeTracker::new();
+/// assert!(probes.should_probe(w, vt(100)), "first probe goes out");
+/// assert!(!probes.should_probe(w, vt(100)), "duplicate suppressed");
+/// assert!(probes.should_probe(w, vt(200)), "later need re-probes");
+/// probes.on_reply(w);
+/// assert!(probes.should_probe(w, vt(200)), "after a reply, probing resumes");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProbeTracker {
+    /// Wire → highest `needed_through` already probed and not yet answered.
+    outstanding: HashMap<WireId, VirtualTime>,
+    probes_sent: u64,
+}
+
+impl ProbeTracker {
+    /// Creates a tracker with no outstanding probes.
+    pub fn new() -> Self {
+        ProbeTracker::default()
+    }
+
+    /// Decides whether to issue a probe for `wire` needing silence through
+    /// `needed_through`; records it as outstanding when so.
+    pub fn should_probe(&mut self, wire: WireId, needed_through: VirtualTime) -> bool {
+        match self.outstanding.get(&wire) {
+            Some(&already) if needed_through <= already => false,
+            _ => {
+                self.outstanding.insert(wire, needed_through);
+                self.probes_sent += 1;
+                true
+            }
+        }
+    }
+
+    /// Notes that a reply (or any silence advance) arrived from `wire`,
+    /// clearing its outstanding probe.
+    pub fn on_reply(&mut self, wire: WireId) {
+        self.outstanding.remove(&wire);
+    }
+
+    /// Total probes issued (the overhead metric of Fig 4: "average of 1.5
+    /// per message" at the optimal estimator).
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
+    /// Number of wires with an unanswered probe.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    #[test]
+    fn probe_types_round_trip_codec() {
+        let req = ProbeRequest {
+            wire: WireId::new(7),
+            needed_through: vt(202_000),
+        };
+        assert_eq!(ProbeRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        let rep = ProbeReply {
+            wire: WireId::new(7),
+            silent_through: vt(232_999),
+        };
+        assert_eq!(ProbeReply::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn duplicate_probes_suppressed_per_wire() {
+        let mut t = ProbeTracker::new();
+        let w1 = WireId::new(1);
+        let w2 = WireId::new(2);
+        assert!(t.should_probe(w1, vt(100)));
+        assert!(t.should_probe(w2, vt(100)), "other wires are independent");
+        assert!(!t.should_probe(w1, vt(100)));
+        assert!(
+            !t.should_probe(w1, vt(50)),
+            "earlier need is already covered"
+        );
+        assert_eq!(t.probes_sent(), 2);
+        assert_eq!(t.outstanding_count(), 2);
+    }
+
+    #[test]
+    fn later_need_escalates() {
+        let mut t = ProbeTracker::new();
+        let w = WireId::new(1);
+        assert!(t.should_probe(w, vt(100)));
+        assert!(t.should_probe(w, vt(101)));
+        assert_eq!(t.probes_sent(), 2);
+        assert_eq!(t.outstanding_count(), 1, "still one wire");
+    }
+
+    #[test]
+    fn reply_reopens_probing() {
+        let mut t = ProbeTracker::new();
+        let w = WireId::new(1);
+        assert!(t.should_probe(w, vt(100)));
+        t.on_reply(w);
+        assert_eq!(t.outstanding_count(), 0);
+        assert!(
+            t.should_probe(w, vt(100)),
+            "same need re-probes after reply"
+        );
+        // Reply for an unknown wire is harmless.
+        t.on_reply(WireId::new(99));
+    }
+}

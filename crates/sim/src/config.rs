@@ -1,0 +1,192 @@
+//! Simulation configuration.
+
+use tart_silence::SilencePolicy;
+
+use crate::JitterModel;
+
+/// How the merger orders message processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The baseline: process in real-time arrival order (a conventional
+    /// JVM's behaviour, §II.E). Non-recoverable, but overhead-free.
+    NonDeterministic,
+    /// TART: process in virtual-time order with pessimistic scheduling.
+    Deterministic,
+}
+
+/// The distribution of loop iteration counts per message — the paper's
+/// variability knob ("from constant … to variable with uniform random
+/// distribution of from 1 to 19 iterations", §III.A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IterationDist {
+    /// Every message takes exactly this many iterations.
+    Constant(u64),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Minimum iterations.
+        lo: u64,
+        /// Maximum iterations.
+        hi: u64,
+    },
+}
+
+impl IterationDist {
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        match self {
+            IterationDist::Constant(k) => *k as f64,
+            IterationDist::Uniform { lo, hi } => (*lo + *hi) as f64 / 2.0,
+        }
+    }
+
+    /// The standard deviation of the *compute time* in microseconds, given
+    /// `us_per_iteration` — the x-axis of Fig 3.
+    pub fn compute_sd_micros(&self, us_per_iteration: f64) -> f64 {
+        match self {
+            IterationDist::Constant(_) => 0.0,
+            IterationDist::Uniform { lo, hi } => {
+                let n = (hi - lo + 1) as f64;
+                us_per_iteration * ((n * n - 1.0) / 12.0).sqrt()
+            }
+        }
+    }
+
+    /// The Fig 3 variability stages: uniform `10 ± r` for `r` in `0..=9`,
+    /// from constant 10 up to uniform 1..=19, all with mean 10.
+    pub fn paper_stages() -> Vec<IterationDist> {
+        (0..=9)
+            .map(|r| {
+                if r == 0 {
+                    IterationDist::Constant(10)
+                } else {
+                    IterationDist::Uniform {
+                        lo: 10 - r,
+                        hi: 10 + r,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Full configuration of a [`crate::FanInSim`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Number of sender components (the paper uses 2).
+    pub n_senders: usize,
+    /// Merger execution mode.
+    pub mode: ExecMode,
+    /// Silence propagation strategy (deterministic mode only).
+    pub silence: SilencePolicy,
+    /// Whether busy senders answer probes with exact completion knowledge
+    /// (the *Prescient* mode of §III.A).
+    pub prescient: bool,
+    /// True mean compute cost per loop iteration, in nanoseconds (the
+    /// paper's senders take 60 µs of virtual time per iteration).
+    pub true_ns_per_iteration: u64,
+    /// The estimator's assumed cost per iteration, in nanoseconds. Equal to
+    /// the truth for the "smart" estimator; swept 48 000–70 000 in Fig 4.
+    pub estimator_ns_per_iteration: u64,
+    /// Use the "dumb" constant estimator (`dumb_estimate_ns` per message)
+    /// instead of the linear one (§III.A's second study).
+    pub dumb_estimator: bool,
+    /// The constant prediction of the dumb estimator, in nanoseconds (the
+    /// paper uses the 600 µs all-runs average).
+    pub dumb_estimate_ns: u64,
+    /// Iteration-count distribution.
+    pub iterations: IterationDist,
+    /// Real-time jitter model for sender compute.
+    pub jitter: JitterModel,
+    /// Mean inter-arrival time of each sender's Poisson client, ns (the
+    /// paper uses 1 msg / 1000 µs).
+    pub mean_interarrival_ns: u64,
+    /// Merger service time per message, ns (the paper uses 400 µs).
+    pub merger_service_ns: u64,
+    /// Round-trip cost of a curiosity probe, ns (the paper assumes 20 µs).
+    pub probe_cost_ns: u64,
+    /// Messages generated per sender before the clients stop.
+    pub messages_per_sender: u64,
+    /// Root RNG seed; every derived stream forks from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The §III.A baseline configuration: 2 senders, 60 µs/iteration,
+    /// mean 10 iterations, Poisson 1 msg/1000 µs, merger 400 µs, probes
+    /// 20 µs, per-tick normal jitter with σ = 0.1 — sender processors 60 %
+    /// utilized, merger 80 %.
+    pub fn paper_iii_a() -> Self {
+        SimConfig {
+            n_senders: 2,
+            mode: ExecMode::Deterministic,
+            silence: SilencePolicy::Curiosity,
+            prescient: false,
+            true_ns_per_iteration: 60_000,
+            estimator_ns_per_iteration: 60_000,
+            dumb_estimator: false,
+            dumb_estimate_ns: 600_000,
+            iterations: IterationDist::Uniform { lo: 1, hi: 19 },
+            jitter: JitterModel::PerTickNormal { sd_per_tick: 0.1 },
+            mean_interarrival_ns: 1_000_000,
+            merger_service_ns: 400_000,
+            probe_cost_ns: 20_000,
+            messages_per_sender: 10_000,
+            seed: 2009,
+        }
+    }
+
+    /// The §III.B configuration: realistic (empirical) jitter with the
+    /// regression coefficient 61 827 ns/iteration as ground truth.
+    pub fn paper_iii_b(corpus: crate::EmpiricalCorpus) -> Self {
+        SimConfig {
+            true_ns_per_iteration: 61_827,
+            estimator_ns_per_iteration: 61_827,
+            jitter: JitterModel::Empirical(corpus),
+            ..SimConfig::paper_iii_a()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_dist_moments() {
+        assert_eq!(IterationDist::Constant(10).mean(), 10.0);
+        assert_eq!(IterationDist::Uniform { lo: 1, hi: 19 }.mean(), 10.0);
+        assert_eq!(IterationDist::Constant(10).compute_sd_micros(60.0), 0.0);
+        // SD of U(1..=19) is sqrt((19²−1)/12) ≈ 5.477 iterations → ≈ 329 µs.
+        let sd = IterationDist::Uniform { lo: 1, hi: 19 }.compute_sd_micros(60.0);
+        assert!((sd - 328.6).abs() < 1.0, "{sd}");
+    }
+
+    #[test]
+    fn paper_stages_preserve_the_mean() {
+        let stages = IterationDist::paper_stages();
+        assert_eq!(stages.len(), 10);
+        assert_eq!(stages[0], IterationDist::Constant(10));
+        assert_eq!(stages[9], IterationDist::Uniform { lo: 1, hi: 19 });
+        for s in &stages {
+            assert_eq!(s.mean(), 10.0);
+        }
+        // Variability is strictly increasing across stages.
+        let sds: Vec<f64> = stages.iter().map(|s| s.compute_sd_micros(60.0)).collect();
+        for pair in sds.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_iii_a_utilizations() {
+        let cfg = SimConfig::paper_iii_a();
+        // Sender: 10 iterations × 60 µs = 600 µs per 1000 µs → 60 %.
+        let sender_util = cfg.iterations.mean() * cfg.true_ns_per_iteration as f64
+            / cfg.mean_interarrival_ns as f64;
+        assert!((sender_util - 0.6).abs() < 1e-9);
+        // Merger: 2 senders × 400 µs per 1000 µs → 80 %.
+        let merger_util =
+            cfg.n_senders as f64 * cfg.merger_service_ns as f64 / cfg.mean_interarrival_ns as f64;
+        assert!((merger_util - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Execution-time jitter models.
+
+use std::collections::BTreeMap;
+
+use tart_stats::{DetRng, LogNormal, Normal, Sample};
+
+/// An imported corpus of measured execution times, keyed by iteration count.
+///
+/// §III.B: "we took measurements of an actual run of a Sender component in a
+/// real computer environment … We imported 10000 of these execution time
+/// measurements into our simulation", then paired each simulated message
+/// with "a random measurement from our imported set having the same
+/// iteration count". The corpus can be built from real measurements (the
+/// Fig 2 harness produces one) or synthesized with the right-skewed shape
+/// the paper observed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmpiricalCorpus {
+    /// iteration count → measured real durations in nanoseconds.
+    by_iterations: BTreeMap<u64, Vec<u64>>,
+}
+
+impl EmpiricalCorpus {
+    /// Builds a corpus from `(iterations, measured_ns)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut by_iterations: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (iters, ns) in samples {
+            by_iterations.entry(iters).or_default().push(ns);
+        }
+        assert!(!by_iterations.is_empty(), "empirical corpus needs samples");
+        EmpiricalCorpus { by_iterations }
+    }
+
+    /// Synthesizes a corpus with the paper's shape: mean `coeff_ns` per
+    /// iteration with multiplicative right-skewed (log-normal) noise of
+    /// coefficient of variation `cv`, `per_count` samples for each iteration
+    /// count in `1..=max_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` or `per_count` is zero, or `cv < 0`.
+    pub fn synthetic(
+        seed: u64,
+        coeff_ns: f64,
+        cv: f64,
+        max_iterations: u64,
+        per_count: usize,
+    ) -> Self {
+        assert!(
+            max_iterations > 0 && per_count > 0,
+            "corpus dimensions must be positive"
+        );
+        let mut rng = DetRng::seed_from(seed);
+        let noise = LogNormal::from_mean_sd(1.0, cv);
+        let mut by_iterations = BTreeMap::new();
+        for k in 1..=max_iterations {
+            let mut v = Vec::with_capacity(per_count);
+            for _ in 0..per_count {
+                let ns = coeff_ns * k as f64 * noise.sample(&mut rng);
+                v.push(ns.max(1.0) as u64);
+            }
+            by_iterations.insert(k, v);
+        }
+        EmpiricalCorpus { by_iterations }
+    }
+
+    /// Draws a measured duration for a message with `iterations` loop
+    /// iterations. Falls back to the nearest measured iteration count,
+    /// scaled linearly, when the exact count is missing.
+    pub fn sample_ns(&self, iterations: u64, rng: &mut DetRng) -> u64 {
+        if let Some(values) = self.by_iterations.get(&iterations) {
+            let idx = rng.gen_range_u64(0, values.len() as u64 - 1) as usize;
+            return values[idx];
+        }
+        // Nearest-count fallback with linear scaling.
+        let (&nearest, values) = self
+            .by_iterations
+            .range(..=iterations)
+            .next_back()
+            .or_else(|| self.by_iterations.iter().next())
+            .expect("corpus is non-empty");
+        let idx = rng.gen_range_u64(0, values.len() as u64 - 1) as usize;
+        let base = values[idx] as f64;
+        (base * iterations as f64 / nearest as f64).max(1.0) as u64
+    }
+
+    /// Total number of stored measurements.
+    pub fn len(&self) -> usize {
+        self.by_iterations.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the corpus is empty (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.by_iterations.is_empty()
+    }
+
+    /// Iterates over all `(iterations, measured_ns)` pairs.
+    pub fn samples(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.by_iterations
+            .iter()
+            .flat_map(|(&k, v)| v.iter().map(move |&ns| (k, ns)))
+    }
+}
+
+/// How much *real* time a handler invocation takes, given its virtual
+/// (predicted-true) compute time and iteration count.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JitterModel {
+    /// Real time equals virtual time exactly (an idealized machine).
+    None,
+    /// §III.A's model: each virtual tick takes a normally distributed amount
+    /// of real time with mean 1 tick; over `v` ticks the total is
+    /// `Normal(v, sd_per_tick·√v)`.
+    PerTickNormal {
+        /// Standard deviation per tick (the paper uses 0.1).
+        sd_per_tick: f64,
+    },
+    /// §III.B's model: resample measured execution times by iteration count.
+    /// The virtual compute time is ignored; the corpus *is* the real time.
+    Empirical(EmpiricalCorpus),
+}
+
+impl JitterModel {
+    /// Samples the real duration (ns) of an invocation whose true virtual
+    /// compute time is `virtual_ns` and which executes `iterations` loop
+    /// iterations.
+    pub fn sample_real_ns(&self, virtual_ns: u64, iterations: u64, rng: &mut DetRng) -> u64 {
+        match self {
+            JitterModel::None => virtual_ns,
+            JitterModel::PerTickNormal { sd_per_tick } => {
+                if virtual_ns == 0 {
+                    return 0;
+                }
+                let v = virtual_ns as f64;
+                let dist = Normal::new(v, sd_per_tick * v.sqrt());
+                dist.sample(rng).max(1.0) as u64
+            }
+            JitterModel::Empirical(corpus) => corpus.sample_ns(iterations, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tart_stats::OnlineStats;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = DetRng::seed_from(1);
+        assert_eq!(
+            JitterModel::None.sample_real_ns(600_000, 10, &mut rng),
+            600_000
+        );
+        assert_eq!(JitterModel::None.sample_real_ns(0, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn per_tick_normal_matches_paper_model() {
+        let mut rng = DetRng::seed_from(2);
+        let jitter = JitterModel::PerTickNormal { sd_per_tick: 0.1 };
+        let v = 600_000u64; // 600 µs of virtual compute
+        let mut s = OnlineStats::new();
+        for _ in 0..20_000 {
+            s.push(jitter.sample_real_ns(v, 10, &mut rng) as f64);
+        }
+        assert!((s.mean() - 600_000.0).abs() < 200.0, "mean {}", s.mean());
+        let expect_sd = 0.1 * (v as f64).sqrt(); // ≈ 77.5 ns
+        assert!(
+            (s.sd() - expect_sd).abs() < expect_sd * 0.1,
+            "sd {}",
+            s.sd()
+        );
+        // Zero virtual time never jitters negative.
+        assert_eq!(jitter.sample_real_ns(0, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn synthetic_corpus_has_right_shape() {
+        let corpus = EmpiricalCorpus::synthetic(7, 61_827.0, 0.15, 19, 300);
+        assert_eq!(corpus.len(), 19 * 300);
+        assert!(!corpus.is_empty());
+        let mut rng = DetRng::seed_from(3);
+        // Mean for k iterations tracks k * coeff.
+        for k in [1u64, 10, 19] {
+            let mut s = OnlineStats::new();
+            for _ in 0..2_000 {
+                s.push(corpus.sample_ns(k, &mut rng) as f64);
+            }
+            let expect = 61_827.0 * k as f64;
+            assert!(
+                (s.mean() - expect).abs() < expect * 0.05,
+                "k={k} mean {} vs {expect}",
+                s.mean()
+            );
+        }
+        // Right skew is preserved in the pooled residuals.
+        let mut resid = OnlineStats::new();
+        for (k, ns) in corpus.samples() {
+            resid.push(ns as f64 - 61_827.0 * k as f64);
+        }
+        assert!(resid.skewness() > 0.3, "skew {}", resid.skewness());
+    }
+
+    #[test]
+    fn corpus_fallback_scales_nearest_count() {
+        let corpus = EmpiricalCorpus::from_samples([(10u64, 1_000u64), (10, 1_200)]);
+        let mut rng = DetRng::seed_from(4);
+        // k=20 is missing: nearest is 10, scaled ×2.
+        let v = corpus.sample_ns(20, &mut rng);
+        assert!(v == 2_000 || v == 2_400, "got {v}");
+        // k=5 is below all: falls back to the first entry, scaled ×0.5.
+        let v = corpus.sample_ns(5, &mut rng);
+        assert!(v == 500 || v == 600, "got {v}");
+    }
+
+    #[test]
+    fn empirical_model_resamples_only_measured_values() {
+        let corpus = EmpiricalCorpus::from_samples([(3u64, 300u64), (3, 330)]);
+        let jitter = JitterModel::Empirical(corpus);
+        let mut rng = DetRng::seed_from(5);
+        for _ in 0..50 {
+            let v = jitter.sample_real_ns(999_999, 3, &mut rng);
+            assert!(v == 300 || v == 330);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_corpus_rejected() {
+        let _ = EmpiricalCorpus::from_samples(Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn corpus_sampling_is_deterministic() {
+        let corpus = EmpiricalCorpus::synthetic(9, 60_000.0, 0.1, 19, 50);
+        let mut a = DetRng::seed_from(11);
+        let mut b = DetRng::seed_from(11);
+        for k in 1..=19 {
+            assert_eq!(corpus.sample_ns(k, &mut a), corpus.sample_ns(k, &mut b));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic discrete-event kernel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic event queue over real-time nanoseconds.
+///
+/// Events at equal timestamps pop in insertion order (a monotone sequence
+/// number breaks ties), so a simulation that schedules deterministically
+/// executes deterministically.
+///
+/// # Example
+///
+/// ```
+/// use tart_sim::SimKernel;
+///
+/// let mut k: SimKernel<&str> = SimKernel::new();
+/// k.schedule(20, "later");
+/// k.schedule(10, "sooner");
+/// k.schedule(10, "sooner but second");
+/// assert_eq!(k.pop(), Some((10, "sooner")));
+/// assert_eq!(k.pop(), Some((10, "sooner but second")));
+/// assert_eq!(k.pop(), Some((20, "later")));
+/// assert_eq!(k.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct SimKernel<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventBox<E>)>>,
+    seq: u64,
+    now: u64,
+}
+
+/// Wrapper giving events a vacuous ordering so the heap only compares
+/// `(time, seq)`.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> SimKernel<E> {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        SimKernel {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The timestamp of the most recently popped event.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time (events cannot fire in the
+    /// past).
+    pub fn schedule(&mut self, at: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, _, EventBox(event))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for SimKernel<E> {
+    fn default() -> Self {
+        SimKernel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut k = SimKernel::new();
+        k.schedule(5, 'a');
+        k.schedule(3, 'b');
+        k.schedule(5, 'c');
+        k.schedule(4, 'd');
+        let order: Vec<(u64, char)> = std::iter::from_fn(|| k.pop()).collect();
+        assert_eq!(order, vec![(3, 'b'), (4, 'd'), (5, 'a'), (5, 'c')]);
+    }
+
+    #[test]
+    fn now_tracks_pops_and_schedule_in_is_relative() {
+        let mut k = SimKernel::new();
+        assert_eq!(k.now(), 0);
+        k.schedule(10, 1u8);
+        k.pop().unwrap();
+        assert_eq!(k.now(), 10);
+        k.schedule_in(5, 2u8);
+        assert_eq!(k.pop(), Some((15, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn rejects_past_events() {
+        let mut k = SimKernel::new();
+        k.schedule(10, ());
+        k.pop();
+        k.schedule(5, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut k: SimKernel<u8> = SimKernel::default();
+        assert!(k.is_empty());
+        k.schedule(1, 0);
+        assert_eq!(k.len(), 1);
+        assert!(!k.is_empty());
+        k.pop();
+        assert!(k.is_empty());
+        assert_eq!(k.pop(), None);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo_under_load() {
+        let mut k = SimKernel::new();
+        for i in 0..100u32 {
+            k.schedule(42, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The kernel's contract: events pop sorted by time, ties in
+        /// insertion order, and the clock never runs backwards.
+        #[test]
+        fn pop_order_is_time_then_insertion(times in proptest::collection::vec(0u64..1_000, 0..64)) {
+            let mut k = SimKernel::new();
+            for (seq, &t) in times.iter().enumerate() {
+                k.schedule(t, seq);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().copied().zip(0..times.len()).collect();
+            expected.sort();
+            let mut last_time = 0;
+            for (want_t, want_seq) in expected {
+                let (got_t, got_seq) = k.pop().expect("event present");
+                prop_assert_eq!((got_t, got_seq), (want_t, want_seq));
+                prop_assert!(got_t >= last_time, "clock is monotone");
+                last_time = got_t;
+            }
+            prop_assert!(k.pop().is_none());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Discrete-event simulator for the TART evaluation studies.
+//!
+//! §III.A and §III.B of the paper evaluate deterministic scheduling *in
+//! simulation*: the Fig 1 fan-in application runs on a simulated
+//! multiprocessor (one dedicated processor per component) with controlled
+//! execution-time jitter, Poisson clients, and a 20 µs curiosity-probe
+//! cost. This crate is that simulator, rebuilt:
+//!
+//! * [`SimKernel`] — a deterministic event-queue kernel over real-time
+//!   nanoseconds;
+//! * [`JitterModel`] — how much real time a given amount of virtual compute
+//!   takes: none, the per-tick normal model of §III.A, or resampling from
+//!   an empirical corpus as in §III.B ([`EmpiricalCorpus`]);
+//! * [`FanInSim`] + [`SimConfig`] — the Fig 1 topology (N senders → merger)
+//!   with all three execution modes (non-deterministic, deterministic,
+//!   deterministic + prescient silence oracles) and all silence policies;
+//! * [`find_saturation`] — the throughput ramp of §III.A's saturation
+//!   experiment;
+//! * a [`SimReport`] carrying exactly the series the paper plots: average
+//!   end-to-end latency, out-of-real-time-order arrivals, curiosity probe
+//!   counts, and pessimism delay.
+//!
+//! The simulator is deterministic end to end: the same [`SimConfig`]
+//! (including its seed) produces bit-identical reports.
+//!
+//! # Example
+//!
+//! ```
+//! use tart_sim::{ExecMode, FanInSim, SimConfig};
+//!
+//! let mut cfg = SimConfig::paper_iii_a();
+//! cfg.messages_per_sender = 200; // keep the doctest fast
+//! cfg.mode = ExecMode::Deterministic;
+//! let report = FanInSim::new(cfg).run();
+//! assert_eq!(report.completed, 400);
+//! assert!(report.avg_latency_micros() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod jitter;
+mod kernel;
+mod report;
+mod saturation;
+mod sim;
+
+pub use config::{ExecMode, IterationDist, SimConfig};
+pub use jitter::{EmpiricalCorpus, JitterModel};
+pub use kernel::SimKernel;
+pub use report::SimReport;
+pub use saturation::{find_saturation, SaturationResult};
+pub use sim::FanInSim;

@@ -1,0 +1,120 @@
+//! Throughput saturation search (§III.A's ramp experiment).
+
+use crate::{FanInSim, SimConfig};
+
+/// The outcome of a saturation search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SaturationResult {
+    /// Highest stable per-sender arrival rate found, messages/second.
+    pub saturation_rate_per_sec: f64,
+    /// The `(rate, avg latency µs, stable)` samples probed along the way.
+    pub probes: Vec<(f64, f64, bool)>,
+}
+
+/// Ramps the external arrival rate until the system can no longer keep up,
+/// reproducing §III.A's estimate: "we estimated throughput by increasing the
+/// message rates of the external clients from the initial 1000
+/// messages/second gradually until the system became unstable".
+///
+/// Stability criterion: with the clients stopped after a fixed message
+/// budget, a stable system's mean latency stays within `latency_budget_us`;
+/// past saturation, queues grow without bound for the whole run and the mean
+/// latency explodes. A bisection then refines the boundary.
+///
+/// Returns the highest stable rate (per sender, messages/second).
+pub fn find_saturation(base: &SimConfig, latency_budget_us: f64) -> SaturationResult {
+    let mut probes = Vec::new();
+    let test = |rate_per_sec: f64, probes: &mut Vec<(f64, f64, bool)>| -> bool {
+        let mut cfg = base.clone();
+        cfg.mean_interarrival_ns = (1e9 / rate_per_sec) as u64;
+        let report = FanInSim::new(cfg).run();
+        let latency = report.avg_latency_micros();
+        let stable = latency <= latency_budget_us && report.completed == report.offered;
+        probes.push((rate_per_sec, latency, stable));
+        stable
+    };
+
+    // Coarse ramp from 1000/s in 5% steps until unstable.
+    let mut lo = 1_000.0;
+    if !test(lo, &mut probes) {
+        return SaturationResult {
+            saturation_rate_per_sec: 0.0,
+            probes,
+        };
+    }
+    let mut hi = lo;
+    loop {
+        let next = hi * 1.05;
+        if !test(next, &mut probes) {
+            lo = hi;
+            hi = next;
+            break;
+        }
+        hi = next;
+        if hi > 4_000.0 {
+            // Far past any physical capacity of the Fig 1 system.
+            return SaturationResult {
+                saturation_rate_per_sec: hi,
+                probes,
+            };
+        }
+    }
+    // Bisect to ~1% precision.
+    for _ in 0..6 {
+        let mid = (lo + hi) / 2.0;
+        if test(mid, &mut probes) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    SaturationResult {
+        saturation_rate_per_sec: lo,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecMode;
+
+    fn quick_cfg() -> SimConfig {
+        let mut cfg = SimConfig::paper_iii_a();
+        cfg.messages_per_sender = 5_000;
+        cfg
+    }
+
+    #[test]
+    fn saturation_is_near_merger_capacity() {
+        // The merger takes 400 µs per message from 2 senders: physical
+        // capacity is 1250 msg/s per sender.
+        let mut cfg = quick_cfg();
+        cfg.mode = ExecMode::NonDeterministic;
+        let result = find_saturation(&cfg, 50_000.0);
+        assert!(
+            (1_100.0..=1_300.0).contains(&result.saturation_rate_per_sec),
+            "saturation {} should be near 1250/s",
+            result.saturation_rate_per_sec
+        );
+        assert!(!result.probes.is_empty());
+    }
+
+    #[test]
+    fn deterministic_saturation_matches_nondeterministic() {
+        // §III.A: "In both deterministic and non-deterministic execution
+        // modes, the system saturated at [the same rate]".
+        let mut cfg = quick_cfg();
+        cfg.mode = ExecMode::NonDeterministic;
+        let nondet = find_saturation(&cfg, 50_000.0);
+        cfg.mode = ExecMode::Deterministic;
+        let det = find_saturation(&cfg, 50_000.0);
+        let ratio = det.saturation_rate_per_sec / nondet.saturation_rate_per_sec;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "no throughput degradation from determinism: det {} vs nondet {}",
+            det.saturation_rate_per_sec,
+            nondet.saturation_rate_per_sec
+        );
+    }
+}

@@ -1,0 +1,677 @@
+//! The Fig 1 fan-in simulation.
+
+use std::collections::VecDeque;
+
+use tart_sched::{GateDecision, MergeGate};
+use tart_silence::{BiasFloor, ProbeTracker, SilenceAdvertiser, SilencePolicy};
+use tart_stats::DetRng;
+use tart_vtime::{VirtualDuration, VirtualTime, WireId};
+
+use crate::{ExecMode, IterationDist, SimConfig, SimKernel, SimReport};
+
+/// Simulation events, each timestamped in real nanoseconds.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A client delivers an external message to a sender.
+    Arrival { sender: usize },
+    /// A sender finishes computing its current message.
+    SenderDone { sender: usize },
+    /// A curiosity probe round-trip completes: the sender's freshly
+    /// computed silence bound reaches the merger.
+    ProbeFire { sender: usize },
+    /// A sender's aggressive-silence timer fires.
+    AggressiveTick { sender: usize },
+    /// The merger finishes servicing a message.
+    MergerDone,
+}
+
+/// An external message queued at a sender.
+#[derive(Clone, Copy, Debug)]
+struct ExtMsg {
+    /// Logged timestamp (= real arrival time), which becomes the message's
+    /// virtual time (§II.E: "it is safe to use the actual real time as the
+    /// virtual time of this message").
+    ts: VirtualTime,
+    origin_real: u64,
+    iters: u64,
+}
+
+/// A message in flight from a sender to the merger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MergerMsg {
+    origin_real: u64,
+}
+
+/// A sender's in-service message.
+#[derive(Clone, Copy, Debug)]
+struct Busy {
+    msg: ExtMsg,
+    dequeue_vt: VirtualTime,
+    out_vt: VirtualTime,
+    /// Real time at which service began (for progress observation).
+    start_real: u64,
+    /// Total real service duration.
+    real_service: u64,
+}
+
+struct SenderState {
+    wire: WireId,
+    queue: VecDeque<ExtMsg>,
+    busy: Option<Busy>,
+    /// Virtual time of the last emitted output — the sender's clock.
+    clock: VirtualTime,
+    generated: u64,
+    done_generating: bool,
+    eos_sent: bool,
+    advertiser: SilenceAdvertiser,
+    bias: Option<BiasFloor>,
+    arrival_rng: DetRng,
+    iter_rng: DetRng,
+    jitter_rng: DetRng,
+}
+
+/// Simulates the paper's Fig 1 application — N word-count-shaped senders
+/// fanning into a merger — on a multiprocessor where every component owns a
+/// processor, under a configurable execution mode, silence policy, estimator
+/// and jitter model (§III.A/§III.B).
+///
+/// See the crate docs for an end-to-end example.
+pub struct FanInSim {
+    cfg: SimConfig,
+    kernel: SimKernel<Event>,
+    senders: Vec<SenderState>,
+    gate: MergeGate<MergerMsg>,
+    fifo: VecDeque<MergerMsg>,
+    merger_busy: Option<MergerMsg>,
+    blocked_since: Option<u64>,
+    probes: ProbeTracker,
+    report: SimReport,
+}
+
+impl FanInSim {
+    /// Builds a simulation from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_senders` is zero or estimator/service parameters are
+    /// zero (a zero estimate would stall virtual time).
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.n_senders > 0, "need at least one sender");
+        assert!(
+            cfg.estimator_ns_per_iteration > 0 && cfg.dumb_estimate_ns > 0,
+            "estimates must be positive to advance virtual time"
+        );
+        assert!(
+            cfg.merger_service_ns > 0,
+            "merger service time must be positive"
+        );
+        let mut root = DetRng::seed_from(cfg.seed);
+        let mut senders = Vec::with_capacity(cfg.n_senders);
+        for i in 0..cfg.n_senders {
+            let bias = match cfg.silence {
+                SilencePolicy::HyperAggressive { bias } => Some(BiasFloor::new(bias)),
+                _ => None,
+            };
+            senders.push(SenderState {
+                wire: WireId::new(i as u32),
+                queue: VecDeque::new(),
+                busy: None,
+                clock: VirtualTime::ZERO,
+                generated: 0,
+                done_generating: cfg.messages_per_sender == 0,
+                eos_sent: false,
+                advertiser: SilenceAdvertiser::new(WireId::new(i as u32)),
+                bias,
+                arrival_rng: root.fork(i as u64 * 3),
+                iter_rng: root.fork(i as u64 * 3 + 1),
+                jitter_rng: root.fork(i as u64 * 3 + 2),
+            });
+        }
+        let gate = MergeGate::new((0..cfg.n_senders as u32).map(WireId::new));
+        FanInSim {
+            cfg,
+            kernel: SimKernel::new(),
+            senders,
+            gate,
+            fifo: VecDeque::new(),
+            merger_busy: None,
+            blocked_since: None,
+            probes: ProbeTracker::new(),
+            report: SimReport::default(),
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        // Prime each client's first arrival and aggressive timers.
+        for i in 0..self.senders.len() {
+            if !self.senders[i].done_generating {
+                let gap = self.exp_gap(i);
+                self.kernel.schedule(gap, Event::Arrival { sender: i });
+            }
+            if let SilencePolicy::Aggressive { max_quiet } = self.cfg.silence {
+                if self.cfg.mode == ExecMode::Deterministic {
+                    self.kernel
+                        .schedule(max_quiet.as_ticks(), Event::AggressiveTick { sender: i });
+                }
+            }
+        }
+        while let Some((now, event)) = self.kernel.pop() {
+            match event {
+                Event::Arrival { sender } => self.on_arrival(sender, now),
+                Event::SenderDone { sender } => self.on_sender_done(sender, now),
+                Event::ProbeFire { sender } => self.on_probe_fire(sender, now),
+                Event::AggressiveTick { sender } => self.on_aggressive_tick(sender, now),
+                Event::MergerDone => self.on_merger_done(now),
+            }
+        }
+        if self.cfg.mode == ExecMode::Deterministic {
+            let m = self.gate.metrics();
+            self.report.out_of_order = m.out_of_order_arrivals;
+            self.report.pessimism_episodes = m.pessimism_episodes;
+        }
+        self.report.probes = self.probes.probes_sent();
+        self.report.silence_advances += self
+            .senders
+            .iter()
+            .map(|s| s.advertiser.advances_sent())
+            .sum::<u64>();
+        self.report.sim_end_ns = self.kernel.now();
+        self.report
+    }
+
+    // -- Sender-side ------------------------------------------------------
+
+    fn exp_gap(&mut self, sender: usize) -> u64 {
+        let mean = self.cfg.mean_interarrival_ns as f64;
+        let u = self.senders[sender].arrival_rng.next_f64_open();
+        (-mean * u.ln()).max(1.0) as u64
+    }
+
+    fn sample_iters(&mut self, sender: usize) -> u64 {
+        match self.cfg.iterations {
+            IterationDist::Constant(k) => k,
+            IterationDist::Uniform { lo, hi } => {
+                self.senders[sender].iter_rng.gen_range_u64(lo, hi)
+            }
+        }
+    }
+
+    /// The estimator: predicted compute time for a message of `iters`
+    /// iterations, in ticks.
+    fn estimate(&self, iters: u64) -> VirtualDuration {
+        if self.cfg.dumb_estimator {
+            VirtualDuration::from_ticks(self.cfg.dumb_estimate_ns)
+        } else {
+            VirtualDuration::from_ticks(self.cfg.estimator_ns_per_iteration * iters)
+        }
+    }
+
+    /// The smallest estimate any message can receive (the non-prescient
+    /// "shortest possible processing").
+    fn min_estimate(&self) -> VirtualDuration {
+        if self.cfg.dumb_estimator {
+            VirtualDuration::from_ticks(self.cfg.dumb_estimate_ns)
+        } else {
+            VirtualDuration::from_ticks(self.cfg.estimator_ns_per_iteration)
+        }
+    }
+
+    fn on_arrival(&mut self, sender: usize, now: u64) {
+        // External messages are timestamped with real arrival time (§II.E).
+        let iters = self.sample_iters(sender);
+        let msg = ExtMsg {
+            ts: VirtualTime::from_ticks(now),
+            origin_real: now,
+            iters,
+        };
+        self.report.offered += 1;
+        {
+            let s = &mut self.senders[sender];
+            s.generated += 1;
+            s.queue.push_back(msg);
+        }
+        if self.senders[sender].generated < self.cfg.messages_per_sender {
+            let gap = self.exp_gap(sender);
+            self.kernel.schedule_in(gap, Event::Arrival { sender });
+        } else {
+            self.senders[sender].done_generating = true;
+        }
+        self.maybe_start_sender(sender, now);
+    }
+
+    fn maybe_start_sender(&mut self, sender: usize, now: u64) {
+        if self.senders[sender].busy.is_some() {
+            return;
+        }
+        let Some(msg) = self.senders[sender].queue.pop_front() else {
+            self.maybe_send_eos(sender);
+            return;
+        };
+        let est = self.estimate(msg.iters);
+        let clock = self.senders[sender].clock;
+        let dequeue_vt = msg.ts.max_with(clock);
+        let mut out_vt = dequeue_vt + est;
+        if let Some(bias) = &self.senders[sender].bias {
+            out_vt = bias.clamp_send_vt(out_vt);
+        }
+        // Real compute time is independent of the estimator's guess: the
+        // "true" work is iters × true_ns_per_iteration, jittered.
+        let true_virtual = self.cfg.true_ns_per_iteration * msg.iters;
+        let real = self.cfg.jitter.sample_real_ns(
+            true_virtual,
+            msg.iters,
+            &mut self.senders[sender].jitter_rng,
+        );
+        let real = real.max(1);
+        self.senders[sender].busy = Some(Busy {
+            msg,
+            dequeue_vt,
+            out_vt,
+            start_real: now,
+            real_service: real,
+        });
+        self.kernel
+            .schedule(now.saturating_add(real), Event::SenderDone { sender });
+    }
+
+    fn on_sender_done(&mut self, sender: usize, now: u64) {
+        let busy = self.senders[sender].busy.take().expect("sender was busy");
+        let out = MergerMsg {
+            origin_real: busy.msg.origin_real,
+        };
+        self.senders[sender].clock = busy.out_vt;
+        match self.cfg.mode {
+            ExecMode::NonDeterministic => {
+                self.fifo.push_back(out);
+            }
+            ExecMode::Deterministic => {
+                self.senders[sender].advertiser.record_data(busy.out_vt);
+                self.probes.on_reply(self.senders[sender].wire);
+                self.gate
+                    .push_message(self.senders[sender].wire, busy.out_vt, out)
+                    .expect("sender outputs are monotone");
+            }
+        }
+        self.maybe_start_sender(sender, now);
+        self.reevaluate_merger(now);
+    }
+
+    /// Once a sender will never produce again, it promises silence forever
+    /// so the stream drains (the end-of-run counterpart of shutdown
+    /// markers; a live deployment never reaches this state).
+    fn maybe_send_eos(&mut self, sender: usize) {
+        if self.cfg.mode != ExecMode::Deterministic {
+            return;
+        }
+        let s = &mut self.senders[sender];
+        if s.done_generating && s.queue.is_empty() && s.busy.is_none() && !s.eos_sent {
+            s.eos_sent = true;
+            self.gate.promise_silence(s.wire, VirtualTime::MAX);
+        }
+    }
+
+    /// The sender's silence oracle (§II.H): how far is this wire guaranteed
+    /// silent, judged at real time `now`?
+    fn silence_bound(&self, sender: usize, now: u64) -> VirtualTime {
+        let s = &self.senders[sender];
+        let min_est = self.min_estimate();
+        match &s.busy {
+            Some(busy) => {
+                if self.cfg.prescient || self.cfg.dumb_estimator {
+                    // Prescient: the iteration count is known before the
+                    // loop runs (Code Body 1), so the exact output time is
+                    // known. The dumb estimator is "prescient" for free —
+                    // its prediction never depends on the iteration count.
+                    busy.out_vt.prev()
+                } else {
+                    // Non-prescient: "the earliest possible time it could
+                    // compute a message based upon the known state of the
+                    // process" (§II.H). The sender can observe how many
+                    // iterations have already run, but "is assumed not to
+                    // know how many more iterations will follow" — the loop
+                    // could end after the one currently executing.
+                    let elapsed = now.saturating_sub(busy.start_real);
+                    let k = busy.msg.iters.max(1);
+                    let done = ((elapsed as f64 / busy.real_service as f64) * k as f64) as u64;
+                    let done = done.min(k - 1);
+                    let earliest = busy.dequeue_vt + self.estimate(done + 1);
+                    earliest.prev()
+                }
+            }
+            None => {
+                // Idle: the earliest possible next output is one produced by
+                // a message arriving one tick from now ("were it to become
+                // busy one tick from now", §II.H). External timestamps are
+                // real arrival times, so the dequeue time of any future
+                // message is at least max(clock, now).
+                let base = s.clock.max_with(VirtualTime::from_ticks(now));
+                (base + min_est).prev()
+            }
+        }
+    }
+
+    // -- Silence propagation ----------------------------------------------
+
+    fn on_probe_fire(&mut self, sender: usize, now: u64) {
+        let mut bound = self.silence_bound(sender, now);
+        let s = &mut self.senders[sender];
+        if let (Some(bias), true) = (&mut s.bias, s.busy.is_none()) {
+            bound = bias.promise_on_idle(bound);
+        }
+        self.probes.on_reply(self.senders[sender].wire);
+        if let Some(adv) = self.senders[sender].advertiser.advance_to(bound) {
+            if !self.senders[sender].eos_sent {
+                self.gate.promise_silence(self.senders[sender].wire, adv);
+            }
+        }
+        self.reevaluate_merger(now);
+    }
+
+    fn on_aggressive_tick(&mut self, sender: usize, now: u64) {
+        let SilencePolicy::Aggressive { max_quiet } = self.cfg.silence else {
+            return;
+        };
+        let bound = self.silence_bound(sender, now);
+        if let Some(adv) = self.senders[sender].advertiser.advance_to(bound) {
+            if !self.senders[sender].eos_sent {
+                self.gate.promise_silence(self.senders[sender].wire, adv);
+                self.reevaluate_merger(now);
+            }
+        }
+        // Keep ticking while the run is live.
+        let live = self.senders.iter().any(|s| !s.eos_sent) || self.merger_busy.is_some();
+        if live {
+            self.kernel.schedule_in(
+                max_quiet.as_ticks().max(1),
+                Event::AggressiveTick { sender },
+            );
+        }
+    }
+
+    // -- Merger -----------------------------------------------------------
+
+    fn reevaluate_merger(&mut self, now: u64) {
+        if self.merger_busy.is_some() {
+            return;
+        }
+        match self.cfg.mode {
+            ExecMode::NonDeterministic => {
+                if let Some(msg) = self.fifo.pop_front() {
+                    self.merger_busy = Some(msg);
+                    self.kernel
+                        .schedule_in(self.cfg.merger_service_ns, Event::MergerDone);
+                }
+            }
+            ExecMode::Deterministic => match self.gate.try_next() {
+                GateDecision::Deliver {
+                    dequeue_vt, msg, ..
+                } => {
+                    if let Some(t0) = self.blocked_since.take() {
+                        self.report.pessimism_delay_ns += now - t0;
+                    }
+                    self.merger_busy = Some(msg);
+                    // The merger's own estimator: its constant service time.
+                    self.gate.advance_clock(
+                        dequeue_vt + VirtualDuration::from_ticks(self.cfg.merger_service_ns),
+                    );
+                    self.kernel
+                        .schedule_in(self.cfg.merger_service_ns, Event::MergerDone);
+                }
+                GateDecision::Blocked { lagging, .. } => {
+                    if self.blocked_since.is_none() {
+                        self.blocked_since = Some(now);
+                    }
+                    if self.cfg.silence.probes() {
+                        for (wire, needed) in lagging {
+                            let sender = wire.raw() as usize;
+                            if self.senders[sender].eos_sent {
+                                continue;
+                            }
+                            if self.probes.should_probe(wire, needed) {
+                                self.kernel.schedule_in(
+                                    self.cfg.probe_cost_ns.max(1),
+                                    Event::ProbeFire { sender },
+                                );
+                            }
+                        }
+                    }
+                }
+                GateDecision::Idle => {
+                    self.blocked_since = None;
+                }
+            },
+        }
+    }
+
+    fn on_merger_done(&mut self, now: u64) {
+        let msg = self.merger_busy.take().expect("merger was busy");
+        self.report.completed += 1;
+        self.report.latency_ns.push((now - msg.origin_real) as f64);
+        // Drained senders may now owe their end-of-stream silence.
+        for i in 0..self.senders.len() {
+            self.maybe_send_eos(i);
+        }
+        self.reevaluate_merger(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JitterModel;
+
+    fn small_cfg(mode: ExecMode) -> SimConfig {
+        let mut cfg = SimConfig::paper_iii_a();
+        cfg.messages_per_sender = 500;
+        cfg.mode = mode;
+        cfg
+    }
+
+    #[test]
+    fn all_messages_complete_in_both_modes() {
+        for mode in [ExecMode::NonDeterministic, ExecMode::Deterministic] {
+            let report = FanInSim::new(small_cfg(mode)).run();
+            assert_eq!(report.offered, 1_000, "{mode:?}");
+            assert_eq!(report.completed, 1_000, "{mode:?}");
+            assert!(
+                report.avg_latency_micros() > 400.0,
+                "{mode:?}: at least one service time"
+            );
+            assert!(report.sim_end_ns > 0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let a = FanInSim::new(small_cfg(ExecMode::Deterministic)).run();
+        let b = FanInSim::new(small_cfg(ExecMode::Deterministic)).run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency_ns.mean(), b.latency_ns.mean());
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.out_of_order, b.out_of_order);
+        assert_eq!(a.pessimism_delay_ns, b.pessimism_delay_ns);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.seed = 1;
+        let a = FanInSim::new(cfg.clone()).run();
+        cfg.seed = 2;
+        let b = FanInSim::new(cfg).run();
+        assert_ne!(a.latency_ns.mean(), b.latency_ns.mean());
+    }
+
+    #[test]
+    fn determinism_overhead_is_small_with_smart_estimator() {
+        // The headline of §III.A: a few percent latency overhead, not tens.
+        let nondet = FanInSim::new(small_cfg(ExecMode::NonDeterministic)).run();
+        let det = FanInSim::new(small_cfg(ExecMode::Deterministic)).run();
+        let overhead = det.overhead_percent_vs(&nondet);
+        assert!(
+            overhead > -2.0 && overhead < 15.0,
+            "overhead {overhead:.1}% out of plausible band (det {:.0}µs vs nondet {:.0}µs)",
+            det.avg_latency_micros(),
+            nondet.avg_latency_micros()
+        );
+    }
+
+    #[test]
+    fn deterministic_mode_issues_probes_under_curiosity() {
+        let report = FanInSim::new(small_cfg(ExecMode::Deterministic)).run();
+        assert!(report.probes > 0, "curiosity must probe at least once");
+        assert!(report.silence_advances > 0);
+        // Fig 4 scale-check: around the true estimator the paper sees
+        // roughly 1.5 probes per message; allow a generous band.
+        assert!(
+            report.probes_per_message() < 10.0,
+            "probes/msg {}",
+            report.probes_per_message()
+        );
+    }
+
+    #[test]
+    fn nondeterministic_mode_never_probes() {
+        let report = FanInSim::new(small_cfg(ExecMode::NonDeterministic)).run();
+        assert_eq!(report.probes, 0);
+        assert_eq!(report.pessimism_delay_ns, 0);
+        assert_eq!(report.out_of_order, 0);
+    }
+
+    #[test]
+    fn prescience_does_not_hurt() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.messages_per_sender = 2_000;
+        let plain = FanInSim::new(cfg.clone()).run();
+        cfg.prescient = true;
+        let prescient = FanInSim::new(cfg).run();
+        // Prescient silence bounds are strictly tighter, so latency should
+        // not be meaningfully worse.
+        assert!(
+            prescient.latency_ns.mean() <= plain.latency_ns.mean() * 1.02,
+            "prescient {:.0} vs plain {:.0}",
+            prescient.latency_ns.mean(),
+            plain.latency_ns.mean()
+        );
+    }
+
+    #[test]
+    fn lazy_silence_is_worse_than_curiosity() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.messages_per_sender = 2_000;
+        let curiosity = FanInSim::new(cfg.clone()).run();
+        cfg.silence = SilencePolicy::Lazy;
+        let lazy = FanInSim::new(cfg).run();
+        assert_eq!(lazy.probes, 0, "lazy never probes");
+        assert!(
+            lazy.latency_ns.mean() > curiosity.latency_ns.mean(),
+            "lazy {:.0} should exceed curiosity {:.0}",
+            lazy.latency_ns.mean(),
+            curiosity.latency_ns.mean()
+        );
+    }
+
+    #[test]
+    fn zero_variability_removes_out_of_order_arrivals() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.iterations = IterationDist::Constant(10);
+        cfg.jitter = JitterModel::None;
+        let report = FanInSim::new(cfg).run();
+        assert_eq!(report.completed, 1_000);
+        assert_eq!(
+            report.out_of_order, 0,
+            "without jitter or variability, vt order = real order"
+        );
+    }
+
+    #[test]
+    fn dumb_estimator_hurts_more_with_variability() {
+        // §III.A's second study: the constant estimator is fine at zero
+        // variability but increasingly bad as iteration counts spread.
+        let mut base = small_cfg(ExecMode::Deterministic);
+        base.messages_per_sender = 2_000;
+        base.dumb_estimator = true;
+
+        let mut constant = base.clone();
+        constant.iterations = IterationDist::Constant(10);
+        let mut variable = base.clone();
+        variable.iterations = IterationDist::Uniform { lo: 1, hi: 19 };
+
+        let mut nondet_c = constant.clone();
+        nondet_c.mode = ExecMode::NonDeterministic;
+        let mut nondet_v = variable.clone();
+        nondet_v.mode = ExecMode::NonDeterministic;
+
+        let overhead_constant = FanInSim::new(constant)
+            .run()
+            .overhead_percent_vs(&FanInSim::new(nondet_c).run());
+        let overhead_variable = FanInSim::new(variable)
+            .run()
+            .overhead_percent_vs(&FanInSim::new(nondet_v).run());
+        assert!(
+            overhead_variable > overhead_constant,
+            "dumb estimator overhead should grow with variability: {overhead_constant:.1}% → {overhead_variable:.1}%"
+        );
+    }
+
+    #[test]
+    fn aggressive_policy_sends_unprompted_silence() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.silence = SilencePolicy::Aggressive {
+            max_quiet: VirtualDuration::from_micros(200),
+        };
+        let report = FanInSim::new(cfg).run();
+        assert_eq!(report.completed, 1_000);
+        assert_eq!(report.probes, 0, "aggressive mode never probes");
+        assert!(report.silence_advances > 0, "timers must volunteer silence");
+    }
+
+    #[test]
+    fn hyper_aggressive_policy_completes_and_probes() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.silence = SilencePolicy::HyperAggressive {
+            bias: VirtualDuration::from_micros(100),
+        };
+        let report = FanInSim::new(cfg).run();
+        assert_eq!(report.completed, 1_000);
+    }
+
+    #[test]
+    fn single_sender_has_no_pessimism() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.n_senders = 1;
+        let report = FanInSim::new(cfg).run();
+        assert_eq!(report.completed, 500);
+        assert_eq!(report.pessimism_delay_ns, 0);
+        assert_eq!(report.probes, 0);
+    }
+
+    #[test]
+    fn many_senders_scale() {
+        let mut cfg = small_cfg(ExecMode::Deterministic);
+        cfg.n_senders = 5;
+        cfg.messages_per_sender = 200;
+        // Keep the merger below saturation: 5 × 400 µs per 1000 µs would be
+        // 200 % utilization, so slow the clients down.
+        cfg.mean_interarrival_ns = 4_000_000;
+        let report = FanInSim::new(cfg).run();
+        assert_eq!(report.completed, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sender")]
+    fn zero_senders_rejected() {
+        let mut cfg = SimConfig::paper_iii_a();
+        cfg.n_senders = 0;
+        let _ = FanInSim::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_estimate_rejected() {
+        let mut cfg = SimConfig::paper_iii_a();
+        cfg.estimator_ns_per_iteration = 0;
+        let _ = FanInSim::new(cfg);
+    }
+}

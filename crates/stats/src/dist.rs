@@ -1,0 +1,423 @@
+//! Sampling distributions used by the simulation studies.
+
+use crate::DetRng;
+
+/// A distribution from which `f64` samples can be drawn.
+pub trait Sample {
+    /// Draws one sample using `rng`.
+    fn sample(&self, rng: &mut DetRng) -> f64;
+}
+
+/// Continuous uniform distribution over `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+}
+
+/// Discrete uniform distribution over the inclusive integer range `[lo, hi]`.
+///
+/// This is the paper's sentence-length workload: "random numbers of
+/// iterations between 1 and 19" with mean 10 (§II.H, §III.A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniformInt {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformInt {
+    /// Creates a discrete uniform distribution over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid integer range [{lo}, {hi}]");
+        UniformInt { lo, hi }
+    }
+
+    /// Draws one integer sample.
+    pub fn sample_int(&self, rng: &mut DetRng) -> u64 {
+        rng.gen_range_u64(self.lo, self.hi)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+}
+
+impl Sample for UniformInt {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.sample_int(rng) as f64
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled with the Marsaglia polar method.
+///
+/// §III.A models per-tick execution jitter as "a normal distribution with
+/// mean of one tick and a standard deviation of 0.1 ticks".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(
+            mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "invalid normal parameters ({mean}, {sd})"
+        );
+        Normal { mean, sd }
+    }
+
+    /// Draws one standard-normal variate.
+    fn standard(rng: &mut DetRng) -> f64 {
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        self.mean + self.sd * Normal::standard(rng)
+    }
+}
+
+/// Exponential distribution with the given mean (`1/λ`).
+///
+/// Inter-arrival times of a Poisson process are exponential; the paper's
+/// external clients "fed messages … via a Poisson process with average
+/// inter-arrival time of 1 msg/1000 µs" (§III.A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean {mean}"
+        );
+        Exponential { mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        -self.mean * rng.next_f64_open().ln()
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// `mu` and `sigma`.
+///
+/// Used to synthesize the *right-skewed* execution-time residuals the paper
+/// observes on real hardware ("the distribution of the residuals is highly
+/// right-skewed", §II.H) for hosts where a measured corpus is unavailable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal parameters ({mu}, {sigma})"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with a target mean and standard deviation of the
+    /// log-normal variate itself (moment matching).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `sd >= 0`.
+    pub fn from_mean_sd(mean: f64, sd: f64) -> Self {
+        assert!(
+            mean > 0.0 && sd >= 0.0,
+            "invalid log-normal moments ({mean}, {sd})"
+        );
+        let cv2 = (sd / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+}
+
+/// An empirical distribution that resamples from measured values.
+///
+/// §III.B: "we took measurements of an actual run … We imported 10000 of
+/// these execution time measurements into our simulation", then drew "a
+/// random measurement from our imported set having the same iteration
+/// count". [`Empirical`] is that imported set for one iteration count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from measured samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            !values.is_empty(),
+            "empirical distribution needs at least one sample"
+        );
+        Empirical { values }
+    }
+
+    /// Number of stored measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no measurements are stored (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut DetRng) -> f64 {
+        let idx = rng.gen_range_u64(0, self.values.len() as u64 - 1) as usize;
+        self.values[idx]
+    }
+}
+
+/// A Poisson arrival process: a stream of event times with exponential
+/// inter-arrival gaps.
+///
+/// # Example
+///
+/// ```
+/// use tart_stats::{DetRng, PoissonProcess};
+///
+/// let mut rng = DetRng::seed_from(1);
+/// let mut arrivals = PoissonProcess::new(1000.0); // mean gap 1000 µs
+/// let t1 = arrivals.next_arrival(&mut rng);
+/// let t2 = arrivals.next_arrival(&mut rng);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoissonProcess {
+    gap: Exponential,
+    now: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is not positive and finite.
+    pub fn new(mean_interarrival: f64) -> Self {
+        PoissonProcess {
+            gap: Exponential::new(mean_interarrival),
+            now: 0.0,
+        }
+    }
+
+    /// Advances to and returns the next arrival time.
+    pub fn next_arrival(&mut self, rng: &mut DetRng) -> f64 {
+        self.now += self.gap.sample(rng);
+        self.now
+    }
+
+    /// The time of the most recent arrival (0 before the first).
+    pub fn current_time(&self) -> f64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnlineStats;
+
+    fn stats_of(dist: &impl Sample, n: usize, seed: u64) -> OnlineStats {
+        let mut rng = DetRng::seed_from(seed);
+        let mut s = OnlineStats::new();
+        for _ in 0..n {
+            s.push(dist.sample(&mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let s = stats_of(&Uniform::new(0.0, 10.0), 100_000, 1);
+        assert!((s.mean() - 5.0).abs() < 0.05);
+        assert!((s.sd() - (100.0f64 / 12.0).sqrt()).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_int_matches_paper_workload() {
+        let d = UniformInt::new(1, 19);
+        assert_eq!(d.mean(), 10.0);
+        let s = stats_of(&d, 100_000, 2);
+        assert!((s.mean() - 10.0).abs() < 0.05);
+        // SD of discrete uniform over 1..=19: sqrt((19^2-1)/12) ≈ 5.477.
+        assert!((s.sd() - 5.477).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(1.0, 0.1); // §III.A jitter model
+        let s = stats_of(&d, 200_000, 3);
+        assert!((s.mean() - 1.0).abs() < 0.002);
+        assert!((s.sd() - 0.1).abs() < 0.002);
+        assert!(
+            s.skewness().abs() < 0.05,
+            "normal is symmetric, got {}",
+            s.skewness()
+        );
+    }
+
+    #[test]
+    fn normal_with_zero_sd_is_constant() {
+        let d = Normal::new(5.0, 0.0);
+        let mut rng = DetRng::seed_from(4);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Exponential::new(1000.0);
+        let s = stats_of(&d, 200_000, 5);
+        assert!((s.mean() - 1000.0).abs() < 10.0);
+        assert!((s.sd() - 1000.0).abs() < 15.0);
+        assert!(s.min() > 0.0);
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        let d = LogNormal::from_mean_sd(100.0, 40.0);
+        let s = stats_of(&d, 200_000, 6);
+        assert!((s.mean() - 100.0).abs() < 1.0);
+        assert!((s.sd() - 40.0).abs() < 1.5);
+        assert!(
+            s.skewness() > 0.5,
+            "log-normal must be right-skewed, got {}",
+            s.skewness()
+        );
+        assert!(s.min() > 0.0);
+    }
+
+    #[test]
+    fn empirical_resamples_only_measured_values() {
+        let d = Empirical::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        let mut rng = DetRng::seed_from(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!([10.0, 20.0, 30.0].contains(&v));
+            seen.insert(v as u64);
+        }
+        assert_eq!(seen.len(), 3, "all values eventually drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empirical_rejects_empty() {
+        let _ = Empirical::new(vec![]);
+    }
+
+    #[test]
+    fn poisson_process_is_monotonic_with_correct_rate() {
+        let mut rng = DetRng::seed_from(8);
+        let mut p = PoissonProcess::new(1000.0);
+        assert_eq!(p.current_time(), 0.0);
+        let mut last = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let t = p.next_arrival(&mut rng);
+            assert!(t > last);
+            last = t;
+        }
+        let observed_mean_gap = last / n as f64;
+        assert!((observed_mean_gap - 1000.0).abs() < 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn uniform_rejects_inverted() {
+        let _ = Uniform::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn normal_rejects_negative_sd() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid exponential mean")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::new(0.0);
+    }
+}

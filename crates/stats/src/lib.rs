@@ -1,0 +1,45 @@
+//! Statistics substrate for the TART reproduction.
+//!
+//! Everything in TART that looks random must actually be *reproducible*:
+//! simulation studies are re-run with identical seeds, and estimator
+//! calibration must fit identical coefficients on identical samples. This
+//! crate provides:
+//!
+//! * [`DetRng`] — a seed-stable xoshiro256++ generator whose stream is
+//!   guaranteed never to change between versions of this workspace (unlike
+//!   `rand::rngs::StdRng`, which documents no such stability);
+//! * distributions ([`Normal`], [`Exponential`], [`LogNormal`], [`Uniform`],
+//!   [`Empirical`]) and a [`PoissonProcess`] arrival generator, as used by
+//!   the paper's simulation studies (§III.A, §III.B);
+//! * [`regression`] — least-squares fits including the through-origin fit
+//!   the paper uses for its estimator (τ = 61.827·ξ₁, R² = 0.9154, Fig 2);
+//! * [`OnlineStats`] / [`Histogram`] — streaming summaries for the
+//!   measurement harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use tart_stats::{DetRng, Normal, Sample};
+//!
+//! let mut rng = DetRng::seed_from(42);
+//! let jitter = Normal::new(1.0, 0.1);
+//! let a: Vec<f64> = (0..3).map(|_| jitter.sample(&mut rng)).collect();
+//! let mut rng2 = DetRng::seed_from(42);
+//! let b: Vec<f64> = (0..3).map(|_| jitter.sample(&mut rng2)).collect();
+//! assert_eq!(a, b); // same seed, same stream — always
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+pub mod regression;
+mod rng;
+mod summary;
+
+pub use dist::{
+    Empirical, Exponential, LogNormal, Normal, PoissonProcess, Sample, Uniform, UniformInt,
+};
+pub use regression::{fit_multiple, fit_simple, fit_through_origin, Fit, MultiFit, MultiFitError};
+pub use rng::DetRng;
+pub use summary::{Histogram, OnlineStats};

@@ -1,0 +1,228 @@
+//! Seed-stable deterministic random number generator.
+
+use rand::RngCore;
+
+/// A deterministic xoshiro256++ generator with SplitMix64 seeding.
+///
+/// The exact output stream for a given seed is part of this crate's public
+/// contract: experiment harnesses and replay tests rely on bit-identical
+/// randomness across runs and across releases. (The `rand` crate's own
+/// `StdRng` explicitly reserves the right to change algorithms, which is why
+/// TART carries its own generator; `rand::RngCore` is implemented for
+/// interoperability.)
+///
+/// # Example
+///
+/// ```
+/// use tart_stats::DetRng;
+///
+/// let mut a = DetRng::seed_from(7);
+/// let mut b = DetRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed, expanded via SplitMix64.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        DetRng { s }
+    }
+
+    /// Produces the next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform float in the open interval `(0, 1]`, safe to pass to `ln()`.
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive), rejection-sampled to
+    /// avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let span = span + 1;
+        // Rejection zone to remove modulo bias.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated entity its own stream so adding one entity does not perturb
+    /// another's randomness.
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        DetRng::seed_from(self.next_u64() ^ stream.wrapping_mul(0xa076_1d64_78bd_642f))
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        DetRng::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_stable_contract() {
+        // These exact values are part of the crate contract; if this test
+        // fails, replay compatibility with recorded experiments is broken.
+        let mut r = DetRng::seed_from(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330,
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(123);
+        let mut b = DetRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::seed_from(9);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            let o = r.next_f64_open();
+            assert!(o > 0.0 && o <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut r = DetRng::seed_from(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.gen_range_u64(1, 19);
+            assert!((1..=19).contains(&v));
+            seen_lo |= v == 1;
+            seen_hi |= v == 19;
+        }
+        assert!(seen_lo && seen_hi);
+        assert_eq!(r.gen_range_u64(5, 5), 5);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = DetRng::seed_from(11);
+        let n = 190_000;
+        let mut counts = [0u32; 19];
+        for _ in 0..n {
+            counts[(r.gen_range_u64(1, 19) - 1) as usize] += 1;
+        }
+        let expect = n as f64 / 19.0;
+        for c in counts {
+            assert!(
+                (f64::from(c) - expect).abs() < expect * 0.05,
+                "count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_inverted() {
+        DetRng::seed_from(0).gen_range_u64(10, 9);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = DetRng::seed_from(5);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        let mut r = DetRng::seed_from(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+        assert!(r.try_fill_bytes(&mut buf).is_ok());
+        let _ = r.next_u32();
+    }
+}

@@ -1,0 +1,416 @@
+//! Streaming summaries and histograms.
+
+use std::fmt;
+
+/// Streaming moments (Welford's algorithm): count, mean, variance, skewness,
+/// extrema — without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use tart_stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_sd() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (Bessel-corrected; 0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population standard deviation (divides by `n`).
+    pub fn population_sd(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Sample skewness (0 when undefined).
+    ///
+    /// Positive values indicate a right-skewed distribution, as the paper
+    /// reports for execution-time residuals (§II.H).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        let m2 = self.m2 + other.m2 + delta * delta * n1 * n2 / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * n1 * n2 * (n1 - n2) / (n * n)
+            + 3.0 * delta * (n1 * other.m2 - n2 * self.m2) / n;
+        self.mean += delta * n2 / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.sd(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow buckets,
+/// plus exact percentile queries over retained samples.
+///
+/// # Example
+///
+/// ```
+/// use tart_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// for v in 0..100 {
+///     h.record(f64::from(v));
+/// }
+/// assert_eq!(h.bucket_count(0), 10); // [0,10)
+/// assert_eq!(h.percentile(50.0), 50.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range [{lo}, {hi}) is empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((v - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Exact percentile (nearest-rank) over all recorded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples have been recorded or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "percentile of empty histogram");
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bucket.
+    pub fn render(&self) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bar_len = (c * 40 / max) as usize;
+            let lo = self.lo + width * i as f64;
+            out.push_str(&format!(
+                "{:>10.1}..{:<10.1} {:>8} {}\n",
+                lo,
+                lo + width,
+                c,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_defined() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.population_sd(), 0.0);
+        assert_eq!(s.skewness(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_computation() {
+        let data = [61.0, 62.5, 59.8, 61.2, 63.0, 60.4, 61.9];
+        let mut s = OnlineStats::new();
+        for v in data {
+            s.push(v);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 59.8);
+        assert_eq!(s.max(), 63.0);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn skewness_sign_is_correct() {
+        let mut right = OnlineStats::new();
+        for v in [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 10.0] {
+            right.push(v);
+        }
+        assert!(right.skewness() > 0.0);
+        let mut left = OnlineStats::new();
+        for v in [10.0, 10.0, 10.0, 10.0, 9.0, 9.0, 1.0] {
+            left.push(v);
+        }
+        assert!(left.skewness() < 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let a_data = [1.0, 5.0, 9.0, 2.0];
+        let b_data = [100.0, 50.0, 25.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut both = OnlineStats::new();
+        for v in a_data {
+            a.push(v);
+            both.push(v);
+        }
+        for v in b_data {
+            b.push(v);
+            both.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert!((a.mean() - both.mean()).abs() < 1e-9);
+        assert!((a.variance() - both.variance()).abs() < 1e-9);
+        assert!((a.skewness() - both.skewness()).abs() < 1e-9);
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+
+        // Merging into or from an empty accumulator is the identity.
+        let mut empty = OnlineStats::new();
+        empty.merge(&both);
+        assert_eq!(empty.count(), both.count());
+        both.merge(&OnlineStats::new());
+        assert_eq!(both.count(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        assert!(format!("{s}").contains("n=1"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 11.0] {
+            h.record(v);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bucket_count(0), 2); // 0.0 and 1.9
+        assert_eq!(h.bucket_count(1), 1); // 2.0
+        assert_eq!(h.bucket_count(4), 1); // 9.9
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.num_buckets(), 5);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new(0.0, 100.0, 4);
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert!((h.percentile(50.0) - 50.0).abs() <= 1.0);
+        assert!((h.percentile(99.0) - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn percentile_of_empty_panics() {
+        Histogram::new(0.0, 1.0, 1).percentile(50.0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bucket() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(1.0);
+        h.record(1.5);
+        h.record(3.0);
+        let s = h.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,506 @@
+//! Closed tick intervals and canonical interval sets.
+//!
+//! Every tick on a wire must be accounted for as either a *data* tick or a
+//! *silence* tick (§II.F.1). Receivers track the ticks they have heard about
+//! with an [`IntervalSet`]; after a failover or a lossy link, the holes in
+//! that set are precisely the tick ranges that must be replayed (§II.F.4).
+
+use std::fmt;
+
+use crate::VirtualTime;
+
+/// A closed, non-empty range of virtual-time ticks `[lo, hi]`.
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::{Interval, VirtualTime};
+///
+/// let i = Interval::new(VirtualTime::from_ticks(10), VirtualTime::from_ticks(20));
+/// assert!(i.contains(VirtualTime::from_ticks(15)));
+/// assert_eq!(i.len_ticks(), 11);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    lo: VirtualTime,
+    hi: VirtualTime,
+}
+
+impl Interval {
+    /// Creates the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`; intervals are never empty.
+    pub fn new(lo: VirtualTime, hi: VirtualTime) -> Self {
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
+        Interval { lo, hi }
+    }
+
+    /// Creates the single-tick interval `[t, t]`.
+    pub fn point(t: VirtualTime) -> Self {
+        Interval { lo: t, hi: t }
+    }
+
+    /// The inclusive lower bound.
+    pub const fn lo(self) -> VirtualTime {
+        self.lo
+    }
+
+    /// The inclusive upper bound.
+    pub const fn hi(self) -> VirtualTime {
+        self.hi
+    }
+
+    /// Number of ticks covered (saturating at `u64::MAX`).
+    pub fn len_ticks(self) -> u64 {
+        (self.hi.as_ticks() - self.lo.as_ticks()).saturating_add(1)
+    }
+
+    /// Returns `true` if `t` lies inside the interval.
+    pub fn contains(self, t: VirtualTime) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Returns `true` if the two intervals share at least one tick.
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns `true` if the two intervals overlap or are adjacent
+    /// (e.g. `[1,3]` and `[4,6]`), i.e. their union is a single interval.
+    pub fn touches(self, other: Interval) -> bool {
+        let extended_hi = self.hi.next();
+        let other_extended_hi = other.hi.next();
+        self.lo <= other_extended_hi && other.lo <= extended_hi
+    }
+
+    /// Returns the intersection, if non-empty.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.lo.as_ticks(), self.hi.as_ticks())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A canonical set of ticks: sorted, disjoint, non-adjacent closed intervals.
+///
+/// The representation is always normalized, so two `IntervalSet`s covering
+/// the same ticks compare equal regardless of insertion order — a property
+/// the replay protocol relies on when comparing received-tick accounts.
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::{Interval, IntervalSet, VirtualTime};
+///
+/// let vt = VirtualTime::from_ticks;
+/// let mut s = IntervalSet::new();
+/// s.insert(Interval::new(vt(0), vt(4)));
+/// s.insert(Interval::new(vt(10), vt(14)));
+/// s.insert(Interval::new(vt(5), vt(9))); // bridges the gap
+/// assert_eq!(s.iter().count(), 1);
+/// assert!(s.contains(vt(12)));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct IntervalSet {
+    /// Sorted by `lo`; pairwise disjoint and non-adjacent.
+    runs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet { runs: Vec::new() }
+    }
+
+    /// Returns `true` if the set covers no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total number of ticks covered.
+    pub fn len_ticks(&self) -> u64 {
+        self.runs.iter().map(|r| r.len_ticks()).sum()
+    }
+
+    /// Returns `true` if tick `t` is covered.
+    pub fn contains(&self, t: VirtualTime) -> bool {
+        match self.runs.binary_search_by(|r| r.lo().cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.runs[i - 1].contains(t),
+        }
+    }
+
+    /// Returns `true` if every tick of `iv` is covered.
+    pub fn covers(&self, iv: Interval) -> bool {
+        match self.runs.binary_search_by(|r| r.lo().cmp(&iv.lo())) {
+            Ok(i) => self.runs[i].hi() >= iv.hi(),
+            Err(0) => false,
+            Err(i) => self.runs[i - 1].contains(iv.lo()) && self.runs[i - 1].hi() >= iv.hi(),
+        }
+    }
+
+    /// Inserts an interval, merging with any overlapping or adjacent runs.
+    pub fn insert(&mut self, iv: Interval) {
+        // Find the first run that could touch `iv`.
+        let start = self.runs.partition_point(|r| r.hi().next() < iv.lo());
+        let mut lo = iv.lo();
+        let mut hi = iv.hi();
+        let mut end = start;
+        while end < self.runs.len() && self.runs[end].lo() <= hi.next() {
+            lo = lo.min(self.runs[end].lo());
+            hi = hi.max(self.runs[end].hi());
+            end += 1;
+        }
+        self.runs
+            .splice(start..end, std::iter::once(Interval::new(lo, hi)));
+    }
+
+    /// Inserts a single tick.
+    pub fn insert_point(&mut self, t: VirtualTime) {
+        self.insert(Interval::point(t));
+    }
+
+    /// Removes all ticks of `iv` from the set.
+    pub fn remove(&mut self, iv: Interval) {
+        let mut out = Vec::with_capacity(self.runs.len() + 1);
+        for r in &self.runs {
+            match r.intersect(iv) {
+                None => out.push(*r),
+                Some(cut) => {
+                    if r.lo() < cut.lo() {
+                        out.push(Interval::new(r.lo(), cut.lo().prev()));
+                    }
+                    if cut.hi() < r.hi() {
+                        out.push(Interval::new(cut.hi().next(), r.hi()));
+                    }
+                }
+            }
+        }
+        self.runs = out;
+    }
+
+    /// Returns the largest `t` such that every tick in `[from, t]` is
+    /// covered, or `None` if `from` itself is not covered.
+    ///
+    /// This is the receiver's *watermark* computation: how far a wire's tick
+    /// account is contiguous starting from the next tick it needs.
+    pub fn contiguous_through(&self, from: VirtualTime) -> Option<VirtualTime> {
+        match self.runs.binary_search_by(|r| r.lo().cmp(&from)) {
+            Ok(i) => Some(self.runs[i].hi()),
+            Err(0) => None,
+            Err(i) => {
+                let r = self.runs[i - 1];
+                r.contains(from).then_some(r.hi())
+            }
+        }
+    }
+
+    /// Returns the gaps (uncovered sub-intervals) inside `within`, in order.
+    ///
+    /// After a failover, the receiver calls this over the range from its
+    /// restored checkpoint time to the present; each returned gap becomes a
+    /// replay request to the corresponding sender (§II.F.4).
+    pub fn gaps_within(&self, within: Interval) -> Vec<Interval> {
+        let mut gaps = Vec::new();
+        let mut cursor = within.lo();
+        for r in &self.runs {
+            if r.hi() < cursor {
+                continue;
+            }
+            if r.lo() > within.hi() {
+                break;
+            }
+            if r.lo() > cursor {
+                gaps.push(Interval::new(cursor, r.lo().prev().min(within.hi())));
+            }
+            if r.hi() >= within.hi() {
+                return gaps;
+            }
+            cursor = r.hi().next();
+        }
+        if cursor <= within.hi() {
+            gaps.push(Interval::new(cursor, within.hi()));
+        }
+        gaps
+    }
+
+    /// Iterates over the normalized runs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.runs.iter().copied()
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for iv in other.iter() {
+            out.insert(iv);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.runs.iter()).finish()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        let mut s = IntervalSet::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+}
+
+impl Extend<Interval> for IntervalSet {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        for iv in iter {
+            self.insert(iv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(vt(lo), vt(hi))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let i = iv(10, 20);
+        assert_eq!(i.len_ticks(), 11);
+        assert!(i.contains(vt(10)) && i.contains(vt(20)));
+        assert!(!i.contains(vt(9)) && !i.contains(vt(21)));
+        assert_eq!(Interval::point(vt(5)).len_ticks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn interval_rejects_inverted_bounds() {
+        let _ = iv(5, 4);
+    }
+
+    #[test]
+    fn overlap_and_touch() {
+        assert!(iv(0, 5).overlaps(iv(5, 9)));
+        assert!(!iv(0, 5).overlaps(iv(6, 9)));
+        assert!(iv(0, 5).touches(iv(6, 9)));
+        assert!(!iv(0, 5).touches(iv(7, 9)));
+        assert_eq!(iv(0, 5).intersect(iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(0, 2).intersect(iv(3, 9)), None);
+    }
+
+    #[test]
+    fn insert_merges_overlapping_and_adjacent() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0, 4));
+        s.insert(iv(10, 14));
+        assert_eq!(s.iter().count(), 2);
+        s.insert(iv(5, 9));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![iv(0, 14)]);
+        assert_eq!(s.len_ticks(), 15);
+    }
+
+    #[test]
+    fn insert_is_order_independent() {
+        let mut a = IntervalSet::new();
+        a.insert(iv(0, 3));
+        a.insert(iv(8, 9));
+        a.insert(iv(4, 7));
+        let mut b = IntervalSet::new();
+        b.insert(iv(4, 7));
+        b.insert(iv(0, 3));
+        b.insert(iv(8, 9));
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![iv(0, 9)]);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let s: IntervalSet = [iv(0, 4), iv(10, 14)].into_iter().collect();
+        assert!(s.contains(vt(0)) && s.contains(vt(4)) && s.contains(vt(12)));
+        assert!(!s.contains(vt(5)) && !s.contains(vt(15)));
+        assert!(s.covers(iv(10, 14)));
+        assert!(s.covers(iv(11, 12)));
+        assert!(!s.covers(iv(3, 11)));
+        assert!(!s.covers(iv(20, 30)));
+    }
+
+    #[test]
+    fn contiguous_through_watermark() {
+        let s: IntervalSet = [iv(0, 4), iv(6, 9)].into_iter().collect();
+        assert_eq!(s.contiguous_through(vt(0)), Some(vt(4)));
+        assert_eq!(s.contiguous_through(vt(3)), Some(vt(4)));
+        assert_eq!(s.contiguous_through(vt(5)), None);
+        assert_eq!(s.contiguous_through(vt(6)), Some(vt(9)));
+        assert_eq!(s.contiguous_through(vt(10)), None);
+        assert_eq!(IntervalSet::new().contiguous_through(vt(0)), None);
+    }
+
+    #[test]
+    fn gaps_within_finds_replay_ranges() {
+        let s: IntervalSet = [iv(5, 9), iv(15, 19)].into_iter().collect();
+        assert_eq!(
+            s.gaps_within(iv(0, 24)),
+            vec![iv(0, 4), iv(10, 14), iv(20, 24)]
+        );
+        assert_eq!(s.gaps_within(iv(5, 9)), vec![]);
+        assert_eq!(s.gaps_within(iv(6, 16)), vec![iv(10, 14)]);
+        assert_eq!(IntervalSet::new().gaps_within(iv(3, 7)), vec![iv(3, 7)]);
+    }
+
+    #[test]
+    fn remove_splits_runs() {
+        let mut s: IntervalSet = [iv(0, 9)].into_iter().collect();
+        s.remove(iv(3, 5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![iv(0, 2), iv(6, 9)]);
+        s.remove(iv(0, 100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_combines() {
+        let a: IntervalSet = [iv(0, 4)].into_iter().collect();
+        let b: IntervalSet = [iv(5, 9), iv(20, 21)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![iv(0, 9), iv(20, 21)]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: IntervalSet = [iv(1, 2)].into_iter().collect();
+        assert!(!format!("{s:?}").is_empty());
+        assert_eq!(format!("{:?}", IntervalSet::new()), "{}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    /// Arbitrary small intervals over a compact tick universe so that overlap
+    /// and adjacency cases are exercised densely.
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (0u64..200, 0u64..20).prop_map(|(lo, len)| Interval::new(vt(lo), vt(lo + len)))
+    }
+
+    fn model_of(ivs: &[Interval]) -> BTreeSet<u64> {
+        let mut m = BTreeSet::new();
+        for iv in ivs {
+            m.extend(iv.lo().as_ticks()..=iv.hi().as_ticks());
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn insert_matches_naive_set_model(ivs in proptest::collection::vec(arb_interval(), 0..30)) {
+            let set: IntervalSet = ivs.iter().copied().collect();
+            let model = model_of(&ivs);
+            prop_assert_eq!(set.len_ticks(), model.len() as u64);
+            for t in 0u64..=230 {
+                prop_assert_eq!(set.contains(vt(t)), model.contains(&t), "tick {}", t);
+            }
+            // Canonical form: sorted, disjoint, non-adjacent.
+            let runs: Vec<_> = set.iter().collect();
+            for w in runs.windows(2) {
+                prop_assert!(w[0].hi().next() < w[1].lo());
+            }
+        }
+
+        #[test]
+        fn insertion_order_is_irrelevant(ivs in proptest::collection::vec(arb_interval(), 0..20)) {
+            let forward: IntervalSet = ivs.iter().copied().collect();
+            let reverse: IntervalSet = ivs.iter().rev().copied().collect();
+            prop_assert_eq!(forward, reverse);
+        }
+
+        #[test]
+        fn gaps_partition_the_window(
+            ivs in proptest::collection::vec(arb_interval(), 0..15),
+            lo in 0u64..200,
+            len in 0u64..60,
+        ) {
+            let set: IntervalSet = ivs.iter().copied().collect();
+            let window = Interval::new(vt(lo), vt(lo + len));
+            let gaps = set.gaps_within(window);
+            // Each gap tick is uncovered; each non-gap tick in the window is covered.
+            let gap_set: IntervalSet = gaps.iter().copied().collect();
+            for t in lo..=lo + len {
+                prop_assert_eq!(gap_set.contains(vt(t)), !set.contains(vt(t)), "tick {}", t);
+            }
+            // Gaps are within the window and sorted.
+            for g in &gaps {
+                prop_assert!(g.lo() >= window.lo() && g.hi() <= window.hi());
+            }
+            for w in gaps.windows(2) {
+                prop_assert!(w[0].hi() < w[1].lo());
+            }
+        }
+
+        #[test]
+        fn remove_then_contains_is_false(
+            ivs in proptest::collection::vec(arb_interval(), 1..15),
+            cut in arb_interval(),
+        ) {
+            let mut set: IntervalSet = ivs.iter().copied().collect();
+            set.remove(cut);
+            for t in cut.lo().as_ticks()..=cut.hi().as_ticks() {
+                prop_assert!(!set.contains(vt(t)));
+            }
+        }
+
+        #[test]
+        fn contiguous_through_agrees_with_scan(
+            ivs in proptest::collection::vec(arb_interval(), 0..15),
+            from in 0u64..230,
+        ) {
+            let set: IntervalSet = ivs.iter().copied().collect();
+            let got = set.contiguous_through(vt(from));
+            let expected = if set.contains(vt(from)) {
+                let mut t = from;
+                while set.contains(vt(t + 1)) {
+                    t += 1;
+                }
+                Some(vt(t))
+            } else {
+                None
+            };
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

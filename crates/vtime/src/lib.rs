@@ -1,0 +1,49 @@
+//! Virtual time primitives for TART (Time-Aware Run-Time).
+//!
+//! TART forces a network of stateful components to execute deterministically
+//! by stamping every message with a *virtual time* and processing messages in
+//! strict virtual-time order. This crate provides the foundational vocabulary
+//! shared by every other crate in the workspace:
+//!
+//! * [`VirtualTime`] / [`VirtualDuration`] — discretized time in *ticks*
+//!   (one tick is one nanosecond, as in the paper's implementation);
+//! * identity newtypes ([`WireId`], [`ComponentId`], [`EngineId`],
+//!   [`PortId`]) used for placement and for deterministic tie-breaking;
+//! * [`EventStamp`] — a totally ordered (virtual time, wire) pair implementing
+//!   the paper's deterministic tie-breaking rule (§II.E, footnote 2);
+//! * [`Interval`] and [`IntervalSet`] — closed tick ranges used to account
+//!   for every tick on a wire as *data* or *silence* (§II.F.1) and to detect
+//!   replay gaps after failures (§II.F.4);
+//! * [`WireClock`] — the per-wire watermark a receiver keeps: how far the
+//!   sender has promised silence, plus the queue of pending data ticks.
+//!
+//! # Example
+//!
+//! ```
+//! use tart_vtime::{VirtualTime, VirtualDuration, WireId, EventStamp};
+//!
+//! let dequeue = VirtualTime::from_ticks(50_000);
+//! let estimate = VirtualDuration::from_ticks(3 * 61_000);
+//! let arrival = dequeue + estimate;
+//! assert_eq!(arrival.as_ticks(), 233_000);
+//!
+//! // Deterministic tie-break: equal times order by wire id.
+//! let a = EventStamp::new(arrival, WireId::new(1));
+//! let b = EventStamp::new(arrival, WireId::new(2));
+//! assert!(a < b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod interval;
+mod stamp;
+mod time;
+mod wire;
+
+pub use ids::{ComponentId, EngineId, PortId, WireId};
+pub use interval::{Interval, IntervalSet};
+pub use stamp::EventStamp;
+pub use time::{VirtualDuration, VirtualTime};
+pub use wire::{WireClock, WireClockError};

@@ -1,0 +1,93 @@
+//! Totally ordered event stamps: virtual time plus deterministic tie-break.
+
+use crate::{VirtualTime, WireId};
+
+/// A totally ordered event identifier: a virtual time plus the wire the
+/// event travels on.
+///
+/// The paper requires that "in the rare event that messages from two
+/// different schedulers arrive at the identical time, there must be a
+/// deterministic tie-breaking rule, e.g. using ID numbers of the wires to
+/// break ties" (§II.E footnote 2). `EventStamp` is exactly that rule,
+/// packaged as a type so schedulers can sort on it directly.
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::{EventStamp, VirtualTime, WireId};
+///
+/// let t = VirtualTime::from_ticks(202_000);
+/// let earlier_wire = EventStamp::new(t, WireId::new(0));
+/// let later_wire = EventStamp::new(t, WireId::new(1));
+/// assert!(earlier_wire < later_wire);
+/// assert!(EventStamp::new(t.prev(), WireId::new(9)) < earlier_wire);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventStamp {
+    /// The virtual time of the event. Compared first.
+    pub vt: VirtualTime,
+    /// The wire carrying the event. Compared second, as the tie-break.
+    pub wire: WireId,
+}
+
+impl EventStamp {
+    /// Creates a stamp from a virtual time and a wire id.
+    pub const fn new(vt: VirtualTime, wire: WireId) -> Self {
+        EventStamp { vt, wire }
+    }
+
+    /// The smallest possible stamp, ordering before every real event.
+    pub const MIN: EventStamp = EventStamp {
+        vt: VirtualTime::ZERO,
+        wire: WireId::new(0),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualTime;
+
+    #[test]
+    fn orders_by_time_first() {
+        let a = EventStamp::new(VirtualTime::from_ticks(10), WireId::new(99));
+        let b = EventStamp::new(VirtualTime::from_ticks(11), WireId::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ties_broken_by_wire_id() {
+        let t = VirtualTime::from_ticks(10);
+        let a = EventStamp::new(t, WireId::new(1));
+        let b = EventStamp::new(t, WireId::new(2));
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn min_orders_first() {
+        let any = EventStamp::new(VirtualTime::from_ticks(1), WireId::new(0));
+        assert!(EventStamp::MIN < any);
+        assert_eq!(EventStamp::MIN, EventStamp::MIN);
+    }
+
+    #[test]
+    fn sorting_a_batch_is_deterministic() {
+        let t1 = VirtualTime::from_ticks(100);
+        let t2 = VirtualTime::from_ticks(200);
+        let mut v = vec![
+            EventStamp::new(t2, WireId::new(0)),
+            EventStamp::new(t1, WireId::new(2)),
+            EventStamp::new(t1, WireId::new(1)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                EventStamp::new(t1, WireId::new(1)),
+                EventStamp::new(t1, WireId::new(2)),
+                EventStamp::new(t2, WireId::new(0)),
+            ]
+        );
+    }
+}

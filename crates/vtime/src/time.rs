@@ -1,0 +1,378 @@
+//! Virtual time and virtual duration newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, measured in ticks since the epoch of a run.
+///
+/// One tick corresponds to one nanosecond, matching the paper's Java
+/// implementation ("in our implementation, a tick is a nanosecond", §II.E).
+/// Virtual time is intended to approximate real time, but correctness only
+/// requires that (a) causally later events carry later virtual times and
+/// (b) all virtual-time computations are deterministic (§II.D).
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::{VirtualTime, VirtualDuration};
+///
+/// let t = VirtualTime::from_micros(50);
+/// assert_eq!(t.as_ticks(), 50_000);
+/// assert_eq!(t + VirtualDuration::from_ticks(1), VirtualTime::from_ticks(50_001));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualTime(u64);
+
+/// A span of virtual time in ticks, e.g. an estimator's predicted compute
+/// or transmission time.
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::VirtualDuration;
+///
+/// let per_iter = VirtualDuration::from_micros(61);
+/// assert_eq!((per_iter * 3).as_ticks(), 183_000);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The start of virtual time (tick zero).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The greatest representable virtual time; used as an "unbounded"
+    /// sentinel for silence promises of finished senders.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates a virtual time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// Creates a virtual time from microseconds (1 µs = 1000 ticks).
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualTime(micros * 1_000)
+    }
+
+    /// Creates a virtual time from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualTime(millis * 1_000_000)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time expressed in (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the immediately following tick, saturating at [`VirtualTime::MAX`].
+    pub const fn next(self) -> Self {
+        VirtualTime(self.0.saturating_add(1))
+    }
+
+    /// Returns the immediately preceding tick, saturating at [`VirtualTime::ZERO`].
+    pub const fn prev(self) -> Self {
+        VirtualTime(self.0.saturating_sub(1))
+    }
+
+    /// Returns the later of `self` and `other`.
+    ///
+    /// This implements the dequeue rule of §II.E: "the dequeued virtual time
+    /// of that new message will be the maximum of its virtual time and" the
+    /// component's current clock.
+    pub fn max_with(self, other: VirtualTime) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the duration elapsed since `earlier`, or `None` if `earlier`
+    /// is actually later than `self`.
+    pub fn since(self, earlier: VirtualTime) -> Option<VirtualDuration> {
+        self.0.checked_sub(earlier.0).map(VirtualDuration)
+    }
+
+    /// Saturating addition of a duration.
+    pub const fn saturating_add(self, d: VirtualDuration) -> Self {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl VirtualDuration {
+    /// The zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+    /// One tick.
+    pub const TICK: VirtualDuration = VirtualDuration(1);
+
+    /// Creates a duration from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualDuration(ticks)
+    }
+
+    /// Creates a duration from microseconds (1 µs = 1000 ticks).
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualDuration(millis * 1_000_000)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this duration expressed in (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` if this duration is zero ticks long.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Creates a duration from a non-negative floating-point tick count,
+    /// rounding to the nearest tick.
+    ///
+    /// Negative and non-finite inputs round to zero; estimates must always
+    /// move virtual time forward, never backward.
+    pub fn from_ticks_f64(ticks: f64) -> Self {
+        if ticks.is_finite() && ticks > 0.0 {
+            VirtualDuration(ticks.round() as u64)
+        } else {
+            VirtualDuration(0)
+        }
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual time overflow: run exceeded ~584 years of ticks"),
+        )
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow: subtracted past tick zero"),
+        )
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual duration overflow"),
+        )
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual duration underflow"),
+        )
+    }
+}
+
+impl SubAssign for VirtualDuration {
+    fn sub_assign(&mut self, rhs: VirtualDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0.checked_mul(rhs).expect("virtual duration overflow"))
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn div(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == VirtualTime::MAX {
+            write!(f, "vt:MAX")
+        } else {
+            write!(f, "vt:{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for VirtualTime {
+    fn from(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+}
+
+impl From<VirtualTime> for u64 {
+    fn from(t: VirtualTime) -> u64 {
+        t.0
+    }
+}
+
+impl From<u64> for VirtualDuration {
+    fn from(ticks: u64) -> Self {
+        VirtualDuration(ticks)
+    }
+}
+
+impl From<VirtualDuration> for u64 {
+    fn from(d: VirtualDuration) -> u64 {
+        d.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(VirtualTime::from_micros(61).as_ticks(), 61_000);
+        assert_eq!(VirtualTime::from_millis(2).as_ticks(), 2_000_000);
+        assert_eq!(VirtualDuration::from_micros(400).as_ticks(), 400_000);
+        assert_eq!(VirtualDuration::from_millis(1).as_ticks(), 1_000_000);
+        assert_eq!(VirtualTime::from_ticks(7).as_micros_f64(), 0.007);
+    }
+
+    #[test]
+    fn paper_example_arrival_times() {
+        // §II.E: messages arriving at Sender1/Sender2 at 50000 and 80000
+        // ticks with sentence lengths 3 and 2 yield arrival times
+        // 233000 and 202000 with a 61000-tick/iteration estimator.
+        let est = VirtualDuration::from_ticks(61_000);
+        let m1 = VirtualTime::from_ticks(50_000) + est * 3;
+        let m2 = VirtualTime::from_ticks(80_000) + est * 2;
+        assert_eq!(m1.as_ticks(), 233_000);
+        assert_eq!(m2.as_ticks(), 202_000);
+        assert!(m2 < m1, "Sender2's message must be processed first");
+    }
+
+    #[test]
+    fn next_prev_saturate() {
+        assert_eq!(VirtualTime::ZERO.prev(), VirtualTime::ZERO);
+        assert_eq!(VirtualTime::MAX.next(), VirtualTime::MAX);
+        assert_eq!(VirtualTime::from_ticks(5).next().as_ticks(), 6);
+        assert_eq!(VirtualTime::from_ticks(5).prev().as_ticks(), 4);
+    }
+
+    #[test]
+    fn dequeue_rule_max_with() {
+        let clock = VirtualTime::from_ticks(233_000);
+        let early_msg = VirtualTime::from_ticks(100_000);
+        let late_msg = VirtualTime::from_ticks(300_000);
+        assert_eq!(early_msg.max_with(clock), clock);
+        assert_eq!(late_msg.max_with(clock), late_msg);
+    }
+
+    #[test]
+    fn since_returns_none_for_future() {
+        let a = VirtualTime::from_ticks(10);
+        let b = VirtualTime::from_ticks(30);
+        assert_eq!(b.since(a), Some(VirtualDuration::from_ticks(20)));
+        assert_eq!(a.since(b), None);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = VirtualDuration::from_ticks(100);
+        assert_eq!((d * 3).as_ticks(), 300);
+        assert_eq!((d / 4).as_ticks(), 25);
+        assert_eq!((d + d).as_ticks(), 200);
+        assert_eq!((d - VirtualDuration::from_ticks(40)).as_ticks(), 60);
+        assert!(VirtualDuration::ZERO.is_zero());
+        assert!(!VirtualDuration::TICK.is_zero());
+    }
+
+    #[test]
+    fn from_ticks_f64_rounds_and_clamps() {
+        assert_eq!(VirtualDuration::from_ticks_f64(1.4).as_ticks(), 1);
+        assert_eq!(VirtualDuration::from_ticks_f64(1.6).as_ticks(), 2);
+        assert_eq!(VirtualDuration::from_ticks_f64(-5.0).as_ticks(), 0);
+        assert_eq!(VirtualDuration::from_ticks_f64(f64::NAN).as_ticks(), 0);
+        assert_eq!(VirtualDuration::from_ticks_f64(f64::INFINITY).as_ticks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_minus_larger_duration_panics() {
+        let _ = VirtualTime::from_ticks(5) - VirtualDuration::from_ticks(6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VirtualTime::from_ticks(42)), "vt:42");
+        assert_eq!(format!("{}", VirtualTime::MAX), "vt:MAX");
+        assert_eq!(format!("{}", VirtualDuration::from_ticks(9)), "9t");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t: VirtualTime = 123u64.into();
+        let back: u64 = t.into();
+        assert_eq!(back, 123);
+        let d: VirtualDuration = 55u64.into();
+        let back: u64 = d.into();
+        assert_eq!(back, 55);
+    }
+}

@@ -1,0 +1,303 @@
+//! Receiver-side per-wire tick accounting.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{EventStamp, VirtualTime, WireId};
+
+/// Errors raised when a sender violates the wire protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireClockError {
+    /// A message arrived whose virtual time is not later than the wire's
+    /// accounted watermark. Senders must emit messages in strictly
+    /// increasing virtual-time order, and may never send data into a range
+    /// they already promised silent.
+    NonMonotonicMessage {
+        /// Virtual time of the offending message.
+        got: VirtualTime,
+        /// Watermark the wire was already accounted through.
+        accounted_through: VirtualTime,
+    },
+}
+
+impl fmt::Display for WireClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireClockError::NonMonotonicMessage {
+                got,
+                accounted_through,
+            } => write!(
+                f,
+                "message at {got} arrived on a wire already accounted through {accounted_through}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireClockError {}
+
+/// Tracks one input wire at a receiver: the pending (not yet dequeued)
+/// messages and the watermark through which every tick is accounted as
+/// either data or silence.
+///
+/// A wire is a reliable FIFO stream in which each tick is either a *data*
+/// tick carrying a message or a *silence* tick (§II.D, §II.F.1). The sender
+/// emits messages in increasing virtual-time order; receiving a message at
+/// time `t` therefore implicitly accounts for every tick up to and including
+/// `t`. Explicit silence promises (lazy, curiosity-driven, or aggressive —
+/// §II.G.3) extend the watermark without data.
+///
+/// The key query for pessimistic scheduling is
+/// [`earliest_possible_stamp`](WireClock::earliest_possible_stamp): the
+/// smallest event stamp any *future or pending* message on this wire can
+/// carry. A competing message is safe to deliver once its stamp is smaller
+/// than that bound for every other wire.
+///
+/// # Example
+///
+/// ```
+/// use tart_vtime::{VirtualTime, WireClock, WireId};
+///
+/// let vt = VirtualTime::from_ticks;
+/// let mut w: WireClock<&str> = WireClock::new(WireId::new(7));
+/// w.push_message(vt(202_000), "from sender 2")?;
+/// assert_eq!(w.accounted_through(), vt(202_000));
+/// assert_eq!(w.earliest_possible_stamp().vt, vt(202_000));
+/// assert_eq!(w.pop(), Some((vt(202_000), "from sender 2")));
+/// // Now empty: the earliest possible future message is one tick past the
+/// // watermark.
+/// assert_eq!(w.earliest_possible_stamp().vt, vt(202_001));
+/// # Ok::<(), tart_vtime::WireClockError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WireClock<T> {
+    id: WireId,
+    pending: VecDeque<(VirtualTime, T)>,
+    /// Every tick `<= accounted` is known to be either silence or a data
+    /// tick already received. Future messages must have `vt > accounted`
+    /// unless they are still queued in `pending`.
+    accounted: VirtualTime,
+    /// Whether tick 0 itself has been accounted for. `accounted == ZERO`
+    /// is ambiguous between "nothing heard yet" and "silent through tick 0";
+    /// this flag disambiguates.
+    heard_anything: bool,
+}
+
+impl<T> WireClock<T> {
+    /// Creates a wire clock with nothing yet accounted for.
+    pub fn new(id: WireId) -> Self {
+        WireClock {
+            id,
+            pending: VecDeque::new(),
+            accounted: VirtualTime::ZERO,
+            heard_anything: false,
+        }
+    }
+
+    /// The wire's identity (also the deterministic tie-breaker).
+    pub fn id(&self) -> WireId {
+        self.id
+    }
+
+    /// The watermark through which every tick is accounted (data or silence).
+    ///
+    /// Returns [`VirtualTime::ZERO`] when nothing has been heard; use
+    /// [`has_heard_anything`](WireClock::has_heard_anything) to distinguish
+    /// that case from an explicit promise of silence through tick zero.
+    pub fn accounted_through(&self) -> VirtualTime {
+        self.accounted
+    }
+
+    /// Whether any message or silence promise has ever arrived.
+    pub fn has_heard_anything(&self) -> bool {
+        self.heard_anything
+    }
+
+    /// Number of pending (received but not yet dequeued) messages.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no messages are pending.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Accepts a data message stamped `vt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireClockError::NonMonotonicMessage`] if `vt` does not lie
+    /// strictly beyond the accounted watermark (equal is allowed only for
+    /// the very first tick ever heard).
+    pub fn push_message(&mut self, vt: VirtualTime, msg: T) -> Result<(), WireClockError> {
+        let min_ok = if self.heard_anything {
+            self.accounted.next()
+        } else {
+            VirtualTime::ZERO
+        };
+        if vt < min_ok {
+            return Err(WireClockError::NonMonotonicMessage {
+                got: vt,
+                accounted_through: self.accounted,
+            });
+        }
+        self.accounted = vt;
+        self.heard_anything = true;
+        self.pending.push_back((vt, msg));
+        Ok(())
+    }
+
+    /// Accepts a promise that the wire is silent through `vt`.
+    ///
+    /// Promises never retract: a promise below the current watermark is a
+    /// harmless no-op (it can legitimately happen when a lazily propagated
+    /// silence races a curiosity reply).
+    pub fn promise_silence_through(&mut self, vt: VirtualTime) {
+        if !self.heard_anything || vt > self.accounted {
+            self.accounted = self.accounted.max(vt);
+            self.heard_anything = true;
+        }
+    }
+
+    /// The smallest event stamp any pending or future message on this wire
+    /// can carry.
+    ///
+    /// * With a pending message, that message's own stamp.
+    /// * Otherwise, one tick past the accounted watermark (or tick zero if
+    ///   nothing has been heard yet).
+    pub fn earliest_possible_stamp(&self) -> EventStamp {
+        match self.pending.front() {
+            Some((vt, _)) => EventStamp::new(*vt, self.id),
+            None => {
+                let vt = if self.heard_anything {
+                    self.accounted.next()
+                } else {
+                    VirtualTime::ZERO
+                };
+                EventStamp::new(vt, self.id)
+            }
+        }
+    }
+
+    /// The stamp of the pending head message, if any.
+    pub fn head_stamp(&self) -> Option<EventStamp> {
+        self.pending
+            .front()
+            .map(|(vt, _)| EventStamp::new(*vt, self.id))
+    }
+
+    /// Removes and returns the pending head message.
+    pub fn pop(&mut self) -> Option<(VirtualTime, T)> {
+        self.pending.pop_front()
+    }
+
+    /// Peeks at the pending head message.
+    pub fn peek(&self) -> Option<(&VirtualTime, &T)> {
+        self.pending.front().map(|(vt, m)| (vt, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    #[test]
+    fn fresh_wire_knows_nothing() {
+        let w: WireClock<u32> = WireClock::new(WireId::new(1));
+        assert!(!w.has_heard_anything());
+        assert!(w.is_idle());
+        assert_eq!(
+            w.earliest_possible_stamp(),
+            EventStamp::new(vt(0), WireId::new(1))
+        );
+    }
+
+    #[test]
+    fn message_advances_watermark() {
+        let mut w = WireClock::new(WireId::new(1));
+        w.push_message(vt(100), "a").unwrap();
+        assert_eq!(w.accounted_through(), vt(100));
+        assert_eq!(w.pending_len(), 1);
+        w.push_message(vt(101), "b").unwrap();
+        assert_eq!(w.accounted_through(), vt(101));
+        assert_eq!(w.pop(), Some((vt(100), "a")));
+        // Popping does not move the watermark back.
+        assert_eq!(w.accounted_through(), vt(101));
+    }
+
+    #[test]
+    fn first_message_may_be_at_tick_zero() {
+        let mut w = WireClock::new(WireId::new(1));
+        w.push_message(vt(0), "boot").unwrap();
+        assert_eq!(w.accounted_through(), vt(0));
+        // But a second message at tick zero is non-monotonic.
+        assert!(w.push_message(vt(0), "dup").is_err());
+    }
+
+    #[test]
+    fn rejects_message_into_promised_silence() {
+        let mut w = WireClock::new(WireId::new(1));
+        w.promise_silence_through(vt(500));
+        let err = w.push_message(vt(300), "late").unwrap_err();
+        assert_eq!(
+            err,
+            WireClockError::NonMonotonicMessage {
+                got: vt(300),
+                accounted_through: vt(500)
+            }
+        );
+        // Error formats meaningfully.
+        assert!(err.to_string().contains("vt:300"));
+        // Boundary: exactly at the watermark is also rejected...
+        assert!(w.push_message(vt(500), "边").is_err());
+        // ...one past it is fine.
+        w.push_message(vt(501), "ok").unwrap();
+    }
+
+    #[test]
+    fn silence_promises_never_retract() {
+        let mut w: WireClock<()> = WireClock::new(WireId::new(1));
+        w.promise_silence_through(vt(500));
+        w.promise_silence_through(vt(300));
+        assert_eq!(w.accounted_through(), vt(500));
+    }
+
+    #[test]
+    fn silence_through_zero_counts_as_heard() {
+        let mut w: WireClock<()> = WireClock::new(WireId::new(4));
+        w.promise_silence_through(vt(0));
+        assert!(w.has_heard_anything());
+        assert_eq!(w.earliest_possible_stamp().vt, vt(1));
+    }
+
+    #[test]
+    fn earliest_possible_stamp_tracks_state() {
+        let mut w = WireClock::new(WireId::new(2));
+        w.promise_silence_through(vt(99));
+        assert_eq!(w.earliest_possible_stamp().vt, vt(100));
+        w.push_message(vt(150), 'x').unwrap();
+        assert_eq!(w.earliest_possible_stamp().vt, vt(150));
+        assert_eq!(w.head_stamp().unwrap().vt, vt(150));
+        w.pop().unwrap();
+        assert_eq!(w.earliest_possible_stamp().vt, vt(151));
+        assert_eq!(w.head_stamp(), None);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut w = WireClock::new(WireId::new(3));
+        for (t, m) in [(10, 'a'), (20, 'b'), (30, 'c')] {
+            w.push_message(vt(t), m).unwrap();
+        }
+        assert_eq!(w.peek(), Some((&vt(10), &'a')));
+        assert_eq!(w.pop(), Some((vt(10), 'a')));
+        assert_eq!(w.pop(), Some((vt(20), 'b')));
+        assert_eq!(w.pop(), Some((vt(30), 'c')));
+        assert_eq!(w.pop(), None);
+    }
+}

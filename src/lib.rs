@@ -1,0 +1,9 @@
+//! TART — Time-Aware Run-Time.
+//!
+//! Umbrella crate re-exporting the public API of [`tart_core`]. See the
+//! repository README for an architecture overview and `DESIGN.md` for the
+//! full system inventory of this ICDCS 2009 reproduction.
+
+#![forbid(unsafe_code)]
+
+pub use tart_core::*;

@@ -73,8 +73,9 @@ pub use tart_stats;
 pub use tart_vtime;
 
 pub use tart_engine::{
-    Cluster, ClusterConfig, EngineMetrics, FaultPlan, Injector, LogicalClock, MessageLog,
-    OutputRecord, Placement, RealClock, ReplicaStore, TimeSource,
+    ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, Cluster, ClusterConfig,
+    EngineMetrics, FailureDetector, FaultPlan, Injector, LogicalClock, MessageLog, OutputRecord,
+    Placement, RealClock, ReplicaStore, SupervisionConfig, SupervisionMetrics, TimeSource,
 };
 pub use tart_estimator::{
     Calibrator, DeterminismFault, Estimator, EstimatorSchedule, EstimatorSpec,
@@ -92,7 +93,10 @@ pub use tart_vtime::{
 
 /// The most common imports, for glob use.
 pub mod prelude {
-    pub use tart_engine::{Cluster, ClusterConfig, FaultPlan, Injector, OutputRecord, Placement};
+    pub use tart_engine::{
+        ChaosOptions, ChaosPlan, Cluster, ClusterConfig, FaultPlan, Injector, OutputRecord,
+        Placement, SupervisionConfig,
+    };
     pub use tart_estimator::{Estimator, EstimatorSpec};
     pub use tart_model::{
         reference, AppSpec, BlockId, CheckpointMode, CkptCell, CkptMap, CkptVec, Component, Ctx,

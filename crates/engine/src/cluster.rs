@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -12,12 +12,18 @@ use tart_estimator::EstimatorSpec;
 use tart_model::{AppSpec, Value};
 use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
 
+use crate::chaos::{ChaosHandle, ChaosPlan};
 use crate::core::{EngineCore, Flow};
-use crate::router::EXTERNAL_ENGINE;
+use crate::router::{EXTERNAL_ENGINE, SUPERVISOR_ENGINE};
+use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
     ClusterConfig, EngineMetrics, Envelope, MessageLog, OutputRecord, Placement, ReplicaStore,
     Router,
 };
+
+/// Cap on envelopes an engine batches per loop iteration, so a saturated
+/// inbox cannot starve heartbeat emission indefinitely.
+const BATCH_LIMIT: usize = 128;
 
 /// Errors raised at deployment time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -166,32 +172,252 @@ struct EngineSlot {
     alive: bool,
 }
 
+/// The thread-safe core of a deployed cluster: everything needed to start,
+/// fail-stop and promote engines. Shared (via `Arc`) between the
+/// user-facing [`Cluster`] handle and the liveness [`Supervisor`] thread so
+/// failover can be driven from either side with identical semantics.
+pub(crate) struct EngineHost {
+    spec: AppSpec,
+    placement: Placement,
+    pub(crate) config: ClusterConfig,
+    pub(crate) router: Router,
+    outputs_tx: Sender<OutputRecord>,
+    engines: Mutex<HashMap<EngineId, EngineSlot>>,
+}
+
+impl EngineHost {
+    /// All deployed engine ids, ascending.
+    pub(crate) fn engine_ids(&self) -> Vec<EngineId> {
+        let mut ids: Vec<EngineId> = self.engines.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Whether `engine` is believed alive (not yet [`EngineHost::kill`]ed).
+    /// An engine that crashed without being killed still reads alive — the
+    /// failure detector exists precisely to notice that case.
+    pub(crate) fn is_alive(&self, engine: EngineId) -> bool {
+        self.engines.lock().get(&engine).is_some_and(|s| s.alive)
+    }
+
+    fn start_engine(&self, id: EngineId) {
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(id, tx.clone());
+        let replica = ReplicaStore::default();
+        let core = EngineCore::new(
+            id,
+            &self.spec,
+            &self.placement,
+            &self.config,
+            self.router.clone(),
+            replica.clone(),
+            self.outputs_tx.clone(),
+        );
+        let metrics = core.metrics_handle();
+        let thread = self.spawn_engine_loop(id, core, rx, false);
+        self.engines.lock().insert(
+            id,
+            EngineSlot {
+                sender: tx,
+                thread: Some(thread),
+                replica,
+                metrics,
+                alive: true,
+            },
+        );
+    }
+
+    /// The engine main loop, shared by fresh starts and promotions: receive
+    /// → handle → pump → drain bookkeeping, plus (when supervision is on)
+    /// periodic heartbeat emission to the supervisor inbox.
+    fn spawn_engine_loop(
+        &self,
+        id: EngineId,
+        mut core: EngineCore,
+        rx: Receiver<Envelope>,
+        restored: bool,
+    ) -> JoinHandle<()> {
+        let mut idle = Duration::from_micros(self.config.idle_poll_micros);
+        let heartbeat = self
+            .config
+            .supervision
+            .as_ref()
+            .map(|s| s.heartbeat_interval);
+        if let Some(interval) = heartbeat {
+            // Wake at least twice per beacon period even if the configured
+            // idle poll is coarser.
+            idle = idle.min(interval / 2).max(Duration::from_micros(50));
+        }
+        let router = self.router.clone();
+        let suffix = if restored { "r" } else { "" };
+        std::thread::Builder::new()
+            .name(format!("tart-engine-{}{suffix}", id.raw()))
+            .spawn(move || {
+                let mut draining = false;
+                let mut seq = 0u64;
+                let mut next_hb = Instant::now();
+                loop {
+                    if let Some(interval) = heartbeat {
+                        let now = Instant::now();
+                        if now >= next_hb {
+                            router.send(SUPERVISOR_ENGINE, Envelope::Heartbeat { engine: id, seq });
+                            seq += 1;
+                            next_hb = now + interval;
+                        }
+                    }
+                    match rx.recv_timeout(idle) {
+                        Ok(env) => {
+                            match core.handle(env) {
+                                Flow::Die => return, // fail-stop: drop everything
+                                Flow::Drain => draining = true,
+                                Flow::Continue => {}
+                            }
+                            // Batch whatever else is already queued (bounded
+                            // so heartbeats keep flowing under load).
+                            for _ in 0..BATCH_LIMIT {
+                                match rx.try_recv() {
+                                    Ok(env) => match core.handle(env) {
+                                        Flow::Die => return,
+                                        Flow::Drain => draining = true,
+                                        Flow::Continue => {}
+                                    },
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            core.on_idle_tick();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                    core.pump();
+                    if draining && core.drain_step() {
+                        core.take_checkpoint();
+                        return;
+                    }
+                }
+            })
+            .expect("spawn engine thread")
+    }
+
+    /// Fail-stops `engine`: its thread exits immediately, losing all state
+    /// and all envelopes in its inbox (the §II.A failure model). Returns
+    /// once the thread is gone.
+    pub(crate) fn kill(&self, engine: EngineId) {
+        self.router.send(engine, Envelope::Die);
+        self.router.deregister(engine);
+        let thread = {
+            let mut engines = self.engines.lock();
+            match engines.get_mut(&engine) {
+                Some(slot) => {
+                    slot.alive = false;
+                    slot.thread.take()
+                }
+                None => None,
+            }
+        };
+        // Join outside the lock: the dying thread never takes it, but other
+        // callers (metrics readers, the supervisor poll) shouldn't wait.
+        if let Some(t) = thread {
+            let _ = t.join();
+        }
+    }
+
+    /// Promotes `engine`'s passive replica: rebuilds the components from the
+    /// checkpoint chain and the determinism-fault log, re-registers the
+    /// inbox, and replays — from upstream retention for internal wires and
+    /// from the message log for external wires (§II.F.3–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is still alive.
+    pub(crate) fn promote(&self, engine: EngineId) {
+        let replica = {
+            let engines = self.engines.lock();
+            let slot = engines.get(&engine).expect("engine was deployed");
+            assert!(
+                !slot.alive,
+                "promote requires a dead engine (call kill first)"
+            );
+            slot.replica.clone()
+        };
+        let chain = replica.chain();
+        let faults = replica.faults();
+
+        let fresh_replica = ReplicaStore::new();
+        let mut core = EngineCore::new(
+            engine,
+            &self.spec,
+            &self.placement,
+            &self.config,
+            self.router.clone(),
+            fresh_replica.clone(),
+            self.outputs_tx.clone(),
+        );
+
+        // Register the new inbox FIRST so the replay responses triggered by
+        // restore (and live traffic) reach the restored engine.
+        let (tx, rx) = unbounded::<Envelope>();
+        self.router.register(engine, tx.clone());
+
+        // Restore state and issue replay requests — to upstream engines for
+        // internal wires, to the log-replay service for external ones.
+        core.restore(&chain, &faults);
+
+        let metrics = core.metrics_handle();
+        let thread = self.spawn_engine_loop(engine, core, rx, true);
+        self.engines.lock().insert(
+            engine,
+            EngineSlot {
+                sender: tx,
+                thread: Some(thread),
+                replica: fresh_replica,
+                metrics,
+                alive: true,
+            },
+        );
+    }
+
+    fn engine_metrics(&self, engine: EngineId) -> Option<EngineMetrics> {
+        self.engines
+            .lock()
+            .get(&engine)
+            .map(|s| s.metrics.lock().clone())
+    }
+
+    fn replica_depth(&self, engine: EngineId) -> usize {
+        self.engines.lock().get(&engine).map_or(0, |s| s.replica.len())
+    }
+}
+
 /// A deployed TART application: engines on threads, passive replicas,
-/// external injectors and collectors, and the failover manager.
+/// external injectors and collectors, and the failover machinery.
 ///
-/// See the crate-level example. The failure drill is:
+/// See the crate-level example. The manual failure drill is:
 ///
 /// ```text
 /// cluster.kill(engine);     // fail-stop: state and in-flight traffic lost
 /// cluster.promote(engine);  // replica restores checkpoint, replays, resumes
 /// ```
+///
+/// With [`ClusterConfig::with_supervision`] the same drill runs
+/// automatically: engines heartbeat a supervisor thread whose failure
+/// detector fail-stops and promotes any engine that goes quiet — no manual
+/// calls required.
 pub struct Cluster {
-    spec: AppSpec,
-    placement: Placement,
-    config: ClusterConfig,
-    router: Router,
-    engines: HashMap<EngineId, EngineSlot>,
+    host: Arc<EngineHost>,
     injectors: HashMap<String, Injector>,
     sources: HashMap<WireId, Arc<Mutex<SourceState>>>,
     log: Arc<Mutex<MessageLog>>,
     outputs_rx: Receiver<OutputRecord>,
-    outputs_tx: Sender<OutputRecord>,
-    supervisor: Option<JoinHandle<()>>,
+    replay_service: Option<JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
 }
 
 impl Cluster {
     /// Deploys `spec` across engines per `placement` and starts every
-    /// engine thread.
+    /// engine thread (plus the liveness supervisor when
+    /// [`ClusterConfig::supervision`] is set).
     ///
     /// # Errors
     ///
@@ -213,30 +439,34 @@ impl Cluster {
             )),
             None => Arc::new(Mutex::new(MessageLog::in_memory())),
         };
-        let mut cluster = Cluster {
+        let host = Arc::new(EngineHost {
             spec,
             placement,
             config,
             router,
-            engines: HashMap::new(),
+            outputs_tx,
+            engines: Mutex::new(HashMap::new()),
+        });
+        let mut cluster = Cluster {
+            host: Arc::clone(&host),
             injectors: HashMap::new(),
             sources: HashMap::new(),
             log,
             outputs_rx,
-            outputs_tx,
+            replay_service: None,
             supervisor: None,
         };
-        for engine in cluster.placement.engines() {
-            cluster.start_engine(engine, None);
+        for engine in host.placement.engines() {
+            host.start_engine(engine);
         }
         // External producers.
-        for w in cluster.spec.external_inputs() {
+        for w in host.spec.external_inputs() {
             let name = match w.from() {
                 tart_model::Endpoint::External { name } => name.clone(),
                 _ => unreachable!("external input wires start externally"),
             };
             let target_component = w.to().component().expect("external inputs feed components");
-            let target = cluster
+            let target = host
                 .placement
                 .engine_of(target_component)
                 .expect("placement covers the app");
@@ -254,21 +484,25 @@ impl Cluster {
                     name,
                     state,
                     log: Arc::clone(&cluster.log),
-                    router: cluster.router.clone(),
-                    clock: Arc::clone(&cluster.config.clock),
+                    router: host.router.clone(),
+                    clock: Arc::clone(&host.config.clock),
                 },
             );
         }
-        cluster.spawn_supervisor();
+        cluster.spawn_replay_service();
+        if let Some(supervision) = host.config.supervision.clone() {
+            cluster.supervisor = Some(Supervisor::start(Arc::clone(&host), supervision));
+        }
         Ok(cluster)
     }
 
-    /// The supervisor answers replay requests for external wires from the
-    /// message log (§II.F.4: external messages "are re-sent from the log").
-    fn spawn_supervisor(&mut self) {
+    /// The replay service answers replay requests for external wires from
+    /// the message log (§II.F.4: external messages "are re-sent from the
+    /// log").
+    fn spawn_replay_service(&mut self) {
         let (tx, rx) = unbounded::<Envelope>();
-        self.router.register(EXTERNAL_ENGINE, tx);
-        let router = self.router.clone();
+        self.host.router.register(EXTERNAL_ENGINE, tx);
+        let router = self.host.router.clone();
         let log = Arc::clone(&self.log);
         let sources: HashMap<WireId, Arc<Mutex<SourceState>>> = self
             .sources
@@ -276,16 +510,17 @@ impl Cluster {
             .map(|(w, s)| (*w, Arc::clone(s)))
             .collect();
         let targets: HashMap<WireId, EngineId> = self
+            .host
             .spec
             .external_inputs()
             .iter()
             .filter_map(|w| {
                 let c = w.to().component()?;
-                Some((w.id(), self.placement.engine_of(c)?))
+                Some((w.id(), self.host.placement.engine_of(c)?))
             })
             .collect();
         let thread = std::thread::Builder::new()
-            .name("tart-supervisor".into())
+            .name("tart-log-replay".into())
             .spawn(move || {
                 while let Ok(env) = rx.recv() {
                     match env {
@@ -333,75 +568,8 @@ impl Cluster {
                     }
                 }
             })
-            .expect("spawn supervisor thread");
-        self.supervisor = Some(thread);
-    }
-
-    fn start_engine(&mut self, id: EngineId, restored: Option<EngineCore>) {
-        let (tx, rx) = unbounded::<Envelope>();
-        self.router.register(id, tx.clone());
-        let replica = restored
-            .as_ref()
-            .map(|_| ReplicaStore::new())
-            .unwrap_or_default();
-        let mut core = match restored {
-            Some(core) => core,
-            None => EngineCore::new(
-                id,
-                &self.spec,
-                &self.placement,
-                &self.config,
-                self.router.clone(),
-                replica.clone(),
-                self.outputs_tx.clone(),
-            ),
-        };
-        let metrics = core.metrics_handle();
-        let idle = Duration::from_micros(self.config.idle_poll_micros);
-        let thread = std::thread::Builder::new()
-            .name(format!("tart-engine-{}", id.raw()))
-            .spawn(move || {
-                let mut draining = false;
-                loop {
-                    match rx.recv_timeout(idle) {
-                        Ok(env) => {
-                            match core.handle(env) {
-                                Flow::Die => return, // fail-stop: drop everything
-                                Flow::Drain => draining = true,
-                                Flow::Continue => {}
-                            }
-                            // Batch whatever else is already queued.
-                            while let Ok(env) = rx.try_recv() {
-                                match core.handle(env) {
-                                    Flow::Die => return,
-                                    Flow::Drain => draining = true,
-                                    Flow::Continue => {}
-                                }
-                            }
-                        }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                            core.on_idle_tick();
-                        }
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                    }
-                    core.pump();
-                    if draining && core.drain_step() {
-                        core.take_checkpoint();
-                        return;
-                    }
-                }
-            })
-            .expect("spawn engine thread");
-        self.engines.insert(
-            id,
-            EngineSlot {
-                sender: tx,
-                thread: Some(thread),
-                replica,
-                metrics,
-                alive: true,
-            },
-        );
+            .expect("spawn log-replay thread");
+        self.replay_service = Some(thread);
     }
 
     /// The injector for the external producer `name`.
@@ -426,16 +594,19 @@ impl Cluster {
 
     /// Triggers an immediate soft checkpoint on `engine`.
     pub fn checkpoint_now(&self, engine: EngineId) {
-        self.router.send(engine, Envelope::Checkpoint);
+        self.host.router.send(engine, Envelope::Checkpoint);
     }
 
     /// Switches the silence propagation strategy on every engine, live.
     /// No determinism fault is needed: only the communication of silence
     /// changes, never which ticks are silent (§II.G.4).
     pub fn set_silence_policy(&self, policy: tart_silence::SilencePolicy) {
-        for (id, slot) in &self.engines {
+        let engines = self.host.engines.lock();
+        for (id, slot) in engines.iter() {
             if slot.alive {
-                self.router.send(*id, Envelope::SetSilencePolicy { policy });
+                self.host
+                    .router
+                    .send(*id, Envelope::SetSilencePolicy { policy });
             }
         }
     }
@@ -443,114 +614,72 @@ impl Cluster {
     /// Installs a re-calibrated estimator for `component` (a determinism
     /// fault, logged before use — §II.G.4).
     pub fn recalibrate(&self, component: ComponentId, spec: EstimatorSpec) {
-        if let Some(engine) = self.placement.engine_of(component) {
-            self.router
+        if let Some(engine) = self.host.placement.engine_of(component) {
+            self.host
+                .router
                 .send(engine, Envelope::Recalibrate { component, spec });
         }
     }
 
-    /// Fail-stops `engine`: its thread exits immediately, losing all state
-    /// and all envelopes in its inbox (the §II.A failure model). Returns
-    /// once the thread is gone.
+    /// Fail-stops `engine` (the manual failure drill; see
+    /// [`EngineHost::kill`]). Under supervision, the supervisor leaves
+    /// manually killed engines alone — recovery stays manual via
+    /// [`Cluster::promote`].
     pub fn kill(&mut self, engine: EngineId) {
-        self.router.send(engine, Envelope::Die);
-        self.router.deregister(engine);
-        if let Some(slot) = self.engines.get_mut(&engine) {
-            slot.alive = false;
-            if let Some(t) = slot.thread.take() {
-                let _ = t.join();
-            }
-        }
+        self.host.kill(engine);
     }
 
-    /// Promotes `engine`'s passive replica: rebuilds the components from the
-    /// checkpoint chain and the determinism-fault log, re-registers the
-    /// inbox, and replays — from upstream retention for internal wires and
-    /// from the message log for external wires (§II.F.3–4).
+    /// Promotes `engine`'s passive replica (the manual recovery drill; see
+    /// [`EngineHost::promote`]).
     ///
     /// # Panics
     ///
     /// Panics if the engine is still alive.
     pub fn promote(&mut self, engine: EngineId) {
-        let slot = self.engines.get(&engine).expect("engine was deployed");
-        assert!(
-            !slot.alive,
-            "promote requires a dead engine (call kill first)"
-        );
-        let replica = slot.replica.clone();
-        let chain = replica.chain();
-        let faults = replica.faults();
+        self.host.promote(engine);
+    }
 
-        let fresh_replica = ReplicaStore::new();
-        let mut core = EngineCore::new(
-            engine,
-            &self.spec,
-            &self.placement,
-            &self.config,
-            self.router.clone(),
-            fresh_replica.clone(),
-            self.outputs_tx.clone(),
-        );
-
-        // Register the new inbox FIRST so the replay responses triggered by
-        // restore (and live traffic) reach the restored engine.
-        let (tx, rx) = unbounded::<Envelope>();
-        self.router.register(engine, tx.clone());
-
-        // Restore state and issue replay requests — to upstream engines for
-        // internal wires, to the supervisor (message log) for external ones.
-        core.restore(&chain, &faults);
-
-        // Spawn the thread around the restored core.
-        let metrics = core.metrics_handle();
-        let idle = Duration::from_micros(self.config.idle_poll_micros);
-        let thread = std::thread::Builder::new()
-            .name(format!("tart-engine-{}r", engine.raw()))
-            .spawn(move || {
-                let mut draining = false;
-                loop {
-                    match rx.recv_timeout(idle) {
-                        Ok(env) => match core.handle(env) {
-                            Flow::Die => return,
-                            Flow::Drain => draining = true,
-                            Flow::Continue => {}
-                        },
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => core.on_idle_tick(),
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                    }
-                    core.pump();
-                    if draining && core.drain_step() {
-                        core.take_checkpoint();
-                        return;
-                    }
-                }
-            })
-            .expect("spawn engine thread");
-        self.engines.insert(
-            engine,
-            EngineSlot {
-                sender: tx,
-                thread: Some(thread),
-                replica: fresh_replica,
-                metrics,
-                alive: true,
-            },
-        );
+    /// All deployed engine ids, ascending.
+    pub fn engine_ids(&self) -> Vec<EngineId> {
+        self.host.engine_ids()
     }
 
     /// A snapshot of `engine`'s metrics.
     pub fn engine_metrics(&self, engine: EngineId) -> Option<EngineMetrics> {
-        self.engines.get(&engine).map(|s| s.metrics.lock().clone())
+        self.host.engine_metrics(engine)
+    }
+
+    /// A snapshot of the liveness supervisor's counters, when supervision
+    /// is enabled.
+    pub fn supervision_metrics(&self) -> Option<SupervisionMetrics> {
+        self.supervisor.as_ref().map(|s| s.metrics())
     }
 
     /// `(dropped, duplicated)` counts from the link fault injector.
     pub fn fault_counts(&self) -> (u64, u64) {
-        self.router.fault_counts()
+        self.host.router.fault_counts()
     }
 
     /// Number of checkpoints currently held by `engine`'s replica.
     pub fn replica_depth(&self, engine: EngineId) -> usize {
-        self.engines.get(&engine).map_or(0, |s| s.replica.len())
+        self.host.replica_depth(engine)
+    }
+
+    /// Starts a background chaos driver executing `plan` against this
+    /// cluster: crashes are injected as unannounced fail-stops that the
+    /// supervisor must detect and recover, partitions and latency spikes
+    /// disturb payload links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if supervision is not enabled — without a failure detector,
+    /// injected crashes would never be recovered.
+    pub fn launch_chaos(&self, plan: ChaosPlan) -> ChaosHandle {
+        let supervisor = self
+            .supervisor
+            .as_ref()
+            .expect("launch_chaos requires ClusterConfig::with_supervision");
+        crate::chaos::launch(self.host.router.clone(), supervisor.metrics_handle(), plan)
     }
 
     /// Non-blocking drain of whatever outputs have been produced so far.
@@ -562,21 +691,30 @@ impl Cluster {
     /// outputs (including any recovery stutter — see
     /// [`Cluster::dedup_outputs`]).
     pub fn shutdown(mut self) -> Vec<OutputRecord> {
-        for slot in self.engines.values() {
-            if slot.alive {
-                let _ = slot.sender.send(Envelope::Drain);
+        // Stop the liveness supervisor FIRST: draining engines stop
+        // heartbeating, and the detector must not "recover" them mid-exit.
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.stop();
+        }
+        {
+            let engines = self.host.engines.lock();
+            for slot in engines.values() {
+                if slot.alive {
+                    let _ = slot.sender.send(Envelope::Drain);
+                }
             }
         }
-        for slot in self.engines.values_mut() {
-            if let Some(t) = slot.thread.take() {
-                let _ = t.join();
-            }
-        }
-        self.router.send(EXTERNAL_ENGINE, Envelope::Die);
-        if let Some(t) = self.supervisor.take() {
+        let threads: Vec<JoinHandle<()>> = {
+            let mut engines = self.host.engines.lock();
+            engines.values_mut().filter_map(|s| s.thread.take()).collect()
+        };
+        for t in threads {
             let _ = t.join();
         }
-        drop(self.outputs_tx);
+        self.host.router.send(EXTERNAL_ENGINE, Envelope::Die);
+        if let Some(t) = self.replay_service.take() {
+            let _ = t.join();
+        }
         self.outputs_rx.try_iter().collect()
     }
 
@@ -594,8 +732,9 @@ impl Cluster {
 impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cluster")
-            .field("engines", &self.engines.len())
+            .field("engines", &self.host.engines.lock().len())
             .field("injectors", &self.injectors.len())
+            .field("supervised", &self.supervisor.is_some())
             .finish()
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use tart_estimator::EstimatorSpec;
 use tart_model::{AppSpec, BlockId};
@@ -83,6 +84,56 @@ impl Placement {
     }
 }
 
+/// Failure-detector tuning for the self-healing supervisor.
+///
+/// Engines emit [`crate::Envelope::Heartbeat`] beacons every
+/// `heartbeat_interval`; the supervisor suspects an engine when either its
+/// phi-accrual score crosses `phi_threshold` or no beacon has arrived for
+/// `suspicion_timeout` (the hard bound). A suspected engine is fail-stopped
+/// and its replica promoted automatically — the same kill → promote →
+/// replay path as a manual failover, so a false positive costs a recovery,
+/// never correctness.
+#[derive(Clone, Debug)]
+pub struct SupervisionConfig {
+    /// How often each engine emits a liveness heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Hard bound: an engine unheard-from for this long is declared failed
+    /// regardless of the phi score.
+    pub suspicion_timeout: Duration,
+    /// Phi-accrual suspicion threshold (à la Hayashibara et al.); `None`
+    /// falls back to the plain `suspicion_timeout` detector.
+    pub phi_threshold: Option<f64>,
+    /// How often the supervisor re-evaluates liveness between beacons.
+    pub poll_interval: Duration,
+}
+
+impl Default for SupervisionConfig {
+    /// Production-flavoured: 250 ms beacons, 2 s hard timeout, phi 8.
+    fn default() -> Self {
+        SupervisionConfig {
+            heartbeat_interval: Duration::from_millis(250),
+            suspicion_timeout: Duration::from_secs(2),
+            phi_threshold: Some(8.0),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Test-flavoured: tight intervals so failover completes in tens of
+    /// milliseconds. The suspicion timeout still leaves generous headroom
+    /// over the beacon period to ride out scheduler hiccups on loaded CI
+    /// machines.
+    pub fn fast() -> Self {
+        SupervisionConfig {
+            heartbeat_interval: Duration::from_millis(10),
+            suspicion_timeout: Duration::from_millis(400),
+            phi_threshold: Some(8.0),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
 /// Cluster-wide runtime tuning (§II.G's controls).
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -130,6 +181,10 @@ pub struct ClusterConfig {
     /// regression on block 0 and installed as a determinism fault.
     /// `None` disables measurement entirely (no timing overhead).
     pub auto_recalibrate_after: Option<u64>,
+    /// Heartbeat-driven automatic failover. `None` (the default) keeps the
+    /// original manual drill — [`crate::Cluster::kill`] then
+    /// [`crate::Cluster::promote`] — as the only recovery path.
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl ClusterConfig {
@@ -148,6 +203,7 @@ impl ClusterConfig {
             idle_poll_micros: 200,
             log_path: None,
             auto_recalibrate_after: None,
+            supervision: None,
         }
     }
 
@@ -203,6 +259,22 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables heartbeat-driven automatic failover (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suspicion timeout does not exceed the heartbeat
+    /// interval — such a detector would suspect healthy engines between
+    /// beacons.
+    pub fn with_supervision(mut self, supervision: SupervisionConfig) -> Self {
+        assert!(
+            supervision.suspicion_timeout > supervision.heartbeat_interval,
+            "suspicion timeout must exceed the heartbeat interval"
+        );
+        self.supervision = Some(supervision);
+        self
+    }
+
     /// Sets the checkpoint interval (builder style).
     ///
     /// # Panics
@@ -245,6 +317,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("silence", &self.silence)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("estimators", &self.estimators.len())
+            .field("supervision", &self.supervision)
             .finish()
     }
 }
@@ -326,5 +399,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_checkpoint_interval_rejected() {
         let _ = ClusterConfig::logical_time().with_checkpoint_every(0);
+    }
+
+    #[test]
+    fn supervision_is_off_by_default_and_opt_in() {
+        let cfg = ClusterConfig::logical_time();
+        assert!(cfg.supervision.is_none(), "manual failover is the default");
+        let cfg = cfg.with_supervision(SupervisionConfig::fast());
+        let s = cfg.supervision.expect("enabled");
+        assert!(s.suspicion_timeout > s.heartbeat_interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspicion timeout must exceed")]
+    fn degenerate_supervision_rejected() {
+        let _ = ClusterConfig::logical_time().with_supervision(SupervisionConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            suspicion_timeout: Duration::from_millis(50),
+            phi_threshold: None,
+            poll_interval: Duration::from_millis(5),
+        });
     }
 }

@@ -386,6 +386,9 @@ impl EngineCore {
                 self.pump();
                 Flow::Continue
             }
+            // Heartbeats are addressed to the supervisor inbox, never to an
+            // engine; one arriving here (a mis-route) is ignored.
+            Envelope::Heartbeat { .. } => Flow::Continue,
             Envelope::Die => Flow::Die,
             Envelope::Drain => Flow::Drain,
         }

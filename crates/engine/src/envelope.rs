@@ -6,7 +6,7 @@ use tart_estimator::EstimatorSpec;
 use tart_model::Value;
 use tart_silence::SilencePolicy;
 use tart_vtime::ComponentId;
-use tart_vtime::{VirtualTime, WireId};
+use tart_vtime::{EngineId, VirtualTime, WireId};
 
 /// Everything that travels between engines (and from injectors into
 /// engines).
@@ -113,6 +113,17 @@ pub enum Envelope {
         /// The replacement estimator.
         spec: EstimatorSpec,
     },
+    /// Periodic liveness beacon from an engine to the cluster supervisor.
+    /// Travels the reliable control plane (never fault-injected): the
+    /// failure detector must only suspect engines that actually stopped,
+    /// not engines behind a lossy payload link.
+    Heartbeat {
+        /// The engine reporting in.
+        engine: EngineId,
+        /// Monotone per-incarnation sequence number (restarts from zero
+        /// after failover, letting the supervisor spot the new incarnation).
+        seq: u64,
+    },
 }
 
 impl Envelope {
@@ -149,6 +160,7 @@ const TAG_DRAIN: u8 = 8;
 const TAG_RECALIBRATE: u8 = 9;
 const TAG_EOS: u8 = 10;
 const TAG_SET_SILENCE: u8 = 11;
+const TAG_HEARTBEAT: u8 = 12;
 
 impl Encode for Envelope {
     fn encode(&self, buf: &mut BytesMut) {
@@ -220,6 +232,11 @@ impl Encode for Envelope {
                 buf.put_u8(TAG_SET_SILENCE);
                 policy.encode(buf);
             }
+            Envelope::Heartbeat { engine, seq } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                engine.encode(buf);
+                seq.encode(buf);
+            }
         }
     }
 }
@@ -268,6 +285,10 @@ impl Decode for Envelope {
             }),
             TAG_SET_SILENCE => Ok(Envelope::SetSilencePolicy {
                 policy: SilencePolicy::decode(r)?,
+            }),
+            TAG_HEARTBEAT => Ok(Envelope::Heartbeat {
+                engine: EngineId::decode(r)?,
+                seq: u64::decode(r)?,
             }),
             tag => Err(DecodeError::InvalidTag {
                 tag,
@@ -331,6 +352,10 @@ mod tests {
             Envelope::SetSilencePolicy {
                 policy: tart_silence::SilencePolicy::Curiosity,
             },
+            Envelope::Heartbeat {
+                engine: EngineId::new(5),
+                seq: u64::MAX,
+            },
         ];
         for env in variants {
             let bytes = env.to_bytes();
@@ -388,6 +413,14 @@ mod tests {
         }
         .faultable());
         assert!(!Envelope::Checkpoint.faultable());
+        assert!(
+            !Envelope::Heartbeat {
+                engine: EngineId::new(0),
+                seq: 1
+            }
+            .faultable(),
+            "the failure detector must not be confused by injected link faults"
+        );
     }
 
     #[test]

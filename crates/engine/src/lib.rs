@@ -18,6 +18,11 @@
 //! * **Failover** — [`Cluster::kill`] fail-stops an engine (state and
 //!   in-flight messages lost); [`Cluster::promote`] restores its replica
 //!   from the checkpoint chain.
+//! * **Supervision** — with [`ClusterConfig::with_supervision`], engines
+//!   heartbeat a supervisor thread whose phi-accrual failure detector runs
+//!   the same kill → promote → replay drill automatically; the seeded
+//!   chaos harness ([`ChaosPlan`]) soak-tests that path with unannounced
+//!   crashes, link partitions and latency spikes.
 //! * **Replay** — the restored engine asks each upstream for the tick
 //!   ranges it is missing; senders resend from in-memory retention buffers
 //!   (or the log, for external wires), and duplicates are discarded by
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod checkpoint;
 mod clock;
 mod cluster;
@@ -59,13 +65,16 @@ mod log;
 pub mod net;
 mod retention;
 mod router;
+mod supervise;
 
+pub use chaos::{ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport};
 pub use checkpoint::{EngineCheckpoint, ReplicaStore};
 pub use clock::{LogicalClock, RealClock, TimeSource};
 pub use cluster::{Cluster, DeployError, Injector};
-pub use config::{ClusterConfig, Placement};
+pub use config::{ClusterConfig, Placement, SupervisionConfig};
 pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord};
 pub use envelope::Envelope;
 pub use log::{LogError, MessageLog};
 pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
+pub use supervise::{FailureDetector, SupervisionMetrics};

@@ -1,7 +1,9 @@
 //! Inter-engine message routing with fault injection.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
@@ -12,6 +14,11 @@ use tart_vtime::EngineId;
 /// service that answers replay requests for *external* wires from the
 /// message log.
 pub(crate) const EXTERNAL_ENGINE: EngineId = EngineId::new(u32::MAX);
+
+/// Sentinel engine id under which the liveness supervisor registers: the
+/// inbox that collects [`Envelope::Heartbeat`] beacons and drives automatic
+/// failover.
+pub(crate) const SUPERVISOR_ENGINE: EngineId = EngineId::new(u32::MAX - 1);
 
 use crate::Envelope;
 
@@ -57,6 +64,10 @@ impl FaultPlan {
 pub struct Router {
     targets: Arc<RwLock<HashMap<EngineId, Sender<Envelope>>>>,
     faults: Arc<Mutex<FaultState>>,
+    /// Fast-path guard: set whenever any partition or latency injection is
+    /// configured, so fault-free sends never take the chaos lock.
+    chaos_active: Arc<AtomicBool>,
+    chaos: Arc<Mutex<ChaosState>>,
 }
 
 struct FaultState {
@@ -64,6 +75,19 @@ struct FaultState {
     rng: DetRng,
     dropped: u64,
     duplicated: u64,
+}
+
+/// Scheduled link disturbance toward one engine (chaos harness).
+#[derive(Clone, Copy, Default)]
+struct LinkChaos {
+    partitioned: bool,
+    latency: Duration,
+}
+
+#[derive(Default)]
+struct ChaosState {
+    links: HashMap<EngineId, LinkChaos>,
+    partition_drops: u64,
 }
 
 impl Router {
@@ -78,6 +102,8 @@ impl Router {
                 dropped: 0,
                 duplicated: 0,
             })),
+            chaos_active: Arc::new(AtomicBool::new(false)),
+            chaos: Arc::new(Mutex::new(ChaosState::default())),
         }
     }
 
@@ -95,9 +121,26 @@ impl Router {
 
     /// Sends `env` to `engine`. Envelopes to unknown/dead engines are
     /// dropped silently (in-transit loss at failure). Faultable envelopes
-    /// pass through the fault plan.
+    /// pass through the fault plan and any active partition/latency chaos;
+    /// control-plane traffic is never disturbed.
     pub fn send(&self, engine: EngineId, env: Envelope) {
         if env.faultable() {
+            if self.chaos_active.load(Ordering::Relaxed) {
+                let delay = {
+                    let mut c = self.chaos.lock();
+                    let link = c.links.get(&engine).copied().unwrap_or_default();
+                    if link.partitioned {
+                        c.partition_drops += 1;
+                        return;
+                    }
+                    link.latency
+                };
+                if !delay.is_zero() {
+                    // Sender-side stall: the paying cost lands on the
+                    // sending engine, like a congested egress link.
+                    std::thread::sleep(delay);
+                }
+            }
             let mut f = self.faults.lock();
             if !f.plan.is_noop() {
                 let roll = f.rng.next_f64();
@@ -115,6 +158,37 @@ impl Router {
             }
         }
         self.raw_send(engine, env);
+    }
+
+    /// Starts or stops dropping payload traffic toward `engine` — a
+    /// one-directional link partition. Control-plane envelopes (heartbeats,
+    /// replay coordination) still flow, so a partition causes message loss
+    /// that gap detection must recover, never a spurious failover.
+    pub fn set_partition(&self, engine: EngineId, active: bool) {
+        let mut c = self.chaos.lock();
+        c.links.entry(engine).or_default().partitioned = active;
+        self.refresh_chaos_flag(&c);
+    }
+
+    /// Sets an artificial sender-side delay on payload traffic toward
+    /// `engine` ([`Duration::ZERO`] clears it).
+    pub fn set_latency(&self, engine: EngineId, delay: Duration) {
+        let mut c = self.chaos.lock();
+        c.links.entry(engine).or_default().latency = delay;
+        self.refresh_chaos_flag(&c);
+    }
+
+    fn refresh_chaos_flag(&self, c: &ChaosState) {
+        let active = c
+            .links
+            .values()
+            .any(|l| l.partitioned || !l.latency.is_zero());
+        self.chaos_active.store(active, Ordering::Relaxed);
+    }
+
+    /// Number of payload envelopes dropped by link partitions.
+    pub fn partition_drops(&self) -> u64 {
+        self.chaos.lock().partition_drops
     }
 
     fn raw_send(&self, engine: EngineId, env: Envelope) {
@@ -247,6 +321,53 @@ mod tests {
         // But all data dies under drop_prob = 1.
         router.send(EngineId::new(0), data(1));
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn partition_blocks_payload_but_not_control() {
+        let router = Router::new(FaultPlan::none());
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        router.set_partition(EngineId::new(0), true);
+        router.send(EngineId::new(0), data(1));
+        router.send(
+            EngineId::new(0),
+            Envelope::Heartbeat {
+                engine: EngineId::new(0),
+                seq: 0,
+            },
+        );
+        let got: Vec<Envelope> = rx.try_iter().collect();
+        assert_eq!(
+            got,
+            vec![Envelope::Heartbeat {
+                engine: EngineId::new(0),
+                seq: 0
+            }],
+            "partition drops data, control plane flows"
+        );
+        assert_eq!(router.partition_drops(), 1);
+
+        router.set_partition(EngineId::new(0), false);
+        router.send(EngineId::new(0), data(2));
+        assert_eq!(rx.try_recv().unwrap(), data(2), "healed link delivers");
+        assert_eq!(router.partition_drops(), 1);
+    }
+
+    #[test]
+    fn latency_delays_but_delivers() {
+        let router = Router::new(FaultPlan::none());
+        let (tx, rx) = unbounded();
+        router.register(EngineId::new(0), tx);
+        router.set_latency(EngineId::new(0), std::time::Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        router.send(EngineId::new(0), data(1));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        assert_eq!(rx.try_recv().unwrap(), data(1));
+        router.set_latency(EngineId::new(0), std::time::Duration::ZERO);
+        let t1 = std::time::Instant::now();
+        router.send(EngineId::new(0), data(2));
+        assert!(t1.elapsed() < std::time::Duration::from_millis(20));
     }
 
     #[test]

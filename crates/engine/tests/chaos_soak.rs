@@ -1,0 +1,212 @@
+//! Chaos soak: a supervised cluster absorbs seeded crashes, partitions and
+//! latency spikes with **zero manual intervention**, and its deduplicated
+//! outputs are byte-identical to a failure-free run.
+//!
+//! This is the paper's transparency claim under the harshest harness the
+//! repo has: the supervisor's phi-accrual failure detector must notice each
+//! unannounced fail-stop from missing heartbeats alone and run the
+//! kill → promote → replay drill on its own, while the chaos driver is
+//! simultaneously dropping and delaying payload traffic.
+
+use std::time::{Duration, Instant};
+
+use tart_engine::{
+    ChaosOptions, ChaosPlan, Cluster, ClusterConfig, OutputRecord, Placement, SupervisionConfig,
+};
+use tart_estimator::EstimatorSpec;
+use tart_model::reference::{self, fan_in_app};
+use tart_model::{AppSpec, BlockId, Value};
+use tart_vtime::EngineId;
+
+fn paper_config(spec: &AppSpec) -> ClusterConfig {
+    let mut config = ClusterConfig::logical_time().with_checkpoint_every(2);
+    for c in spec.components() {
+        let est = if c.name().starts_with("Sender") {
+            EstimatorSpec::per_iteration(reference::SENDER_LOOP_BLOCK, 61_000)
+        } else {
+            EstimatorSpec::per_iteration(BlockId(0), 400_000)
+        };
+        config = config.with_estimator(c.id(), est);
+    }
+    config
+}
+
+fn two_engine_placement(spec: &AppSpec) -> Placement {
+    let mut p = Placement::new();
+    for c in spec.components() {
+        let engine = if c.name() == "Merger" { 1 } else { 0 };
+        p.assign(c.id(), EngineId::new(engine));
+    }
+    p
+}
+
+const SENTENCES: &[(&str, &str)] = &[
+    ("client1", "alpha beta gamma"),
+    ("client2", "beta gamma delta"),
+    ("client1", "gamma delta epsilon"),
+    ("client2", "delta epsilon alpha"),
+    ("client1", "epsilon alpha beta"),
+    ("client2", "alpha beta gamma delta"),
+    ("client1", "beta delta"),
+    ("client2", "gamma epsilon alpha beta"),
+    ("client1", "delta alpha"),
+    ("client2", "epsilon beta gamma"),
+];
+
+fn normalize(outputs: Vec<OutputRecord>) -> Vec<(u64, String)> {
+    Cluster::dedup_outputs(outputs)
+        .into_iter()
+        .map(|o| (o.vt.as_ticks(), o.payload.to_string()))
+        .collect()
+}
+
+/// The reference: same workload, same pacing, no supervision, no chaos.
+fn failure_free_run(pace: Duration) -> Vec<(u64, String)> {
+    let spec = fan_in_app(2).expect("valid app");
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), paper_config(&spec))
+            .expect("deploys");
+    for (client, sentence) in SENTENCES {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+        std::thread::sleep(pace);
+    }
+    cluster.finish_inputs();
+    normalize(cluster.shutdown())
+}
+
+/// Soaks a supervised cluster under a seeded chaos plan and returns the
+/// normalized outputs. Panics if any crash went unrecovered.
+fn chaos_run(seed: u64, opts: &ChaosOptions, pace: Duration) -> Vec<(u64, String)> {
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec).with_supervision(SupervisionConfig::fast());
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+
+    let plan = ChaosPlan::generate(seed, &cluster.engine_ids(), opts);
+    let chaos = cluster.launch_chaos(plan);
+
+    // Inject the workload while the cluster is being tormented. No kill(),
+    // no promote() — recovery is entirely the supervisor's job.
+    for (client, sentence) in SENTENCES {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+        std::thread::sleep(pace);
+    }
+
+    let report = chaos.wait();
+    assert_eq!(
+        report.unrecovered, 0,
+        "every injected crash must be auto-recovered (report: {report:?})"
+    );
+    assert_eq!(u64::from(opts.crashes), report.crashes);
+
+    let metrics = cluster
+        .supervision_metrics()
+        .expect("supervision is enabled");
+    assert!(
+        metrics.failovers >= u64::from(opts.crashes),
+        "one automatic failover per crash at least, got {metrics:?}"
+    );
+    assert!(metrics.heartbeats_seen > 0, "engines heartbeat");
+
+    cluster.finish_inputs();
+    normalize(cluster.shutdown())
+}
+
+#[test]
+fn chaos_soak_outputs_match_failure_free_run() {
+    let opts = ChaosOptions {
+        duration: Duration::from_millis(2_500),
+        crashes: 2,
+        partitions: 2,
+        latency_spikes: 2,
+        max_latency: Duration::from_millis(20),
+        disturbance_len: Duration::from_millis(150),
+    };
+    // Pace the workload across the chaos window so disturbances land
+    // mid-stream, not after the fact.
+    let pace = Duration::from_millis(200);
+
+    let clean = failure_free_run(pace);
+    assert_eq!(clean.len(), SENTENCES.len(), "reference run is complete");
+
+    let tormented = chaos_run(0xC4A05, &opts, pace);
+    assert_eq!(
+        clean, tormented,
+        "deduplicated chaos outputs must be byte-identical to the failure-free run"
+    );
+}
+
+#[test]
+fn fast_preset_smoke() {
+    // The CI smoke configuration: sub-second, one of each disturbance.
+    let pace = Duration::from_millis(80);
+    let clean = failure_free_run(pace);
+    let tormented = chaos_run(7, &ChaosOptions::fast(), pace);
+    assert_eq!(clean, tormented);
+}
+
+#[test]
+fn supervised_cluster_is_transparent_when_nothing_fails() {
+    // Supervision alone must not disturb outputs (heartbeats ride the
+    // control plane; the detector never fires on a healthy cluster).
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec).with_supervision(SupervisionConfig::fast());
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+    for (client, sentence) in SENTENCES {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    // Give the detector time to misbehave if it were going to.
+    std::thread::sleep(Duration::from_millis(300));
+    cluster.finish_inputs();
+    let metrics = cluster.supervision_metrics().expect("supervision on");
+    assert!(metrics.heartbeats_seen > 0);
+    let outs = normalize(cluster.shutdown());
+    assert_eq!(outs, failure_free_run(Duration::ZERO));
+}
+
+#[test]
+fn manual_kills_stay_manual_under_supervision() {
+    // A deliberate fail-stop (operator action) must NOT be auto-recovered:
+    // the supervisor only owns engines it believes alive.
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec).with_supervision(SupervisionConfig::fast());
+    let mut cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+    for (client, sentence) in &SENTENCES[..4] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.kill(EngineId::new(1));
+
+    // Well past the suspicion timeout: still no automatic failover.
+    let deadline = Instant::now() + Duration::from_millis(600);
+    while Instant::now() < deadline {
+        let m = cluster.supervision_metrics().expect("supervision on");
+        assert_eq!(m.failovers, 0, "manual kill must not be auto-promoted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    cluster.promote(EngineId::new(1));
+    for (client, sentence) in &SENTENCES[4..] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    cluster.finish_inputs();
+    let outs = normalize(cluster.shutdown());
+    assert_eq!(outs, failure_free_run(Duration::ZERO), "recovery transparent");
+}

@@ -1,5 +1,5 @@
 //! Transparent recovery: kill an engine mid-stream and watch replay make it
-//! invisible.
+//! invisible — first by hand, then fully automatically.
 //!
 //! The Fig 1 application is deployed across two engines (senders on engine
 //! 0, merger on engine 1), each with a passive replica receiving soft
@@ -9,6 +9,11 @@
 //! log to replay the ticks it is missing, re-executes deterministically,
 //! and the consumer sees (after dropping stuttered duplicates by timestamp)
 //! exactly the failure-free output.
+//!
+//! The final act hands the same drill to the runtime itself: with
+//! supervision enabled, engines heartbeat a supervisor whose phi-accrual
+//! failure detector notices an unannounced crash (injected here by a seeded
+//! chaos plan) and runs kill → promote on its own.
 //!
 //! Run with:
 //!
@@ -20,7 +25,7 @@ use std::time::Duration;
 
 use tart::prelude::*;
 use tart::reference::{self, SENDER_LOOP_BLOCK};
-use tart::Cluster;
+use tart::{ChaosOptions, ChaosPlan, Cluster};
 
 fn config(spec: &AppSpec) -> ClusterConfig {
     let mut config = ClusterConfig::logical_time().with_checkpoint_every(2);
@@ -83,6 +88,43 @@ fn run(fail: bool) -> Vec<(u64, String)> {
         .collect()
 }
 
+/// The same workload on a *supervised* cluster: a seeded chaos plan crashes
+/// an engine unannounced; the heartbeat failure detector notices and runs
+/// the drill with no operator in the loop.
+fn supervised_run() -> Vec<(u64, String)> {
+    let spec = reference::fan_in_app(2).expect("valid topology");
+    let config = config(&spec).with_supervision(SupervisionConfig::fast());
+    let cluster = Cluster::deploy(spec.clone(), placement(&spec), config).expect("deploys");
+
+    let plan = ChaosPlan::generate(42, &cluster.engine_ids(), &ChaosOptions::fast());
+    println!("  chaos plan (seed 42): {} events", plan.events.len());
+    let chaos = cluster.launch_chaos(plan);
+
+    for (client, sentence) in SENTENCES {
+        cluster
+            .injector(client)
+            .expect("client exists")
+            .send(Value::from(*sentence));
+        std::thread::sleep(Duration::from_millis(80));
+    }
+    let report = chaos.wait();
+    let metrics = cluster.supervision_metrics().expect("supervision on");
+    println!(
+        "  chaos: {} crash(es), {} partition(s), {} latency spike(s), {} unrecovered",
+        report.crashes, report.partitions, report.latency_spikes, report.unrecovered
+    );
+    println!(
+        "  supervisor: {} heartbeats seen, {} suspicion(s), {} automatic failover(s)",
+        metrics.heartbeats_seen, metrics.suspicions, metrics.failovers
+    );
+    assert_eq!(report.unrecovered, 0, "supervisor must recover every crash");
+    cluster.finish_inputs();
+    Cluster::dedup_outputs(cluster.shutdown())
+        .into_iter()
+        .map(|o| (o.vt.as_ticks(), o.payload.to_string()))
+        .collect()
+}
+
 fn main() {
     println!("failure-free run:");
     let clean = run(false);
@@ -90,7 +132,7 @@ fn main() {
         println!("  vt:{vt} → {payload}");
     }
 
-    println!("\nrun with mid-stream engine failure + promotion:");
+    println!("\nrun with mid-stream engine failure + manual promotion:");
     let recovered = run(true);
     for (vt, payload) in &recovered {
         println!("  vt:{vt} → {payload}");
@@ -103,5 +145,16 @@ fn main() {
     println!(
         "\nOutputs identical — the failure was invisible to the consumer \
          (checkpoint + deterministic replay, §II.F of the paper)."
+    );
+
+    println!("\nsupervised run — unannounced crash, automatic failover:");
+    let supervised = supervised_run();
+    assert_eq!(
+        clean, supervised,
+        "automatic recovery must be exactly as transparent as manual"
+    );
+    println!(
+        "\nOutputs identical again — nobody called kill() or promote(); the \
+         heartbeat failure detector ran the drill on its own."
     );
 }

@@ -76,8 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inbound_a.local_addr(),
         inbound_b.local_addr()
     );
-    remote_engine(&router_a, EngineId::new(1), ("127.0.0.1", inbound_b.port()))?;
-    remote_engine(&router_b, EngineId::new(0), ("127.0.0.1", inbound_a.port()))?;
+    // Keep the link handles alive: dropping a RemoteLink stops its writer.
+    let link_a_to_b = remote_engine(&router_a, EngineId::new(1), ("127.0.0.1", inbound_b.port()))?;
+    let link_b_to_a = remote_engine(&router_b, EngineId::new(0), ("127.0.0.1", inbound_a.port()))?;
 
     // ---- Run both engine loops. -------------------------------------------
     let run = |mut core: EngineCore, rx: crossbeam::channel::Receiver<Envelope>| {
@@ -145,6 +146,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n += 1;
     }
     assert_eq!(n, workload.len());
+    println!(
+        "\nlink A→B health: {:?}\nlink B→A health: {:?}",
+        link_a_to_b.health(),
+        link_b_to_a.health()
+    );
     println!("\nSame virtual times as any other transport — the network is invisible.");
     Ok(())
 }

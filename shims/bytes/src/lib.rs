@@ -1,0 +1,189 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the `BytesMut`/`BufMut` subset the TART codec uses as a thin
+//! wrapper over `Vec<u8>`. Multi-byte `put_*` writes are big-endian, exactly
+//! like the real crate — the codec's wire format depends on it.
+//!
+//! Wired in via `[patch.crates-io]`; delete the patch entry to restore the
+//! real crate when a registry is available.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer (shim over `Vec<u8>`).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Ensures room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.vec.clone()
+    }
+
+    /// The written bytes.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { vec: s.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.vec {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Byte-sink trait (shim of `bytes::BufMut`); multi-byte writes are
+/// big-endian like the real crate.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a `u16`, big-endian.
+    fn put_u16(&mut self, n: u16) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a `u32`, big-endian.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a `u64`, big-endian.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends an `i64`, big-endian.
+    fn put_i64(&mut self, n: i64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bits, big-endian.
+    fn put_f64(&mut self, n: f64) {
+        self.put_u64(n.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x01);
+        b.put_u64(0x0203_0405_0607_0809);
+        b.put_slice(&[0xaa, 0xbb]);
+        assert_eq!(
+            &b[..],
+            &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0xaa, 0xbb]
+        );
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.to_vec(), Vec::from(b.clone()));
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let mut b = BytesMut::with_capacity(4);
+        assert!(b.is_empty());
+        b.extend_from_slice(b"abc");
+        assert_eq!(&b[1..], b"bc");
+    }
+}

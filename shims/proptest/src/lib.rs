@@ -1,0 +1,767 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container has no crates registry, so the real `proptest` is
+//! unavailable; this shim reimplements the subset of its API the TART
+//! workspace uses — enough to *run* every property test, not just compile
+//! them:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `boxed`;
+//! * [`any`] for the primitive types and [`sample::Index`];
+//! * integer/float ranges, `&str` patterns of the form `".{a,b}"`,
+//!   [`strategy::Just`], tuples, [`collection::vec`],
+//!   [`collection::btree_map`], [`option::of`], and weighted
+//!   [`prop_oneof!`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, and the
+//!   `prop_assert*` macros.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics
+//! immediately, printing the case number and the RNG seed. Generation is
+//! fully deterministic per test function (seeded from the test name and the
+//! `PROPTEST_SEED` environment variable when set), so failures reproduce.
+//!
+//! Wired in via `[patch.crates-io]`; delete the patch entry to restore the
+//! real crate when a registry is available.
+
+/// Deterministic test RNG and run configuration.
+pub mod test_runner {
+    /// SplitMix64: tiny, seed-stable, good enough for case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "below(0)");
+            // Rejection sampling to avoid modulo bias.
+            let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Run configuration: how many cases each property executes.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The base seed for a named test: `PROPTEST_SEED` when set, else a
+    /// stable hash of the test name (deterministic across runs).
+    pub fn base_seed(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = s.parse::<u64>() {
+                return n;
+            }
+        }
+        // FNV-1a over the test name.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Strategies: composable value generators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Object-safe for sampling; the combinators require `Self: Sized`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `f`, re-drawing otherwise.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// [`Strategy::prop_filter`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 consecutive draws",
+                self.whence
+            );
+        }
+    }
+
+    /// Weighted choice among boxed strategies ([`crate::prop_oneof!`]).
+    pub struct WeightedUnion<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> WeightedUnion<V> {
+        /// Builds a union; weights must sum to a non-zero value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<V> Strategy for WeightedUnion<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut roll = rng.below(self.total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if roll < w {
+                    return s.sample(rng);
+                }
+                roll -= w;
+            }
+            unreachable!("roll below total weight")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = rng.below(span);
+                    ((self.start as i128) + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = rng.below(span + 1);
+                    ((*self.start() as i128) + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// `&str` as a strategy: supports the regex forms `".{lo,hi}"` (a
+    /// string of `lo..=hi` arbitrary printable characters) and
+    /// `"[class]{lo,hi}"` (characters drawn from a simple class of literals
+    /// and `a-z`-style ranges); any other pattern yields itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            if let Some((alphabet, lo, hi)) = parse_repeat(self) {
+                let len = lo + rng.below((hi - lo) as u64 + 1) as usize;
+                (0..len)
+                    .map(|_| match &alphabet {
+                        // Printable ASCII, '.'-matchable (no newline).
+                        None => char::from(0x20 + rng.below(0x5f) as u8),
+                        Some(chars) => chars[rng.below(chars.len() as u64) as usize],
+                    })
+                    .collect()
+            } else {
+                (*self).to_string()
+            }
+        }
+    }
+
+    /// Parses `".{lo,hi}"` or `"[class]{lo,hi}"`, returning the alphabet
+    /// (`None` = any printable) and the repeat bounds.
+    fn parse_repeat(pattern: &str) -> Option<(Option<Vec<char>>, usize, usize)> {
+        let (head, rest) = if let Some(rest) = pattern.strip_prefix(".{") {
+            (None, rest)
+        } else if let Some(tail) = pattern.strip_prefix('[') {
+            let (class, rest) = tail.split_once("]{")?;
+            (Some(expand_class(class)?), rest)
+        } else {
+            return None;
+        };
+        let (lo, hi) = rest.strip_suffix('}')?.split_once(',')?;
+        Some((head, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Expands a character class of literals and `a-z`-style ranges.
+    fn expand_class(class: &str) -> Option<Vec<char>> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                if lo > hi {
+                    return None;
+                }
+                out.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait.
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix finite decimals with raw bit patterns (infinities, NaNs,
+            // subnormals) half the time, like real proptest's edge bias.
+            if rng.next_u64() & 1 == 0 {
+                f64::from_bits(rng.next_u64())
+            } else {
+                (rng.unit_f64() - 0.5) * 2e9
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from(0x20 + rng.below(0x5f) as u8)
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::from_unit(rng.unit_f64())
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// An inclusive-exclusive size bound for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeMap`s from key/value strategies; the size bound is an
+    /// upper bound (duplicate keys collapse, as in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Generates `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Index-into-a-collection helper.
+pub mod sample {
+    /// A position drawn uniformly from `[0, 1)`, projected onto any
+    /// collection length with [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct Index {
+        unit: f64,
+    }
+
+    impl Index {
+        pub(crate) fn from_unit(unit: f64) -> Index {
+            Index { unit }
+        }
+
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.unit * len as f64) as usize).min(len - 1)
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias of the crate root, so `prop::sample::Index` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Runs one property: samples `cases` inputs and applies the body.
+/// Used by the [`proptest!`] expansion; not part of the public API shape.
+pub fn run_cases(test_name: &str, cases: u32, mut body: impl FnMut(&mut test_runner::TestRng, u32)) {
+    let base = test_runner::base_seed(test_name);
+    for case in 0..cases {
+        let mut rng = test_runner::TestRng::from_seed(base ^ (u64::from(case) << 32 | 0x5eed));
+        body(&mut rng, case);
+    }
+}
+
+/// The property-test macro: deterministic case generation, no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = ($cfg).cases;
+            $crate::run_cases(stringify!($name), cases, |rng, case| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                let run = ::std::panic::AssertUnwindSafe(move || { $body });
+                if let Err(e) = ::std::panic::catch_unwind(run) {
+                    eprintln!(
+                        "proptest shim: property '{}' failed at case {} (set PROPTEST_SEED to reproduce a specific base seed)",
+                        stringify!($name), case
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            });
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` under a property (no shrinking, so a plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        for _ in 0..1_000 {
+            let v = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..6).sample(&mut rng);
+            assert!((-5..6).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_in_length_band() {
+        let mut rng = crate::test_runner::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = ".{2,6}".sample(&mut rng);
+            assert!((2..=6).contains(&s.chars().count()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec((0usize..4, any::<u32>()), 0..9);
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::from_seed(7);
+            (0..50).map(|_| strat.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            v in crate::collection::vec(any::<u8>(), 0..10),
+            idx in any::<prop::sample::Index>(),
+            flip in 0u8..8,
+        ) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(flip < 8);
+            if !v.is_empty() {
+                let i = idx.index(v.len());
+                prop_assert!(i < v.len());
+            }
+        }
+
+        #[test]
+        fn filter_and_map_compose(x in (0u32..100).prop_map(|v| v * 2).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 200);
+        }
+    }
+}

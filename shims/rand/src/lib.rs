@@ -1,0 +1,46 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! TART only *implements* `rand::RngCore` for its own seed-stable `DetRng`
+//! (for ecosystem interoperability) — it never consumes randomness from
+//! `rand`. This shim provides exactly that trait surface.
+//!
+//! Wired in via `[patch.crates-io]`; delete the patch entry to restore the
+//! real crate when a registry is available.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by TART's RNGs).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG trait (rand 0.8 shape).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Named generators (placeholder module mirroring `rand::rngs`).
+pub mod rngs {}

@@ -73,9 +73,11 @@ pub use tart_stats;
 pub use tart_vtime;
 
 pub use tart_engine::{
-    ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, Cluster, ClusterConfig,
-    EngineMetrics, FailureDetector, FaultPlan, Injector, LogicalClock, MessageLog, OutputRecord,
-    Placement, RealClock, ReplicaStore, SupervisionConfig, SupervisionMetrics, TimeSource,
+    ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, CheckpointStore, Cluster,
+    ClusterConfig, DeployError, DiskFault, DurabilityConfig, EngineMetrics, EngineRecovery,
+    FailureDetector, FaultPlan, FsyncPolicy, Injector, LogicalClock, MessageLog, OutputRecord,
+    Placement, RealClock, RecoveryReport, ReplicaStore, SupervisionConfig, SupervisionMetrics,
+    TimeSource, Wal,
 };
 pub use tart_estimator::{
     Calibrator, DeterminismFault, Estimator, EstimatorSchedule, EstimatorSpec,

@@ -14,6 +14,8 @@
 //! before firing the next event.
 
 use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -46,6 +48,130 @@ pub enum ChaosEvent {
     LatencyEnd(EngineId),
 }
 
+/// A post-mortem disk fault: damage dealt to a durability directory
+/// *between* a whole-cluster crash and the subsequent
+/// [`crate::Cluster::recover_from_disk`], simulating what real disks do to
+/// processes that die mid-write (or to files that sit idle too long).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Shear bytes off the end of the newest WAL segment — the classic torn
+    /// final write. Recovery truncates the tail and the producer re-sends
+    /// its unacknowledged message.
+    TornWalTail,
+    /// Flip one bit inside a **sealed** (fsynced, non-final) WAL segment —
+    /// stable storage decaying at rest. Unrecoverable by design: recovery
+    /// must refuse loudly rather than replay garbage.
+    BitFlipSealedSegment,
+    /// Corrupt the checkpoint store's manifest. Recoverable: the store
+    /// rebuilds the manifest from the directory listing (rename atomicity
+    /// makes the listing trustworthy).
+    StaleManifest,
+    /// Flip one bit in the newest checkpoint generation. Recoverable: the
+    /// store falls back one generation and replay covers the difference.
+    CorruptNewestCheckpoint,
+}
+
+impl DiskFault {
+    /// Whether [`crate::Cluster::recover_from_disk`] is expected to succeed
+    /// after this fault (`false` means recovery must *refuse*, which is
+    /// also a form of correctness).
+    pub fn recoverable(&self) -> bool {
+        !matches!(self, DiskFault::BitFlipSealedSegment)
+    }
+
+    /// Applies the fault to the durability directory `dir` (the one passed
+    /// to [`crate::ClusterConfig::with_durability`]). Returns `false` if
+    /// the directory holds no applicable target (e.g. no sealed segment
+    /// exists yet) — the fault is then a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading or rewriting the target files.
+    pub fn apply(&self, dir: &Path) -> io::Result<bool> {
+        match self {
+            DiskFault::TornWalTail => {
+                let Some(seg) = newest_segment(&dir.join("wal"))? else {
+                    return Ok(false);
+                };
+                let len = std::fs::metadata(&seg)?.len();
+                if len < 4 {
+                    return Ok(false);
+                }
+                let f = std::fs::OpenOptions::new().write(true).open(&seg)?;
+                f.set_len(len - 3)?;
+                f.sync_all()?;
+                Ok(true)
+            }
+            DiskFault::BitFlipSealedSegment => {
+                let wal = dir.join("wal");
+                let mut segs = segments(&wal)?;
+                if segs.len() < 2 {
+                    return Ok(false); // no sealed segment yet
+                }
+                segs.sort();
+                flip_bit_mid_file(&segs[0])?;
+                Ok(true)
+            }
+            DiskFault::StaleManifest => {
+                let manifest = dir.join("ckpt").join("MANIFEST");
+                if !manifest.exists() {
+                    return Ok(false);
+                }
+                std::fs::write(&manifest, b"stale garbage from a past life")?;
+                Ok(true)
+            }
+            DiskFault::CorruptNewestCheckpoint => {
+                let ckpt = dir.join("ckpt");
+                let mut newest: Option<(u64, std::path::PathBuf)> = None;
+                for entry in std::fs::read_dir(&ckpt)? {
+                    let path = entry?.path();
+                    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                        continue;
+                    };
+                    let Some(gen) = name
+                        .strip_prefix("ckpt-")
+                        .and_then(|r| r.split_once("-g"))
+                        .and_then(|(_, g)| g.strip_suffix(".bin"))
+                        .and_then(|g| g.parse::<u64>().ok())
+                    else {
+                        continue;
+                    };
+                    if newest.as_ref().is_none_or(|(g, _)| gen > *g) {
+                        newest = Some((gen, path));
+                    }
+                }
+                let Some((_, path)) = newest else {
+                    return Ok(false);
+                };
+                flip_bit_mid_file(&path)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+fn segments(wal: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+    Ok(std::fs::read_dir(wal)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect())
+}
+
+fn newest_segment(wal: &Path) -> io::Result<Option<std::path::PathBuf>> {
+    Ok(segments(wal)?.into_iter().max())
+}
+
+fn flip_bit_mid_file(path: &Path) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(path, &bytes)
+}
+
 /// Shape parameters for [`ChaosPlan::generate`].
 #[derive(Clone, Debug)]
 pub struct ChaosOptions {
@@ -61,6 +187,10 @@ pub struct ChaosOptions {
     pub max_latency: Duration,
     /// Length of each partition/latency window.
     pub disturbance_len: Duration,
+    /// Number of *recoverable* post-mortem disk faults to seed into
+    /// [`ChaosPlan::disk_faults`] — applied by the harness between a
+    /// whole-cluster crash and the cold restart, not by the live driver.
+    pub disk_faults: u32,
 }
 
 impl Default for ChaosOptions {
@@ -73,6 +203,7 @@ impl Default for ChaosOptions {
             latency_spikes: 2,
             max_latency: Duration::from_millis(30),
             disturbance_len: Duration::from_millis(200),
+            disk_faults: 2,
         }
     }
 }
@@ -88,6 +219,7 @@ impl ChaosOptions {
             latency_spikes: 1,
             max_latency: Duration::from_millis(10),
             disturbance_len: Duration::from_millis(80),
+            disk_faults: 1,
         }
     }
 }
@@ -101,6 +233,11 @@ pub struct ChaosPlan {
     pub seed: u64,
     /// The schedule, ascending by offset.
     pub events: Vec<(Duration, ChaosEvent)>,
+    /// Seeded post-mortem disk faults (all [`DiskFault::recoverable`]),
+    /// for harnesses that crash the whole cluster and restart it from
+    /// disk. The live driver never touches these — apply them via
+    /// [`ChaosPlan::apply_disk_faults`] while the cluster is down.
+    pub disk_faults: Vec<DiskFault>,
 }
 
 impl ChaosPlan {
@@ -161,7 +298,42 @@ impl ChaosPlan {
         }
 
         events.sort_by_key(|(at, _)| *at);
-        ChaosPlan { seed, events }
+
+        // Post-mortem disk faults: drawn from the recoverable kinds only —
+        // a seeded soak must be able to restart; the must-refuse kind
+        // (sealed-segment rot) is exercised by dedicated tests.
+        const RECOVERABLE: [DiskFault; 3] = [
+            DiskFault::TornWalTail,
+            DiskFault::StaleManifest,
+            DiskFault::CorruptNewestCheckpoint,
+        ];
+        let disk_faults = (0..opts.disk_faults)
+            .map(|_| RECOVERABLE[rng.gen_range_u64(0, RECOVERABLE.len() as u64 - 1) as usize])
+            .collect();
+
+        ChaosPlan {
+            seed,
+            events,
+            disk_faults,
+        }
+    }
+
+    /// Applies this plan's seeded disk faults to the durability directory
+    /// `dir`. Call between [`crate::Cluster::crash`] and
+    /// [`crate::Cluster::recover_from_disk`]. Returns the faults that found
+    /// a target (the rest were no-ops on this particular on-disk state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying file surgery.
+    pub fn apply_disk_faults(&self, dir: &Path) -> io::Result<Vec<DiskFault>> {
+        let mut applied = Vec::new();
+        for fault in &self.disk_faults {
+            if fault.apply(dir)? {
+                applied.push(*fault);
+            }
+        }
+        Ok(applied)
     }
 }
 

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use tart_codec::{Decode, DecodeError, Encode, Reader};
 use tart_estimator::DeterminismFault;
-use tart_model::Snapshot;
+use tart_model::{Snapshot, Value};
 use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
 
 /// A soft checkpoint of one engine's state (§II.F.2).
@@ -32,6 +32,13 @@ pub struct EngineCheckpoint {
     pub consumed: BTreeMap<WireId, VirtualTime>,
     /// Per-output-wire: virtual time of the last transmitted data tick.
     pub sent: BTreeMap<WireId, VirtualTime>,
+    /// Per-output-wire retention contents at capture time: in-flight
+    /// messages the sender may still be asked to replay. Always captured
+    /// for wires whose both endpoints live on this engine (sender and
+    /// receiver state die together); captured for every wire under
+    /// durability, where a whole-cluster crash voids the single-failure
+    /// assumption and every upstream's volatile retention dies too.
+    pub retention: BTreeMap<WireId, Vec<(VirtualTime, Value)>>,
 }
 
 impl EngineCheckpoint {
@@ -44,6 +51,7 @@ impl EngineCheckpoint {
             clocks: BTreeMap::new(),
             consumed: BTreeMap::new(),
             sent: BTreeMap::new(),
+            retention: BTreeMap::new(),
         }
     }
 
@@ -62,6 +70,7 @@ impl Encode for EngineCheckpoint {
         self.clocks.encode(buf);
         self.consumed.encode(buf);
         self.sent.encode(buf);
+        self.retention.encode(buf);
     }
 }
 
@@ -74,6 +83,7 @@ impl Decode for EngineCheckpoint {
             clocks: BTreeMap::decode(r)?,
             consumed: BTreeMap::decode(r)?,
             sent: BTreeMap::decode(r)?,
+            retention: BTreeMap::decode(r)?,
         })
     }
 }
@@ -184,6 +194,8 @@ mod tests {
         ckpt.clocks.insert(ComponentId::new(0), vt(100));
         ckpt.consumed.insert(WireId::new(2), vt(90));
         ckpt.sent.insert(WireId::new(3), vt(95));
+        ckpt.retention
+            .insert(WireId::new(3), vec![(vt(95), Value::from("in-flight"))]);
         ckpt
     }
 

@@ -16,6 +16,15 @@ use tart_vtime::VirtualTime;
 pub trait TimeSource: Send + Sync {
     /// The current time in ticks (nanoseconds).
     fn now(&self) -> VirtualTime;
+
+    /// Ensures subsequent [`TimeSource::now`] calls return strictly more
+    /// than `vt`. Cold restart uses this to move a deterministic clock past
+    /// the last timestamp recovered from the log, so re-driven external
+    /// sends reproduce the timestamps of an uncrashed run. Clocks that
+    /// cannot regress (like [`RealClock`]) need not do anything.
+    fn advance_to(&self, vt: VirtualTime) {
+        let _ = vt;
+    }
 }
 
 /// Monotonic wall-clock time, measured from the moment the clock was
@@ -76,6 +85,10 @@ impl TimeSource for LogicalClock {
         let prev = self.counter.fetch_add(self.step, Ordering::SeqCst);
         VirtualTime::from_ticks(prev + self.step)
     }
+
+    fn advance_to(&self, vt: VirtualTime) {
+        self.counter.fetch_max(vt.as_ticks(), Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +118,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_step_rejected() {
         let _ = LogicalClock::new(0);
+    }
+
+    #[test]
+    fn advance_to_restores_a_logical_timeline() {
+        let c = LogicalClock::new(1_000);
+        // A cold restart replaying three logged sends lands the clock here.
+        c.advance_to(VirtualTime::from_ticks(3_000));
+        assert_eq!(c.now(), VirtualTime::from_ticks(4_000), "resumes past the log");
+        // advance_to never regresses.
+        c.advance_to(VirtualTime::from_ticks(100));
+        assert_eq!(c.now(), VirtualTime::from_ticks(5_000));
+        // RealClock accepts (and ignores) the hint.
+        let r = RealClock::new();
+        r.advance_to(VirtualTime::from_ticks(1));
+        let _ = r.now();
     }
 
     #[test]

@@ -15,10 +15,11 @@ use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
 use crate::chaos::{ChaosHandle, ChaosPlan};
 use crate::core::{EngineCore, Flow};
 use crate::router::{EXTERNAL_ENGINE, SUPERVISOR_ENGINE};
+use crate::store::CheckpointStore;
 use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
-    ClusterConfig, EngineMetrics, Envelope, MessageLog, OutputRecord, Placement, ReplicaStore,
-    Router,
+    ClusterConfig, DurabilityConfig, EngineMetrics, Envelope, MessageLog, OutputRecord, Placement,
+    ReplicaStore, Router,
 };
 
 /// Cap on envelopes an engine batches per loop iteration, so a saturated
@@ -32,6 +33,17 @@ pub enum DeployError {
     IncompletePlacement,
     /// The configured log file could not be created.
     LogUnavailable,
+    /// [`Cluster::deploy`] with durability found prior on-disk state in the
+    /// durability directory. Starting fresh over old state would silently
+    /// orphan a recoverable run — use [`Cluster::recover_from_disk`], or
+    /// point at an empty directory.
+    DurabilityDirNotEmpty,
+    /// [`Cluster::recover_from_disk`] was called without
+    /// [`ClusterConfig::with_durability`].
+    DurabilityNotConfigured,
+    /// The durability layer could not be brought up (WAL or checkpoint
+    /// store unopenable, or unrecoverably corrupt).
+    DurabilityUnavailable(String),
 }
 
 impl fmt::Display for DeployError {
@@ -45,6 +57,18 @@ impl fmt::Display for DeployError {
                     f,
                     "the configured external-input log file could not be created"
                 )
+            }
+            DeployError::DurabilityDirNotEmpty => {
+                write!(
+                    f,
+                    "durability directory holds prior state; recover_from_disk or use an empty dir"
+                )
+            }
+            DeployError::DurabilityNotConfigured => {
+                write!(f, "recover_from_disk requires ClusterConfig::with_durability")
+            }
+            DeployError::DurabilityUnavailable(why) => {
+                write!(f, "durability layer unavailable: {why}")
             }
         }
     }
@@ -183,6 +207,9 @@ pub(crate) struct EngineHost {
     pub(crate) router: Router,
     outputs_tx: Sender<OutputRecord>,
     engines: Mutex<HashMap<EngineId, EngineSlot>>,
+    /// On-disk checkpoint store every hosted core tees into, when the
+    /// cluster runs with durability.
+    durable: Option<Arc<CheckpointStore>>,
 }
 
 impl EngineHost {
@@ -204,7 +231,7 @@ impl EngineHost {
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(id, tx.clone());
         let replica = ReplicaStore::default();
-        let core = EngineCore::new(
+        let mut core = EngineCore::new(
             id,
             &self.spec,
             &self.placement,
@@ -213,6 +240,9 @@ impl EngineHost {
             replica.clone(),
             self.outputs_tx.clone(),
         );
+        if let Some(store) = &self.durable {
+            core.set_durable(Arc::clone(store));
+        }
         let metrics = core.metrics_handle();
         let thread = self.spawn_engine_loop(id, core, rx, false);
         self.engines.lock().insert(
@@ -354,6 +384,9 @@ impl EngineHost {
             fresh_replica.clone(),
             self.outputs_tx.clone(),
         );
+        if let Some(store) = &self.durable {
+            core.set_durable(Arc::clone(store));
+        }
 
         // Register the new inbox FIRST so the replay responses triggered by
         // restore (and live traffic) reach the restored engine.
@@ -433,11 +466,20 @@ impl Cluster {
         }
         let router = Router::new(config.faults.clone());
         let (outputs_tx, outputs_rx) = unbounded();
-        let log = match &config.log_path {
-            Some(path) => Arc::new(Mutex::new(
-                MessageLog::file_backed(path).map_err(|_| DeployError::LogUnavailable)?,
-            )),
-            None => Arc::new(Mutex::new(MessageLog::in_memory())),
+        let (log, durable) = match &config.durability {
+            Some(d) => {
+                let (log, store) = open_fresh_durability(d)?;
+                (Arc::new(Mutex::new(log)), Some(store))
+            }
+            None => {
+                let log = match &config.log_path {
+                    Some(path) => Arc::new(Mutex::new(
+                        MessageLog::file_backed(path).map_err(|_| DeployError::LogUnavailable)?,
+                    )),
+                    None => Arc::new(Mutex::new(MessageLog::in_memory())),
+                };
+                (log, None)
+            }
         };
         let host = Arc::new(EngineHost {
             spec,
@@ -446,6 +488,7 @@ impl Cluster {
             router,
             outputs_tx,
             engines: Mutex::new(HashMap::new()),
+            durable,
         });
         let mut cluster = Cluster {
             host: Arc::clone(&host),
@@ -494,6 +537,186 @@ impl Cluster {
             cluster.supervisor = Some(Supervisor::start(Arc::clone(&host), supervision));
         }
         Ok(cluster)
+    }
+
+    /// Cold-restarts a cluster from the on-disk state a previous
+    /// (crashed) deployment left in `config.durability.dir`: the WAL is
+    /// scanned (truncating any torn tail), each engine restores from its
+    /// newest checkpoint generation that verifies (falling back one if the
+    /// newest is corrupt), the determinism-fault logs are re-applied, and
+    /// every engine replays forward — from the WAL for external wires, from
+    /// recovered retention plus deterministic re-execution for internal
+    /// ones. Deduplicated outputs are byte-identical to a run that never
+    /// crashed (§II.F.4 extended to whole-cluster failure).
+    ///
+    /// The cluster clock is advanced past the last logged timestamp so
+    /// re-driven external sends continue the original timeline.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::DurabilityNotConfigured`] without
+    /// [`ClusterConfig::with_durability`];
+    /// [`DeployError::DurabilityUnavailable`] when the WAL has mid-file
+    /// (non-tail) corruption or an engine's every checkpoint generation
+    /// fails verification.
+    pub fn recover_from_disk(
+        spec: AppSpec,
+        placement: Placement,
+        config: ClusterConfig,
+    ) -> Result<(Cluster, RecoveryReport), DeployError> {
+        if !placement.covers(&spec) {
+            return Err(DeployError::IncompletePlacement);
+        }
+        let Some(d) = config.durability.clone() else {
+            return Err(DeployError::DurabilityNotConfigured);
+        };
+        let (log, wal_recovery) =
+            MessageLog::durable(d.dir.join("wal"), d.wal_segment_bytes, d.policy)
+                .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+        let store = Arc::new(
+            CheckpointStore::open(d.dir.join("ckpt"))
+                .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?,
+        );
+        // Read every engine's restart point from disk BEFORE starting any
+        // thread: all fallible work happens while the cluster is still
+        // inert, so an error cannot strand half-started engines.
+        let mut restored = Vec::new();
+        for engine in placement.engines() {
+            let loaded = store
+                .load_latest(engine)
+                .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+            let faults = store
+                .faults(engine)
+                .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+            let (chain, generation, fell_back) = match loaded {
+                Some(l) => (vec![l.checkpoint], Some(l.generation), l.fell_back),
+                None => (Vec::new(), None, false),
+            };
+            restored.push((engine, chain, faults, generation, fell_back));
+        }
+        // Continue the original timeline: every timestamp the clock hands
+        // out from here on must exceed everything already logged.
+        if let Some(max_logged) = spec
+            .external_inputs()
+            .iter()
+            .filter_map(|w| log.last_vt(w.id()))
+            .max()
+        {
+            config.clock.advance_to(max_logged);
+        }
+        let router = Router::new(config.faults.clone());
+        let (outputs_tx, outputs_rx) = unbounded();
+        let host = Arc::new(EngineHost {
+            spec,
+            placement,
+            config,
+            router,
+            outputs_tx,
+            engines: Mutex::new(HashMap::new()),
+            durable: Some(Arc::clone(&store)),
+        });
+        let mut cluster = Cluster {
+            host: Arc::clone(&host),
+            injectors: HashMap::new(),
+            sources: HashMap::new(),
+            log: Arc::new(Mutex::new(log)),
+            outputs_rx,
+            replay_service: None,
+            supervisor: None,
+        };
+        // Phase 1: register EVERY inbox (and the log-replay service) before
+        // any restore runs — restore sends replay requests to peers, which
+        // must queue in live channels rather than vanish.
+        let mut inboxes = Vec::new();
+        for engine in host.placement.engines() {
+            let (tx, rx) = unbounded::<Envelope>();
+            host.router.register(engine, tx.clone());
+            inboxes.push((engine, tx, rx));
+        }
+        for w in host.spec.external_inputs() {
+            let name = match w.from() {
+                tart_model::Endpoint::External { name } => name.clone(),
+                _ => unreachable!("external input wires start externally"),
+            };
+            let target_component = w.to().component().expect("external inputs feed components");
+            let target = host
+                .placement
+                .engine_of(target_component)
+                .expect("placement covers the app");
+            // Producers resume exactly where the log ends: the watermark
+            // floor guarantees post-restart sends continue the `prev_vt`
+            // chain past everything already durable.
+            let logged = cluster.log.lock().last_vt(w.id());
+            let state = Arc::new(Mutex::new(SourceState {
+                wire: w.id(),
+                target,
+                watermark: logged,
+                last_data: logged,
+                finished: false,
+            }));
+            cluster.sources.insert(w.id(), Arc::clone(&state));
+            cluster.injectors.insert(
+                name.clone(),
+                Injector {
+                    name,
+                    state,
+                    log: Arc::clone(&cluster.log),
+                    router: host.router.clone(),
+                    clock: Arc::clone(&host.config.clock),
+                },
+            );
+        }
+        cluster.spawn_replay_service();
+        // Phase 2: restore each engine and start its loop.
+        let mut report = RecoveryReport {
+            wal_records: wal_recovery.records.len(),
+            wal_truncated_bytes: wal_recovery.truncated_bytes,
+            wal_segments: wal_recovery.segments,
+            engines: Vec::new(),
+        };
+        for (engine, tx, rx) in inboxes {
+            let (chain, faults, generation, fell_back) = {
+                let idx = restored
+                    .iter()
+                    .position(|(e, ..)| *e == engine)
+                    .expect("restored covers every placed engine");
+                let (_, chain, faults, generation, fell_back) = restored.swap_remove(idx);
+                (chain, faults, generation, fell_back)
+            };
+            let replica = ReplicaStore::new();
+            let mut core = EngineCore::new(
+                engine,
+                &host.spec,
+                &host.placement,
+                &host.config,
+                host.router.clone(),
+                replica.clone(),
+                host.outputs_tx.clone(),
+            );
+            core.set_durable(Arc::clone(&store));
+            core.restore(&chain, &faults);
+            let metrics = core.metrics_handle();
+            let thread = host.spawn_engine_loop(engine, core, rx, true);
+            host.engines.lock().insert(
+                engine,
+                EngineSlot {
+                    sender: tx,
+                    thread: Some(thread),
+                    replica,
+                    metrics,
+                    alive: true,
+                },
+            );
+            report.engines.push(EngineRecovery {
+                engine,
+                generation,
+                fell_back,
+            });
+        }
+        if let Some(supervision) = host.config.supervision.clone() {
+            cluster.supervisor = Some(Supervisor::start(Arc::clone(&host), supervision));
+        }
+        Ok((cluster, report))
     }
 
     /// The replay service answers replay requests for external wires from
@@ -687,6 +910,25 @@ impl Cluster {
         self.outputs_rx.try_iter().collect()
     }
 
+    /// Abruptly fail-stops the **entire cluster** — every engine killed in
+    /// place, no drain, no final checkpoint — approximating a whole-process
+    /// `SIGKILL` while keeping the test in-process. Whatever had reached
+    /// disk at this instant is all a later [`Cluster::recover_from_disk`]
+    /// gets. Returns the outputs that had already been collected.
+    pub fn crash(mut self) -> Vec<OutputRecord> {
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.stop();
+        }
+        for id in self.host.engine_ids() {
+            self.host.kill(id);
+        }
+        self.host.router.send(EXTERNAL_ENGINE, Envelope::Die);
+        if let Some(t) = self.replay_service.take() {
+            let _ = t.join();
+        }
+        self.outputs_rx.try_iter().collect()
+    }
+
     /// Gracefully drains and joins every engine, returning all external
     /// outputs (including any recovery stutter — see
     /// [`Cluster::dedup_outputs`]).
@@ -727,6 +969,56 @@ impl Cluster {
         outputs.sort_by_key(|o| (o.vt, o.wire));
         outputs
     }
+}
+
+/// What [`Cluster::recover_from_disk`] found on disk.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// External-input records recovered from the WAL.
+    pub wal_records: usize,
+    /// Bytes truncated from the WAL's torn tail (0 on a clean shutdown).
+    pub wal_truncated_bytes: u64,
+    /// WAL segments scanned.
+    pub wal_segments: usize,
+    /// Per-engine restart points, in engine-id order.
+    pub engines: Vec<EngineRecovery>,
+}
+
+/// One engine's restart point in a [`RecoveryReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineRecovery {
+    /// The engine.
+    pub engine: EngineId,
+    /// The checkpoint generation it restored from; `None` means no durable
+    /// checkpoint existed and it restarted from scratch (full replay).
+    pub generation: Option<u64>,
+    /// `true` if the newest generation failed verification and recovery
+    /// fell back one generation.
+    pub fell_back: bool,
+}
+
+/// Brings up the durability layer for a **fresh** deployment: refuses a
+/// directory holding prior WAL/checkpoint state (that state belongs to
+/// [`Cluster::recover_from_disk`]).
+fn open_fresh_durability(
+    d: &DurabilityConfig,
+) -> Result<(MessageLog, Arc<CheckpointStore>), DeployError> {
+    for sub in ["wal", "ckpt"] {
+        let p = d.dir.join(sub);
+        let populated = std::fs::read_dir(&p)
+            .map(|mut it| it.next().is_some())
+            .unwrap_or(false);
+        if populated {
+            return Err(DeployError::DurabilityDirNotEmpty);
+        }
+    }
+    std::fs::create_dir_all(&d.dir)
+        .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+    let (log, _recovery) = MessageLog::durable(d.dir.join("wal"), d.wal_segment_bytes, d.policy)
+        .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+    let store = CheckpointStore::open(d.dir.join("ckpt"))
+        .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+    Ok((log, Arc::new(store)))
 }
 
 impl fmt::Debug for Cluster {

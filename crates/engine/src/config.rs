@@ -9,7 +9,7 @@ use tart_model::{AppSpec, BlockId};
 use tart_silence::SilencePolicy;
 use tart_vtime::{ComponentId, EngineId, VirtualDuration, WireId};
 
-use crate::{FaultPlan, LogicalClock, RealClock, TimeSource};
+use crate::{FaultPlan, FsyncPolicy, LogicalClock, RealClock, TimeSource};
 
 /// Assigns components to execution engines — the placement service of
 /// §II.C ("a placement service assigns individual components to execution
@@ -134,6 +134,26 @@ impl SupervisionConfig {
     }
 }
 
+/// Where and how a cluster persists its crash-safe state.
+///
+/// Enabled via [`ClusterConfig::with_durability`]. Inside `dir` the cluster
+/// keeps `wal/` (the segmented external-input log) and `ckpt/` (the
+/// generation-managed checkpoint store + determinism-fault logs). With
+/// durability on, checkpoints are always full (each on-disk generation must
+/// restore alone), retention `TrimAck`s wait for the checkpoint to be
+/// *durable* and lag one generation (recovery may fall back one), and
+/// [`crate::Cluster::recover_from_disk`] can cold-restart the whole cluster
+/// from `dir`.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory for all persistent state.
+    pub dir: std::path::PathBuf,
+    /// When WAL appends are forced to disk.
+    pub policy: FsyncPolicy,
+    /// WAL segment rotation threshold in bytes.
+    pub wal_segment_bytes: u64,
+}
+
 /// Cluster-wide runtime tuning (§II.G's controls).
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -185,6 +205,11 @@ pub struct ClusterConfig {
     /// original manual drill — [`crate::Cluster::kill`] then
     /// [`crate::Cluster::promote`] — as the only recovery path.
     pub supervision: Option<SupervisionConfig>,
+    /// Crash-safe durability: segmented WAL + on-disk checkpoint store.
+    /// `None` (the default) keeps all recovery state in memory, where a
+    /// whole-process crash is unrecoverable. Supersedes `log_path` when
+    /// both are set.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ClusterConfig {
@@ -204,6 +229,7 @@ impl ClusterConfig {
             log_path: None,
             auto_recalibrate_after: None,
             supervision: None,
+            durability: None,
         }
     }
 
@@ -244,6 +270,21 @@ impl ClusterConfig {
     /// Persists the external-input log to `path` (builder style).
     pub fn with_log_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.log_path = Some(path.into());
+        self
+    }
+
+    /// Enables the crash-safe durability layer rooted at `dir` (builder
+    /// style): external inputs go through a fsync-policied segmented WAL,
+    /// checkpoints are persisted to a generation-managed on-disk store, and
+    /// the cluster becomes cold-restartable via
+    /// [`crate::Cluster::recover_from_disk`]. Uses a 1 MiB WAL segment
+    /// threshold; set [`ClusterConfig::durability`] directly to tune it.
+    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>, policy: FsyncPolicy) -> Self {
+        self.durability = Some(DurabilityConfig {
+            dir: dir.into(),
+            policy,
+            wal_segment_bytes: 1 << 20,
+        });
         self
     }
 
@@ -318,6 +359,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("estimators", &self.estimators.len())
             .field("supervision", &self.supervision)
+            .field("durability", &self.durability)
             .finish()
     }
 }

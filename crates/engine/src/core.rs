@@ -20,7 +20,8 @@ use tart_vtime::{ComponentId, EngineId, PortId, VirtualTime, WireId};
 
 use crate::ctx::EngineCtx;
 use crate::{
-    ClusterConfig, EngineCheckpoint, Envelope, Placement, ReplicaStore, RetentionBuffer, Router,
+    CheckpointStore, ClusterConfig, EngineCheckpoint, Envelope, Placement, ReplicaStore,
+    RetentionBuffer, Router,
 };
 
 /// Where an incoming wire's ticks come from.
@@ -135,6 +136,15 @@ pub struct EngineCore {
     sent_watermark: HashMap<WireId, VirtualTime>,
     router: Router,
     replica: ReplicaStore,
+    /// On-disk checkpoint store, when the cluster runs with durability.
+    /// Checkpoints tee here; `TrimAck`s wait for the persist to succeed.
+    durable: Option<Arc<CheckpointStore>>,
+    /// Consumed watermarks as of the *previous* durable generation — the
+    /// watermarks `TrimAck`s are allowed to carry. Recovery may fall back
+    /// one generation, so upstream retention must keep everything past the
+    /// generation *before* the newest; acking one generation late
+    /// guarantees exactly that.
+    durable_acked: HashMap<WireId, VirtualTime>,
     outputs: crossbeam::channel::Sender<OutputRecord>,
     /// Dynamic re-tuning state: per-component sample collectors, present
     /// only while auto-recalibration is armed for that component.
@@ -237,6 +247,8 @@ impl EngineCore {
             sent_watermark: HashMap::new(),
             router,
             replica,
+            durable: None,
+            durable_acked: HashMap::new(),
             outputs,
             calibrators,
             processed_since_ckpt: 0,
@@ -250,6 +262,14 @@ impl EngineCore {
     /// This engine's id.
     pub fn id(&self) -> EngineId {
         self.id
+    }
+
+    /// Attaches the on-disk checkpoint store: every checkpoint is now also
+    /// persisted (always full — each generation must restore alone), and
+    /// retention `TrimAck`s are gated on the persist succeeding, one
+    /// generation behind.
+    pub fn set_durable(&mut self, store: Arc<CheckpointStore>) {
+        self.durable = Some(store);
     }
 
     /// Shared handle to this engine's metrics.
@@ -569,8 +589,15 @@ impl EngineCore {
         };
         // Completeness check: replayed frames travel the faultable data
         // plane and can be lost again. If the burst is short, keep the
-        // stash and re-request.
-        let received = stash.data.range(stash.requested_from..=through).count() as u64;
+        // stash and re-request. A horizon below the requested start is a
+        // valid answer — after a cold restart a checkpoint can be newer
+        // than the source's surviving log, and the source truthfully
+        // accounts for nothing in the requested span.
+        let received = if through < stash.requested_from {
+            0
+        } else {
+            stash.data.range(stash.requested_from..=through).count() as u64
+        };
         if received < frames {
             let from = stash.requested_from;
             self.recovering.insert(wire, stash);
@@ -1030,10 +1057,14 @@ impl EngineCore {
 
     // -- Checkpointing and recovery ------------------------------------------
 
-    /// Takes a soft checkpoint and ships it to the replica (§II.F.2).
+    /// Takes a soft checkpoint and ships it to the replica (§II.F.2);
+    /// under durability, also persists it and gates the retention
+    /// `TrimAck`s on the persist succeeding.
     pub fn take_checkpoint(&mut self) {
         self.processed_since_ckpt = 0;
-        let mode = if self.next_ckpt_full {
+        // Durable generations must each restore alone (recovery may have
+        // nothing but the one file that verifies), so they are always full.
+        let mode = if self.next_ckpt_full || self.durable.is_some() {
             CheckpointMode::Full
         } else {
             CheckpointMode::Incremental
@@ -1060,30 +1091,26 @@ impl EngineCore {
         for (w, vt) in &self.sent_watermark {
             ckpt.sent.insert(*w, *vt);
         }
-        // Local in-flight messages (sent here, not yet consumed here) must
-        // survive with the checkpoint: their retention is part of it.
-        // Remote retention lives on other engines and survives our failure.
+        // In-flight retention rides with the checkpoint. Local wires always
+        // (sender and receiver state die together, so the replica is the
+        // only copy); every wire under durability (a whole-cluster crash
+        // kills the remote receivers' upstreams too — each engine must
+        // bring its own send-side retention back from disk).
+        let durable = self.durable.is_some();
         for (w, dest) in &self.wire_dest {
-            if *dest == WireDest::Local {
-                if let Some(buf) = self.retention.get_mut(w) {
+            let local = *dest == WireDest::Local;
+            if !(local || durable) {
+                continue;
+            }
+            if let Some(buf) = self.retention.get_mut(w) {
+                if local {
                     if let Some(consumed) = self.consumed.get(w) {
                         buf.trim_through(*consumed);
                     }
-                    for (vt, payload) in buf.replay_from(VirtualTime::ZERO) {
-                        ckpt.components
-                            .entry(LOCAL_RETENTION_KEY)
-                            .or_insert_with(|| tart_model::Snapshot::new(VirtualTime::ZERO));
-                        // Store local retention under a reserved pseudo
-                        // component as (wire, vt) → payload chunks.
-                        let snap = ckpt
-                            .components
-                            .get_mut(&LOCAL_RETENTION_KEY)
-                            .expect("just inserted");
-                        snap.put(
-                            &format!("w{}@{}", w.raw(), vt.as_ticks()),
-                            tart_model::StateChunk::Full(tart_codec::Encode::to_bytes(&payload)),
-                        );
-                    }
+                }
+                let frames = buf.replay_from(VirtualTime::ZERO);
+                if !frames.is_empty() {
+                    ckpt.retention.insert(*w, frames);
                 }
             }
         }
@@ -1091,11 +1118,35 @@ impl EngineCore {
         m.checkpoints += 1;
         m.checkpoint_bytes += tart_codec::Encode::to_bytes(&ckpt).len() as u64;
         drop(m);
+        // Persist BEFORE shipping: once anyone can see this checkpoint, it
+        // must be able to survive a whole-cluster crash.
+        let persisted = match &self.durable {
+            Some(store) => store.persist(&ckpt).is_ok(),
+            None => true,
+        };
         self.replica.push_checkpoint(ckpt);
-        // Downstream of our inputs: acknowledge what this checkpoint covers
-        // so upstream retention can trim.
-        let acks: Vec<(WireId, VirtualTime)> =
-            self.consumed.iter().map(|(w, vt)| (*w, *vt)).collect();
+        if !persisted {
+            // The disk refused the new generation: upstream retention must
+            // keep serving from the last durable consumed watermarks, so no
+            // TrimAck may advance. The replica still has the checkpoint for
+            // single-failure promotion.
+            return;
+        }
+        // Downstream of our inputs: acknowledge what is *durably* covered
+        // so upstream retention can trim. Without durability that is simply
+        // the current consumed watermark; with it, the watermark lags one
+        // generation (see `durable_acked`).
+        let acks: Vec<(WireId, VirtualTime)> = if self.durable.is_some() {
+            let acks = self
+                .durable_acked
+                .iter()
+                .map(|(w, vt)| (*w, *vt))
+                .collect();
+            self.durable_acked = self.consumed.clone();
+            acks
+        } else {
+            self.consumed.iter().map(|(w, vt)| (*w, *vt)).collect()
+        };
         for (wire, through) in acks {
             if let Some(WireSource::Remote(engine)) = self.wire_source.get(&wire) {
                 self.router
@@ -1116,9 +1167,6 @@ impl EngineCore {
         // Apply snapshots in shipped order.
         for ckpt in chain {
             for (cid, snap) in &ckpt.components {
-                if *cid == LOCAL_RETENTION_KEY {
-                    continue;
-                }
                 let component = self
                     .components
                     .get_mut(cid)
@@ -1173,27 +1221,27 @@ impl EngineCore {
                 adv.record_data(*vt);
             }
         }
-        // Local in-flight retention from the chain (later snapshots extend
-        // earlier ones; duplicate keys overwrite, which is correct).
-        let mut local_frames: BTreeMap<(WireId, VirtualTime), Value> = BTreeMap::new();
+        // In-flight retention from the chain (later checkpoints extend
+        // earlier ones; `record` ignores frames at or before the back, and
+        // `reset_chain` above cleared the buffers, so replaying the chain's
+        // captures in order rebuilds each buffer exactly).
         for ckpt in chain {
-            if let Some(snap) = ckpt.components.get(&LOCAL_RETENTION_KEY) {
-                for (field, chunk) in snap.iter() {
-                    if let Some((w, vt)) = parse_retention_key(field) {
-                        if let Ok(payload) =
-                            <Value as tart_codec::Decode>::from_bytes(chunk.bytes())
-                        {
-                            local_frames.insert((w, vt), payload);
-                        }
+            for (w, frames) in &ckpt.retention {
+                if let Some(buf) = self.retention.get_mut(w) {
+                    for (vt, payload) in frames {
+                        buf.record(*vt, payload.clone());
                     }
                 }
             }
         }
-        for ((w, vt), payload) in local_frames {
-            if let Some(buf) = self.retention.get_mut(&w) {
-                buf.record(vt, payload);
-            }
-        }
+        // The restart point is itself the last durable generation: acks may
+        // advance to its consumed watermarks at the next persisted
+        // checkpoint, no further.
+        self.durable_acked = last
+            .consumed
+            .iter()
+            .map(|(w, vt)| (*w, *vt))
+            .collect();
         self.next_ckpt_full = true;
         self.ckpt_seq = last.seq + 1;
         // Every input wire: dedupe floor at the consumed watermark, then
@@ -1254,7 +1302,16 @@ impl EngineCore {
         let vt = clock.max_with(latest).next();
         let fault = DeterminismFault { vt, new_spec: spec };
         // Log BEFORE use: replay must see the fault even if we crash
-        // immediately after switching.
+        // immediately after switching. Under durability the disk log is
+        // part of that guarantee — if it refuses the record, skip the
+        // re-calibration entirely (keeping the old estimator is always
+        // safe; using a spec a cold restart would never learn of is not).
+        if let Some(store) = &self.durable {
+            if store.log_fault(self.id, component, &fault).is_err() {
+                self.calibrators.remove(&component);
+                return;
+            }
+        }
         self.replica.log_fault(component, fault.clone());
         self.estimators
             .get_mut(&component)
@@ -1263,19 +1320,6 @@ impl EngineCore {
             .expect("switch time is past every earlier switch");
         self.metrics.lock().determinism_faults += 1;
     }
-}
-
-/// Reserved pseudo-component id under which local-wire retention rides in
-/// checkpoints.
-const LOCAL_RETENTION_KEY: ComponentId = ComponentId::new(u32::MAX);
-
-fn parse_retention_key(field: &str) -> Option<(WireId, VirtualTime)> {
-    let rest = field.strip_prefix('w')?;
-    let (wire, vt) = rest.split_once('@')?;
-    Some((
-        WireId::new(wire.parse().ok()?),
-        VirtualTime::from_ticks(vt.parse().ok()?),
-    ))
 }
 
 #[cfg(test)]

@@ -65,16 +65,20 @@ mod log;
 pub mod net;
 mod retention;
 mod router;
+mod store;
 mod supervise;
+mod wal;
 
-pub use chaos::{ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport};
+pub use chaos::{ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, DiskFault};
 pub use checkpoint::{EngineCheckpoint, ReplicaStore};
 pub use clock::{LogicalClock, RealClock, TimeSource};
-pub use cluster::{Cluster, DeployError, Injector};
-pub use config::{ClusterConfig, Placement, SupervisionConfig};
+pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, RecoveryReport};
+pub use config::{ClusterConfig, DurabilityConfig, Placement, SupervisionConfig};
 pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord};
 pub use envelope::Envelope;
 pub use log::{LogError, MessageLog};
 pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
+pub use store::{CheckpointStore, LoadedCheckpoint, StoreError};
 pub use supervise::{FailureDetector, SupervisionMetrics};
+pub use wal::{FsyncPolicy, Wal, WalError, WalRecovery};

@@ -17,6 +17,8 @@ use tart_codec::{crc32, Decode, DecodeError, Encode};
 use tart_model::Value;
 use tart_vtime::{VirtualTime, WireId};
 
+use crate::wal::{FsyncPolicy, Wal, WalError, WalRecovery};
+
 /// Errors from the message log.
 #[derive(Debug)]
 pub enum LogError {
@@ -24,6 +26,8 @@ pub enum LogError {
     Io(std::io::Error),
     /// A persisted record failed its CRC or decode check.
     Corrupt(DecodeError),
+    /// The segmented-WAL backend failed.
+    Storage(WalError),
     /// A record's timestamp was not strictly increasing for its wire.
     NonMonotonic {
         /// The offending wire.
@@ -38,6 +42,7 @@ impl fmt::Display for LogError {
         match self {
             LogError::Io(e) => write!(f, "log i/o failed: {e}"),
             LogError::Corrupt(e) => write!(f, "log record corrupt: {e}"),
+            LogError::Storage(e) => write!(f, "log storage failed: {e}"),
             LogError::NonMonotonic { wire, got } => {
                 write!(
                     f,
@@ -53,6 +58,7 @@ impl std::error::Error for LogError {
         match self {
             LogError::Io(e) => Some(e),
             LogError::Corrupt(e) => Some(e),
+            LogError::Storage(e) => Some(e),
             LogError::NonMonotonic { .. } => None,
         }
     }
@@ -67,6 +73,12 @@ impl From<std::io::Error> for LogError {
 impl From<DecodeError> for LogError {
     fn from(e: DecodeError) -> Self {
         LogError::Corrupt(e)
+    }
+}
+
+impl From<WalError> for LogError {
+    fn from(e: WalError) -> Self {
+        LogError::Storage(e)
     }
 }
 
@@ -116,7 +128,17 @@ impl Decode for LogRecord {
 pub struct MessageLog {
     /// wire → (vt → payload); BTreeMap gives range replay directly.
     entries: BTreeMap<WireId, BTreeMap<VirtualTime, Value>>,
-    file: Option<File>,
+    backend: Backend,
+}
+
+/// Where appended records are persisted.
+enum Backend {
+    /// Nowhere: in-memory only (the "backup machine" flavour).
+    Memory,
+    /// A single flat file, flushed but never fsynced (legacy flavour).
+    File(File),
+    /// The segmented WAL with fsync policy (the durable flavour).
+    Wal(Wal),
 }
 
 impl MessageLog {
@@ -124,7 +146,7 @@ impl MessageLog {
     pub fn in_memory() -> Self {
         MessageLog {
             entries: BTreeMap::new(),
-            file: None,
+            backend: Backend::Memory,
         }
     }
 
@@ -142,20 +164,47 @@ impl MessageLog {
             .open(path)?;
         Ok(MessageLog {
             entries: BTreeMap::new(),
-            file: Some(file),
+            backend: Backend::File(file),
         })
     }
 
-    /// Recovers a log from a previously written file, verifying every
-    /// record's CRC. A torn final record (partial write at crash) is
-    /// tolerated and discarded; corruption in the middle is an error.
+    /// Opens (or creates) a log backed by the segmented [`Wal`] in `dir`,
+    /// replaying whatever it holds. The returned [`WalRecovery`] reports
+    /// the recovered record count and any bytes truncated from a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Storage`] if the WAL cannot be opened (including
+    /// sealed-segment corruption) or [`LogError::Corrupt`] if a CRC-valid
+    /// record fails to decode.
+    pub fn durable(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, WalRecovery), LogError> {
+        let (wal, recovery) = Wal::open(dir, segment_bytes, policy)?;
+        let mut log = MessageLog::in_memory();
+        for body in &recovery.records {
+            let record = LogRecord::from_bytes(body)?;
+            log.insert(record)?;
+        }
+        log.backend = Backend::Wal(wal);
+        Ok((log, recovery))
+    }
+
+    /// Recovers a log from a previously written flat file, verifying every
+    /// record's CRC. A torn **or corrupt** final record (partial write or
+    /// bit-rot at the moment of the crash) is physically truncated away so
+    /// later appends land cleanly; corruption before the final record is an
+    /// error — that is stable storage decaying, not a crash artifact.
     ///
     /// # Errors
     ///
     /// Returns [`LogError::Io`] on read failure or [`LogError::Corrupt`] on
-    /// CRC/decode mismatch.
+    /// mid-file CRC/decode mismatch.
     pub fn recover(path: impl AsRef<Path>) -> Result<Self, LogError> {
-        let mut reader = BufReader::new(File::open(path.as_ref())?);
+        let path = path.as_ref();
+        let mut reader = BufReader::new(File::open(path)?);
         let mut bytes = Vec::new();
         reader.read_to_end(&mut bytes)?;
         let mut log = MessageLog::in_memory();
@@ -172,14 +221,24 @@ impl MessageLog {
             }
             let body = &bytes[pos + 8..pos + 8 + len];
             if crc32(body) != crc {
+                if pos + 8 + len == bytes.len() {
+                    break; // corrupt *final* record: a crash artifact
+                }
                 return Err(LogError::Corrupt(DecodeError::ChecksumMismatch));
             }
             let record = LogRecord::from_bytes(body)?;
             log.insert(record)?;
             pos += 8 + len;
         }
+        if (pos as u64) < bytes.len() as u64 {
+            // Truncate the torn tail in place so the append cursor starts
+            // at the last valid record, not after garbage.
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(pos as u64)?;
+            f.sync_all()?;
+        }
         // Re-open for appending.
-        log.file = Some(OpenOptions::new().append(true).open(path)?);
+        log.backend = Backend::File(OpenOptions::new().append(true).open(path)?);
         Ok(log)
     }
 
@@ -216,15 +275,36 @@ impl MessageLog {
         };
         let body = record.to_bytes();
         self.insert(record)?;
-        if let Some(file) = &mut self.file {
-            let mut frame = Vec::with_capacity(body.len() + 8);
-            frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-            frame.extend_from_slice(&crc32(&body).to_be_bytes());
-            frame.extend_from_slice(&body);
-            file.write_all(&frame)?;
-            file.flush()?;
+        match &mut self.backend {
+            Backend::Memory => {}
+            Backend::File(file) => {
+                let mut frame = Vec::with_capacity(body.len() + 8);
+                frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                frame.extend_from_slice(&crc32(&body).to_be_bytes());
+                frame.extend_from_slice(&body);
+                file.write_all(&frame)?;
+                file.flush()?;
+            }
+            Backend::Wal(wal) => wal.append(&body)?,
         }
         Ok(())
+    }
+
+    /// Forces any buffered appends to stable storage regardless of the
+    /// fsync policy (no-op for the in-memory flavour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Io`]/[`LogError::Storage`] if the fsync fails.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        match &mut self.backend {
+            Backend::Memory => Ok(()),
+            Backend::File(file) => {
+                file.flush()?;
+                file.sync_all().map_err(LogError::from)
+            }
+            Backend::Wal(wal) => wal.sync().map_err(LogError::from),
+        }
     }
 
     /// All logged messages on `wire` with `vt >= from`, in order.
@@ -255,9 +335,14 @@ impl MessageLog {
 
 impl fmt::Debug for MessageLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let backend = match &self.backend {
+            Backend::Memory => "memory",
+            Backend::File(_) => "file",
+            Backend::Wal(_) => "wal",
+        };
         f.debug_struct("MessageLog")
             .field("records", &self.len())
-            .field("persistent", &self.file.is_some())
+            .field("backend", &backend)
             .finish()
     }
 }
@@ -366,23 +451,72 @@ mod tests {
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(full_len - 3).unwrap();
         drop(f);
+        {
+            let mut log = MessageLog::recover(&path).unwrap();
+            assert_eq!(log.len(), 1, "torn final record discarded");
+            // The file was physically truncated: appending after recovery
+            // produces a clean log, not garbage mid-file.
+            log.append(w(0), vt(3), &Value::from("after")).unwrap();
+        }
         let log = MessageLog::recover(&path).unwrap();
-        assert_eq!(log.len(), 1, "torn final record discarded");
+        assert_eq!(
+            log.replay_from(w(0), VirtualTime::ZERO),
+            vec![(vt(1), Value::from("keep")), (vt(3), Value::from("after"))]
+        );
 
-        // Bit flip inside the first record body: checksum error.
-        let path2 = dir.join("flip.log");
+        // Bit flip in the *final* record: a crash artifact — truncated, not
+        // fatal (regression for the whole-log Corrupt bug).
+        let path2 = dir.join("flip-tail.log");
         {
             let mut log = MessageLog::file_backed(&path2).unwrap();
-            log.append(w(0), vt(1), &Value::from("payload")).unwrap();
+            log.append(w(0), vt(1), &Value::from("solid")).unwrap();
+            log.append(w(0), vt(2), &Value::from("rotten")).unwrap();
         }
         let mut bytes = std::fs::read(&path2).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         std::fs::write(&path2, &bytes).unwrap();
+        let log = MessageLog::recover(&path2).unwrap();
+        assert_eq!(log.len(), 1, "corrupt final record truncated");
+        assert_eq!(log.last_vt(w(0)), Some(vt(1)));
+
+        // Bit flip in a *mid-file* record: stable storage decay — an error.
+        let path3 = dir.join("flip-mid.log");
+        let first_len;
+        {
+            let mut log = MessageLog::file_backed(&path3).unwrap();
+            log.append(w(0), vt(1), &Value::from("early")).unwrap();
+            first_len = std::fs::metadata(&path3).unwrap().len() as usize;
+            log.append(w(0), vt(2), &Value::from("later")).unwrap();
+        }
+        let mut bytes = std::fs::read(&path3).unwrap();
+        bytes[first_len - 1] ^= 0xff; // last byte of the FIRST record
+        std::fs::write(&path3, &bytes).unwrap();
         assert!(matches!(
-            MessageLog::recover(&path2),
+            MessageLog::recover(&path3),
             Err(LogError::Corrupt(DecodeError::ChecksumMismatch))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_backend_round_trips_through_the_wal() {
+        let dir = std::env::temp_dir().join(format!("tart-log-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut log, rec) = MessageLog::durable(&dir, 64, FsyncPolicy::Always).unwrap();
+            assert_eq!(rec.records.len(), 0);
+            for t in 1..=8 {
+                log.append(w(0), vt(t), &Value::from(format!("m{t}"))).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let (log, rec) = MessageLog::durable(&dir, 64, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records.len(), 8);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(rec.segments > 1, "tiny threshold forces rotation");
+        assert_eq!(log.len(), 8);
+        assert_eq!(log.last_vt(w(0)), Some(vt(8)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

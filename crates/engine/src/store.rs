@@ -1,0 +1,569 @@
+//! The on-disk checkpoint store.
+//!
+//! Checkpoints are the replay starting points; replay is only as available
+//! as they are. The in-memory [`crate::ReplicaStore`] covers single-engine
+//! failures, this store covers the rest: each persisted
+//! [`EngineCheckpoint`] becomes a **generation** — a CRC-framed file
+//! written to a temp name, fsynced, then atomically renamed — and a CRC'd
+//! **manifest** records, per engine, the generations that exist, newest
+//! last. The store keeps the last two generations per engine so that if the
+//! newest fails verification at recovery time, [`CheckpointStore::load_latest`]
+//! falls back one generation and reports it. If the manifest itself is
+//! unreadable it is rebuilt from the directory listing.
+//!
+//! Determinism faults (§II.G.4) are logged synchronously to an append-only
+//! CRC-framed file per engine, fsynced per record, because a re-calibrated
+//! estimator must never outlive its fault record.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use tart_codec::{crc32, Decode, Encode};
+use tart_estimator::DeterminismFault;
+use tart_vtime::{ComponentId, EngineId};
+
+use crate::checkpoint::EngineCheckpoint;
+use crate::wal::{scan_segment, sync_dir, FRAME_HEADER};
+
+const MANIFEST: &str = "MANIFEST";
+/// Generations kept per engine. Two, so one can be corrupt and recovery
+/// still succeeds — which is also why `TrimAck`s lag one generation.
+pub(crate) const KEPT_GENERATIONS: usize = 2;
+
+/// Errors from the checkpoint store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A persisted artifact failed verification beyond repair.
+    Corrupt {
+        /// What failed (file name or description).
+        what: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint store i/o failed: {e}"),
+            StoreError::Corrupt { what } => write!(f, "checkpoint store corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A checkpoint loaded back from disk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadedCheckpoint {
+    /// Generation number the checkpoint was read from.
+    pub generation: u64,
+    /// Whether the newest generation failed verification and this is the
+    /// previous one.
+    pub fell_back: bool,
+    /// The checkpoint itself.
+    pub checkpoint: EngineCheckpoint,
+}
+
+/// Write-temp + fsync + atomic-rename durable checkpoint storage with a
+/// CRC'd generation manifest.
+///
+/// Shared freely (`Clone`); all methods take `&self`.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// engine raw id → generation numbers, oldest first, newest last.
+    manifest: Mutex<BTreeMap<u32, Vec<u64>>>,
+    /// engine raw id → open fault-log file handle.
+    fault_logs: Mutex<BTreeMap<u32, File>>,
+}
+
+fn ckpt_name(engine: u32, generation: u64) -> String {
+    format!("ckpt-e{engine:04}-g{generation:08}.bin")
+}
+
+fn fault_log_name(engine: u32) -> String {
+    format!("faults-e{engine:04}.log")
+}
+
+/// Frames `body` as `u32 len | u32 crc | body` (the repo-wide on-disk frame).
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + FRAME_HEADER);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(body).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes `bytes` to `path` durably: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory.
+fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+impl CheckpointStore {
+    /// Opens (creating if absent) a checkpoint store rooted at `dir`.
+    ///
+    /// Reads the manifest if present; if the manifest is missing or fails
+    /// its CRC, rebuilds it from the checkpoint files actually on disk
+    /// (rename is atomic, so every `ckpt-*.bin` is either fully present or
+    /// absent — the listing is trustworthy even after a crash).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the directory cannot be created or
+    /// read.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let manifest = match read_manifest(&dir.join(MANIFEST)) {
+            Some(m) => m,
+            None => rebuild_manifest(&dir)?,
+        };
+        Ok(CheckpointStore {
+            dir,
+            manifest: Mutex::new(manifest),
+            fault_logs: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// True if the store holds no checkpoint for any engine.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.lock().values().all(Vec::is_empty)
+    }
+
+    /// Engines with at least one persisted generation.
+    pub fn engines(&self) -> Vec<EngineId> {
+        self.manifest
+            .lock()
+            .iter()
+            .filter(|(_, gens)| !gens.is_empty())
+            .map(|(e, _)| EngineId::new(*e))
+            .collect()
+    }
+
+    /// Generation numbers currently kept for `engine`, oldest first.
+    pub fn generations(&self, engine: EngineId) -> Vec<u64> {
+        self.manifest
+            .lock()
+            .get(&engine.raw())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Persists `ckpt` as a new generation for its engine: checkpoint file
+    /// written atomically, manifest updated atomically, generations beyond
+    /// [`KEPT_GENERATIONS`] pruned. Returns the new generation number.
+    ///
+    /// On return the checkpoint is durable — this is the moment a
+    /// durability-gated `TrimAck` may be emitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if any write, fsync or rename fails; the
+    /// previous generation remains the manifest's newest in that case.
+    pub fn persist(&self, ckpt: &EngineCheckpoint) -> Result<u64, StoreError> {
+        let engine = ckpt.engine.raw();
+        let mut manifest = self.manifest.lock();
+        let gens = manifest.entry(engine).or_default();
+        let generation = gens.last().map_or(0, |g| g + 1);
+        let path = self.dir.join(ckpt_name(engine, generation));
+        write_atomic(&self.dir, &path, &frame(&ckpt.to_bytes()))?;
+        gens.push(generation);
+        let expired: Vec<u64> = if gens.len() > KEPT_GENERATIONS {
+            gens.drain(..gens.len() - KEPT_GENERATIONS).collect()
+        } else {
+            Vec::new()
+        };
+        write_manifest(&self.dir, &manifest)?;
+        // Prune only after the manifest no longer references the old
+        // generations; a crash between the two steps leaves harmless
+        // unreferenced files that the next rebuild ignores or re-adopts.
+        for g in expired {
+            fs::remove_file(self.dir.join(ckpt_name(engine, g))).ok();
+        }
+        Ok(generation)
+    }
+
+    /// Loads the newest generation for `engine` that passes verification,
+    /// falling back at most one generation. `Ok(None)` when the engine has
+    /// no generations at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] when every kept generation fails
+    /// verification, or [`StoreError::Io`] on read failure.
+    pub fn load_latest(&self, engine: EngineId) -> Result<Option<LoadedCheckpoint>, StoreError> {
+        let gens = self.generations(engine);
+        if gens.is_empty() {
+            return Ok(None);
+        }
+        for (attempt, &generation) in gens.iter().rev().take(KEPT_GENERATIONS).enumerate() {
+            let path = self.dir.join(ckpt_name(engine.raw(), generation));
+            if let Some(checkpoint) = read_framed_checkpoint(&path) {
+                return Ok(Some(LoadedCheckpoint {
+                    generation,
+                    fell_back: attempt > 0,
+                    checkpoint,
+                }));
+            }
+        }
+        Err(StoreError::Corrupt {
+            what: format!("all kept checkpoint generations for {engine} failed verification"),
+        })
+    }
+
+    /// Synchronously logs a determinism fault for `engine`: CRC-framed,
+    /// appended, fsynced before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the append or fsync fails.
+    pub fn log_fault(
+        &self,
+        engine: EngineId,
+        component: ComponentId,
+        fault: &DeterminismFault,
+    ) -> Result<(), StoreError> {
+        let mut logs = self.fault_logs.lock();
+        let file = match logs.entry(engine.raw()) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.dir.join(fault_log_name(engine.raw())))?,
+            ),
+        };
+        let body = (component, fault.clone()).to_bytes();
+        file.write_all(&frame(&body))?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// All durably logged determinism faults for `engine`, oldest first.
+    /// The log is scanned like a WAL tail: records up to the first invalid
+    /// frame are kept (a torn final append is the expected crash artifact);
+    /// the rest are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] if a CRC-valid record fails to
+    /// decode, or [`StoreError::Io`] on read failure.
+    pub fn faults(&self, engine: EngineId) -> Result<Vec<(ComponentId, DeterminismFault)>, StoreError> {
+        let path = self.dir.join(fault_log_name(engine.raw()));
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => f.read_to_end(&mut bytes).map(|_| ())?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let scan = scan_segment(&bytes);
+        let mut out = Vec::with_capacity(scan.records.len());
+        for body in &scan.records {
+            let rec = <(ComponentId, DeterminismFault)>::from_bytes(body).map_err(|e| {
+                StoreError::Corrupt {
+                    what: format!("fault log record for {engine}: {e}"),
+                }
+            })?;
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("manifest", &*self.manifest.lock())
+            .finish()
+    }
+}
+
+/// Reads and verifies the manifest; `None` means missing or corrupt (the
+/// caller rebuilds from the directory listing).
+fn read_manifest(path: &Path) -> Option<BTreeMap<u32, Vec<u64>>> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if FRAME_HEADER + len != bytes.len() {
+        return None;
+    }
+    let body = &bytes[FRAME_HEADER..];
+    if crc32(body) != crc {
+        return None;
+    }
+    BTreeMap::<u32, Vec<u64>>::from_bytes(body).ok()
+}
+
+fn write_manifest(dir: &Path, manifest: &BTreeMap<u32, Vec<u64>>) -> Result<(), StoreError> {
+    write_atomic(dir, &dir.join(MANIFEST), &frame(&manifest.to_bytes()))
+}
+
+/// Reconstructs the manifest from the `ckpt-*.bin` files present, keeping
+/// the newest [`KEPT_GENERATIONS`] per engine.
+fn rebuild_manifest(dir: &Path) -> Result<BTreeMap<u32, Vec<u64>>, StoreError> {
+    let mut manifest: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some((engine, generation)) = parse_ckpt_name(&name) {
+            manifest.entry(engine).or_default().push(generation);
+        }
+    }
+    for gens in manifest.values_mut() {
+        gens.sort_unstable();
+        if gens.len() > KEPT_GENERATIONS {
+            gens.drain(..gens.len() - KEPT_GENERATIONS);
+        }
+    }
+    Ok(manifest)
+}
+
+/// Parses `ckpt-e0001-g00000002.bin` → `(1, 2)`.
+fn parse_ckpt_name(name: &str) -> Option<(u32, u64)> {
+    let rest = name.strip_prefix("ckpt-e")?.strip_suffix(".bin")?;
+    let (engine, generation) = rest.split_once("-g")?;
+    Some((engine.parse().ok()?, generation.parse().ok()?))
+}
+
+/// Reads a CRC-framed checkpoint file; `None` on any verification failure
+/// (the caller falls back a generation).
+fn read_framed_checkpoint(path: &Path) -> Option<EngineCheckpoint> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if FRAME_HEADER + len != bytes.len() {
+        return None;
+    }
+    let body = &bytes[FRAME_HEADER..];
+    if crc32(body) != crc {
+        return None;
+    }
+    EngineCheckpoint::from_bytes(body).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tart_estimator::EstimatorSpec;
+    use tart_model::{BlockId, Snapshot, StateChunk};
+    use tart_vtime::{VirtualTime, WireId};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tart-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn vt(t: u64) -> VirtualTime {
+        VirtualTime::from_ticks(t)
+    }
+
+    fn sample(engine: u32, seq: u64) -> EngineCheckpoint {
+        let mut ckpt = EngineCheckpoint::new(EngineId::new(engine), seq);
+        let mut snap = Snapshot::new(vt(seq * 10));
+        snap.put("state", StateChunk::Full(vec![seq as u8; 4]));
+        ckpt.components.insert(ComponentId::new(0), snap);
+        ckpt.clocks.insert(ComponentId::new(0), vt(seq * 10));
+        ckpt.consumed.insert(WireId::new(1), vt(seq * 10));
+        ckpt
+    }
+
+    #[test]
+    fn persist_and_reload() {
+        let dir = tmp("reload");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.persist(&sample(1, 0)).unwrap(), 0);
+        assert_eq!(store.persist(&sample(1, 1)).unwrap(), 1);
+        assert_eq!(store.engines(), vec![EngineId::new(1)]);
+
+        // A fresh open (new process) sees the same state via the manifest.
+        let store = CheckpointStore::open(&dir).unwrap();
+        let loaded = store.load_latest(EngineId::new(1)).unwrap().unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert!(!loaded.fell_back);
+        assert_eq!(loaded.checkpoint, sample(1, 1));
+        assert_eq!(store.load_latest(EngineId::new(9)).unwrap(), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_generations_are_pruned() {
+        let dir = tmp("prune");
+        let store = CheckpointStore::open(&dir).unwrap();
+        for seq in 0..5 {
+            store.persist(&sample(0, seq)).unwrap();
+        }
+        assert_eq!(store.generations(EngineId::new(0)), vec![3, 4]);
+        let files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let n = e.unwrap().file_name().to_string_lossy().into_owned();
+                n.starts_with("ckpt-").then_some(n)
+            })
+            .collect();
+        assert_eq!(files.len(), KEPT_GENERATIONS, "pruned to kept set: {files:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_generation_falls_back_one() {
+        let dir = tmp("fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.persist(&sample(2, 0)).unwrap();
+        store.persist(&sample(2, 1)).unwrap();
+        // Flip a byte in the newest generation's body.
+        let newest = dir.join(ckpt_name(2, 1));
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+
+        let store = CheckpointStore::open(&dir).unwrap();
+        let loaded = store.load_latest(EngineId::new(2)).unwrap().unwrap();
+        assert!(loaded.fell_back, "newest failed, previous served");
+        assert_eq!(loaded.generation, 0);
+        assert_eq!(loaded.checkpoint, sample(2, 0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_an_error() {
+        let dir = tmp("allbad");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.persist(&sample(0, 0)).unwrap();
+        store.persist(&sample(0, 1)).unwrap();
+        for g in 0..2 {
+            let path = dir.join(ckpt_name(0, g));
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+        }
+        assert!(matches!(
+            store.load_latest(EngineId::new(0)),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rebuilt_from_directory() {
+        let dir = tmp("manifest");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.persist(&sample(3, 0)).unwrap();
+        store.persist(&sample(3, 1)).unwrap();
+        // Stomp the manifest.
+        fs::write(dir.join(MANIFEST), b"not a manifest at all").unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let loaded = store.load_latest(EngineId::new(3)).unwrap().unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.checkpoint, sample(3, 1));
+        // Missing manifest rebuilds too.
+        fs::remove_file(dir.join(MANIFEST)).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.generations(EngineId::new(3)), vec![0, 1]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_log_round_trips_and_tolerates_torn_tail() {
+        let dir = tmp("faults");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(0);
+        assert!(store.faults(e).unwrap().is_empty());
+        let f1 = DeterminismFault {
+            vt: vt(500),
+            new_spec: EstimatorSpec::per_iteration(BlockId(0), 70_000),
+        };
+        let f2 = DeterminismFault {
+            vt: vt(900),
+            new_spec: EstimatorSpec::per_iteration(BlockId(1), 80_000),
+        };
+        store.log_fault(e, ComponentId::new(4), &f1).unwrap();
+        store.log_fault(e, ComponentId::new(5), &f2).unwrap();
+        let got = store.faults(e).unwrap();
+        assert_eq!(got, vec![(ComponentId::new(4), f1.clone()), (ComponentId::new(5), f2)]);
+
+        // Tear the final record: it is discarded, the first survives.
+        let path = dir.join(fault_log_name(0));
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let got = store.faults(e).unwrap();
+        assert_eq!(got, vec![(ComponentId::new(4), f1)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_engines_are_independent() {
+        let dir = tmp("multi");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.persist(&sample(0, 0)).unwrap();
+        store.persist(&sample(1, 0)).unwrap();
+        store.persist(&sample(1, 1)).unwrap();
+        assert_eq!(store.generations(EngineId::new(0)), vec![0]);
+        assert_eq!(store.generations(EngineId::new(1)), vec![0, 1]);
+        assert_eq!(
+            store.engines(),
+            vec![EngineId::new(0), EngineId::new(1)]
+        );
+        assert!(format!("{store:?}").contains("CheckpointStore"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::Corrupt { what: "x".into() };
+        assert!(e.to_string().contains("corrupt"));
+        let e = StoreError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,527 @@
+//! A segmented, CRC-framed write-ahead log.
+//!
+//! The paper requires external messages to be logged "either to external
+//! stable storage, or to the backup machine" (§II.E). This module is the
+//! stable-storage half done properly: an append-only log split into
+//! fixed-threshold **segments**, each record framed as
+//! `u32 length (BE) | u32 crc32 (BE) | body`, with a pluggable
+//! [`FsyncPolicy`] governing when appends are forced to disk.
+//!
+//! Recovery ([`Wal::open`]) scans every segment in order. Sealed segments
+//! (every segment but the last) were fsynced at rotation and must parse
+//! completely — any corruption there is a hard [`WalError::Corrupt`]. The
+//! *final* segment may legitimately end in a torn record (the crash the log
+//! exists to survive): the scan stops at the first invalid record, truncates
+//! the file back to the last valid one, and reports how many bytes were
+//! discarded in the [`WalRecovery`] report.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use tart_codec::crc32;
+
+/// Per-record frame overhead: u32 length + u32 crc.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every append: nothing acknowledged is ever lost, at the
+    /// cost of one disk round-trip per record.
+    Always,
+    /// Fsync after every `n` appends: bounds loss to at most `n - 1`
+    /// acknowledged records.
+    Interval(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases. Fastest, and
+    /// a whole-machine crash may lose everything since the last rotation
+    /// (rotation always seals with an fsync).
+    Never,
+}
+
+/// Errors from the write-ahead log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A sealed (non-final) segment failed verification — stable storage
+    /// itself has decayed, which truncation must not paper over.
+    Corrupt {
+        /// File name of the offending segment.
+        segment: String,
+        /// Byte offset of the first bad record within it.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o failed: {e}"),
+            WalError::Corrupt { segment, offset } => {
+                write!(f, "sealed wal segment {segment} corrupt at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Records recovered, oldest first, with frames already verified.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded from the torn/corrupt tail of the final segment
+    /// (zero on a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Number of segment files scanned.
+    pub segments: usize,
+}
+
+/// One scanned segment: the valid records and where validity ended.
+pub(crate) struct SegmentScan {
+    pub(crate) records: Vec<Vec<u8>>,
+    /// Offset just past the last valid record.
+    pub(crate) valid_len: u64,
+    /// Total bytes in the file.
+    pub(crate) file_len: u64,
+}
+
+pub(crate) fn scan_segment(bytes: &[u8]) -> SegmentScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + FRAME_HEADER > bytes.len() {
+            break; // torn header
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let end = pos + FRAME_HEADER + len;
+        if end > bytes.len() {
+            break; // torn body
+        }
+        let body = &bytes[pos + FRAME_HEADER..end];
+        if crc32(body) != crc {
+            break; // corrupt record — caller decides whether that is fatal
+        }
+        records.push(body.to_vec());
+        pos = end;
+    }
+    SegmentScan {
+        records,
+        valid_len: pos as u64,
+        file_len: bytes.len() as u64,
+    }
+}
+
+fn segment_name(index: u64) -> String {
+    format!("wal-{index:08}.seg")
+}
+
+/// A segmented, CRC-framed append-only log of opaque byte records.
+///
+/// # Example
+///
+/// ```
+/// use tart_engine::{FsyncPolicy, Wal};
+///
+/// let dir = std::env::temp_dir().join(format!("wal-doc-{}", std::process::id()));
+/// let mut wal = Wal::create(&dir, 1024, FsyncPolicy::Always)?;
+/// wal.append(b"hello")?;
+/// drop(wal);
+/// let (wal, recovery) = Wal::open(&dir, 1024, FsyncPolicy::Always)?;
+/// assert_eq!(recovery.records, vec![b"hello".to_vec()]);
+/// assert_eq!(recovery.truncated_bytes, 0);
+/// drop(wal);
+/// std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), tart_engine::WalError>(())
+/// ```
+pub struct Wal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    policy: FsyncPolicy,
+    active: File,
+    active_index: u64,
+    active_len: u64,
+    appends_since_sync: u32,
+}
+
+impl Wal {
+    /// Creates a fresh WAL in `dir` (which must be empty of segments),
+    /// rotating segments once they exceed `segment_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the directory cannot be created or
+    /// already contains segment files.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Self, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if !list_segments(&dir)?.is_empty() {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "wal directory already contains segments; use Wal::open to recover",
+            )));
+        }
+        let active = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(dir.join(segment_name(0)))?;
+        Ok(Wal {
+            dir,
+            segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
+            policy,
+            active,
+            active_index: 0,
+            active_len: 0,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Opens an existing WAL, verifying every record. Sealed segments must
+    /// be fully valid; a torn or corrupt tail of the final segment is
+    /// truncated away and reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Corrupt`] for sealed-segment corruption or
+    /// [`WalError::Io`] on read failure.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, WalRecovery), WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        if segments.is_empty() {
+            let wal = Wal::create(&dir, segment_bytes, policy)?;
+            return Ok((wal, WalRecovery::default()));
+        }
+        let mut recovery = WalRecovery {
+            segments: segments.len(),
+            ..WalRecovery::default()
+        };
+        let last = segments.len() - 1;
+        let mut last_valid_len = 0u64;
+        for (i, (index, path)) in segments.iter().enumerate() {
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            let scan = scan_segment(&bytes);
+            if scan.valid_len < scan.file_len {
+                if i < last {
+                    return Err(WalError::Corrupt {
+                        segment: segment_name(*index),
+                        offset: scan.valid_len,
+                    });
+                }
+                // Torn or corrupt tail of the active segment: truncate back
+                // to the last valid record so appends continue cleanly.
+                recovery.truncated_bytes = scan.file_len - scan.valid_len;
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(scan.valid_len)?;
+                f.sync_all()?;
+            }
+            if i == last {
+                last_valid_len = scan.valid_len;
+            }
+            recovery.records.extend(scan.records);
+        }
+        let (active_index, last_path) = segments[last].clone();
+        let active = OpenOptions::new().append(true).open(last_path)?;
+        let mut wal = Wal {
+            dir,
+            segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
+            policy,
+            active,
+            active_index,
+            active_len: last_valid_len,
+            appends_since_sync: 0,
+        };
+        // A recovered active segment past the threshold seals immediately.
+        if wal.active_len >= wal.segment_bytes {
+            wal.rotate()?;
+        }
+        Ok((wal, recovery))
+    }
+
+    /// Appends one record, framing it with length and CRC, honouring the
+    /// fsync policy, and rotating the segment past the byte threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the write (or a policy-mandated fsync)
+    /// fails.
+    pub fn append(&mut self, body: &[u8]) -> Result<(), WalError> {
+        let mut frame = Vec::with_capacity(body.len() + FRAME_HEADER);
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(body).to_be_bytes());
+        frame.extend_from_slice(body);
+        self.active.write_all(&frame)?;
+        self.active_len += frame.len() as u64;
+        self.appends_since_sync += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Interval(n) => {
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the fsync fails.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.active.sync_all()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Seals the active segment (always fsynced — sealed segments are the
+    /// durability floor whatever the policy) and starts the next one.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.active.sync_all()?;
+        self.active_index += 1;
+        self.active = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(self.dir.join(segment_name(self.active_index)))?;
+        self.active_len = 0;
+        self.appends_since_sync = 0;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// The directory this WAL lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of segment files (sealed + active).
+    pub fn segment_count(&self) -> u64 {
+        self.active_index + 1
+    }
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("segments", &(self.active_index + 1))
+            .field("active_len", &self.active_len)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// All segment files in `dir`, ascending by index.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(index) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            segments.push((index, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Fsyncs a directory so renames/creations within it are durable (no-op on
+/// platforms where directories cannot be opened).
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    match File::open(dir) {
+        Ok(f) => f.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tart-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_reopen() {
+        let dir = tmp("roundtrip");
+        {
+            let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Always).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.append(b"three").unwrap();
+        }
+        let (mut wal, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.segments, 1);
+        // Appends continue after recovery.
+        wal.append(b"four").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records.len(), 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_seals_segments_at_threshold() {
+        let dir = tmp("rotate");
+        let mut wal = Wal::create(&dir, 32, FsyncPolicy::Never).unwrap();
+        for i in 0..10u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        assert!(wal.segment_count() > 1, "threshold forces rotation");
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 32, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec.records.len(), 10);
+        assert!(rec.segments > 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmp("torn");
+        {
+            let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Always).unwrap();
+            wal.append(b"keep-me").unwrap();
+            wal.append(b"torn-away").unwrap();
+        }
+        let seg = dir.join(segment_name(0));
+        let full = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(full - 4).unwrap();
+        drop(f);
+        let (mut wal, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records, vec![b"keep-me".to_vec()]);
+        assert_eq!(rec.truncated_bytes, b"torn-away".len() as u64 + FRAME_HEADER as u64 - 4);
+        // The file was physically truncated: a fresh append lands cleanly.
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records, vec![b"keep-me".to_vec(), b"after".to_vec()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_tail_of_final_segment_is_truncated() {
+        let dir = tmp("crc-tail");
+        {
+            let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Always).unwrap();
+            wal.append(b"solid").unwrap();
+            wal.append(b"rotten").unwrap();
+        }
+        let seg = dir.join(segment_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
+        assert_eq!(rec.records, vec![b"solid".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_segment_corruption_is_fatal() {
+        let dir = tmp("sealed");
+        {
+            let mut wal = Wal::create(&dir, 24, FsyncPolicy::Always).unwrap();
+            for i in 0..6u8 {
+                wal.append(&[i; 16]).unwrap();
+            }
+            assert!(wal.segment_count() > 1);
+        }
+        // Flip a byte in the FIRST (sealed) segment's first record body.
+        let seg = dir.join(segment_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[FRAME_HEADER + 2] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+        match Wal::open(&dir, 24, FsyncPolicy::Always) {
+            Err(WalError::Corrupt { segment, offset }) => {
+                assert_eq!(segment, segment_name(0));
+                assert_eq!(offset, 0);
+            }
+            other => panic!("expected sealed corruption, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interval_policy_counts_appends() {
+        let dir = tmp("interval");
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Interval(3)).unwrap();
+        for _ in 0..7 {
+            wal.append(b"x").unwrap();
+        }
+        // 7 appends, syncs at 3 and 6: one pending.
+        assert_eq!(wal.appends_since_sync, 1);
+        wal.sync().unwrap();
+        assert_eq!(wal.appends_since_sync, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_populated_directory() {
+        let dir = tmp("refuse");
+        {
+            let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+            wal.append(b"existing").unwrap();
+        }
+        assert!(matches!(
+            Wal::create(&dir, 4096, FsyncPolicy::Never),
+            Err(WalError::Io(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WalError::Corrupt {
+            segment: "wal-00000000.seg".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("offset 12"));
+        let e = WalError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -127,6 +127,7 @@ fn chaos_soak_outputs_match_failure_free_run() {
         latency_spikes: 2,
         max_latency: Duration::from_millis(20),
         disturbance_len: Duration::from_millis(150),
+        disk_faults: 0,
     };
     // Pace the workload across the chaos window so disturbances land
     // mid-stream, not after the fact.

@@ -1,6 +1,9 @@
 //! Criterion microbenchmarks for the canonical codec — the cost of
 //! serializing checkpoints and logged messages.
 
+// Measurement harness (tart-lint tier: Exempt): its entire purpose is wall-clock timing.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

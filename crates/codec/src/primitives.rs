@@ -1,6 +1,8 @@
 //! `Encode`/`Decode` implementations for primitives, std containers and the
 //! `tart-vtime` vocabulary types.
 
+#[allow(clippy::disallowed_types)]
+// tart-lint: allow(HASH-ITER) -- codec support for hash maps is deliberately canonical: encode sorts by key before emission, decode is order-independent
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasher, Hash};
 
@@ -265,6 +267,8 @@ impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
 /// Hash maps encode *canonically*: entries are sorted by key bytes first, so
 /// two maps with equal contents produce identical encodings regardless of
 /// iteration order.
+#[allow(clippy::disallowed_types)]
+// tart-lint: allow(HASH-ITER) -- Encode for HashMap sorts entries by key first; the image is canonical (see the doc comment and the codec proptest)
 impl<K, V, S> Encode for HashMap<K, V, S>
 where
     K: Encode + Ord + Hash,
@@ -282,6 +286,8 @@ where
     }
 }
 
+#[allow(clippy::disallowed_types)]
+// tart-lint: allow(HASH-ITER) -- Decode fills a fresh map; no order observed
 impl<K, V, S> Decode for HashMap<K, V, S>
 where
     K: Decode + Eq + Hash,
@@ -291,9 +297,11 @@ where
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let declared = read_varint(r)?;
         if declared == 0 {
+            // tart-lint: allow(HASH-ITER) -- constructing the decode target; no order observed
             return Ok(HashMap::default());
         }
         let len = r.check_len(declared, 1)?;
+        // tart-lint: allow(HASH-ITER) -- constructing the decode target; no order observed
         let mut out = HashMap::with_capacity_and_hasher(len, S::default());
         for _ in 0..len {
             let k = K::decode(r)?;
@@ -429,6 +437,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_types)] // exercises the canonical HashMap codec
     fn maps_round_trip() {
         let mut h = HashMap::new();
         h.insert(String::from("alpha"), 1u64);

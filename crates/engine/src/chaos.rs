@@ -13,6 +13,9 @@
 //! injecting a crash it waits for the supervisor to complete the failover
 //! before firing the next event.
 
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
@@ -261,7 +264,8 @@ impl ChaosPlan {
         let mut rng = DetRng::seed_from(seed);
         let span_ms = opts.duration.as_millis() as u64;
         let mut events: Vec<(Duration, ChaosEvent)> = Vec::new();
-        let pick = |rng: &mut DetRng| engines[rng.gen_range_u64(0, engines.len() as u64 - 1) as usize];
+        let pick =
+            |rng: &mut DetRng| engines[rng.gen_range_u64(0, engines.len() as u64 - 1) as usize];
 
         // One crash per slot, jittered within the slot's middle half.
         let slot = span_ms / (u64::from(opts.crashes) + 1).max(1);
@@ -277,7 +281,10 @@ impl ChaosPlan {
         for _ in 0..opts.partitions {
             let at = rng.gen_range_u64(0, latest_start.max(1));
             let engine = pick(&mut rng);
-            events.push((Duration::from_millis(at), ChaosEvent::PartitionStart(engine)));
+            events.push((
+                Duration::from_millis(at),
+                ChaosEvent::PartitionStart(engine),
+            ));
             events.push((
                 Duration::from_millis(at + window_ms),
                 ChaosEvent::PartitionEnd(engine),
@@ -286,7 +293,9 @@ impl ChaosPlan {
         for _ in 0..opts.latency_spikes {
             let at = rng.gen_range_u64(0, latest_start.max(1));
             let engine = pick(&mut rng);
-            let delay = Duration::from_millis(rng.gen_range_u64(1, opts.max_latency.as_millis().max(1) as u64));
+            let delay = Duration::from_millis(
+                rng.gen_range_u64(1, opts.max_latency.as_millis().max(1) as u64),
+            );
             events.push((
                 Duration::from_millis(at),
                 ChaosEvent::LatencyStart(engine, delay),
@@ -374,10 +383,12 @@ pub(crate) fn launch(
     let thread = std::thread::Builder::new()
         .name("tart-chaos".into())
         .spawn(move || {
+            // tart-lint: allow(WALLCLOCK) -- chaos harness: fault-injection offsets are real-time by design and outside the replayable run
             let start = Instant::now();
             let mut report = ChaosReport::default();
             let mut disturbed: BTreeSet<EngineId> = BTreeSet::new();
             for (offset, event) in plan.events {
+                // tart-lint: allow(WALLCLOCK) -- chaos harness: real-time wait until the next scheduled fault
                 if let Some(wait) = (start + offset).checked_duration_since(Instant::now()) {
                     std::thread::sleep(wait);
                 }
@@ -390,7 +401,9 @@ pub(crate) fn launch(
                         report.crashes += 1;
                         // Single-failure assumption: hold further events
                         // until the supervisor finished this recovery.
+                        // tart-lint: allow(WALLCLOCK) -- chaos harness: recovery-timeout watchdog, observation only
                         let deadline = Instant::now() + RECOVERY_TIMEOUT;
+                        // tart-lint: allow(WALLCLOCK) -- chaos harness: watchdog poll against a real-time deadline
                         while supervision.lock().failovers <= before && Instant::now() < deadline {
                             std::thread::sleep(Duration::from_millis(2));
                         }

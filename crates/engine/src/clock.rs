@@ -1,4 +1,11 @@
-//! Time sources for stamping external input.
+//! Time sources for stamping external input, plus the engine's only other
+//! sanctioned wall-clock access: handler-duration measurement.
+//!
+//! Everything in the replayable core observes time through this module.
+//! tart-lint enforces that (`WALLCLOCK` rule, DESIGN.md §11): the two
+//! `Instant::now` reads below carry the only `allow` fences in the
+//! deterministic engine tier, so any new wall-clock read elsewhere in the
+//! scheduler fails the audit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,8 +43,10 @@ pub struct RealClock {
 
 impl RealClock {
     /// Creates a clock whose tick zero is now.
+    #[allow(clippy::disallowed_methods)] // sanctioned wall-clock boundary
     pub fn new() -> Self {
         RealClock {
+            // tart-lint: allow(WALLCLOCK) -- RealClock *is* the sanctioned boundary: §II.E logs the stamp, so replay reads the log, not the clock
             epoch: Instant::now(),
         }
     }
@@ -91,6 +100,37 @@ impl TimeSource for LogicalClock {
     }
 }
 
+/// A running measurement of one handler execution, used to feed the
+/// estimator calibrator (§III: estimates are fitted to *measured* service
+/// times).
+///
+/// The measurement itself is wall-clock — it has to be; it is measuring the
+/// hardware — but the value never flows into virtual time directly: it goes
+/// through [`tart_estimator::Calibrator`], and a re-fit is logged as a
+/// `DeterminismFault` so replay reproduces the estimator switch instead of
+/// the measurement. Keeping the read here (rather than in the scheduler)
+/// gives the audit a single choke point.
+#[derive(Clone, Copy, Debug)]
+pub struct HandlerTimer {
+    started: Instant,
+}
+
+impl HandlerTimer {
+    /// Starts measuring.
+    #[allow(clippy::disallowed_methods)] // sanctioned wall-clock boundary
+    pub fn start() -> Self {
+        HandlerTimer {
+            // tart-lint: allow(WALLCLOCK) -- measures real handler duration for calibration; consumed via the logged DeterminismFault path, never by replayed code
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`HandlerTimer::start`], saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,7 +165,11 @@ mod tests {
         let c = LogicalClock::new(1_000);
         // A cold restart replaying three logged sends lands the clock here.
         c.advance_to(VirtualTime::from_ticks(3_000));
-        assert_eq!(c.now(), VirtualTime::from_ticks(4_000), "resumes past the log");
+        assert_eq!(
+            c.now(),
+            VirtualTime::from_ticks(4_000),
+            "resumes past the log"
+        );
         // advance_to never regresses.
         c.advance_to(VirtualTime::from_ticks(100));
         assert_eq!(c.now(), VirtualTime::from_ticks(5_000));

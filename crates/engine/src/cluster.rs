@@ -1,5 +1,8 @@
 //! Cluster deployment, external I/O, failover orchestration.
 
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -65,7 +68,10 @@ impl fmt::Display for DeployError {
                 )
             }
             DeployError::DurabilityNotConfigured => {
-                write!(f, "recover_from_disk requires ClusterConfig::with_durability")
+                write!(
+                    f,
+                    "recover_from_disk requires ClusterConfig::with_durability"
+                )
             }
             DeployError::DurabilityUnavailable(why) => {
                 write!(f, "durability layer unavailable: {why}")
@@ -285,9 +291,11 @@ impl EngineHost {
             .spawn(move || {
                 let mut draining = false;
                 let mut seq = 0u64;
+                // tart-lint: allow(WALLCLOCK) -- ops-plane: heartbeat pacing runs on the wall clock; beacons are control-plane and never logged or replayed
                 let mut next_hb = Instant::now();
                 loop {
                     if let Some(interval) = heartbeat {
+                        // tart-lint: allow(WALLCLOCK) -- ops-plane: heartbeat pacing runs on the wall clock
                         let now = Instant::now();
                         if now >= next_hb {
                             router.send(SUPERVISOR_ENGINE, Envelope::Heartbeat { engine: id, seq });
@@ -419,7 +427,10 @@ impl EngineHost {
     }
 
     fn replica_depth(&self, engine: EngineId) -> usize {
-        self.engines.lock().get(&engine).map_or(0, |s| s.replica.len())
+        self.engines
+            .lock()
+            .get(&engine)
+            .map_or(0, |s| s.replica.len())
     }
 }
 
@@ -948,7 +959,10 @@ impl Cluster {
         }
         let threads: Vec<JoinHandle<()>> = {
             let mut engines = self.host.engines.lock();
-            engines.values_mut().filter_map(|s| s.thread.take()).collect()
+            engines
+                .values_mut()
+                .filter_map(|s| s.thread.take())
+                .collect()
         };
         for t in threads {
             let _ = t.join();

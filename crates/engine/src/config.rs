@@ -279,7 +279,11 @@ impl ClusterConfig {
     /// the cluster becomes cold-restartable via
     /// [`crate::Cluster::recover_from_disk`]. Uses a 1 MiB WAL segment
     /// threshold; set [`ClusterConfig::durability`] directly to tune it.
-    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>, policy: FsyncPolicy) -> Self {
+    pub fn with_durability(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        policy: FsyncPolicy,
+    ) -> Self {
         self.durability = Some(DurabilityConfig {
             dir: dir.into(),
             policy,

@@ -8,7 +8,7 @@
 //! threaded wrapper in [`crate::Cluster`] is a thin loop around it, which is
 //! what makes the recovery protocol unit-testable without threads.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -119,21 +119,21 @@ pub struct EngineCore {
     spec: AppSpec,
     config: ClusterConfig,
     /// Hosted components, taken out during handler execution.
-    components: HashMap<ComponentId, Option<Box<dyn Component>>>,
+    components: BTreeMap<ComponentId, Option<Box<dyn Component>>>,
     mux: InputMux<Value>,
-    estimators: HashMap<ComponentId, EstimatorSchedule>,
+    estimators: BTreeMap<ComponentId, EstimatorSchedule>,
     /// Input-wire bookkeeping.
-    wire_source: HashMap<WireId, WireSource>,
-    consumed: HashMap<WireId, VirtualTime>,
-    recovering: HashMap<WireId, RecoveryStash>,
+    wire_source: BTreeMap<WireId, WireSource>,
+    consumed: BTreeMap<WireId, VirtualTime>,
+    recovering: BTreeMap<WireId, RecoveryStash>,
     probes: ProbeTracker,
     /// Output-wire bookkeeping.
-    wire_dest: HashMap<WireId, WireDest>,
-    retention: HashMap<WireId, RetentionBuffer>,
-    advertisers: HashMap<WireId, SilenceAdvertiser>,
+    wire_dest: BTreeMap<WireId, WireDest>,
+    retention: BTreeMap<WireId, RetentionBuffer>,
+    advertisers: BTreeMap<WireId, SilenceAdvertiser>,
     /// Deterministic per-output-wire send watermark (checkpointed: replays
     /// must reproduce identical virtual times).
-    sent_watermark: HashMap<WireId, VirtualTime>,
+    sent_watermark: BTreeMap<WireId, VirtualTime>,
     router: Router,
     replica: ReplicaStore,
     /// On-disk checkpoint store, when the cluster runs with durability.
@@ -144,17 +144,17 @@ pub struct EngineCore {
     /// one generation, so upstream retention must keep everything past the
     /// generation *before* the newest; acking one generation late
     /// guarantees exactly that.
-    durable_acked: HashMap<WireId, VirtualTime>,
+    durable_acked: BTreeMap<WireId, VirtualTime>,
     outputs: crossbeam::channel::Sender<OutputRecord>,
     /// Dynamic re-tuning state: per-component sample collectors, present
     /// only while auto-recalibration is armed for that component.
-    calibrators: HashMap<ComponentId, Calibrator>,
+    calibrators: BTreeMap<ComponentId, Calibrator>,
     processed_since_ckpt: u64,
     ckpt_seq: u64,
     next_ckpt_full: bool,
     /// Output wires whose end-of-stream marker has been transmitted
     /// (graceful drain only).
-    eos_sent: std::collections::HashSet<WireId>,
+    eos_sent: std::collections::BTreeSet<WireId>,
     metrics: Arc<Mutex<EngineMetrics>>,
 }
 
@@ -175,13 +175,13 @@ impl EngineCore {
     ) -> Self {
         let local = placement.components_on(id);
         assert!(!local.is_empty(), "engine {id} hosts no components");
-        let mut components = HashMap::new();
+        let mut components = BTreeMap::new();
         let mut mux = InputMux::new();
-        let mut estimators = HashMap::new();
-        let mut wire_source = HashMap::new();
-        let mut wire_dest = HashMap::new();
-        let mut retention = HashMap::new();
-        let mut advertisers = HashMap::new();
+        let mut estimators = BTreeMap::new();
+        let mut wire_source = BTreeMap::new();
+        let mut wire_dest = BTreeMap::new();
+        let mut retention = BTreeMap::new();
+        let mut advertisers = BTreeMap::new();
         for &cid in &local {
             let cspec = spec.component(cid).expect("placed component exists");
             components.insert(cid, Some(cspec.instantiate()));
@@ -228,7 +228,7 @@ impl EngineCore {
                 .iter()
                 .map(|&cid| (cid, Calibrator::new(n as usize)))
                 .collect(),
-            None => HashMap::new(),
+            None => BTreeMap::new(),
         };
         EngineCore {
             id,
@@ -238,23 +238,23 @@ impl EngineCore {
             mux,
             estimators,
             wire_source,
-            consumed: HashMap::new(),
-            recovering: HashMap::new(),
+            consumed: BTreeMap::new(),
+            recovering: BTreeMap::new(),
             probes: ProbeTracker::new(),
             wire_dest,
             retention,
             advertisers,
-            sent_watermark: HashMap::new(),
+            sent_watermark: BTreeMap::new(),
             router,
             replica,
             durable: None,
-            durable_acked: HashMap::new(),
+            durable_acked: BTreeMap::new(),
             outputs,
             calibrators,
             processed_since_ckpt: 0,
             ckpt_seq: 0,
             next_ckpt_full: true,
-            eos_sent: std::collections::HashSet::new(),
+            eos_sent: std::collections::BTreeSet::new(),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
         }
     }
@@ -646,7 +646,7 @@ impl EngineCore {
         }
         let bound = self.silence_bound(source, wire);
         if bound < needed_through {
-            let mut visited = std::collections::HashSet::new();
+            let mut visited = std::collections::BTreeSet::new();
             self.cascade_probe(source, needed_through, &mut visited);
         }
         let changed = self
@@ -759,7 +759,7 @@ impl EngineCore {
             .take()
             .expect("component not reentrantly executing");
         let measure = self.calibrators.contains_key(&cid);
-        let started = measure.then(std::time::Instant::now);
+        let started = measure.then(crate::clock::HandlerTimer::start);
         let mut ctx = EngineCtx::new(self, cid, dequeue_vt);
         component.on_message(in_port, &msg, &mut ctx);
         let EngineCtx {
@@ -767,7 +767,7 @@ impl EngineCore {
         } = ctx;
         self.components.insert(cid, Some(component));
         if let Some(started) = started {
-            let measured = started.elapsed().as_nanos() as u64;
+            let measured = started.elapsed_ns();
             self.observe_sample(cid, features.clone(), measured);
         }
 
@@ -931,7 +931,7 @@ impl EngineCore {
                         if bound < needed {
                             // The local sender itself is waiting on inputs:
                             // cascade the curiosity upstream.
-                            let mut visited = std::collections::HashSet::new();
+                            let mut visited = std::collections::BTreeSet::new();
                             self.cascade_probe(source, needed, &mut visited);
                         }
                     }
@@ -967,7 +967,7 @@ impl EngineCore {
         &mut self,
         component: ComponentId,
         needed: VirtualTime,
-        visited: &mut std::collections::HashSet<ComponentId>,
+        visited: &mut std::collections::BTreeSet<ComponentId>,
     ) {
         if !visited.insert(component) {
             return;
@@ -1137,11 +1137,7 @@ impl EngineCore {
         // the current consumed watermark; with it, the watermark lags one
         // generation (see `durable_acked`).
         let acks: Vec<(WireId, VirtualTime)> = if self.durable.is_some() {
-            let acks = self
-                .durable_acked
-                .iter()
-                .map(|(w, vt)| (*w, *vt))
-                .collect();
+            let acks = self.durable_acked.iter().map(|(w, vt)| (*w, *vt)).collect();
             self.durable_acked = self.consumed.clone();
             acks
         } else {
@@ -1237,11 +1233,7 @@ impl EngineCore {
         // The restart point is itself the last durable generation: acks may
         // advance to its consumed watermarks at the next persisted
         // checkpoint, no further.
-        self.durable_acked = last
-            .consumed
-            .iter()
-            .map(|(w, vt)| (*w, *vt))
-            .collect();
+        self.durable_acked = last.consumed.iter().map(|(w, vt)| (*w, *vt)).collect();
         self.next_ckpt_full = true;
         self.ckpt_seq = last.seq + 1;
         // Every input wire: dedupe floor at the consumed watermark, then

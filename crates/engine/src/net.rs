@@ -39,6 +39,9 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -383,6 +386,7 @@ pub fn remote_engine_with(
             let mut stream = Some(stream);
             let mut backoff = policy.initial_backoff;
             let mut attempts: u32 = 0;
+            // tart-lint: allow(WALLCLOCK) -- transport ops-plane: reconnect backoff pacing is real-time; frame contents, not arrival times, enter the log
             let mut next_attempt = Instant::now();
             loop {
                 if stop_writer.load(Ordering::Relaxed) {
@@ -406,6 +410,7 @@ pub fn remote_engine_with(
                                     state_writer.connected.store(false, Ordering::Relaxed);
                                     backoff = policy.initial_backoff;
                                     attempts = 0;
+                                    // tart-lint: allow(WALLCLOCK) -- transport ops-plane: immediate-retry scheduling after a send failure
                                     next_attempt = Instant::now()
                                         + backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
                                 }
@@ -415,11 +420,11 @@ pub fn remote_engine_with(
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                 }
-                let give_up =
-                    policy.max_attempts > 0 && attempts >= policy.max_attempts;
+                let give_up = policy.max_attempts > 0 && attempts >= policy.max_attempts;
                 if stream.is_none() && give_up {
                     state_writer.gave_up.store(true, Ordering::Relaxed);
                 }
+                // tart-lint: allow(WALLCLOCK) -- transport ops-plane: backoff deadline check
                 if stream.is_none() && !give_up && Instant::now() >= next_attempt {
                     match TcpStream::connect(&addrs[..]) {
                         Ok(s) => {
@@ -437,6 +442,7 @@ pub fn remote_engine_with(
                             // `jitter` of itself — never shortens it, so
                             // backoff stays monotone under the cap.
                             let jittered = backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
+                            // tart-lint: allow(WALLCLOCK) -- transport ops-plane: next reconnect attempt scheduling
                             next_attempt = Instant::now() + jittered;
                             backoff = backoff
                                 .mul_f64(policy.multiplier.max(1.0))

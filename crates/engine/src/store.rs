@@ -278,7 +278,10 @@ impl CheckpointStore {
     ///
     /// Returns [`StoreError::Corrupt`] if a CRC-valid record fails to
     /// decode, or [`StoreError::Io`] on read failure.
-    pub fn faults(&self, engine: EngineId) -> Result<Vec<(ComponentId, DeterminismFault)>, StoreError> {
+    pub fn faults(
+        &self,
+        engine: EngineId,
+    ) -> Result<Vec<(ComponentId, DeterminismFault)>, StoreError> {
         let path = self.dir.join(fault_log_name(engine.raw()));
         let mut bytes = Vec::new();
         match File::open(&path) {
@@ -445,7 +448,11 @@ mod tests {
                 n.starts_with("ckpt-").then_some(n)
             })
             .collect();
-        assert_eq!(files.len(), KEPT_GENERATIONS, "pruned to kept set: {files:?}");
+        assert_eq!(
+            files.len(),
+            KEPT_GENERATIONS,
+            "pruned to kept set: {files:?}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -526,7 +533,10 @@ mod tests {
         store.log_fault(e, ComponentId::new(4), &f1).unwrap();
         store.log_fault(e, ComponentId::new(5), &f2).unwrap();
         let got = store.faults(e).unwrap();
-        assert_eq!(got, vec![(ComponentId::new(4), f1.clone()), (ComponentId::new(5), f2)]);
+        assert_eq!(
+            got,
+            vec![(ComponentId::new(4), f1.clone()), (ComponentId::new(5), f2)]
+        );
 
         // Tear the final record: it is discarded, the first survives.
         let path = dir.join(fault_log_name(0));
@@ -549,10 +559,7 @@ mod tests {
         store.persist(&sample(1, 1)).unwrap();
         assert_eq!(store.generations(EngineId::new(0)), vec![0]);
         assert_eq!(store.generations(EngineId::new(1)), vec![0, 1]);
-        assert_eq!(
-            store.engines(),
-            vec![EngineId::new(0), EngineId::new(1)]
-        );
+        assert_eq!(store.engines(), vec![EngineId::new(0), EngineId::new(1)]);
         assert!(format!("{store:?}").contains("CheckpointStore"));
         fs::remove_dir_all(&dir).ok();
     }

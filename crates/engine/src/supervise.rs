@@ -18,6 +18,9 @@
 //! still believes alive, so a test (or operator) that fail-stops an engine
 //! deliberately keeps control of when it comes back.
 
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -140,6 +143,7 @@ impl Supervisor {
         let thread = std::thread::Builder::new()
             .name("tart-supervisor".into())
             .spawn(move || {
+                // tart-lint: allow(WALLCLOCK) -- failure detection is ops-plane: phi-accrual needs real heartbeat inter-arrival times; never flows into virtual time
                 let start = Instant::now();
                 let mut detectors: HashMap<EngineId, FailureDetector> = host
                     .engine_ids()
@@ -155,6 +159,7 @@ impl Supervisor {
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     }
                     beacons.extend(rx.try_iter());
+                    // tart-lint: allow(WALLCLOCK) -- ops-plane: beacon arrival instants feed the phi-accrual window only
                     let now = Instant::now();
                     for env in beacons {
                         if let Envelope::Heartbeat { engine, .. } = env {
@@ -168,6 +173,7 @@ impl Supervisor {
                         }
                     }
                     for id in host.engine_ids() {
+                        // tart-lint: allow(WALLCLOCK) -- ops-plane: suspicion is judged against real elapsed time
                         let now = Instant::now();
                         let det = detectors
                             .entry(id)
@@ -183,6 +189,7 @@ impl Supervisor {
                             metrics_thread.lock().suspicions += 1;
                             host.kill(id);
                             host.promote(id);
+                            // tart-lint: allow(WALLCLOCK) -- ops-plane: detector reset after a failover is a real-time event
                             det.reset(Instant::now());
                             metrics_thread.lock().failovers += 1;
                         }

@@ -390,7 +390,10 @@ mod tests {
             wal.append(b"three").unwrap();
         }
         let (mut wal, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
-        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(
+            rec.records,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
         assert_eq!(rec.truncated_bytes, 0);
         assert_eq!(rec.segments, 1);
         // Appends continue after recovery.
@@ -431,7 +434,10 @@ mod tests {
         drop(f);
         let (mut wal, rec) = Wal::open(&dir, 4096, FsyncPolicy::Always).unwrap();
         assert_eq!(rec.records, vec![b"keep-me".to_vec()]);
-        assert_eq!(rec.truncated_bytes, b"torn-away".len() as u64 + FRAME_HEADER as u64 - 4);
+        assert_eq!(
+            rec.truncated_bytes,
+            b"torn-away".len() as u64 + FRAME_HEADER as u64 - 4
+        );
         // The file was physically truncated: a fresh append lands cleanly.
         wal.append(b"after").unwrap();
         drop(wal);

@@ -8,6 +8,9 @@
 //! kill → promote → replay drill on its own, while the chaos driver is
 //! simultaneously dropping and delaying payload traffic.
 
+// Test code: free to use wall clocks and hash maps (the determinism fence guards production code only).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use tart_engine::{
@@ -63,9 +66,12 @@ fn normalize(outputs: Vec<OutputRecord>) -> Vec<(u64, String)> {
 /// The reference: same workload, same pacing, no supervision, no chaos.
 fn failure_free_run(pace: Duration) -> Vec<(u64, String)> {
     let spec = fan_in_app(2).expect("valid app");
-    let cluster =
-        Cluster::deploy(spec.clone(), two_engine_placement(&spec), paper_config(&spec))
-            .expect("deploys");
+    let cluster = Cluster::deploy(
+        spec.clone(),
+        two_engine_placement(&spec),
+        paper_config(&spec),
+    )
+    .expect("deploys");
     for (client, sentence) in SENTENCES {
         cluster
             .injector(client)
@@ -209,5 +215,9 @@ fn manual_kills_stay_manual_under_supervision() {
     }
     cluster.finish_inputs();
     let outs = normalize(cluster.shutdown());
-    assert_eq!(outs, failure_free_run(Duration::ZERO), "recovery transparent");
+    assert_eq!(
+        outs,
+        failure_free_run(Duration::ZERO),
+        "recovery transparent"
+    );
 }

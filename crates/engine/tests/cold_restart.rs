@@ -68,8 +68,12 @@ fn normalize(outputs: Vec<OutputRecord>) -> Vec<(u64, String)> {
 /// The reference: same workload, no durability, no failure.
 fn failure_free_run() -> Vec<(u64, String)> {
     let spec = fan_in_app(2).expect("valid app");
-    let cluster = Cluster::deploy(spec.clone(), two_engine_placement(&spec), paper_config(&spec))
-        .expect("deploys");
+    let cluster = Cluster::deploy(
+        spec.clone(),
+        two_engine_placement(&spec),
+        paper_config(&spec),
+    )
+    .expect("deploys");
     for (client, sentence) in SENTENCES {
         cluster
             .injector(client)
@@ -146,14 +150,21 @@ fn clean_durable_run_is_transparent() {
     }
     cluster.finish_inputs();
     let outs = normalize(cluster.shutdown());
-    assert_eq!(outs, failure_free_run(), "durability must not perturb outputs");
+    assert_eq!(
+        outs,
+        failure_free_run(),
+        "durability must not perturb outputs"
+    );
     // The layer actually wrote: a WAL segment and (post-drain) checkpoints.
     assert!(
         std::fs::read_dir(dir.join("wal")).unwrap().next().is_some(),
         "WAL populated"
     );
     assert!(
-        std::fs::read_dir(dir.join("ckpt")).unwrap().next().is_some(),
+        std::fs::read_dir(dir.join("ckpt"))
+            .unwrap()
+            .next()
+            .is_some(),
         "checkpoint store populated"
     );
     std::fs::remove_dir_all(&dir).ok();
@@ -203,7 +214,10 @@ fn cold_restart_truncates_torn_wal_tail() {
         .max()
         .expect("a WAL segment exists");
     let len = std::fs::metadata(&newest).unwrap().len();
-    let f = std::fs::OpenOptions::new().write(true).open(&newest).unwrap();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .unwrap();
     f.set_len(len - 3).unwrap();
     f.sync_all().unwrap();
     drop(f);
@@ -288,9 +302,12 @@ fn deploy_refuses_a_populated_durability_dir() {
 #[test]
 fn recover_requires_durability_config() {
     let spec = fan_in_app(2).expect("valid app");
-    let err =
-        Cluster::recover_from_disk(spec.clone(), two_engine_placement(&spec), paper_config(&spec))
-            .unwrap_err();
+    let err = Cluster::recover_from_disk(
+        spec.clone(),
+        two_engine_placement(&spec),
+        paper_config(&spec),
+    )
+    .unwrap_err();
     assert_eq!(err, DeployError::DurabilityNotConfigured);
 }
 
@@ -361,9 +378,8 @@ fn sealed_segment_rot_is_refused() {
         policy: FsyncPolicy::Always,
         wal_segment_bytes: 64,
     });
-    let cluster =
-        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config.clone())
-            .expect("deploys");
+    let cluster = Cluster::deploy(spec.clone(), two_engine_placement(&spec), config.clone())
+        .expect("deploys");
     for (client, sentence) in &SENTENCES[..6] {
         cluster
             .injector(client)
@@ -373,7 +389,9 @@ fn sealed_segment_rot_is_refused() {
     std::thread::sleep(Duration::from_millis(100));
     let _ = cluster.crash();
 
-    let applied = DiskFault::BitFlipSealedSegment.apply(&dir).expect("surgery");
+    let applied = DiskFault::BitFlipSealedSegment
+        .apply(&dir)
+        .expect("surgery");
     assert!(applied, "64-byte segments must have rotated at least once");
     assert!(!DiskFault::BitFlipSealedSegment.recoverable());
 
@@ -413,6 +431,10 @@ fn losing_the_checkpoint_dir_mid_run_degrades_gracefully() {
     }
     cluster.finish_inputs();
     let outs = normalize(cluster.shutdown());
-    assert_eq!(outs, failure_free_run(), "disk loss must not corrupt outputs");
+    assert_eq!(
+        outs,
+        failure_free_run(),
+        "disk loss must not corrupt outputs"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -26,10 +26,8 @@ fn arb_payload() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i64>().prop_map(Value::I64),
         "[a-z ]{0,24}".prop_map(Value::from),
-        (any::<i64>(), "[a-z]{1,8}").prop_map(|(n, s)| Value::map([
-            ("n", Value::I64(n)),
-            ("s", Value::from(s)),
-        ])),
+        (any::<i64>(), "[a-z]{1,8}")
+            .prop_map(|(n, s)| Value::map([("n", Value::I64(n)), ("s", Value::from(s)),])),
     ]
 }
 
@@ -47,8 +45,7 @@ fn arb_estimator() -> impl Strategy<Value = EstimatorSpec> {
     prop_oneof![
         (0u16..16, 1u64..1_000_000)
             .prop_map(|(b, per)| EstimatorSpec::per_iteration(BlockId(b), per)),
-        (1u64..1_000_000)
-            .prop_map(|us| EstimatorSpec::constant(VirtualDuration::from_micros(us))),
+        (1u64..1_000_000).prop_map(|us| EstimatorSpec::constant(VirtualDuration::from_micros(us))),
     ]
 }
 

@@ -1,0 +1,57 @@
+//! `tart-lint`: the determinism auditor.
+//!
+//! TART recovers failed components by restoring a checkpoint and replaying
+//! logged messages (PAPER.md §II). That is only *correct* if the replayable
+//! core is deterministic: a component handler, codec path, or checkpointed
+//! container that observes wall-clock time, ambient randomness, or
+//! hash-iteration order will diverge on replay — silently, and usually only
+//! under failure, which is exactly when it must not.
+//!
+//! This crate is a source-level static analysis pass that fences that
+//! boundary mechanically:
+//!
+//! - a small [comment/string-aware lexer](lexer) (std-only: no registry,
+//!   no `syn`),
+//! - a [tier manifest](manifest) declaring which paths are deterministic,
+//!   ops-plane, or exempt,
+//! - a [rule catalogue](rules) — `WALLCLOCK`, `AMBIENT-RAND`, `HASH-ITER`,
+//!   `AMBIENT-ENV`, `UNSAFE`, `FLOAT-ACCUM`,
+//! - an [analysis engine](analyze) with explicit, counted
+//!   `// tart-lint: allow(RULE) -- reason` suppressions,
+//! - [text and JSON reporting](report).
+//!
+//! It ships three ways: the `tart-lint` binary (`--deny` for CI), the
+//! `workspace_audit` integration test (plain `cargo test` enforces the
+//! fence), and the `determinism-lint` CI job. See DESIGN.md §11 for the
+//! hazard taxonomy and tier table.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+pub use analyze::{audit_source, audit_workspace, Audit, Finding, Suppression};
+pub use manifest::{tier_for, Tier};
+pub use report::{render_json, render_text};
+pub use rules::{RuleId, Severity};
+
+use std::path::{Path, PathBuf};
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`; falls back to `start` itself.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d.to_path_buf();
+            }
+        }
+        dir = d.parent();
+    }
+    start.to_path_buf()
+}

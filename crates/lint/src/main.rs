@@ -1,0 +1,91 @@
+//! The `tart-lint` CLI.
+//!
+//! ```text
+//! tart-lint [--root PATH] [--format text|json] [--deny] [--quiet]
+//! ```
+//!
+//! Exit status: 0 when clean (or when only reporting), 1 under `--deny`
+//! when any error-severity finding survives suppression, 2 on usage or I/O
+//! errors. Warnings never fail the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tart_lint::{audit_workspace, find_workspace_root, render_json, render_text};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        deny: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--deny" => args.deny = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tart-lint [--root PATH] [--format text|json] [--deny] [--quiet]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = args.root.unwrap_or_else(|| find_workspace_root(&cwd));
+    let audit = match audit_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tart-lint: failed to audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if audit.files_scanned == 0 {
+        // A fence that scanned nothing proves nothing — refuse rather than
+        // let a mistyped --root pass --deny vacuously.
+        eprintln!(
+            "tart-lint: no source files found under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    if args.json {
+        println!("{}", render_json(&audit));
+    } else if !args.quiet || audit.errors() > 0 {
+        print!("{}", render_text(&audit));
+    }
+    if args.deny && audit.errors() > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

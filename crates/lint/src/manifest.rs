@@ -1,0 +1,109 @@
+//! The determinism-tier manifest: which parts of the workspace must stay
+//! replayable, and which are ops-plane or exempt.
+//!
+//! TART's recovery story (PAPER.md §II) is checkpoint + deterministic
+//! replay. That is only sound if the *replayable core* — everything whose
+//! behaviour is reconstructed from the message log — never observes
+//! wall-clock time, ambient randomness, hash-iteration order, or the
+//! environment. The manifest pins each path to a tier; rules pick their
+//! severity per tier (see [`crate::rules`]).
+//!
+//! Longest-prefix match wins, so a specific file entry overrides its
+//! crate's default. New engine modules default to [`Tier::Deterministic`]:
+//! the fence fails closed.
+
+/// How strictly a path is audited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Part of the replayable core: all determinism rules at full severity.
+    /// Handlers, codecs, schedulers, checkpointed containers.
+    Deterministic,
+    /// Ops plane: runs *around* the replayable core (failure detection,
+    /// transport, chaos injection, durability I/O). Wall-clock and file I/O
+    /// are part of the job, but every wall-clock read still needs an
+    /// explicit in-source `tart-lint: allow` so a leak into the core can't
+    /// hide behind "it's just ops code".
+    Ops,
+    /// Not audited (measurement harnesses whose entire purpose is timing).
+    Exempt,
+}
+
+/// `(path prefix, tier)` — paths are workspace-relative with `/` separators.
+///
+/// Keep this table in sync with the tier table in DESIGN.md §11.
+pub const TIERS: &[(&str, Tier)] = &[
+    // Pure deterministic crates: the paper's replayable core.
+    ("crates/vtime/", Tier::Deterministic),
+    ("crates/codec/", Tier::Deterministic),
+    ("crates/stats/", Tier::Deterministic),
+    ("crates/model/", Tier::Deterministic),
+    ("crates/estimator/", Tier::Deterministic),
+    ("crates/silence/", Tier::Deterministic),
+    ("crates/sched/", Tier::Deterministic),
+    ("crates/sim/", Tier::Deterministic),
+    ("crates/core/", Tier::Deterministic),
+    // The façade crate re-exports the core; keep it fenced.
+    ("src/", Tier::Deterministic),
+    // Engine: deterministic by default (fail closed). The ops-plane modules
+    // below are listed explicitly; anything new lands in the fenced tier
+    // until someone consciously moves it.
+    ("crates/engine/", Tier::Deterministic),
+    ("crates/engine/src/supervise.rs", Tier::Ops),
+    ("crates/engine/src/chaos.rs", Tier::Ops),
+    ("crates/engine/src/router.rs", Tier::Ops),
+    ("crates/engine/src/cluster.rs", Tier::Ops),
+    ("crates/engine/src/net.rs", Tier::Ops),
+    ("crates/engine/src/wal.rs", Tier::Ops),
+    ("crates/engine/src/store.rs", Tier::Ops),
+    ("crates/engine/src/config.rs", Tier::Ops),
+    // The auditor itself: no wall-clock or randomness either, but its rule
+    // tables name hazards in string literals (which the lexer skips).
+    ("crates/lint/", Tier::Ops),
+    // Measurement harness: its entire purpose is wall-clock timing.
+    ("crates/bench/", Tier::Exempt),
+];
+
+/// Modules allowed to contain `unsafe` blocks. Currently empty: every crate
+/// carries `#![forbid(unsafe_code)]`, and the auditor enforces that no
+/// future module quietly drops the attribute.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Resolves the tier for a workspace-relative path (longest prefix wins).
+/// Unknown paths are audited at full severity.
+pub fn tier_for(rel_path: &str) -> Tier {
+    let mut best: Option<(&str, Tier)> = None;
+    for (prefix, tier) in TIERS {
+        if rel_path.starts_with(prefix) && best.map(|(p, _)| prefix.len() > p.len()).unwrap_or(true)
+        {
+            best = Some((prefix, *tier));
+        }
+    }
+    best.map(|(_, t)| t).unwrap_or(Tier::Deterministic)
+}
+
+/// True when `rel_path` is allowed to contain `unsafe`.
+pub fn unsafe_allowed(rel_path: &str) -> bool {
+    UNSAFE_ALLOWLIST.iter().any(|p| rel_path.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        assert_eq!(tier_for("crates/engine/src/core.rs"), Tier::Deterministic);
+        assert_eq!(tier_for("crates/engine/src/supervise.rs"), Tier::Ops);
+        assert_eq!(tier_for("crates/engine/src/chaos.rs"), Tier::Ops);
+    }
+
+    #[test]
+    fn unknown_paths_fail_closed() {
+        assert_eq!(tier_for("crates/brand_new/src/lib.rs"), Tier::Deterministic);
+    }
+
+    #[test]
+    fn bench_is_exempt() {
+        assert_eq!(tier_for("crates/bench/src/lib.rs"), Tier::Exempt);
+    }
+}

@@ -1,0 +1,149 @@
+//! Rendering: `file:line [RULE-ID] severity` text diagnostics and a
+//! hand-rolled (std-only) JSON report for CI artifacts.
+
+use std::fmt::Write as _;
+
+use crate::analyze::Audit;
+
+/// The JSON schema version; bump when the shape changes.
+pub const JSON_VERSION: u32 = 1;
+
+/// Renders human-oriented diagnostics, one per line, plus a summary.
+pub fn render_text(audit: &Audit) -> String {
+    let mut out = String::new();
+    for f in &audit.findings {
+        let _ = writeln!(
+            out,
+            "{}:{} [{}] {}: {}",
+            f.file,
+            f.line,
+            f.rule.as_str(),
+            f.severity.as_str(),
+            f.message
+        );
+    }
+    let documented = audit
+        .suppressions
+        .iter()
+        .filter(|s| s.reason.is_some())
+        .count();
+    let _ = writeln!(
+        out,
+        "tart-lint: {} files scanned, {} errors, {} warnings, {} findings suppressed by {} documented allow(s)",
+        audit.files_scanned,
+        audit.errors(),
+        audit.warnings(),
+        audit.suppressed(),
+        documented,
+    );
+    out
+}
+
+/// Renders the machine-readable report.
+///
+/// Shape (schema-tested in `tests/rules.rs`):
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "files_scanned": 42,
+///   "summary": {"errors": 0, "warnings": 1, "suppressed": 12},
+///   "findings": [{"file", "line", "rule", "severity", "message"}],
+///   "suppressions": [{"file", "line", "rules": [..], "reason", "hits"}]
+/// }
+/// ```
+pub fn render_json(audit: &Audit) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(out, "\"version\":{JSON_VERSION},");
+    let _ = write!(out, "\"files_scanned\":{},", audit.files_scanned);
+    let _ = write!(
+        out,
+        "\"summary\":{{\"errors\":{},\"warnings\":{},\"suppressed\":{}}},",
+        audit.errors(),
+        audit.warnings(),
+        audit.suppressed()
+    );
+    out.push_str("\"findings\":[");
+    for (i, f) in audit.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule.as_str()),
+            json_str(f.severity.as_str()),
+            json_str(&f.message)
+        );
+    }
+    out.push_str("],\"suppressions\":[");
+    for (i, s) in audit.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rules: Vec<String> = s.rules.iter().map(|r| json_str(r.as_str())).collect();
+        let reason = match &s.reason {
+            Some(r) => json_str(r),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"rules\":[{}],\"reason\":{},\"hits\":{}}}",
+            json_str(&s.file),
+            s.line,
+            rules.join(","),
+            reason,
+            s.hits
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::audit_source;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn text_lines_have_the_documented_shape() {
+        let mut a = Audit::default();
+        audit_source("crates/sched/src/x.rs", "let t = Instant::now();", &mut a);
+        a.files_scanned = 1;
+        let text = render_text(&a);
+        assert!(
+            text.starts_with("crates/sched/src/x.rs:1 [WALLCLOCK] error:"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! The rule catalogue: what breaks replay, and how each hazard is matched
+//! against the token stream.
+//!
+//! Rules are deliberately *syntactic*. A type-resolving analysis would be
+//! nicer, but the workspace builds with no registry access (no `syn`, no
+//! dylint), and replay-debugging practice shows the payoff is in having the
+//! fence at all: hazards like a stray `Instant::now` are found by tooling,
+//! not review (Sundmark et al., AADEBUG 2003). False positives are handled
+//! by explicit, counted `// tart-lint: allow(RULE) -- reason` suppressions.
+
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Tier;
+
+/// Diagnostic severity. `Error` fails the build under `--deny`; `Warn` is
+/// reported but never fatal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable rule identifiers (also the names used in `allow(...)` directives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`, `UNIX_EPOCH`).
+    Wallclock,
+    /// Ambient randomness (`thread_rng`, `from_entropy`, `OsRng`, ...).
+    AmbientRand,
+    /// `HashMap`/`HashSet` in a deterministic tier: iteration order can
+    /// leak into checkpoint images and send order.
+    HashIter,
+    /// Environment and filesystem reads in deterministic code.
+    AmbientEnv,
+    /// `unsafe` outside the allowlist.
+    Unsafe,
+    /// Order-sensitive floating-point reduction in codec/stats hot paths.
+    FloatAccum,
+    /// An `allow` directive with no `-- reason`.
+    UndocAllow,
+    /// An `allow` directive that suppressed nothing.
+    UnusedAllow,
+}
+
+impl RuleId {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::Wallclock => "WALLCLOCK",
+            RuleId::AmbientRand => "AMBIENT-RAND",
+            RuleId::HashIter => "HASH-ITER",
+            RuleId::AmbientEnv => "AMBIENT-ENV",
+            RuleId::Unsafe => "UNSAFE",
+            RuleId::FloatAccum => "FLOAT-ACCUM",
+            RuleId::UndocAllow => "UNDOC-ALLOW",
+            RuleId::UnusedAllow => "UNUSED-ALLOW",
+        }
+    }
+
+    /// Parses a directive rule name (as written inside `allow(...)`).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "WALLCLOCK" => Some(RuleId::Wallclock),
+            "AMBIENT-RAND" => Some(RuleId::AmbientRand),
+            "HASH-ITER" => Some(RuleId::HashIter),
+            "AMBIENT-ENV" => Some(RuleId::AmbientEnv),
+            "UNSAFE" => Some(RuleId::Unsafe),
+            "FLOAT-ACCUM" => Some(RuleId::FloatAccum),
+            _ => None,
+        }
+    }
+
+    /// Severity of this rule in the given tier; `None` means the rule does
+    /// not apply there.
+    pub fn severity_in(&self, tier: Tier) -> Option<Severity> {
+        use RuleId::*;
+        use Tier::*;
+        match (self, tier) {
+            (_, Exempt) => None,
+            // Wall-clock and ambient randomness poison replay wherever the
+            // result can flow; ops code must annotate each legitimate read.
+            (Wallclock | AmbientRand, Deterministic | Ops) => Some(Severity::Error),
+            // Hash-iteration order and env reads only corrupt the fenced
+            // core; the ops plane legitimately reads disks and registries.
+            (HashIter | AmbientEnv, Deterministic) => Some(Severity::Error),
+            (HashIter | AmbientEnv, Ops) => None,
+            (Unsafe, Deterministic | Ops) => Some(Severity::Error),
+            (FloatAccum, Deterministic) => Some(Severity::Warn),
+            (FloatAccum, Ops) => None,
+            // Directive hygiene is handled by the engine, tier-independent.
+            (UndocAllow | UnusedAllow, _) => Some(Severity::Error),
+        }
+    }
+}
+
+/// A matched hazard before suppression is applied.
+#[derive(Clone, Debug)]
+pub struct Hit {
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+/// Runs every pattern rule over a token stream. `tier` selects which rules
+/// apply; `unsafe_allowed` exempts allowlisted modules from [`RuleId::Unsafe`].
+pub fn scan(tokens: &[Token], tier: Tier, unsafe_allowed: bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(ident) = tok.kind.as_ident() else {
+            continue;
+        };
+        match ident {
+            // ---- WALLCLOCK -------------------------------------------------
+            "Instant" if followed_by_path(tokens, i, "now") => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::Wallclock,
+                    "`Instant::now()` reads the wall clock; replay cannot reproduce it. \
+                     Use the engine clock abstraction (tart_engine::clock) or virtual time.",
+                );
+            }
+            "SystemTime" => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::Wallclock,
+                    "`SystemTime` observes the wall clock; replay cannot reproduce it. \
+                     Stamp external input via a TimeSource instead.",
+                );
+            }
+            "UNIX_EPOCH" => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::Wallclock,
+                    "`UNIX_EPOCH` arithmetic implies a wall-clock read.",
+                );
+            }
+            // ---- AMBIENT-RAND ----------------------------------------------
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" | "RandomState" => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientRand,
+                    &format!(
+                        "`{ident}` draws ambient entropy; two replays diverge. \
+                         Use tart_stats::DetRng with a seed from the logged configuration."
+                    ),
+                );
+            }
+            "random" if preceded_by_path(tokens, i, "rand") => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientRand,
+                    "`rand::random()` draws from the thread RNG; replays diverge.",
+                );
+            }
+            // ---- HASH-ITER -------------------------------------------------
+            "HashMap" | "HashSet" => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::HashIter,
+                    &format!(
+                        "`{ident}` in a deterministic tier: iteration order is \
+                         randomized per-process and leaks into checkpoint images, \
+                         send order, and replay. Use BTreeMap/BTreeSet or emit sorted."
+                    ),
+                );
+            }
+            // ---- AMBIENT-ENV -----------------------------------------------
+            "env"
+                if preceded_by_path(tokens, i, "std")
+                    || followed_by_any(tokens, i, &["var", "vars", "var_os"]) =>
+            {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientEnv,
+                    "environment reads are invisible to the message log; a replica \
+                     or a replay may see a different value.",
+                );
+            }
+            "read_to_string" | "read_dir" => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientEnv,
+                    &format!("`{ident}` reads outside the logged input channel."),
+                );
+            }
+            "File" if followed_by_path(tokens, i, "open") => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientEnv,
+                    "`File::open` in deterministic code: file contents are not \
+                     part of the message log, so replay cannot reproduce them.",
+                );
+            }
+            "fs" if followed_by_any(tokens, i, &["read", "read_to_string", "read_dir"]) => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::AmbientEnv,
+                    "filesystem reads are invisible to the message log.",
+                );
+            }
+            // ---- UNSAFE ----------------------------------------------------
+            "unsafe" if !unsafe_allowed => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::Unsafe,
+                    "`unsafe` outside the allowlisted modules: undefined behaviour \
+                     voids every replay guarantee. Extend UNSAFE_ALLOWLIST in \
+                     crates/lint/src/manifest.rs if this is truly necessary.",
+                );
+            }
+            // ---- FLOAT-ACCUM -----------------------------------------------
+            "sum" | "product" if float_turbofish(tokens, i) => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::FloatAccum,
+                    &format!(
+                        "float `.{ident}::<..>()` reduction: the result depends on \
+                         iteration order. Fine over a slice; a hazard over map-order \
+                         or concurrent inputs."
+                    ),
+                );
+            }
+            "fold" if float_seed(tokens, i) => {
+                push(
+                    &mut hits,
+                    tier,
+                    tok.line,
+                    RuleId::FloatAccum,
+                    "float `fold` accumulation: the result depends on iteration \
+                     order. Fine over a slice; a hazard over map-order inputs.",
+                );
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+fn push(hits: &mut Vec<Hit>, tier: Tier, line: u32, rule: RuleId, message: &str) {
+    if rule.severity_in(tier).is_some() {
+        hits.push(Hit {
+            line,
+            rule,
+            message: message.to_string(),
+        });
+    }
+}
+
+/// `tokens[i]` then `::` then `name`.
+fn followed_by_path(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens
+        .get(i + 1)
+        .map(|t| t.kind.is_punct(':'))
+        .unwrap_or(false)
+        && tokens
+            .get(i + 2)
+            .map(|t| t.kind.is_punct(':'))
+            .unwrap_or(false)
+        && tokens
+            .get(i + 3)
+            .and_then(|t| t.kind.as_ident())
+            .map(|s| s == name)
+            .unwrap_or(false)
+}
+
+fn followed_by_any(tokens: &[Token], i: usize, names: &[&str]) -> bool {
+    names.iter().any(|n| followed_by_path(tokens, i, n))
+}
+
+/// `name` then `::` then `tokens[i]`.
+fn preceded_by_path(tokens: &[Token], i: usize, name: &str) -> bool {
+    i >= 3
+        && tokens[i - 1].kind.is_punct(':')
+        && tokens[i - 2].kind.is_punct(':')
+        && tokens[i - 3]
+            .kind
+            .as_ident()
+            .map(|s| s == name)
+            .unwrap_or(false)
+}
+
+/// `sum` `::` `<` `f32|f64` — a float turbofish reduction.
+fn float_turbofish(tokens: &[Token], i: usize) -> bool {
+    tokens
+        .get(i + 1)
+        .map(|t| t.kind.is_punct(':'))
+        .unwrap_or(false)
+        && tokens
+            .get(i + 2)
+            .map(|t| t.kind.is_punct(':'))
+            .unwrap_or(false)
+        && tokens
+            .get(i + 3)
+            .map(|t| t.kind.is_punct('<'))
+            .unwrap_or(false)
+        && tokens
+            .get(i + 4)
+            .and_then(|t| t.kind.as_ident())
+            .map(|s| s == "f32" || s == "f64")
+            .unwrap_or(false)
+}
+
+/// `fold` `(` <float literal> — accumulation seeded with a float.
+fn float_seed(tokens: &[Token], i: usize) -> bool {
+    tokens
+        .get(i + 1)
+        .map(|t| t.kind.is_punct('('))
+        .unwrap_or(false)
+        && matches!(
+            tokens.get(i + 2).map(|t| &t.kind),
+            Some(TokenKind::Num(n)) if n.contains('.') || n.contains('e') || n.contains('E')
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str, tier: Tier) -> Vec<Hit> {
+        scan(&lex(src).tokens, tier, false)
+    }
+
+    #[test]
+    fn wallclock_fires_in_deterministic_tier() {
+        let hits = scan_src("let t = Instant::now();", Tier::Deterministic);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::Wallclock);
+    }
+
+    #[test]
+    fn hash_iter_is_ops_exempt() {
+        let src = "let m: HashMap<u8, u8> = HashMap::new();";
+        assert_eq!(scan_src(src, Tier::Deterministic).len(), 2);
+        assert!(scan_src(src, Tier::Ops).is_empty());
+    }
+
+    #[test]
+    fn instant_elapsed_alone_does_not_fire() {
+        // Storing/holding an Instant is caught where it is created.
+        assert!(scan_src("let d = epoch.elapsed();", Tier::Deterministic).is_empty());
+    }
+
+    #[test]
+    fn float_fold_is_warn_level() {
+        let hits = scan_src("xs.iter().fold(0.0, |a, b| a + b);", Tier::Deterministic);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::FloatAccum);
+        assert_eq!(
+            hits[0].rule.severity_in(Tier::Deterministic),
+            Some(Severity::Warn)
+        );
+    }
+
+    #[test]
+    fn integer_fold_does_not_fire() {
+        assert!(scan_src("xs.iter().fold(0, |a, b| a + b);", Tier::Deterministic).is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: documented suppressions in both positions (preceding line and
+//! trailing comment) silence their findings.
+
+pub struct Boundary {
+    epoch: std::time::Instant,
+}
+
+impl Boundary {
+    pub fn new() -> Self {
+        Boundary {
+            // tart-lint: allow(WALLCLOCK) -- fixture: the sanctioned boundary read
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    pub fn restart(&mut self) {
+        self.epoch = std::time::Instant::now(); // tart-lint: allow(WALLCLOCK) -- fixture: trailing form
+    }
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: configuration arrives as a logged message.
+
+pub struct Config {
+    pub node_name: String,
+}
+
+pub fn node_name(cfg: &Config) -> &str {
+    &cfg.node_name
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: reads the process environment in deterministic code.
+
+pub fn node_name() -> String {
+    std::env::var("TART_NODE").unwrap_or_default()
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: randomness is seeded from logged configuration.
+
+use tart_stats::DetRng;
+
+pub fn jitter_ns(seed: u64) -> u64 {
+    let mut rng = DetRng::new(seed);
+    rng.next_u64() % 1_000
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: draws ambient entropy inside the replayable core.
+
+pub fn jitter_ns() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..1_000)
+}

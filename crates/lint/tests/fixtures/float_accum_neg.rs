@@ -1,0 +1,5 @@
+//! Negative fixture: integer reduction is order-insensitive.
+
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().copied().sum::<u64>()
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: order-sensitive floating-point reduction.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.iter().copied().sum::<f64>();
+    total / xs.len() as f64
+}

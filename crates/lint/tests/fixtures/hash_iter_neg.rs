@@ -1,0 +1,13 @@
+//! Negative fixture: ordered container, deterministic iteration.
+
+use std::collections::BTreeMap;
+
+pub struct Tally {
+    counts: BTreeMap<u32, u64>,
+}
+
+impl Tally {
+    pub fn snapshot(&self) -> Vec<(u32, u64)> {
+        self.counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}

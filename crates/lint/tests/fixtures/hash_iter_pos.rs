@@ -1,0 +1,13 @@
+//! Positive fixture: hash-ordered container in checkpointable state.
+
+use std::collections::HashMap;
+
+pub struct Tally {
+    counts: HashMap<u32, u64>,
+}
+
+impl Tally {
+    pub fn snapshot(&self) -> Vec<(u32, u64)> {
+        self.counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: hazard names appear only in prose, strings, and comments.
+//! `Instant::now()` in this doc comment must not fire.
+
+// Neither does Instant::now(), SystemTime, thread_rng, or HashMap here,
+/* nor in a block comment: unsafe { std::env::var("X") } with
+   /* nested */ Instant::now() still inert, */
+pub fn describe() -> &'static str {
+    "Instant::now(), SystemTime::now(), thread_rng(), HashMap, unsafe, \
+     std::env::var — all inert inside a string literal"
+}
+
+pub fn raw() -> &'static str {
+    r#"even raw strings with "quotes" and Instant::now() stay inert"#
+}

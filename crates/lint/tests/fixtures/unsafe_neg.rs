@@ -1,0 +1,5 @@
+//! Negative fixture: safe, checked access.
+
+pub fn first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: `unsafe` outside the (empty) allowlist.
+
+pub fn first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

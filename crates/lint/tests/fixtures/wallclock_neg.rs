@@ -1,0 +1,7 @@
+//! Negative fixture: time flows through virtual time only.
+
+use tart_vtime::VirtualTime;
+
+pub fn advance(now: VirtualTime, step_ticks: u64) -> VirtualTime {
+    VirtualTime::from_ticks(now.as_ticks() + step_ticks)
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: a deterministic-tier handler that reads the wall clock.
+
+pub fn handler_duration_ns() -> u64 {
+    let started = std::time::Instant::now();
+    do_work();
+    started.elapsed().as_nanos() as u64
+}
+
+fn do_work() {}

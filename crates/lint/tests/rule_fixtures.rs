@@ -1,0 +1,189 @@
+//! Fixture-based rule tests: every rule has a positive fixture it must fire
+//! on and a negative fixture it must stay silent on, plus suppression, tier,
+//! lexer-inertness, and JSON-schema checks.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory `audit_workspace`
+//! deliberately skips, so the positive fixtures never trip the real audit.
+
+use tart_lint::{audit_source, render_json, Audit, RuleId, Severity};
+
+/// Audits fixture text as if it were a deterministic-tier production file.
+fn audit_det(src: &str) -> Audit {
+    audit_at("crates/sched/src/fixture.rs", src)
+}
+
+fn audit_at(rel_path: &str, src: &str) -> Audit {
+    let mut a = Audit::default();
+    audit_source(rel_path, src, &mut a);
+    a.files_scanned = 1;
+    a
+}
+
+fn fired_rules(a: &Audit) -> Vec<RuleId> {
+    a.findings.iter().map(|f| f.rule).collect()
+}
+
+/// The positive fixture fires exactly `rule` (possibly multiple times), and
+/// the negative fixture is completely clean.
+fn assert_pos_neg(rule: RuleId, pos: &str, neg: &str) {
+    let p = audit_det(pos);
+    assert!(
+        !p.findings.is_empty(),
+        "{} positive fixture produced no findings",
+        rule.as_str()
+    );
+    assert!(
+        fired_rules(&p).iter().all(|r| *r == rule),
+        "{} positive fixture fired other rules: {:?}",
+        rule.as_str(),
+        p.findings
+    );
+    let n = audit_det(neg);
+    assert!(
+        n.findings.is_empty(),
+        "{} negative fixture fired: {:?}",
+        rule.as_str(),
+        n.findings
+    );
+}
+
+#[test]
+fn wallclock_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::Wallclock,
+        include_str!("fixtures/wallclock_pos.rs"),
+        include_str!("fixtures/wallclock_neg.rs"),
+    );
+}
+
+#[test]
+fn ambient_rand_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::AmbientRand,
+        include_str!("fixtures/ambient_rand_pos.rs"),
+        include_str!("fixtures/ambient_rand_neg.rs"),
+    );
+}
+
+#[test]
+fn hash_iter_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::HashIter,
+        include_str!("fixtures/hash_iter_pos.rs"),
+        include_str!("fixtures/hash_iter_neg.rs"),
+    );
+}
+
+#[test]
+fn ambient_env_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::AmbientEnv,
+        include_str!("fixtures/ambient_env_pos.rs"),
+        include_str!("fixtures/ambient_env_neg.rs"),
+    );
+}
+
+#[test]
+fn unsafe_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::Unsafe,
+        include_str!("fixtures/unsafe_pos.rs"),
+        include_str!("fixtures/unsafe_neg.rs"),
+    );
+}
+
+#[test]
+fn float_accum_pos_and_neg() {
+    assert_pos_neg(
+        RuleId::FloatAccum,
+        include_str!("fixtures/float_accum_pos.rs"),
+        include_str!("fixtures/float_accum_neg.rs"),
+    );
+}
+
+#[test]
+fn float_accum_is_warn_level() {
+    let a = audit_det(include_str!("fixtures/float_accum_pos.rs"));
+    assert_eq!(a.errors(), 0, "{:?}", a.findings);
+    assert!(a.warnings() >= 1);
+    assert!(a.findings.iter().all(|f| f.severity == Severity::Warn));
+}
+
+#[test]
+fn documented_allows_suppress_and_are_counted() {
+    let a = audit_det(include_str!("fixtures/allow_suppression.rs"));
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    // Both forms (preceding-line and trailing) matched exactly one hit each.
+    assert_eq!(a.suppressed(), 2);
+    assert_eq!(a.suppressions.len(), 2);
+    assert!(a.suppressions.iter().all(|s| s.reason.is_some()));
+    assert!(a.suppressions.iter().all(|s| s.hits == 1));
+}
+
+#[test]
+fn hazards_in_strings_and_comments_are_inert() {
+    let a = audit_det(include_str!("fixtures/strings_and_comments.rs"));
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+    assert!(a.suppressions.is_empty());
+}
+
+#[test]
+fn ops_tier_permits_hash_iter_but_not_wallclock() {
+    // chaos.rs is declared Ops in the manifest.
+    let hash = audit_at(
+        "crates/engine/src/chaos.rs",
+        include_str!("fixtures/hash_iter_pos.rs"),
+    );
+    assert!(hash.findings.is_empty(), "{:?}", hash.findings);
+
+    let clock = audit_at(
+        "crates/engine/src/chaos.rs",
+        include_str!("fixtures/wallclock_pos.rs"),
+    );
+    assert_eq!(clock.errors(), 1, "{:?}", clock.findings);
+}
+
+#[test]
+fn exempt_tier_is_not_scanned() {
+    let a = audit_at(
+        "crates/bench/src/lib.rs",
+        include_str!("fixtures/wallclock_pos.rs"),
+    );
+    assert!(a.findings.is_empty(), "{:?}", a.findings);
+}
+
+#[test]
+fn json_report_has_the_documented_schema() {
+    let mut a = audit_det(include_str!("fixtures/wallclock_pos.rs"));
+    let mut b = audit_det(include_str!("fixtures/allow_suppression.rs"));
+    a.findings.append(&mut b.findings);
+    a.suppressions.append(&mut b.suppressions);
+    a.files_scanned = 2;
+
+    let json = render_json(&a);
+    for key in [
+        "\"version\":1",
+        "\"files_scanned\":2",
+        "\"summary\":{\"errors\":1,\"warnings\":0,\"suppressed\":2}",
+        "\"findings\":[",
+        "\"rule\":\"WALLCLOCK\"",
+        "\"severity\":\"error\"",
+        "\"suppressions\":[",
+        "\"rules\":[\"WALLCLOCK\"]",
+        "\"hits\":1",
+        "\"reason\":\"fixture: the sanctioned boundary read\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Hand-rolled JSON stays structurally balanced even with escaped text.
+    let depth = json.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0);
+    assert!(
+        !json.contains('\n'),
+        "report is a single line for CI tooling"
+    );
+}

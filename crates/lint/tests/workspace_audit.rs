@@ -1,0 +1,58 @@
+//! The determinism fence, enforced by `cargo test`: audits the entire
+//! workspace and fails if any error-level finding or undocumented
+//! suppression exists. This is the same pass `tart-lint --deny` runs in CI;
+//! shipping it as a test means a plain local `cargo test` catches a fence
+//! violation before a PR does.
+
+use std::path::Path;
+
+use tart_lint::{audit_workspace, find_workspace_root, render_text, Severity};
+
+#[test]
+fn workspace_passes_the_determinism_audit() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    assert!(
+        root.join("crates").is_dir(),
+        "workspace root not found from {}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+
+    let audit = audit_workspace(&root).expect("workspace walk failed");
+
+    // Sanity: the walk actually covered the workspace (81 files at the time
+    // of writing; a collapse to near-zero means the walker broke, which
+    // would make a \"clean\" audit meaningless).
+    assert!(
+        audit.files_scanned >= 60,
+        "only {} files scanned — audit walker is broken",
+        audit.files_scanned
+    );
+
+    let errors: Vec<String> = audit
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule.as_str(), f.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "determinism fence violated:\n{}\nfull report:\n{}",
+        errors.join("\n"),
+        render_text(&audit)
+    );
+
+    // Every suppression must carry a reason (UNDOC-ALLOW also catches this
+    // as an error; this assertion keeps the invariant explicit even if
+    // severities are retuned later).
+    let undocumented: Vec<_> = audit
+        .suppressions
+        .iter()
+        .filter(|s| s.reason.is_none())
+        .map(|s| format!("{}:{}", s.file, s.line))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "undocumented allow(s): {}",
+        undocumented.join(", ")
+    );
+}

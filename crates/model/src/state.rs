@@ -6,9 +6,8 @@
 //! while transparently journaling updates so the runtime can take cheap
 //! *incremental* checkpoints (§II.F.2) between full ones.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
-use std::hash::Hash;
 
 use bytes::{BufMut, BytesMut};
 use tart_codec::{Decode, DecodeError, Encode, Reader};
@@ -165,6 +164,11 @@ impl<K: Decode, V: Decode> Decode for MapOp<K, V> {
 /// journaled; an incremental checkpoint ships only the journal (falling
 /// back to a full image when the journal grows past twice the map size).
 ///
+/// The map is `BTreeMap`-backed so that *everything* about it is
+/// deterministic: iteration order, checkpoint-image bytes, and any
+/// component behaviour derived from walking the entries. (A hash-backed
+/// map is one `iter()` away from a replay divergence; see DESIGN.md §11.)
+///
 /// # Example
 ///
 /// ```
@@ -184,7 +188,7 @@ impl<K: Decode, V: Decode> Decode for MapOp<K, V> {
 /// ```
 #[derive(Clone)]
 pub struct CkptMap<K, V> {
-    map: HashMap<K, V>,
+    map: BTreeMap<K, V>,
     journal: Vec<MapOp<K, V>>,
     /// Set when the journal alone cannot reconstruct the state (fresh
     /// container that has never shipped a full image).
@@ -193,13 +197,13 @@ pub struct CkptMap<K, V> {
 
 impl<K, V> CkptMap<K, V>
 where
-    K: Eq + Hash + Ord + Clone + Encode + Decode,
+    K: Ord + Clone + Encode + Decode,
     V: Clone + Encode + Decode,
 {
     /// Creates an empty map.
     pub fn new() -> Self {
         CkptMap {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             journal: Vec::new(),
             needs_full: true,
         }
@@ -233,7 +237,7 @@ where
     pub fn get<Q>(&self, k: &Q) -> Option<&V>
     where
         K: std::borrow::Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.map.get(k)
     }
@@ -242,7 +246,7 @@ where
     pub fn contains_key<Q>(&self, k: &Q) -> bool
     where
         K: std::borrow::Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.map.contains_key(k)
     }
@@ -257,8 +261,8 @@ where
         self.map.is_empty()
     }
 
-    /// Iterates over entries in arbitrary order (do **not** let iteration
-    /// order influence component behaviour; it is not deterministic).
+    /// Iterates over entries in ascending key order. The order is
+    /// deterministic, so component behaviour may safely depend on it.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
         self.map.iter()
     }
@@ -281,10 +285,11 @@ where
         if force_full {
             self.journal.clear();
             self.needs_full = false;
-            let canonical: BTreeMap<&K, &V> = self.map.iter().collect();
+            // BTreeMap iteration is already ascending-key, so the image is
+            // canonical without an extra sort.
             let mut buf = BytesMut::new();
-            (canonical.len() as u64).encode(&mut buf);
-            for (k, v) in canonical {
+            (self.map.len() as u64).encode(&mut buf);
+            for (k, v) in &self.map {
                 k.encode(&mut buf);
                 v.encode(&mut buf);
             }
@@ -306,8 +311,7 @@ where
     pub fn apply_chunk(&mut self, chunk: &StateChunk) -> Result<(), DecodeError> {
         match chunk {
             StateChunk::Full(bytes) => {
-                let decoded: BTreeMap<K, V> = BTreeMap::from_bytes(bytes)?;
-                self.map = decoded.into_iter().collect();
+                self.map = BTreeMap::from_bytes(bytes)?;
                 self.journal.clear();
                 self.needs_full = false;
                 Ok(())
@@ -333,7 +337,7 @@ where
 
 impl<K, V> Default for CkptMap<K, V>
 where
-    K: Eq + Hash + Ord + Clone + Encode + Decode,
+    K: Ord + Clone + Encode + Decode,
     V: Clone + Encode + Decode,
 {
     fn default() -> Self {
@@ -356,7 +360,7 @@ where
 
 impl<K, V> PartialEq for CkptMap<K, V>
 where
-    K: Eq + Hash,
+    K: PartialEq,
     V: PartialEq,
 {
     /// Equality compares logical contents only, not journal state.
@@ -812,7 +816,7 @@ mod proptests {
         fn replica_tracks_live_state(ops in proptest::collection::vec(arb_op(), 0..80)) {
             let mut live: CkptMap<u8, u32> = CkptMap::new();
             let mut replica: CkptMap<u8, u32> = CkptMap::new();
-            let mut model: std::collections::HashMap<u8, u32> = std::collections::HashMap::new();
+            let mut model: BTreeMap<u8, u32> = BTreeMap::new();
             for op in ops {
                 match op {
                     Op::Insert(k, v) => {

@@ -364,7 +364,7 @@ impl AppSpecBuilder {
         if self.components.is_empty() {
             return Err(TopologyError::NoComponents);
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in &self.components {
             if c.name.is_empty() {
                 return Err(TopologyError::EmptyComponentName);

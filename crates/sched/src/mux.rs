@@ -1,6 +1,6 @@
 //! Routing incoming wires to per-component merge gates.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use tart_vtime::{ComponentId, VirtualTime, WireClockError, WireId};
 
@@ -33,7 +33,7 @@ use crate::{GateDecision, MergeGate};
 #[derive(Clone, Debug, Default)]
 pub struct InputMux<T> {
     gates: BTreeMap<ComponentId, MergeGate<T>>,
-    route: HashMap<WireId, ComponentId>,
+    route: BTreeMap<WireId, ComponentId>,
 }
 
 impl<T> InputMux<T> {
@@ -41,7 +41,7 @@ impl<T> InputMux<T> {
     pub fn new() -> Self {
         InputMux {
             gates: BTreeMap::new(),
-            route: HashMap::new(),
+            route: BTreeMap::new(),
         }
     }
 

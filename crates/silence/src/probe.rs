@@ -1,6 +1,6 @@
 //! Curiosity probes: receiver-initiated silence requests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::BytesMut;
 use tart_codec::{Decode, DecodeError, Encode, Reader};
@@ -84,7 +84,7 @@ impl Decode for ProbeReply {
 #[derive(Clone, Debug, Default)]
 pub struct ProbeTracker {
     /// Wire → highest `needed_through` already probed and not yet answered.
-    outstanding: HashMap<WireId, VirtualTime>,
+    outstanding: BTreeMap<WireId, VirtualTime>,
     probes_sent: u64,
 }
 

@@ -17,6 +17,9 @@
 //! cargo run --example calibration
 //! ```
 
+// Test code: free to use wall clocks and hash maps (the determinism fence guards production code only).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use tart::prelude::*;

@@ -82,8 +82,7 @@ fn print_outputs(outputs: Vec<OutputRecord>) {
 /// Failure-free reference run: no durability, no crash.
 fn clean() {
     let spec = reference::fan_in_app(2).expect("valid topology");
-    let cluster =
-        Cluster::deploy(spec.clone(), placement(&spec), config(&spec)).expect("deploys");
+    let cluster = Cluster::deploy(spec.clone(), placement(&spec), config(&spec)).expect("deploys");
     for (client, sentence) in SENTENCES {
         cluster
             .injector(client)

@@ -60,6 +60,13 @@ impl EngineCheckpoint {
     pub fn payload_bytes(&self) -> usize {
         self.components.values().map(Snapshot::payload_bytes).sum()
     }
+
+    /// Returns `true` if every component snapshot is restorable on its own
+    /// (no delta chunks). Self-contained checkpoints are *full* generations
+    /// in the durable store; anything else is a *delta* that needs a base.
+    pub fn is_self_contained(&self) -> bool {
+        self.components.values().all(Snapshot::is_self_contained)
+    }
 }
 
 impl Encode for EngineCheckpoint {

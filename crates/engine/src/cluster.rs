@@ -3,7 +3,7 @@
 // Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -594,13 +594,13 @@ impl Cluster {
         let mut restored = Vec::new();
         for engine in placement.engines() {
             let loaded = store
-                .load_latest(engine)
+                .load_chain(engine)
                 .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
             let faults = store
                 .faults(engine)
                 .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
             let (chain, generation, fell_back) = match loaded {
-                Some(l) => (vec![l.checkpoint], Some(l.generation), l.fell_back),
+                Some(l) => (l.chain, Some(l.generation), l.fell_back),
                 None => (Vec::new(), None, false),
             };
             restored.push((engine, chain, faults, generation, fell_back));
@@ -917,8 +917,38 @@ impl Cluster {
     }
 
     /// Non-blocking drain of whatever outputs have been produced so far.
+    ///
+    /// Handing a record to the caller is the consumer-side ack: the owning
+    /// engine gets an ordinary `TrimAck` so that, under durability, its
+    /// external output-retention buffer can drop everything a cold restart
+    /// no longer needs to re-emit. Outputs never drained stay retained —
+    /// and ride in every checkpoint — until someone takes them.
     pub fn take_outputs(&self) -> Vec<OutputRecord> {
-        self.outputs_rx.try_iter().collect()
+        let outs: Vec<OutputRecord> = self.outputs_rx.try_iter().collect();
+        let mut drained: BTreeMap<WireId, VirtualTime> = BTreeMap::new();
+        for o in &outs {
+            let hi = drained.entry(o.wire).or_insert(o.vt);
+            if o.vt > *hi {
+                *hi = o.vt;
+            }
+        }
+        if !drained.is_empty() {
+            let engines = self.host.engines.lock();
+            for (wire, through) in drained {
+                let owner = self
+                    .host
+                    .spec
+                    .wire(wire)
+                    .and_then(|w| w.from().component())
+                    .and_then(|c| self.host.placement.engine_of(c));
+                if let Some(slot) = owner.and_then(|e| engines.get(&e)) {
+                    if slot.alive {
+                        let _ = slot.sender.send(Envelope::TrimAck { wire, through });
+                    }
+                }
+            }
+        }
+        outs
     }
 
     /// Abruptly fail-stops the **entire cluster** — every engine killed in
@@ -1006,8 +1036,9 @@ pub struct EngineRecovery {
     /// The checkpoint generation it restored from; `None` means no durable
     /// checkpoint existed and it restarted from scratch (full replay).
     pub generation: Option<u64>,
-    /// `true` if the newest generation failed verification and recovery
-    /// fell back one generation.
+    /// `true` if recovery did not restore through the newest persisted
+    /// generation — a damaged full or delta forced a shorter or older
+    /// restore chain.
     pub fell_back: bool,
 }
 

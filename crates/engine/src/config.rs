@@ -139,9 +139,10 @@ impl SupervisionConfig {
 /// Enabled via [`ClusterConfig::with_durability`]. Inside `dir` the cluster
 /// keeps `wal/` (the segmented external-input log) and `ckpt/` (the
 /// generation-managed checkpoint store + determinism-fault logs). With
-/// durability on, checkpoints are always full (each on-disk generation must
-/// restore alone), retention `TrimAck`s wait for the checkpoint to be
-/// *durable* and lag one generation (recovery may fall back one), and
+/// durability on, checkpoints persist as delta generations against the last
+/// full one (a full every `full_checkpoint_every` checkpoints anchors each
+/// chain), retention `TrimAck`s wait for a *full* generation to be durable
+/// and lag one full generation (recovery may fall back a whole chain), and
 /// [`crate::Cluster::recover_from_disk`] can cold-restart the whole cluster
 /// from `dir`.
 #[derive(Clone, Debug)]
@@ -152,6 +153,12 @@ pub struct DurabilityConfig {
     pub policy: FsyncPolicy,
     /// WAL segment rotation threshold in bytes.
     pub wal_segment_bytes: u64,
+    /// Persist a full (self-contained) checkpoint every this many durable
+    /// checkpoints; the ones between are deltas against it. `1` restores
+    /// the original always-full behaviour; higher values trade restore
+    /// replay length (at most one full + `full_checkpoint_every - 1`
+    /// deltas) for much smaller steady-state checkpoint writes.
+    pub full_checkpoint_every: u32,
 }
 
 /// Cluster-wide runtime tuning (§II.G's controls).
@@ -278,7 +285,8 @@ impl ClusterConfig {
     /// checkpoints are persisted to a generation-managed on-disk store, and
     /// the cluster becomes cold-restartable via
     /// [`crate::Cluster::recover_from_disk`]. Uses a 1 MiB WAL segment
-    /// threshold; set [`ClusterConfig::durability`] directly to tune it.
+    /// threshold and a full checkpoint every 4 durable generations; set
+    /// [`ClusterConfig::durability`] directly to tune them.
     pub fn with_durability(
         mut self,
         dir: impl Into<std::path::PathBuf>,
@@ -288,7 +296,23 @@ impl ClusterConfig {
             dir: dir.into(),
             policy,
             wal_segment_bytes: 1 << 20,
+            full_checkpoint_every: 4,
         });
+        self
+    }
+
+    /// Sets the durable full-checkpoint cadence (builder style); `1` makes
+    /// every durable checkpoint full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not enabled or `every` is zero.
+    pub fn with_full_checkpoint_every(mut self, every: u32) -> Self {
+        assert!(every > 0, "full-checkpoint cadence must be positive");
+        self.durability
+            .as_mut()
+            .expect("enable durability before tuning its cadence")
+            .full_checkpoint_every = every;
         self
     }
 

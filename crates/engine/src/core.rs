@@ -71,6 +71,11 @@ pub struct EngineMetrics {
     pub checkpoints: u64,
     /// Serialized checkpoint bytes shipped to the replica.
     pub checkpoint_bytes: u64,
+    /// Checkpoints taken in incremental (delta) mode.
+    pub delta_checkpoints: u64,
+    /// Serialized bytes of delta-mode checkpoints (compare against
+    /// `checkpoint_bytes` for the incremental-checkpoint savings).
+    pub delta_checkpoint_bytes: u64,
     /// Curiosity probes sent.
     pub probes_sent: u64,
     /// Probe replies / silence advances transmitted.
@@ -139,11 +144,11 @@ pub struct EngineCore {
     /// On-disk checkpoint store, when the cluster runs with durability.
     /// Checkpoints tee here; `TrimAck`s wait for the persist to succeed.
     durable: Option<Arc<CheckpointStore>>,
-    /// Consumed watermarks as of the *previous* durable generation — the
-    /// watermarks `TrimAck`s are allowed to carry. Recovery may fall back
-    /// one generation, so upstream retention must keep everything past the
-    /// generation *before* the newest; acking one generation late
-    /// guarantees exactly that.
+    /// Consumed watermarks as of the *previous* durable full generation —
+    /// the watermarks `TrimAck`s are allowed to carry. Recovery may fall
+    /// back a whole restore chain (to the previous full), so upstream
+    /// retention must keep everything past the full generation *before* the
+    /// newest; acking one full generation late guarantees exactly that.
     durable_acked: BTreeMap<WireId, VirtualTime>,
     outputs: crossbeam::channel::Sender<OutputRecord>,
     /// Dynamic re-tuning state: per-component sample collectors, present
@@ -152,6 +157,9 @@ pub struct EngineCore {
     processed_since_ckpt: u64,
     ckpt_seq: u64,
     next_ckpt_full: bool,
+    /// Durable checkpoints since the last full generation, for the
+    /// `full_checkpoint_every` cadence.
+    ckpts_since_full: u32,
     /// Output wires whose end-of-stream marker has been transmitted
     /// (graceful drain only).
     eos_sent: std::collections::BTreeSet<WireId>,
@@ -254,6 +262,7 @@ impl EngineCore {
             processed_since_ckpt: 0,
             ckpt_seq: 0,
             next_ckpt_full: true,
+            ckpts_since_full: 0,
             eos_sent: std::collections::BTreeSet::new(),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
         }
@@ -265,11 +274,30 @@ impl EngineCore {
     }
 
     /// Attaches the on-disk checkpoint store: every checkpoint is now also
-    /// persisted (always full — each generation must restore alone), and
-    /// retention `TrimAck`s are gated on the persist succeeding, one
+    /// persisted — as a full generation every
+    /// [`crate::DurabilityConfig::full_checkpoint_every`] checkpoints and as
+    /// a delta against the last full one in between — and retention
+    /// `TrimAck`s are gated on a *full* persist succeeding, one full
     /// generation behind.
+    ///
+    /// External output wires gain retention buffers of their own: the
+    /// outputs channel is volatile, so an output whose producing input is
+    /// durably consumed would otherwise be lost to a whole-process crash
+    /// before the consumer's next drain (replay never regenerates it — the
+    /// input sits behind the restored consumed watermark). Checkpoints
+    /// capture these buffers and cold restart re-emits them, duplicates
+    /// collapsing by timestamp downstream. The buffers hold exactly the
+    /// not-yet-drained outputs: [`crate::Cluster::take_outputs`] acks what
+    /// it hands to the consumer with ordinary `TrimAck`s.
     pub fn set_durable(&mut self, store: Arc<CheckpointStore>) {
         self.durable = Some(store);
+        for (w, dest) in &self.wire_dest {
+            if matches!(dest, WireDest::External(_)) {
+                self.retention
+                    .entry(*w)
+                    .or_insert_with(|| RetentionBuffer::new(*w));
+            }
+        }
     }
 
     /// Shared handle to this engine's metrics.
@@ -319,7 +347,14 @@ impl EngineCore {
                 .output_wires_of(cid)
                 .iter()
                 .map(|w| w.id())
-                .filter(|w| self.retention.contains_key(w) && !self.eos_sent.contains(w))
+                // External wires may retain too (durable output capture)
+                // but never speak the EOS protocol — consumers are not
+                // engines.
+                .filter(|w| {
+                    !matches!(self.wire_dest.get(w), Some(WireDest::External(_)))
+                        && self.retention.contains_key(w)
+                        && !self.eos_sent.contains(w)
+                })
                 .collect();
             for wire in outs {
                 self.eos_sent.insert(wire);
@@ -812,6 +847,13 @@ impl EngineCore {
 
         let dest = self.wire_dest[&out_wire].clone();
         if let WireDest::External(consumer) = &dest {
+            // Under durability external wires retain too (see
+            // `set_durable`): the channel below is volatile, and the
+            // checkpoint about to durably consume this output's input must
+            // carry the bytes to re-emit it after a whole-process crash.
+            if let Some(buf) = self.retention.get_mut(&out_wire) {
+                buf.record(out_vt, payload.clone());
+            }
             self.metrics.lock().outputs_emitted += 1;
             let _ = self.outputs.send(OutputRecord {
                 consumer: consumer.clone(),
@@ -1062,9 +1104,18 @@ impl EngineCore {
     /// `TrimAck`s on the persist succeeding.
     pub fn take_checkpoint(&mut self) {
         self.processed_since_ckpt = 0;
-        // Durable generations must each restore alone (recovery may have
-        // nothing but the one file that verifies), so they are always full.
-        let mode = if self.next_ckpt_full || self.durable.is_some() {
+        // Durable generations persist as deltas against the last full one;
+        // a full every `full_checkpoint_every` anchors the chain so restore
+        // replays at most one full + a bounded delta tail.
+        let durable_full_due = self.durable.is_some() && {
+            let every = self
+                .config
+                .durability
+                .as_ref()
+                .map_or(1, |d| d.full_checkpoint_every.max(1));
+            self.ckpts_since_full + 1 >= every
+        };
+        let mode = if self.next_ckpt_full || durable_full_due {
             CheckpointMode::Full
         } else {
             CheckpointMode::Incremental
@@ -1085,6 +1136,28 @@ impl EngineCore {
                 .insert(cid, component.checkpoint(mode, clock));
             ckpt.clocks.insert(cid, clock);
         }
+        // A delta in which nothing changed carries no chunks at all, and on
+        // disk an all-empty checkpoint is indistinguishable from (and would
+        // be classified as) a self-contained full — one that seeds a restore
+        // chain with nothing. Re-capture it as a genuine full generation.
+        let mode = if self.durable.is_some()
+            && mode == CheckpointMode::Incremental
+            && ckpt.is_self_contained()
+        {
+            for (cid, snap) in &mut ckpt.components {
+                let clock = ckpt.clocks[cid];
+                let component = self
+                    .components
+                    .get_mut(cid)
+                    .expect("hosted")
+                    .as_mut()
+                    .expect("not executing");
+                *snap = component.checkpoint(CheckpointMode::Full, clock);
+            }
+            CheckpointMode::Full
+        } else {
+            mode
+        };
         for (w, vt) in &self.consumed {
             ckpt.consumed.insert(*w, *vt);
         }
@@ -1114,9 +1187,14 @@ impl EngineCore {
                 }
             }
         }
+        let bytes = tart_codec::Encode::to_bytes(&ckpt).len() as u64;
         let mut m = self.metrics.lock();
         m.checkpoints += 1;
-        m.checkpoint_bytes += tart_codec::Encode::to_bytes(&ckpt).len() as u64;
+        m.checkpoint_bytes += bytes;
+        if mode == CheckpointMode::Incremental {
+            m.delta_checkpoints += 1;
+            m.delta_checkpoint_bytes += bytes;
+        }
         drop(m);
         // Persist BEFORE shipping: once anyone can see this checkpoint, it
         // must be able to survive a whole-cluster crash.
@@ -1128,18 +1206,33 @@ impl EngineCore {
         if !persisted {
             // The disk refused the new generation: upstream retention must
             // keep serving from the last durable consumed watermarks, so no
-            // TrimAck may advance. The replica still has the checkpoint for
+            // TrimAck may advance. A delta skipped on disk would leave a
+            // hole in the chain, so the next checkpoint re-anchors with a
+            // full generation. The replica still has the checkpoint for
             // single-failure promotion.
+            self.next_ckpt_full = true;
             return;
+        }
+        if self.durable.is_some() {
+            self.ckpts_since_full = match mode {
+                CheckpointMode::Full => 0,
+                CheckpointMode::Incremental => self.ckpts_since_full + 1,
+            };
         }
         // Downstream of our inputs: acknowledge what is *durably* covered
         // so upstream retention can trim. Without durability that is simply
-        // the current consumed watermark; with it, the watermark lags one
-        // generation (see `durable_acked`).
+        // the current consumed watermark; with it, acks only move at *full*
+        // persists — a delta is worthless without its base chain, and
+        // recovery may fall back a whole chain — and the watermark lags one
+        // full generation (see `durable_acked`).
         let acks: Vec<(WireId, VirtualTime)> = if self.durable.is_some() {
-            let acks = self.durable_acked.iter().map(|(w, vt)| (*w, *vt)).collect();
-            self.durable_acked = self.consumed.clone();
-            acks
+            if mode == CheckpointMode::Full {
+                let acks = self.durable_acked.iter().map(|(w, vt)| (*w, *vt)).collect();
+                self.durable_acked = self.consumed.clone();
+                acks
+            } else {
+                Vec::new()
+            }
         } else {
             self.consumed.iter().map(|(w, vt)| (*w, *vt)).collect()
         };
@@ -1230,11 +1323,46 @@ impl EngineCore {
                 }
             }
         }
-        // The restart point is itself the last durable generation: acks may
-        // advance to its consumed watermarks at the next persisted
-        // checkpoint, no further.
-        self.durable_acked = last.consumed.iter().map(|(w, vt)| (*w, *vt)).collect();
+        // The chain's full head is the most conservative restart point a
+        // future recovery could fall back to (a damaged delta tail strands
+        // everything after the head): acks may advance to *its* consumed
+        // watermarks at the next full persist, no further.
+        let base = chain
+            .iter()
+            .rev()
+            .find(|c| c.is_self_contained())
+            .unwrap_or(last);
+        self.durable_acked = base.consumed.iter().map(|(w, vt)| (*w, *vt)).collect();
+        // External outputs: the channel the originals went down died with
+        // the process, and their producing inputs are consumed per this
+        // chain, so replay will never regenerate them — re-emit every
+        // retained (= not yet drained-and-acked) frame now. A consumer that
+        // did see some of them discards the duplicates by timestamp.
+        let externals: Vec<(WireId, String)> = self
+            .wire_dest
+            .iter()
+            .filter_map(|(w, d)| match d {
+                WireDest::External(name) => Some((*w, name.clone())),
+                _ => None,
+            })
+            .collect();
+        for (w, consumer) in externals {
+            let frames = match self.retention.get(&w) {
+                Some(buf) => buf.replay_from(VirtualTime::ZERO),
+                None => Vec::new(),
+            };
+            for (vt, payload) in frames {
+                self.metrics.lock().outputs_emitted += 1;
+                let _ = self.outputs.send(OutputRecord {
+                    consumer: consumer.clone(),
+                    wire: w,
+                    vt,
+                    payload,
+                });
+            }
+        }
         self.next_ckpt_full = true;
+        self.ckpts_since_full = 0;
         self.ckpt_seq = last.seq + 1;
         // Every input wire: dedupe floor at the consumed watermark, then
         // recover via replay.

@@ -79,6 +79,6 @@ pub use envelope::Envelope;
 pub use log::{LogError, MessageLog};
 pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
-pub use store::{CheckpointStore, LoadedCheckpoint, StoreError};
+pub use store::{CheckpointStore, LoadedChain, LoadedCheckpoint, StoreError};
 pub use supervise::{FailureDetector, SupervisionMetrics};
 pub use wal::{FsyncPolicy, Wal, WalError, WalRecovery};

@@ -21,6 +21,15 @@
 //! heals; [`RemoteLink::health`] exposes the drop/reconnect counters so
 //! operators can see it happening.
 //!
+//! Hot path: the writer drains its whole outbound queue per flush window
+//! into a single **batch frame** (one `write_all`, one CRC — see
+//! [`write_batch`]/[`read_batch`] and DESIGN.md §13), encoding envelopes
+//! *by reference* into a reusable scratch buffer — no clone, no per-send
+//! allocation. Superseded silence adverts are coalesced per wire before
+//! encoding; silence watermarks are monotone, so only the newest matters.
+//! [`TcpInbound`] speaks batch frames; the single-envelope
+//! [`write_frame`]/[`read_frame`] codec remains for tools and tests.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -49,9 +58,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::BytesMut;
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
-use tart_codec::{crc32, Decode, Encode};
+use tart_codec::{crc32, Decode, Encode, Reader};
 use tart_stats::DetRng;
 use tart_vtime::EngineId;
 
@@ -64,29 +74,85 @@ const MAX_FRAME: u32 = 64 * 1024 * 1024;
 /// passes (reconnect attempts, stop-flag checks).
 const WRITER_TICK: Duration = Duration::from_millis(10);
 
-/// Writes one `(target, envelope)` frame:
+/// Cap on envelopes coalesced into one batch frame, bounding frame size
+/// and the blast radius of a torn batch.
+const MAX_BATCH: usize = 1024;
+
+/// Encodes one `(target, envelope)` frame into `buf` **by reference** —
+/// no envelope clone, no intermediate allocation:
 /// `u32 BE body length | u32 BE crc32(body) | body`.
+pub fn encode_frame_into(buf: &mut BytesMut, target: EngineId, env: &Envelope) {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 8]); // header patched below
+    target.encode(buf);
+    env.encode(buf);
+    patch_header(buf, start);
+}
+
+/// Encodes a whole batch as **one** frame into `buf`:
+/// `u32 BE body length | u32 BE crc32(body) | body`, where the body is a
+/// varint envelope count followed by that many `(target, envelope)` pairs
+/// (byte-identical to the codec's `Vec` encoding). One CRC covers the whole
+/// batch, so any single corrupt byte rejects it entirely. An empty batch
+/// encodes to nothing at all.
+pub fn encode_batch_into(buf: &mut BytesMut, batch: &[(EngineId, Envelope)]) {
+    if batch.is_empty() {
+        return;
+    }
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 8]); // header patched below
+    (batch.len() as u64).encode(buf);
+    for (target, env) in batch {
+        target.encode(buf);
+        env.encode(buf);
+    }
+    patch_header(buf, start);
+}
+
+/// Back-patches the `len | crc` header of the frame that starts at
+/// `start`, whose body was appended after an 8-byte placeholder.
+fn patch_header(buf: &mut BytesMut, start: usize) {
+    let body_len = buf.len() - start - 8;
+    let crc = crc32(&buf[start + 8..]);
+    buf[start..start + 4].copy_from_slice(&(body_len as u32).to_be_bytes());
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_be_bytes());
+}
+
+/// Writes one `(target, envelope)` frame (see [`encode_frame_into`]).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from the underlying stream.
 pub fn write_frame(w: &mut impl Write, target: EngineId, env: &Envelope) -> io::Result<()> {
-    let body = (target, env.clone()).to_bytes();
-    let mut frame = Vec::with_capacity(body.len() + 8);
-    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&crc32(&body).to_be_bytes());
-    frame.extend_from_slice(&body);
-    w.write_all(&frame)
+    let mut buf = BytesMut::new();
+    encode_frame_into(&mut buf, target, env);
+    w.write_all(&buf)
 }
 
-/// Reads one frame; `Ok(None)` signals a clean EOF at a frame boundary.
+/// Writes `batch` as one batch frame via a caller-owned `scratch` buffer
+/// (cleared, reused across calls — the hot path never allocates once the
+/// buffer has grown to its working size). Writing an empty batch is a
+/// no-op: no bytes touch the stream.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on CRC mismatch, oversized length, or a malformed
-/// body; `UnexpectedEof` on a mid-frame disconnect; and propagates other
-/// I/O failures.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(EngineId, Envelope)>> {
+/// Propagates I/O failures from the underlying stream.
+pub fn write_batch(
+    w: &mut impl Write,
+    batch: &[(EngineId, Envelope)],
+    scratch: &mut BytesMut,
+) -> io::Result<()> {
+    scratch.clear();
+    encode_batch_into(scratch, batch);
+    if scratch.is_empty() {
+        return Ok(());
+    }
+    w.write_all(scratch)
+}
+
+/// Reads the `len | crc | body` envelope of one frame; `Ok(None)` is a
+/// clean EOF at a frame boundary. Shared by the single and batch readers.
+fn read_verified_body(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; 8];
     // Distinguish clean EOF (no bytes) from a torn header.
     match r.read(&mut header[..1])? {
@@ -109,9 +175,88 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(EngineId, Envelope)>>
             "frame checksum mismatch",
         ));
     }
+    Ok(Some(body))
+}
+
+/// Reads one frame; `Ok(None)` signals a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on CRC mismatch, oversized length, or a malformed
+/// body; `UnexpectedEof` on a mid-frame disconnect; and propagates other
+/// I/O failures.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(EngineId, Envelope)>> {
+    let Some(body) = read_verified_body(r)? else {
+        return Ok(None);
+    };
     <(EngineId, Envelope)>::from_bytes(&body)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Reads one batch frame; `Ok(None)` signals a clean EOF at a frame
+/// boundary. The CRC covers the whole batch: a single corrupt byte rejects
+/// every envelope in it (no partial delivery from a damaged frame).
+///
+/// # Errors
+///
+/// Same contract as [`read_frame`].
+pub fn read_batch(r: &mut impl Read) -> io::Result<Option<Vec<(EngineId, Envelope)>>> {
+    let Some(body) = read_verified_body(r)? else {
+        return Ok(None);
+    };
+    let invalid =
+        |e: tart_codec::DecodeError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+    let mut rd = Reader::new(&body);
+    let count = u64::decode(&mut rd).map_err(invalid)?;
+    if count > MAX_BATCH as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("batch of {count} envelopes exceeds the {MAX_BATCH} cap"),
+        ));
+    }
+    let mut batch = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let target = EngineId::decode(&mut rd).map_err(invalid)?;
+        let env = Envelope::decode(&mut rd).map_err(invalid)?;
+        batch.push((target, env));
+    }
+    if rd.remaining() != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after batch body",
+        ));
+    }
+    Ok(Some(batch))
+}
+
+/// Drops every silence advert superseded by a later one for the same
+/// `(target, wire)` within the batch, preserving the order of the kept
+/// envelopes. Silence watermarks are monotone per wire — an advert
+/// promises "no data through `through`", so the newest advert subsumes
+/// every earlier one and dropping them loses no information (DESIGN.md
+/// §13). Data, probes and control envelopes are never touched.
+fn coalesce_silence(batch: &mut Vec<(EngineId, Envelope)>) {
+    let mut last: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
+    let mut adverts = 0usize;
+    for (i, (target, env)) in batch.iter().enumerate() {
+        if let Envelope::Silence { wire, .. } = env {
+            last.insert((target.raw(), wire.raw()), i);
+            adverts += 1;
+        }
+    }
+    if adverts == last.len() {
+        return; // nothing superseded
+    }
+    let mut idx = 0;
+    batch.retain(|(target, env)| {
+        let keep = match env {
+            Envelope::Silence { wire, .. } => last[&(target.raw(), wire.raw())] == idx,
+            _ => true,
+        };
+        idx += 1;
+        keep
+    });
 }
 
 /// Accepts TCP connections and feeds every arriving frame into the local
@@ -157,8 +302,12 @@ impl TcpInbound {
                                 .spawn(move || {
                                     let mut stream = stream;
                                     loop {
-                                        match read_frame(&mut stream) {
-                                            Ok(Some((target, env))) => router.send(target, env),
+                                        match read_batch(&mut stream) {
+                                            Ok(Some(batch)) => {
+                                                for (target, env) in batch {
+                                                    router.send(target, env);
+                                                }
+                                            }
                                             Ok(None) | Err(_) => return,
                                         }
                                     }
@@ -261,6 +410,11 @@ pub struct LinkHealth {
     /// The writer exhausted [`ReconnectPolicy::max_attempts`] and stopped
     /// trying; frames keep being counted as dropped.
     pub gave_up: bool,
+    /// Batch frames flushed onto the wire (one `write_all` each).
+    pub batches_sent: u64,
+    /// Envelopes carried by those batches; `envelopes_batched /
+    /// batches_sent` is the link's achieved coalescing factor.
+    pub envelopes_batched: u64,
 }
 
 #[derive(Default)]
@@ -270,6 +424,8 @@ struct LinkState {
     reconnects: AtomicU64,
     dropped_frames: AtomicU64,
     gave_up: AtomicBool,
+    batches_sent: AtomicU64,
+    envelopes_batched: AtomicU64,
 }
 
 /// Handle on the background writer created by [`remote_engine`]: exposes
@@ -295,6 +451,8 @@ impl RemoteLink {
             reconnects: self.state.reconnects.load(Ordering::Relaxed),
             dropped_frames: self.state.dropped_frames.load(Ordering::Relaxed),
             gave_up: self.state.gave_up.load(Ordering::Relaxed),
+            batches_sent: self.state.batches_sent.load(Ordering::Relaxed),
+            envelopes_batched: self.state.envelopes_batched.load(Ordering::Relaxed),
         }
     }
 
@@ -386,6 +544,10 @@ pub fn remote_engine_with(
             let mut stream = Some(stream);
             let mut backoff = policy.initial_backoff;
             let mut attempts: u32 = 0;
+            // Reused across flushes: the encode scratch grows to the
+            // working batch size once, then the hot path stops allocating.
+            let mut scratch = BytesMut::with_capacity(4096);
+            let mut batch: Vec<(EngineId, Envelope)> = Vec::new();
             // tart-lint: allow(WALLCLOCK) -- transport ops-plane: reconnect backoff pacing is real-time; frame contents, not arrival times, enter the log
             let mut next_attempt = Instant::now();
             loop {
@@ -394,26 +556,38 @@ pub fn remote_engine_with(
                 }
                 match rx.recv_timeout(WRITER_TICK) {
                     Ok(env) => {
-                        let mut batch = vec![env];
-                        batch.extend(rx.try_iter());
-                        for env in batch {
-                            let wrote = match stream.as_mut() {
-                                Some(s) => write_frame(s, engine, &env).is_ok(),
-                                None => false,
-                            };
-                            if !wrote {
-                                // Broken or absent connection: the frame is
-                                // in-transit loss (replay recovers the
-                                // stream); never exit silently.
-                                state_writer.dropped_frames.fetch_add(1, Ordering::Relaxed);
-                                if stream.take().is_some() {
-                                    state_writer.connected.store(false, Ordering::Relaxed);
-                                    backoff = policy.initial_backoff;
-                                    attempts = 0;
-                                    // tart-lint: allow(WALLCLOCK) -- transport ops-plane: immediate-retry scheduling after a send failure
-                                    next_attempt = Instant::now()
-                                        + backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
-                                }
+                        // Flush window: drain everything queued since the
+                        // last flush into one batch frame — one write_all,
+                        // one CRC — after dropping superseded silence
+                        // adverts.
+                        batch.clear();
+                        batch.push((engine, env));
+                        batch.extend(rx.try_iter().take(MAX_BATCH - 1).map(|e| (engine, e)));
+                        coalesce_silence(&mut batch);
+                        let count = batch.len() as u64;
+                        let wrote = match stream.as_mut() {
+                            Some(s) => write_batch(s, &batch, &mut scratch).is_ok(),
+                            None => false,
+                        };
+                        if wrote {
+                            state_writer.batches_sent.fetch_add(1, Ordering::Relaxed);
+                            state_writer
+                                .envelopes_batched
+                                .fetch_add(count, Ordering::Relaxed);
+                        } else {
+                            // Broken or absent connection: the whole batch
+                            // is in-transit loss (replay recovers the
+                            // stream); never exit silently.
+                            state_writer
+                                .dropped_frames
+                                .fetch_add(count, Ordering::Relaxed);
+                            if stream.take().is_some() {
+                                state_writer.connected.store(false, Ordering::Relaxed);
+                                backoff = policy.initial_backoff;
+                                attempts = 0;
+                                // tart-lint: allow(WALLCLOCK) -- transport ops-plane: immediate-retry scheduling after a send failure
+                                next_attempt = Instant::now()
+                                    + backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
                             }
                         }
                     }
@@ -495,6 +669,86 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
     }
 
+    fn silence(wire: u32, through: u64) -> Envelope {
+        Envelope::Silence {
+            wire: WireId::new(wire),
+            through: VirtualTime::from_ticks(through),
+            last_data: VirtualTime::from_ticks(through.saturating_sub(1)),
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_over_buffer() {
+        let batch = vec![
+            (EngineId::new(1), data(3)),
+            (EngineId::new(2), Envelope::Checkpoint),
+            (EngineId::new(1), silence(0, 9)),
+        ];
+        let mut scratch = BytesMut::new();
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &batch, &mut scratch).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_batch(&mut cursor).unwrap(), Some(batch));
+        assert_eq!(read_batch(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn empty_batch_writes_nothing() {
+        let mut scratch = BytesMut::new();
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &[], &mut scratch).unwrap();
+        assert!(buf.is_empty(), "empty batch is a no-op on the stream");
+        let mut cursor = &buf[..];
+        assert_eq!(read_batch(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_batch_rejects_every_envelope() {
+        let batch = vec![(EngineId::new(0), data(1)), (EngineId::new(0), data(2))];
+        let mut scratch = BytesMut::new();
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &batch, &mut scratch).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let mut cursor = &buf[..];
+        let err = read_batch(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn coalescing_keeps_only_the_newest_silence_per_wire() {
+        let mut batch = vec![
+            (EngineId::new(1), silence(0, 5)),
+            (EngineId::new(1), data(6)),
+            (EngineId::new(1), silence(0, 9)),
+            (EngineId::new(1), silence(1, 3)),
+            (EngineId::new(2), silence(0, 4)),
+        ];
+        coalesce_silence(&mut batch);
+        assert_eq!(
+            batch,
+            vec![
+                (EngineId::new(1), data(6)),
+                (EngineId::new(1), silence(0, 9)),
+                (EngineId::new(1), silence(1, 3)),
+                (EngineId::new(2), silence(0, 4)),
+            ],
+            "only the superseded wire-0 advert goes; order is preserved"
+        );
+    }
+
+    #[test]
+    fn single_and_batch_frames_share_the_body_encoding() {
+        // A batch of one is the single frame plus a count prefix: both are
+        // built from references, so the bodies must agree byte-for-byte.
+        let mut single = BytesMut::new();
+        encode_frame_into(&mut single, EngineId::new(7), &data(5));
+        let mut batch = BytesMut::new();
+        encode_batch_into(&mut batch, &[(EngineId::new(7), data(5))]);
+        assert_eq!(&single[8..], &batch[9..], "pair encoding is identical");
+        assert_eq!(batch[8], 1, "varint count of one");
+    }
+
     #[test]
     fn corrupt_frame_is_rejected() {
         let mut buf = Vec::new();
@@ -559,7 +813,17 @@ mod tests {
         for (n, env) in got.into_iter().enumerate() {
             assert_eq!(env, data(n as u64), "frames arrive in order, intact");
         }
-        assert_eq!(link.health().dropped_frames, 0);
+        let health = link.health();
+        assert_eq!(health.dropped_frames, 0);
+        assert_eq!(
+            health.envelopes_batched, 101,
+            "every envelope (100 data + drain) crossed in a batch"
+        );
+        assert!(
+            (1..=101).contains(&health.batches_sent),
+            "between one flush for everything and one per envelope, got {}",
+            health.batches_sent
+        );
         link.stop();
     }
 

@@ -6,10 +6,18 @@
 //! [`EngineCheckpoint`] becomes a **generation** — a CRC-framed file
 //! written to a temp name, fsynced, then atomically renamed — and a CRC'd
 //! **manifest** records, per engine, the generations that exist, newest
-//! last. The store keeps the last two generations per engine so that if the
-//! newest fails verification at recovery time, [`CheckpointStore::load_latest`]
-//! falls back one generation and reports it. If the manifest itself is
-//! unreadable it is rebuilt from the directory listing.
+//! last.
+//!
+//! A generation is either **full** (self-contained: every component
+//! snapshot restores alone) or a **delta** against the chain since the
+//! previous full (`-d` filename suffix; the manifest wire format is
+//! unchanged). [`CheckpointStore::load_chain`] reconstructs the newest
+//! restorable chain — one full head plus its verified deltas, oldest
+//! first — truncating at the first damaged delta and falling back to the
+//! previous full chain when a full itself is damaged (DESIGN.md §13). The
+//! store keeps generations back through the [`KEPT_GENERATIONS`]-th-newest
+//! full, so a whole chain can rot and recovery still succeeds. If the
+//! manifest is unreadable it is rebuilt from the directory listing.
 //!
 //! Determinism faults (§II.G.4) are logged synchronously to an append-only
 //! CRC-framed file per engine, fsynced per record, because a re-calibrated
@@ -30,8 +38,9 @@ use crate::checkpoint::EngineCheckpoint;
 use crate::wal::{scan_segment, sync_dir, FRAME_HEADER};
 
 const MANIFEST: &str = "MANIFEST";
-/// Generations kept per engine. Two, so one can be corrupt and recovery
-/// still succeeds — which is also why `TrimAck`s lag one generation.
+/// Full checkpoint chains kept per engine (each full plus its trailing
+/// deltas). Two, so one whole chain can be corrupt and recovery still
+/// succeeds — which is also why `TrimAck`s lag one *full* generation.
 pub(crate) const KEPT_GENERATIONS: usize = 2;
 
 /// Errors from the checkpoint store.
@@ -82,20 +91,58 @@ pub struct LoadedCheckpoint {
     pub checkpoint: EngineCheckpoint,
 }
 
+/// A restorable checkpoint chain loaded back from disk: one full head
+/// followed by every verified delta against it, oldest first. Restoring
+/// applies the snapshots in order (the replica chain does the same).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadedChain {
+    /// Newest generation number included in the chain.
+    pub generation: u64,
+    /// True when the chain stops short of the engine's newest persisted
+    /// generation (a damaged delta truncated it, or a damaged full forced
+    /// fallback to the previous full chain).
+    pub fell_back: bool,
+    /// The checkpoints to apply, oldest first; the head is always full.
+    pub chain: Vec<EngineCheckpoint>,
+}
+
+/// The in-memory view of what exists on disk, all under one lock.
+#[derive(Default)]
+struct Index {
+    /// engine raw id → all generation numbers, oldest first, newest last.
+    gens: BTreeMap<u32, Vec<u64>>,
+    /// engine raw id → the subset of generations that are full
+    /// (self-contained) checkpoints, ascending.
+    fulls: BTreeMap<u32, Vec<u64>>,
+}
+
 /// Write-temp + fsync + atomic-rename durable checkpoint storage with a
 /// CRC'd generation manifest.
 ///
 /// Shared freely (`Clone`); all methods take `&self`.
 pub struct CheckpointStore {
     dir: PathBuf,
-    /// engine raw id → generation numbers, oldest first, newest last.
-    manifest: Mutex<BTreeMap<u32, Vec<u64>>>,
+    index: Mutex<Index>,
     /// engine raw id → open fault-log file handle.
     fault_logs: Mutex<BTreeMap<u32, File>>,
 }
 
 fn ckpt_name(engine: u32, generation: u64) -> String {
     format!("ckpt-e{engine:04}-g{generation:08}.bin")
+}
+
+/// Delta generations carry a `-d` marker so the kind survives a manifest
+/// rebuild (the manifest wire format itself only stores numbers).
+fn delta_ckpt_name(engine: u32, generation: u64) -> String {
+    format!("ckpt-e{engine:04}-g{generation:08}-d.bin")
+}
+
+fn ckpt_file_name(engine: u32, generation: u64, is_full: bool) -> String {
+    if is_full {
+        ckpt_name(engine, generation)
+    } else {
+        delta_ckpt_name(engine, generation)
+    }
 }
 
 fn fault_log_name(engine: u32) -> String {
@@ -144,26 +191,38 @@ impl CheckpointStore {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let manifest = match read_manifest(&dir.join(MANIFEST)) {
-            Some(m) => m,
-            None => rebuild_manifest(&dir)?,
+        // Generation kinds (full vs delta) live in the filenames, so the
+        // listing is scanned either way; the manifest only contributes the
+        // authoritative generation list when it verifies.
+        let (listed_gens, listed_fulls) = scan_ckpt_files(&dir)?;
+        let index = match read_manifest(&dir.join(MANIFEST)) {
+            Some(gens) => {
+                let mut fulls = listed_fulls;
+                for (engine, f) in fulls.iter_mut() {
+                    let known = gens.get(engine).cloned().unwrap_or_default();
+                    f.retain(|g| known.binary_search(g).is_ok());
+                }
+                Index { gens, fulls }
+            }
+            None => rebuilt_index(listed_gens, listed_fulls),
         };
         Ok(CheckpointStore {
             dir,
-            manifest: Mutex::new(manifest),
+            index: Mutex::new(index),
             fault_logs: Mutex::new(BTreeMap::new()),
         })
     }
 
     /// True if the store holds no checkpoint for any engine.
     pub fn is_empty(&self) -> bool {
-        self.manifest.lock().values().all(Vec::is_empty)
+        self.index.lock().gens.values().all(Vec::is_empty)
     }
 
     /// Engines with at least one persisted generation.
     pub fn engines(&self) -> Vec<EngineId> {
-        self.manifest
+        self.index
             .lock()
+            .gens
             .iter()
             .filter(|(_, gens)| !gens.is_empty())
             .map(|(e, _)| EngineId::new(*e))
@@ -172,61 +231,96 @@ impl CheckpointStore {
 
     /// Generation numbers currently kept for `engine`, oldest first.
     pub fn generations(&self, engine: EngineId) -> Vec<u64> {
-        self.manifest
+        self.index
             .lock()
+            .gens
+            .get(&engine.raw())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The subset of kept generations that are full (self-contained)
+    /// checkpoints, oldest first.
+    pub fn full_generations(&self, engine: EngineId) -> Vec<u64> {
+        self.index
+            .lock()
+            .fulls
             .get(&engine.raw())
             .cloned()
             .unwrap_or_default()
     }
 
     /// Persists `ckpt` as a new generation for its engine: checkpoint file
-    /// written atomically, manifest updated atomically, generations beyond
-    /// [`KEPT_GENERATIONS`] pruned. Returns the new generation number.
+    /// written atomically, manifest updated atomically, generations older
+    /// than the [`KEPT_GENERATIONS`]-th-newest full pruned. Whether the
+    /// generation is full or a delta is derived from the checkpoint itself
+    /// ([`EngineCheckpoint::is_self_contained`]) and recorded in the file
+    /// name. Returns the new generation number.
     ///
     /// On return the checkpoint is durable — this is the moment a
     /// durability-gated `TrimAck` may be emitted.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] if any write, fsync or rename fails; the
-    /// previous generation remains the manifest's newest in that case.
+    /// Returns [`StoreError::Io`] if any write, fsync or rename fails (the
+    /// previous generation remains the manifest's newest in that case), or
+    /// [`StoreError::Corrupt`] for a delta with no full base on disk —
+    /// such a generation could never restore.
     pub fn persist(&self, ckpt: &EngineCheckpoint) -> Result<u64, StoreError> {
         let engine = ckpt.engine.raw();
-        let mut manifest = self.manifest.lock();
-        let gens = manifest.entry(engine).or_default();
+        let is_full = ckpt.is_self_contained();
+        let index = &mut *self.index.lock();
+        let gens = index.gens.entry(engine).or_default();
+        let fulls = index.fulls.entry(engine).or_default();
+        if !is_full && fulls.is_empty() {
+            return Err(StoreError::Corrupt {
+                what: format!("delta checkpoint for {} has no full base", ckpt.engine),
+            });
+        }
         let generation = gens.last().map_or(0, |g| g + 1);
-        let path = self.dir.join(ckpt_name(engine, generation));
+        let path = self.dir.join(ckpt_file_name(engine, generation, is_full));
         write_atomic(&self.dir, &path, &frame(&ckpt.to_bytes()))?;
         gens.push(generation);
-        let expired: Vec<u64> = if gens.len() > KEPT_GENERATIONS {
-            gens.drain(..gens.len() - KEPT_GENERATIONS).collect()
-        } else {
-            Vec::new()
-        };
-        write_manifest(&self.dir, &manifest)?;
+        if is_full {
+            fulls.push(generation);
+        }
+        // Keep every generation back through the KEPT_GENERATIONS-th-newest
+        // full: a full plus its trailing deltas form one restore chain, and
+        // two whole chains must survive for the corruption fallback.
+        let mut expired: Vec<(u64, bool)> = Vec::new();
+        if fulls.len() > KEPT_GENERATIONS {
+            let floor = fulls[fulls.len() - KEPT_GENERATIONS];
+            let cut = gens.partition_point(|&g| g < floor);
+            for g in gens.drain(..cut) {
+                expired.push((g, fulls.binary_search(&g).is_ok()));
+            }
+            fulls.retain(|&g| g >= floor);
+        }
+        write_manifest(&self.dir, &index.gens)?;
         // Prune only after the manifest no longer references the old
         // generations; a crash between the two steps leaves harmless
         // unreferenced files that the next rebuild ignores or re-adopts.
-        for g in expired {
-            fs::remove_file(self.dir.join(ckpt_name(engine, g))).ok();
+        for (g, f) in expired {
+            fs::remove_file(self.dir.join(ckpt_file_name(engine, g, f))).ok();
         }
         Ok(generation)
     }
 
-    /// Loads the newest generation for `engine` that passes verification,
-    /// falling back at most one generation. `Ok(None)` when the engine has
-    /// no generations at all.
+    /// Loads the newest **full** generation for `engine` that passes
+    /// verification, falling back at most one full. `Ok(None)` when the
+    /// engine has no generations at all. Delta generations are skipped —
+    /// use [`CheckpointStore::load_chain`] to restore through them.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Corrupt`] when every kept generation fails
-    /// verification, or [`StoreError::Io`] on read failure.
+    /// Returns [`StoreError::Corrupt`] when every kept full generation
+    /// fails verification, or [`StoreError::Io`] on read failure.
     pub fn load_latest(&self, engine: EngineId) -> Result<Option<LoadedCheckpoint>, StoreError> {
-        let gens = self.generations(engine);
-        if gens.is_empty() {
+        if self.generations(engine).is_empty() {
             return Ok(None);
         }
-        for (attempt, &generation) in gens.iter().rev().take(KEPT_GENERATIONS).enumerate() {
+        let fulls = self.full_generations(engine);
+        for (attempt, &generation) in fulls.iter().rev().take(KEPT_GENERATIONS).enumerate() {
             let path = self.dir.join(ckpt_name(engine.raw(), generation));
             if let Some(checkpoint) = read_framed_checkpoint(&path) {
                 return Ok(Some(LoadedCheckpoint {
@@ -235,6 +329,63 @@ impl CheckpointStore {
                     checkpoint,
                 }));
             }
+        }
+        Err(StoreError::Corrupt {
+            what: format!("all kept checkpoint generations for {engine} failed verification"),
+        })
+    }
+
+    /// Loads the newest restorable chain for `engine`: the newest full
+    /// generation that verifies, plus every consecutive verified delta
+    /// after it. A damaged delta truncates the chain there (everything
+    /// before it is still a consistent restore point); a damaged full falls
+    /// back to the previous full's chain. `Ok(None)` when the engine has no
+    /// generations at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] when every kept full generation
+    /// fails verification, or [`StoreError::Io`] on read failure.
+    pub fn load_chain(&self, engine: EngineId) -> Result<Option<LoadedChain>, StoreError> {
+        let (gens, fulls) = {
+            let index = self.index.lock();
+            (
+                index.gens.get(&engine.raw()).cloned().unwrap_or_default(),
+                index.fulls.get(&engine.raw()).cloned().unwrap_or_default(),
+            )
+        };
+        let Some(&newest) = gens.last() else {
+            return Ok(None);
+        };
+        let heads: Vec<u64> = fulls.iter().rev().take(KEPT_GENERATIONS).copied().collect();
+        for (i, &head) in heads.iter().enumerate() {
+            let head_path = self.dir.join(ckpt_name(engine.raw(), head));
+            let Some(full) = read_framed_checkpoint(&head_path) else {
+                continue; // damaged full: fall back to the previous chain
+            };
+            // Deltas that belong to this chain: after this full, before the
+            // next-newer full (for the newest chain there is none).
+            let upper = if i == 0 { u64::MAX } else { heads[i - 1] };
+            let mut chain = vec![full];
+            let mut top = head;
+            for &g in gens.iter().filter(|&&g| g > head && g < upper) {
+                let is_full = fulls.binary_search(&g).is_ok();
+                let path = self.dir.join(ckpt_file_name(engine.raw(), g, is_full));
+                match read_framed_checkpoint(&path) {
+                    Some(c) => {
+                        chain.push(c);
+                        top = g;
+                    }
+                    // A chain is only valid through its last intact link;
+                    // everything before the damage still restores.
+                    None => break,
+                }
+            }
+            return Ok(Some(LoadedChain {
+                generation: top,
+                fell_back: top != newest,
+                chain,
+            }));
         }
         Err(StoreError::Corrupt {
             what: format!("all kept checkpoint generations for {engine} failed verification"),
@@ -312,7 +463,7 @@ impl fmt::Debug for CheckpointStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CheckpointStore")
             .field("dir", &self.dir)
-            .field("manifest", &*self.manifest.lock())
+            .field("manifest", &self.index.lock().gens)
             .finish()
     }
 }
@@ -340,32 +491,55 @@ fn write_manifest(dir: &Path, manifest: &BTreeMap<u32, Vec<u64>>) -> Result<(), 
     write_atomic(dir, &dir.join(MANIFEST), &frame(&manifest.to_bytes()))
 }
 
-/// Reconstructs the manifest from the `ckpt-*.bin` files present, keeping
-/// the newest [`KEPT_GENERATIONS`] per engine.
-fn rebuild_manifest(dir: &Path) -> Result<BTreeMap<u32, Vec<u64>>, StoreError> {
-    let mut manifest: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+/// Lists the `ckpt-*.bin` files present: `(all generations, full
+/// generations)` per engine, sorted ascending, unpruned.
+type CkptListing = (BTreeMap<u32, Vec<u64>>, BTreeMap<u32, Vec<u64>>);
+
+fn scan_ckpt_files(dir: &Path) -> Result<CkptListing, StoreError> {
+    let mut gens: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut fulls: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if let Some((engine, generation)) = parse_ckpt_name(&name) {
-            manifest.entry(engine).or_default().push(generation);
+        if let Some((engine, generation, is_full)) = parse_ckpt_name(&name) {
+            gens.entry(engine).or_default().push(generation);
+            if is_full {
+                fulls.entry(engine).or_default().push(generation);
+            }
         }
     }
-    for gens in manifest.values_mut() {
-        gens.sort_unstable();
-        if gens.len() > KEPT_GENERATIONS {
-            gens.drain(..gens.len() - KEPT_GENERATIONS);
-        }
+    for v in gens.values_mut().chain(fulls.values_mut()) {
+        v.sort_unstable();
     }
-    Ok(manifest)
+    Ok((gens, fulls))
 }
 
-/// Parses `ckpt-e0001-g00000002.bin` → `(1, 2)`.
-fn parse_ckpt_name(name: &str) -> Option<(u32, u64)> {
+/// Reconstructs the index from a directory listing, keeping generations
+/// back through the [`KEPT_GENERATIONS`]-th-newest full per engine (the
+/// same retention rule [`CheckpointStore::persist`] applies).
+fn rebuilt_index(mut gens: BTreeMap<u32, Vec<u64>>, mut fulls: BTreeMap<u32, Vec<u64>>) -> Index {
+    for (engine, g) in gens.iter_mut() {
+        let f = fulls.entry(*engine).or_default();
+        if f.len() > KEPT_GENERATIONS {
+            let floor = f[f.len() - KEPT_GENERATIONS];
+            g.retain(|&x| x >= floor);
+            f.retain(|&x| x >= floor);
+        }
+    }
+    Index { gens, fulls }
+}
+
+/// Parses `ckpt-e0001-g00000002.bin` → `(1, 2, true)` and the delta form
+/// `ckpt-e0001-g00000002-d.bin` → `(1, 2, false)`.
+fn parse_ckpt_name(name: &str) -> Option<(u32, u64, bool)> {
     let rest = name.strip_prefix("ckpt-e")?.strip_suffix(".bin")?;
-    let (engine, generation) = rest.split_once("-g")?;
-    Some((engine.parse().ok()?, generation.parse().ok()?))
+    let (engine, gen_part) = rest.split_once("-g")?;
+    let (generation, is_full) = match gen_part.strip_suffix("-d") {
+        Some(g) => (g, false),
+        None => (gen_part, true),
+    };
+    Some((engine.parse().ok()?, generation.parse().ok()?, is_full))
 }
 
 /// Reads a CRC-framed checkpoint file; `None` on any verification failure
@@ -561,6 +735,128 @@ mod tests {
         assert_eq!(store.generations(EngineId::new(1)), vec![0, 1]);
         assert_eq!(store.engines(), vec![EngineId::new(0), EngineId::new(1)]);
         assert!(format!("{store:?}").contains("CheckpointStore"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A delta checkpoint: one component snapshot carrying a delta chunk.
+    fn delta_sample(engine: u32, seq: u64) -> EngineCheckpoint {
+        let mut ckpt = EngineCheckpoint::new(EngineId::new(engine), seq);
+        let mut snap = Snapshot::new(vt(seq * 10));
+        snap.put("state", StateChunk::Delta(vec![seq as u8; 2]));
+        ckpt.components.insert(ComponentId::new(0), snap);
+        ckpt.clocks.insert(ComponentId::new(0), vt(seq * 10));
+        ckpt.consumed.insert(WireId::new(1), vt(seq * 10));
+        ckpt
+    }
+
+    #[test]
+    fn delta_chain_round_trips_and_survives_manifest_loss() {
+        let dir = tmp("chain");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(4);
+        store.persist(&sample(4, 0)).unwrap(); // full g0
+        store.persist(&delta_sample(4, 1)).unwrap(); // delta g1
+        store.persist(&delta_sample(4, 2)).unwrap(); // delta g2
+        assert_eq!(store.full_generations(e), vec![0]);
+
+        let loaded = store.load_chain(e).unwrap().unwrap();
+        assert_eq!(loaded.generation, 2);
+        assert!(!loaded.fell_back);
+        assert_eq!(
+            loaded.chain,
+            vec![sample(4, 0), delta_sample(4, 1), delta_sample(4, 2)]
+        );
+
+        // The kinds live in the filenames: stomp the manifest and the
+        // rebuilt store still reconstructs the same chain.
+        fs::write(dir.join(MANIFEST), b"garbage").unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.load_chain(e).unwrap().unwrap(), loaded);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_delta_truncates_the_chain() {
+        let dir = tmp("chain-trunc");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(5);
+        store.persist(&sample(5, 0)).unwrap();
+        store.persist(&delta_sample(5, 1)).unwrap();
+        store.persist(&delta_sample(5, 2)).unwrap();
+        // Damage the middle delta: the chain must stop before it, even
+        // though the newest delta is intact (it builds on the damaged one).
+        let mid = dir.join(delta_ckpt_name(5, 1));
+        let mut bytes = fs::read(&mid).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&mid, &bytes).unwrap();
+
+        let loaded = store.load_chain(e).unwrap().unwrap();
+        assert!(loaded.fell_back);
+        assert_eq!(loaded.generation, 0, "only the full head survives");
+        assert_eq!(loaded.chain, vec![sample(5, 0)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_full_falls_back_to_the_previous_chain() {
+        let dir = tmp("chain-fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(6);
+        store.persist(&sample(6, 0)).unwrap(); // full g0
+        store.persist(&delta_sample(6, 1)).unwrap(); // delta g1
+        store.persist(&sample(6, 2)).unwrap(); // full g2
+        store.persist(&delta_sample(6, 3)).unwrap(); // delta g3
+                                                     // Damage the newest full: its delta g3 is orphaned, and the store
+                                                     // must fall back to the older full chain g0+g1.
+        let newest_full = dir.join(ckpt_name(6, 2));
+        let mut bytes = fs::read(&newest_full).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        fs::write(&newest_full, &bytes).unwrap();
+
+        let loaded = store.load_chain(e).unwrap().unwrap();
+        assert!(loaded.fell_back);
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.chain, vec![sample(6, 0), delta_sample(6, 1)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruning_keeps_whole_chains() {
+        let dir = tmp("chain-prune");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(7);
+        // Chains: [F0 d1] [F2 d3] [F4 d5] — pruning floors at the
+        // 2nd-newest full, so the g0 chain goes and both newer chains stay.
+        for seq in 0..6u64 {
+            if seq % 2 == 0 {
+                store.persist(&sample(7, seq)).unwrap();
+            } else {
+                store.persist(&delta_sample(7, seq)).unwrap();
+            }
+        }
+        assert_eq!(store.generations(e), vec![2, 3, 4, 5]);
+        assert_eq!(store.full_generations(e), vec![2, 4]);
+        assert!(!dir.join(ckpt_name(7, 0)).exists(), "old full pruned");
+        assert!(
+            !dir.join(delta_ckpt_name(7, 1)).exists(),
+            "old delta pruned"
+        );
+        let loaded = store.load_chain(e).unwrap().unwrap();
+        assert_eq!(loaded.generation, 5);
+        assert_eq!(loaded.chain.len(), 2, "newest full + its delta");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_without_a_full_base_is_refused() {
+        let dir = tmp("orphan-delta");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.persist(&delta_sample(8, 0)),
+            Err(StoreError::Corrupt { .. })
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 

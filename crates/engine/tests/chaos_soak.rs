@@ -120,6 +120,23 @@ fn chaos_run(seed: u64, opts: &ChaosOptions, pace: Duration) -> Vec<(u64, String
     );
     assert!(metrics.heartbeats_seen > 0, "engines heartbeat");
 
+    // Soak summary: per-engine checkpoint traffic, including how much of it
+    // rode the cheap incremental (delta) path.
+    for engine in cluster.engine_ids() {
+        if let Some(m) = cluster.engine_metrics(engine) {
+            eprintln!(
+                "chaos-soak seed {seed:#x} engine {}: processed={} checkpoints={} \
+                 (delta={} / {}B of {}B total)",
+                engine.raw(),
+                m.processed,
+                m.checkpoints,
+                m.delta_checkpoints,
+                m.delta_checkpoint_bytes,
+                m.checkpoint_bytes,
+            );
+        }
+    }
+
     cluster.finish_inputs();
     normalize(cluster.shutdown())
 }

@@ -120,8 +120,17 @@ fn recover_and_finish(
     dir: &Path,
     resume_at: usize,
 ) -> (tart_engine::RecoveryReport, Vec<OutputRecord>) {
+    recover_and_finish_with(dir, FsyncPolicy::Always, resume_at)
+}
+
+/// [`recover_and_finish`] under an explicit fsync policy.
+fn recover_and_finish_with(
+    dir: &Path,
+    policy: FsyncPolicy,
+    resume_at: usize,
+) -> (tart_engine::RecoveryReport, Vec<OutputRecord>) {
     let spec = fan_in_app(2).expect("valid app");
-    let config = paper_config(&spec).with_durability(dir, FsyncPolicy::Always);
+    let config = paper_config(&spec).with_durability(dir, policy);
     let (cluster, report) =
         Cluster::recover_from_disk(spec.clone(), two_engine_placement(&spec), config)
             .expect("recovers");
@@ -241,6 +250,79 @@ fn cold_restart_truncates_torn_wal_tail() {
 }
 
 #[test]
+fn cold_restart_truncates_torn_group_commit_tail() {
+    // Under group commit a whole window of appends shares one `sync_all`,
+    // so a crash can tear *several* trailing records at once — the torn
+    // tail is a partial batch, not a single half-written frame. Recovery
+    // must truncate every record at or past the tear and let the producer
+    // re-send the lost batch.
+    let dir = fresh_dir("torn-group");
+    let crash_at = 6;
+    let group = FsyncPolicy::GroupCommit {
+        max_records: 4,
+        max_delay: Duration::from_millis(5),
+    };
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec).with_durability(&dir, group);
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+    for (client, sentence) in &SENTENCES[..crash_at] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    for engine in cluster.engine_ids() {
+        cluster.checkpoint_now(engine);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let pre = cluster.crash();
+
+    // Walk the frame headers of the newest segment and cut into the body
+    // of the second-to-last record: the final two appends of the commit
+    // window vanish together.
+    let wal = dir.join("wal");
+    let newest = std::fs::read_dir(&wal)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .max()
+        .expect("a WAL segment exists");
+    let bytes = std::fs::read(&newest).unwrap();
+    let mut starts = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        starts.push(pos);
+        pos += 8 + len;
+    }
+    assert!(starts.len() >= 2, "need at least two records to tear");
+    let cut = starts[starts.len() - 2] + 12;
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .unwrap();
+    f.set_len(cut as u64).unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    let (report, post) = recover_and_finish_with(&dir, group, crash_at - 2);
+    assert_eq!(report.wal_records, crash_at - 2, "partial batch discarded");
+    assert!(report.wal_truncated_bytes > 0, "tail truncation reported");
+
+    let mut all = pre;
+    all.extend(post);
+    assert_eq!(
+        normalize(all),
+        failure_free_run(),
+        "torn group-commit tail must still converge to the failure-free run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cold_restart_falls_back_when_newest_generation_is_corrupt() {
     let dir = fresh_dir("rot");
     let crash_at = 6;
@@ -280,6 +362,85 @@ fn cold_restart_falls_back_when_newest_generation_is_corrupt() {
         normalize(all),
         failure_free_run(),
         "one-generation fallback must still converge to the failure-free run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cold_restart_survives_losing_a_delta_chain_base() {
+    // Delta checkpoints are worthless without their base full generation.
+    // Build per-engine chains of the shape [full, delta, full], damage the
+    // newest full of engine 0 (stranding nothing — but simulating a crash
+    // that rotted the base a later delta would have built on), and recover:
+    // the store must fall back to the older full + delta chain and replay
+    // the difference.
+    let dir = fresh_dir("delta-base");
+    let spec = fan_in_app(2).expect("valid app");
+    // No automatic checkpoints: the test drives the cadence by hand so the
+    // on-disk chain shape is deterministic. Full every 2nd checkpoint.
+    let config = paper_config(&spec)
+        .with_checkpoint_every(100_000)
+        .with_durability(&dir, FsyncPolicy::Always)
+        .with_full_checkpoint_every(2);
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+    let crash_at = 6;
+    for chunk in SENTENCES[..crash_at].chunks(2) {
+        for (client, sentence) in chunk {
+            cluster
+                .injector(client)
+                .expect("injector")
+                .send(Value::from(*sentence));
+        }
+        // Let the sends land so each checkpoint captures real progress
+        // (an empty delta is re-captured as a full, changing the shape).
+        std::thread::sleep(Duration::from_millis(250));
+        for engine in cluster.engine_ids() {
+            cluster.checkpoint_now(engine);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let pre = cluster.crash();
+
+    // The cadence must actually have produced deltas for engine 0.
+    let ckpt = dir.join("ckpt");
+    let e0_files: Vec<String> = std::fs::read_dir(&ckpt)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("ckpt-e0000-g"))
+        .collect();
+    assert!(
+        e0_files.iter().any(|n| n.ends_with("-d.bin")),
+        "expected delta generations for engine 0, got {e0_files:?}"
+    );
+    // Damage engine 0's newest *full* generation.
+    let newest_full = e0_files
+        .iter()
+        .filter(|n| !n.ends_with("-d.bin"))
+        .max()
+        .expect("engine 0 persisted a full generation");
+    let path = ckpt.join(newest_full);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (report, post) = recover_and_finish(&dir, crash_at);
+    let e0 = report
+        .engines
+        .iter()
+        .find(|e| e.engine == EngineId::new(0))
+        .expect("engine 0 in report");
+    assert!(e0.fell_back, "damaged full forces an older restore chain");
+    assert!(e0.generation.is_some(), "an older chain verified");
+
+    let mut all = pre;
+    all.extend(post);
+    assert_eq!(
+        normalize(all),
+        failure_free_run(),
+        "chain fallback must still converge to the failure-free run"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -377,6 +538,7 @@ fn sealed_segment_rot_is_refused() {
         dir: dir.clone(),
         policy: FsyncPolicy::Always,
         wal_segment_bytes: 64,
+        full_checkpoint_every: 4,
     });
     let cluster = Cluster::deploy(spec.clone(), two_engine_placement(&spec), config.clone())
         .expect("deploys");
@@ -435,6 +597,33 @@ fn losing_the_checkpoint_dir_mid_run_degrades_gracefully() {
         outs,
         failure_free_run(),
         "disk loss must not corrupt outputs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn undrained_outputs_survive_a_crash_after_a_durable_checkpoint() {
+    // The nastiest window in the durability protocol: an input is durably
+    // consumed by a persisted checkpoint, its output sits in the volatile
+    // outputs channel, and the process dies before the consumer drains it.
+    // Replay will never regenerate that output (its input is behind the
+    // restored consumed watermark), so the checkpoint itself must carry it
+    // and recovery must re-emit it. Discarding *everything* the crashed run
+    // produced models a consumer that saw none of it.
+    let dir = fresh_dir("undrained");
+    let lost = run_and_crash(&dir, SENTENCES.len());
+    assert!(
+        !lost.is_empty(),
+        "the crashed run must have produced (and then lost) outputs"
+    );
+    drop(lost); // the consumer never saw any of them
+
+    let (report, outs) = recover_and_finish(&dir, SENTENCES.len());
+    assert_eq!(report.wal_records, SENTENCES.len(), "all inputs durable");
+    assert_eq!(
+        normalize(outs),
+        failure_free_run(),
+        "recovery alone must re-emit every output the consumer never drained"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

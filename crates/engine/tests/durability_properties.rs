@@ -107,6 +107,22 @@ fn arb_checkpoint() -> impl Strategy<Value = EngineCheckpoint> {
         )
 }
 
+/// Forces every chunk full so the checkpoint persists as a self-contained
+/// generation — the store refuses a delta with no full base, and
+/// `load_latest` has full-only semantics.
+fn self_contained(mut c: EngineCheckpoint) -> EngineCheckpoint {
+    for snap in c.components.values_mut() {
+        let fields: Vec<(String, Vec<u8>)> = snap
+            .iter()
+            .map(|(k, chunk)| (k.to_owned(), chunk.bytes().to_vec()))
+            .collect();
+        for (k, bytes) in fields {
+            snap.put(&k, StateChunk::Full(bytes));
+        }
+    }
+    c
+}
+
 /// Arbitrary WAL record bodies (including empty ones).
 fn arb_records() -> impl Strategy<Value = Vec<Vec<u8>>> {
     proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..10)
@@ -208,8 +224,9 @@ proptest! {
         let store = CheckpointStore::open(&dir).expect("open store");
         let mut newest = std::collections::BTreeMap::new();
         for c in &ckpts {
-            let generation = store.persist(c).expect("persist");
-            newest.insert(c.engine, (generation, c.clone()));
+            let c = self_contained(c.clone());
+            let generation = store.persist(&c).expect("persist");
+            newest.insert(c.engine, (generation, c));
         }
         drop(store);
         std::fs::write(dir.join("MANIFEST"), &garbage).expect("corrupt manifest");

@@ -1,13 +1,16 @@
 //! Property tests of the TCP frame codec: every envelope kind round-trips
-//! through `write_frame`/`read_frame`, and *no* truncation of a valid frame
-//! can ever decode into a wrong envelope — the reader either reports a torn
+//! through `write_frame`/`read_frame` (and batches of them through
+//! `write_batch`/`read_batch`), and *no* truncation of a valid frame can
+//! ever decode into a wrong envelope — the reader either reports a torn
 //! frame (`UnexpectedEof`), corruption (`InvalidData`), or a clean EOF at a
-//! frame boundary.
+//! frame boundary. A batch shares one CRC, so damage anywhere rejects
+//! *every* envelope in it.
 
 use std::io::ErrorKind;
 
+use bytes::BytesMut;
 use proptest::prelude::*;
-use tart_engine::net::{read_frame, write_frame};
+use tart_engine::net::{read_batch, read_frame, write_batch, write_frame};
 use tart_engine::Envelope;
 use tart_estimator::EstimatorSpec;
 use tart_model::{BlockId, Value};
@@ -96,6 +99,14 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
     ]
 }
 
+/// A batch of envelopes with arbitrary per-envelope targets.
+fn arb_batch() -> impl Strategy<Value = Vec<(EngineId, Envelope)>> {
+    proptest::collection::vec(
+        ((0u32..1_000).prop_map(EngineId::new), arb_envelope()),
+        0..8,
+    )
+}
+
 proptest! {
     /// Any envelope to any target round-trips through a frame intact.
     #[test]
@@ -161,6 +172,85 @@ proptest! {
                 "corrupt frame (byte {pos} ^ {flip:#04x}) decoded {decoded:?}"
             ),
             Ok(None) => prop_assert!(false, "corrupt frame read as clean EOF"),
+            Err(e) => prop_assert!(
+                matches!(e.kind(), ErrorKind::UnexpectedEof | ErrorKind::InvalidData),
+                "unexpected error kind {:?}",
+                e.kind()
+            ),
+        }
+    }
+
+    /// A batch of N envelopes round-trips through one batch frame intact —
+    /// order, targets and payloads all preserved. An empty batch writes
+    /// nothing at all.
+    #[test]
+    fn batches_round_trip(batch in arb_batch()) {
+        let mut buf = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut buf, &batch, &mut scratch).expect("write to memory");
+        if batch.is_empty() {
+            prop_assert!(buf.is_empty(), "empty batch must touch nothing");
+        } else {
+            let mut cursor = &buf[..];
+            let decoded = read_batch(&mut cursor).expect("valid batch decodes");
+            prop_assert_eq!(decoded, Some(batch));
+            prop_assert_eq!(read_batch(&mut cursor).expect("clean tail"), None);
+        }
+    }
+
+    /// Truncating a batch frame at *every* byte offset yields a clean EOF
+    /// (cut at the boundary), `UnexpectedEof`, or `InvalidData` — never a
+    /// partial batch.
+    #[test]
+    fn batch_truncation_never_yields_envelopes(batch in arb_batch()) {
+        let mut buf = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut buf, &batch, &mut scratch).expect("write to memory");
+        for cut in 0..buf.len() {
+            let mut cursor = &buf[..cut];
+            match read_batch(&mut cursor) {
+                Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at the boundary"),
+                Ok(Some(decoded)) => prop_assert!(
+                    false,
+                    "truncation at {cut}/{} yielded {} envelopes",
+                    buf.len(),
+                    decoded.len()
+                ),
+                Err(e) => prop_assert!(
+                    matches!(e.kind(), ErrorKind::UnexpectedEof | ErrorKind::InvalidData),
+                    "unexpected error kind {:?} at cut {cut}",
+                    e.kind()
+                ),
+            }
+        }
+    }
+
+    /// One flipped byte anywhere in a batch frame rejects the *whole*
+    /// batch: the single CRC covers every envelope, so no prefix of the
+    /// batch may survive the damage.
+    #[test]
+    fn batch_corruption_rejects_every_envelope(
+        batch in arb_batch(),
+        flip_byte in any::<u8>(),
+        pos_seed in any::<u64>(),
+    ) {
+        if batch.is_empty() {
+            return; // nothing on the wire to corrupt
+        }
+        let mut buf = Vec::new();
+        let mut scratch = BytesMut::new();
+        write_batch(&mut buf, &batch, &mut scratch).expect("write to memory");
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        let flip = if flip_byte == 0 { 0xff } else { flip_byte };
+        buf[pos] ^= flip;
+        let mut cursor = &buf[..];
+        match read_batch(&mut cursor) {
+            Ok(Some(decoded)) => prop_assert!(
+                false,
+                "corrupt batch (byte {pos} ^ {flip:#04x}) yielded {} envelopes",
+                decoded.len()
+            ),
+            Ok(None) => prop_assert!(false, "corrupt batch read as clean EOF"),
             Err(e) => prop_assert!(
                 matches!(e.kind(), ErrorKind::UnexpectedEof | ErrorKind::InvalidData),
                 "unexpected error kind {:?}",

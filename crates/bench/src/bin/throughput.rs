@@ -171,9 +171,16 @@ fn local_pipeline(messages: usize) -> f64 {
         clients[i % 2].send(Value::from(format!("alpha beta gamma {i}")));
     }
     cluster.finish_inputs();
+    // Hold a hub handle so the report can be written OUTSIDE the timed
+    // window (the file write would otherwise count against throughput).
+    let obs = std::sync::Arc::clone(cluster.obs());
     let outs = cluster.shutdown();
     let secs = start.elapsed().as_secs_f64();
     assert!(!outs.is_empty(), "pipeline produced outputs");
+    match tart_engine::write_report(&obs.snapshot()) {
+        Ok(path) => eprintln!("obs report written to {}", path.display()),
+        Err(e) => eprintln!("obs report not written: {e}"),
+    }
     messages as f64 / secs
 }
 

@@ -73,10 +73,11 @@ pub use tart_stats;
 pub use tart_vtime;
 
 pub use tart_engine::{
-    ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, CheckpointStore, Cluster,
-    ClusterConfig, DeployError, DiskFault, DurabilityConfig, EngineMetrics, EngineRecovery,
-    FailureDetector, FaultPlan, FsyncPolicy, Injector, LogicalClock, MessageLog, OutputRecord,
-    Placement, RealClock, RecoveryReport, ReplicaStore, SupervisionConfig, SupervisionMetrics,
+    check_report, write_report, ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport,
+    CheckpointStore, Cluster, ClusterConfig, DeployError, DiskFault, DurabilityConfig,
+    EngineMetrics, EngineRecovery, FailureDetector, FaultPlan, FsyncPolicy, Injector, LogicalClock,
+    MessageLog, ObsEvent, ObsEventKind, ObsHub, ObsSnapshot, OutputRecord, Placement, RealClock,
+    RecoveryReport, ReplicaStore, ReportRequirements, SupervisionConfig, SupervisionMetrics,
     TimeSource, Wal,
 };
 pub use tart_estimator::{

@@ -108,8 +108,10 @@ impl TimeSource for LogicalClock {
 /// hardware — but the value never flows into virtual time directly: it goes
 /// through [`tart_estimator::Calibrator`], and a re-fit is logged as a
 /// `DeterminismFault` so replay reproduces the estimator switch instead of
-/// the measurement. Keeping the read here (rather than in the scheduler)
-/// gives the audit a single choke point.
+/// the measurement. The same measurement also feeds the estimator-residual
+/// histogram in `tart-obs` (estimate vs. measured, per delivery) — again a
+/// one-way flow out of the core. Keeping the read here (rather than in the
+/// scheduler) gives the audit a single choke point.
 #[derive(Clone, Copy, Debug)]
 pub struct HandlerTimer {
     started: Instant,

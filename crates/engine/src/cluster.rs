@@ -216,7 +216,53 @@ pub(crate) struct EngineHost {
     /// On-disk checkpoint store every hosted core tees into, when the
     /// cluster runs with durability.
     durable: Option<Arc<CheckpointStore>>,
+    /// Cluster-wide observability hub: every engine core, the WAL and the
+    /// checkpoint store record into it. Ops-plane only; nothing here ever
+    /// feeds back into checkpointed state.
+    pub(crate) obs: Arc<tart_obs::ObsHub>,
 }
+
+/// Dumps the engine's flight recorder if its thread unwinds — the timeline
+/// that led to the panic is exactly what a postmortem needs, and it is gone
+/// once the ring is dropped.
+struct FlightDumpOnPanic {
+    hub: Arc<tart_obs::ObsHub>,
+    engine: EngineId,
+}
+
+impl Drop for FlightDumpOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            dump_flight(&self.hub, &format!("engine {} panicked", self.engine));
+        }
+    }
+}
+
+/// Writes a flight-recorder dump where operators can find it: the file
+/// named by `$TART_FLIGHT_DUMP` when set (pure JSON, overwritten per dump),
+/// stderr otherwise.
+pub(crate) fn dump_flight(hub: &tart_obs::ObsHub, why: &str) {
+    if let Some(path) = std::env::var_os("TART_FLIGHT_DUMP") {
+        let path = std::path::PathBuf::from(path);
+        let dump = hub.dump_events_json();
+        if std::fs::write(&path, format!("{dump}\n")).is_ok() {
+            eprintln!(
+                "[tart-obs] flight recorder ({why}) written to {}",
+                path.display()
+            );
+            return;
+        }
+    }
+    // Stderr fallback: bounded, or a busy soak would bury the log under
+    // megabytes of timeline. The file path above gets the full ring.
+    eprintln!(
+        "[tart-obs] flight recorder ({why}): {}",
+        hub.dump_events_json_tail(STDERR_DUMP_EVENTS)
+    );
+}
+
+/// Newest events kept in a stderr flight dump (see [`dump_flight`]).
+const STDERR_DUMP_EVENTS: usize = 256;
 
 impl EngineHost {
     /// All deployed engine ids, ascending.
@@ -249,6 +295,7 @@ impl EngineHost {
         if let Some(store) = &self.durable {
             core.set_durable(Arc::clone(store));
         }
+        core.set_obs(self.obs.engine(id));
         let metrics = core.metrics_handle();
         let thread = self.spawn_engine_loop(id, core, rx, false);
         self.engines.lock().insert(
@@ -285,10 +332,15 @@ impl EngineHost {
             idle = idle.min(interval / 2).max(Duration::from_micros(50));
         }
         let router = self.router.clone();
+        let flight_guard = FlightDumpOnPanic {
+            hub: Arc::clone(&self.obs),
+            engine: id,
+        };
         let suffix = if restored { "r" } else { "" };
         std::thread::Builder::new()
             .name(format!("tart-engine-{}{suffix}", id.raw()))
             .spawn(move || {
+                let _flight_guard = flight_guard;
                 let mut draining = false;
                 let mut seq = 0u64;
                 // tart-lint: allow(WALLCLOCK) -- ops-plane: heartbeat pacing runs on the wall clock; beacons are control-plane and never logged or replayed
@@ -395,6 +447,8 @@ impl EngineHost {
         if let Some(store) = &self.durable {
             core.set_durable(Arc::clone(store));
         }
+        core.set_obs(self.obs.engine(engine));
+        self.obs.failover(engine);
 
         // Register the new inbox FIRST so the replay responses triggered by
         // restore (and live traffic) reach the restored engine.
@@ -477,6 +531,7 @@ impl Cluster {
         }
         let router = Router::new(config.faults.clone());
         let (outputs_tx, outputs_rx) = unbounded();
+        let obs = Arc::new(tart_obs::ObsHub::new());
         let (log, durable) = match &config.durability {
             Some(d) => {
                 let (log, store) = open_fresh_durability(d)?;
@@ -492,6 +547,10 @@ impl Cluster {
                 (log, None)
             }
         };
+        log.lock().set_obs(Arc::clone(&obs));
+        if let Some(store) = &durable {
+            store.set_obs(Arc::clone(&obs));
+        }
         let host = Arc::new(EngineHost {
             spec,
             placement,
@@ -500,6 +559,7 @@ impl Cluster {
             outputs_tx,
             engines: Mutex::new(HashMap::new()),
             durable,
+            obs,
         });
         let mut cluster = Cluster {
             host: Arc::clone(&host),
@@ -581,7 +641,7 @@ impl Cluster {
         let Some(d) = config.durability.clone() else {
             return Err(DeployError::DurabilityNotConfigured);
         };
-        let (log, wal_recovery) =
+        let (mut log, wal_recovery) =
             MessageLog::durable(d.dir.join("wal"), d.wal_segment_bytes, d.policy)
                 .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
         let store = Arc::new(
@@ -617,6 +677,9 @@ impl Cluster {
         }
         let router = Router::new(config.faults.clone());
         let (outputs_tx, outputs_rx) = unbounded();
+        let obs = Arc::new(tart_obs::ObsHub::new());
+        log.set_obs(Arc::clone(&obs));
+        store.set_obs(Arc::clone(&obs));
         let host = Arc::new(EngineHost {
             spec,
             placement,
@@ -625,6 +688,7 @@ impl Cluster {
             outputs_tx,
             engines: Mutex::new(HashMap::new()),
             durable: Some(Arc::clone(&store)),
+            obs,
         });
         let mut cluster = Cluster {
             host: Arc::clone(&host),
@@ -705,6 +769,7 @@ impl Cluster {
                 host.outputs_tx.clone(),
             );
             core.set_durable(Arc::clone(&store));
+            core.set_obs(host.obs.engine(engine));
             core.restore(&chain, &faults);
             let metrics = core.metrics_handle();
             let thread = host.spawn_engine_loop(engine, core, rx, true);
@@ -894,6 +959,28 @@ impl Cluster {
         self.host.router.fault_counts()
     }
 
+    /// The cluster's observability hub (metrics registry + flight
+    /// recorder). Shared by every engine, the WAL and the checkpoint store.
+    pub fn obs(&self) -> &Arc<tart_obs::ObsHub> {
+        &self.host.obs
+    }
+
+    /// A point-in-time copy of every obs metric plus the event timeline.
+    pub fn obs_snapshot(&self) -> tart_obs::ObsSnapshot {
+        self.host.obs.snapshot()
+    }
+
+    /// Writes the canonical `obs-report.json` for this cluster (to
+    /// `$TART_OBS_REPORT`, or `obs-report.json` in the current directory)
+    /// and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_obs_report(&self) -> std::io::Result<std::path::PathBuf> {
+        tart_obs::write_report(&self.host.obs.snapshot())
+    }
+
     /// Number of checkpoints currently held by `engine`'s replica.
     pub fn replica_depth(&self, engine: EngineId) -> usize {
         self.host.replica_depth(engine)
@@ -957,6 +1044,7 @@ impl Cluster {
     /// disk at this instant is all a later [`Cluster::recover_from_disk`]
     /// gets. Returns the outputs that had already been collected.
     pub fn crash(mut self) -> Vec<OutputRecord> {
+        dump_flight(&self.host.obs, "cluster crash drill");
         if let Some(supervisor) = self.supervisor.take() {
             supervisor.stop();
         }

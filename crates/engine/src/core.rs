@@ -164,6 +164,10 @@ pub struct EngineCore {
     /// (graceful drain only).
     eos_sent: std::collections::BTreeSet<WireId>,
     metrics: Arc<Mutex<EngineMetrics>>,
+    /// Telemetry handle (ops plane). Strictly write-only from the core's
+    /// perspective: nothing recorded here is ever read back, so it cannot
+    /// influence replayed decisions, and none of it enters checkpoints.
+    obs: tart_obs::EngineObs,
 }
 
 impl EngineCore {
@@ -265,6 +269,7 @@ impl EngineCore {
             ckpts_since_full: 0,
             eos_sent: std::collections::BTreeSet::new(),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
+            obs: tart_obs::EngineObs::detached(id),
         }
     }
 
@@ -298,6 +303,14 @@ impl EngineCore {
                     .or_insert_with(|| RetentionBuffer::new(*w));
             }
         }
+    }
+
+    /// Attaches the cluster's observability handle. Obs state is telemetry
+    /// only: it lives outside checkpointed component state, is never read
+    /// by the core, and a directly-constructed engine records into a
+    /// private detached hub until a cluster installs the shared one.
+    pub fn set_obs(&mut self, obs: tart_obs::EngineObs) {
+        self.obs = obs;
     }
 
     /// Shared handle to this engine's metrics.
@@ -492,7 +505,11 @@ impl EngineCore {
             return;
         }
         match self.mux.push_message(wire, vt, payload) {
-            Ok(()) => {}
+            Ok(()) => {
+                // Pessimism-wait stamp: the message is now held by the gate
+                // until silence releases it; delivery pops the stamp.
+                self.obs.message_arrived(wire, vt);
+            }
             Err(_) => {
                 // Timestamp at or below the accounted watermark: a replayed
                 // or link-duplicated message. "The duplicate messages will
@@ -553,6 +570,7 @@ impl EngineCore {
 
     fn request_replay(&mut self, wire: WireId, from: VirtualTime) {
         self.metrics.lock().replay_requests_sent += 1;
+        self.obs.replay_requested(wire, from);
         match &self.wire_source[&wire] {
             WireSource::Local => {
                 // Self-request: serve immediately from restored retention.
@@ -698,6 +716,7 @@ impl EngineCore {
         let dest = self.wire_dest[&wire].clone();
         let _ = changed;
         self.metrics.lock().silence_sent += 1;
+        self.obs.silence_sent(wire, through);
         let last_data = self
             .retention
             .get(&wire)
@@ -782,6 +801,7 @@ impl EngineCore {
         msg: Value,
     ) {
         self.consumed.insert(wire, vt);
+        self.obs.message_delivered(wire, vt);
         let in_port = self
             .spec
             .wire(wire)
@@ -794,21 +814,26 @@ impl EngineCore {
             .take()
             .expect("component not reentrantly executing");
         let measure = self.calibrators.contains_key(&cid);
-        let started = measure.then(crate::clock::HandlerTimer::start);
+        // HandlerTimer is the sanctioned wall-clock boundary (§II.E): the
+        // measurement feeds calibration via the logged DeterminismFault
+        // path and the obs estimator-residual histogram — never virtual
+        // time directly.
+        let started = crate::clock::HandlerTimer::start();
         let mut ctx = EngineCtx::new(self, cid, dequeue_vt);
         component.on_message(in_port, &msg, &mut ctx);
         let EngineCtx {
             sends, features, ..
         } = ctx;
         self.components.insert(cid, Some(component));
-        if let Some(started) = started {
-            let measured = started.elapsed_ns();
+        let measured = started.elapsed_ns();
+        if measure {
             self.observe_sample(cid, features.clone(), measured);
         }
 
         // Completion time from the active estimator (§II.E): this is the
         // component's new clock.
         let est = self.estimators[&cid].estimate_at(dequeue_vt, &features);
+        self.obs.estimator_residual(est.as_ticks(), measured);
         let completion = dequeue_vt + est;
         self.mux.gate_mut(cid).advance_clock(completion);
 
@@ -981,6 +1006,7 @@ impl EngineCore {
                         let engine = *engine;
                         if self.probes.should_probe(wire, needed) {
                             self.metrics.lock().probes_sent += 1;
+                            self.obs.probe_sent(wire, needed);
                             self.router.send(
                                 engine,
                                 Envelope::Probe {
@@ -1023,6 +1049,7 @@ impl EngineCore {
                 WireSource::Remote(engine) => {
                     if self.probes.should_probe(wire, needed) {
                         self.metrics.lock().probes_sent += 1;
+                        self.obs.probe_sent(wire, needed);
                         self.router.send(
                             engine,
                             Envelope::Probe {
@@ -1079,6 +1106,7 @@ impl EngineCore {
                 .and_then(|adv| adv.advance_to(bound));
             if let Some(through) = advance {
                 self.metrics.lock().silence_sent += 1;
+                self.obs.silence_sent(wire, through);
                 let dest = self.wire_dest[&wire].clone();
                 let last_data = self
                     .retention
@@ -1439,6 +1467,7 @@ impl EngineCore {
             .apply_fault(&fault)
             .expect("switch time is past every earlier switch");
         self.metrics.lock().determinism_faults += 1;
+        self.obs.recalibration(component, vt);
     }
 }
 

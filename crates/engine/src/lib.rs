@@ -81,4 +81,8 @@ pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
 pub use store::{CheckpointStore, LoadedChain, LoadedCheckpoint, StoreError};
 pub use supervise::{FailureDetector, SupervisionMetrics};
+pub use tart_obs::{
+    check_report, write_report, EngineObs, Histogram, ObsEvent, ObsEventKind, ObsHub, ObsSnapshot,
+    ReportRequirements,
+};
 pub use wal::{FsyncPolicy, Wal, WalError, WalRecovery};

@@ -192,6 +192,15 @@ impl MessageLog {
         Ok((log, recovery))
     }
 
+    /// Attaches the observability hub to the WAL backend (no-op for the
+    /// in-memory and flat-file flavours): group-commit window occupancy is
+    /// recorded at every fsync.
+    pub fn set_obs(&mut self, hub: std::sync::Arc<tart_obs::ObsHub>) {
+        if let Backend::Wal(wal) = &mut self.backend {
+            wal.set_obs(hub);
+        }
+    }
+
     /// Recovers a log from a previously written flat file, verifying every
     /// record's CRC. A torn **or corrupt** final record (partial write or
     /// bit-rot at the moment of the crash) is physically truncated away so

@@ -44,7 +44,7 @@
 //! // Host A: route engine 1's traffic over TCP to host B.
 //! let router_a = Router::new(FaultPlan::none());
 //! let link = remote_engine(&router_a, EngineId::new(1), &format!("hostb:{}", inbound.port()))?;
-//! assert!(link.health().connected);
+//! assert!(link.snapshot().connected);
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
@@ -419,6 +419,11 @@ pub struct LinkHealth {
 
 #[derive(Default)]
 struct LinkState {
+    /// Seqlock sequence: odd while the writer is inside an update group.
+    /// Readers that overlap a group retry, so related counters (e.g.
+    /// `batches_sent` / `envelopes_batched`, or `connected` /
+    /// `reconnects`) can never tear apart in a [`LinkHealth`] snapshot.
+    seq: AtomicU64,
     connected: AtomicBool,
     epoch: AtomicU64,
     reconnects: AtomicU64,
@@ -426,6 +431,39 @@ struct LinkState {
     gave_up: AtomicBool,
     batches_sent: AtomicU64,
     envelopes_batched: AtomicU64,
+}
+
+impl LinkState {
+    /// Runs `group` as one atomic update with respect to
+    /// [`LinkState::snapshot`].
+    fn update(&self, group: impl FnOnce(&Self)) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        group(self);
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Seqlock read: a consistent point-in-time copy of every counter,
+    /// retried while an update group is in progress.
+    fn snapshot(&self) -> LinkHealth {
+        loop {
+            let before = self.seq.load(Ordering::SeqCst);
+            if before.is_multiple_of(2) {
+                let health = LinkHealth {
+                    connected: self.connected.load(Ordering::SeqCst),
+                    epoch: self.epoch.load(Ordering::SeqCst),
+                    reconnects: self.reconnects.load(Ordering::SeqCst),
+                    dropped_frames: self.dropped_frames.load(Ordering::SeqCst),
+                    gave_up: self.gave_up.load(Ordering::SeqCst),
+                    batches_sent: self.batches_sent.load(Ordering::SeqCst),
+                    envelopes_batched: self.envelopes_batched.load(Ordering::SeqCst),
+                };
+                if self.seq.load(Ordering::SeqCst) == before {
+                    return health;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// Handle on the background writer created by [`remote_engine`]: exposes
@@ -443,17 +481,17 @@ impl RemoteLink {
         self.engine
     }
 
-    /// A snapshot of the transport counters.
+    /// A **consistent** point-in-time copy of the transport counters:
+    /// counters the writer updates together (a batch's `batches_sent` /
+    /// `envelopes_batched`, a reconnect's `connected` / `epoch` /
+    /// `reconnects`) are taken together, never mid-update.
+    pub fn snapshot(&self) -> LinkHealth {
+        self.state.snapshot()
+    }
+
+    /// Alias for [`RemoteLink::snapshot`], kept for call-site familiarity.
     pub fn health(&self) -> LinkHealth {
-        LinkHealth {
-            connected: self.state.connected.load(Ordering::Relaxed),
-            epoch: self.state.epoch.load(Ordering::Relaxed),
-            reconnects: self.state.reconnects.load(Ordering::Relaxed),
-            dropped_frames: self.state.dropped_frames.load(Ordering::Relaxed),
-            gave_up: self.state.gave_up.load(Ordering::Relaxed),
-            batches_sent: self.state.batches_sent.load(Ordering::Relaxed),
-            envelopes_batched: self.state.envelopes_batched.load(Ordering::Relaxed),
-        }
+        self.snapshot()
     }
 
     /// Stops the writer thread and waits for it to exit.
@@ -479,7 +517,7 @@ impl std::fmt::Debug for RemoteLink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteLink")
             .field("engine", &self.engine)
-            .field("health", &self.health())
+            .field("health", &self.snapshot())
             .finish()
     }
 }
@@ -570,19 +608,23 @@ pub fn remote_engine_with(
                             None => false,
                         };
                         if wrote {
-                            state_writer.batches_sent.fetch_add(1, Ordering::Relaxed);
-                            state_writer
-                                .envelopes_batched
-                                .fetch_add(count, Ordering::Relaxed);
+                            state_writer.update(|st| {
+                                st.batches_sent.fetch_add(1, Ordering::SeqCst);
+                                st.envelopes_batched.fetch_add(count, Ordering::SeqCst);
+                            });
                         } else {
                             // Broken or absent connection: the whole batch
                             // is in-transit loss (replay recovers the
                             // stream); never exit silently.
-                            state_writer
-                                .dropped_frames
-                                .fetch_add(count, Ordering::Relaxed);
-                            if stream.take().is_some() {
-                                state_writer.connected.store(false, Ordering::Relaxed);
+                            let mut lost_connection = false;
+                            state_writer.update(|st| {
+                                st.dropped_frames.fetch_add(count, Ordering::SeqCst);
+                                if stream.take().is_some() {
+                                    st.connected.store(false, Ordering::SeqCst);
+                                    lost_connection = true;
+                                }
+                            });
+                            if lost_connection {
                                 backoff = policy.initial_backoff;
                                 attempts = 0;
                                 // tart-lint: allow(WALLCLOCK) -- transport ops-plane: immediate-retry scheduling after a send failure
@@ -604,9 +646,11 @@ pub fn remote_engine_with(
                         Ok(s) => {
                             s.set_nodelay(true).ok();
                             stream = Some(s);
-                            state_writer.connected.store(true, Ordering::Relaxed);
-                            state_writer.epoch.fetch_add(1, Ordering::Relaxed);
-                            state_writer.reconnects.fetch_add(1, Ordering::Relaxed);
+                            state_writer.update(|st| {
+                                st.connected.store(true, Ordering::SeqCst);
+                                st.epoch.fetch_add(1, Ordering::SeqCst);
+                                st.reconnects.fetch_add(1, Ordering::SeqCst);
+                            });
                             backoff = policy.initial_backoff;
                             attempts = 0;
                         }
@@ -791,8 +835,8 @@ mod tests {
         let router_a = Router::new(FaultPlan::none());
         let link =
             remote_engine(&router_a, EngineId::new(1), ("127.0.0.1", inbound.port())).unwrap();
-        assert!(link.health().connected);
-        assert_eq!(link.health().epoch, 1);
+        assert!(link.snapshot().connected);
+        assert_eq!(link.snapshot().epoch, 1);
 
         for n in 0..100 {
             router_a.send(EngineId::new(1), data(n));
@@ -813,7 +857,7 @@ mod tests {
         for (n, env) in got.into_iter().enumerate() {
             assert_eq!(env, data(n as u64), "frames arrive in order, intact");
         }
-        let health = link.health();
+        let health = link.snapshot();
         assert_eq!(health.dropped_frames, 0);
         assert_eq!(
             health.envelopes_batched, 101,
@@ -864,16 +908,16 @@ mod tests {
         inbound.sever_connections();
         let deadline = Instant::now() + Duration::from_secs(5);
         let mut n = 1u64;
-        while link.health().reconnects == 0 && Instant::now() < deadline {
+        while link.snapshot().reconnects == 0 && Instant::now() < deadline {
             router_a.send(EngineId::new(2), data(n));
             n += 1;
             std::thread::sleep(Duration::from_millis(2));
         }
         let deadline = Instant::now() + Duration::from_secs(5);
-        while !link.health().connected && Instant::now() < deadline {
+        while !link.snapshot().connected && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
-        let healed = link.health();
+        let healed = link.snapshot();
         assert!(healed.connected, "link should self-heal");
         assert!(healed.dropped_frames >= 1, "drops are counted, not hidden");
         assert_eq!(healed.epoch, 2, "second connection incarnation");
@@ -917,11 +961,11 @@ mod tests {
         drop(inbound); // closes the listener and severs the connection
 
         let deadline = Instant::now() + Duration::from_secs(10);
-        while !link.health().gave_up && Instant::now() < deadline {
+        while !link.snapshot().gave_up && Instant::now() < deadline {
             router_a.send(EngineId::new(3), data(1));
             std::thread::sleep(Duration::from_millis(5));
         }
-        let health = link.health();
+        let health = link.snapshot();
         assert!(health.gave_up, "bounded retry must eventually give up");
         assert!(!health.connected);
         assert!(health.dropped_frames >= 1);

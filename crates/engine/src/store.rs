@@ -125,6 +125,10 @@ pub struct CheckpointStore {
     index: Mutex<Index>,
     /// engine raw id → open fault-log file handle.
     fault_logs: Mutex<BTreeMap<u32, File>>,
+    /// Observability hub; persist latency lands in its histogram. The
+    /// store is on the ops plane, so timing here keeps the engine core
+    /// free of wall-clock reads.
+    obs: Mutex<Option<std::sync::Arc<tart_obs::ObsHub>>>,
 }
 
 fn ckpt_name(engine: u32, generation: u64) -> String {
@@ -210,7 +214,14 @@ impl CheckpointStore {
             dir,
             index: Mutex::new(index),
             fault_logs: Mutex::new(BTreeMap::new()),
+            obs: Mutex::new(None),
         })
+    }
+
+    /// Attaches the observability hub; subsequent [`CheckpointStore::persist`]
+    /// calls record their latency in its checkpoint-persist histogram.
+    pub fn set_obs(&self, hub: std::sync::Arc<tart_obs::ObsHub>) {
+        *self.obs.lock() = Some(hub);
     }
 
     /// True if the store holds no checkpoint for any engine.
@@ -266,7 +277,10 @@ impl CheckpointStore {
     /// previous generation remains the manifest's newest in that case), or
     /// [`StoreError::Corrupt`] for a delta with no full base on disk —
     /// such a generation could never restore.
+    #[allow(clippy::disallowed_methods)] // timed below; ops-plane only
     pub fn persist(&self, ckpt: &EngineCheckpoint) -> Result<u64, StoreError> {
+        // tart-lint: allow(WALLCLOCK) -- ops-plane: persist latency is a durability metric; the reading never enters engine state
+        let persist_started = std::time::Instant::now();
         let engine = ckpt.engine.raw();
         let is_full = ckpt.is_self_contained();
         let index = &mut *self.index.lock();
@@ -302,6 +316,10 @@ impl CheckpointStore {
         // unreferenced files that the next rebuild ignores or re-adopts.
         for (g, f) in expired {
             fs::remove_file(self.dir.join(ckpt_file_name(engine, g, f))).ok();
+        }
+        if let Some(obs) = &*self.obs.lock() {
+            let elapsed = persist_started.elapsed().as_nanos();
+            obs.checkpoint_persisted(u64::try_from(elapsed).unwrap_or(u64::MAX));
         }
         Ok(generation)
     }

@@ -189,6 +189,12 @@ impl Supervisor {
                             metrics_thread.lock().suspicions += 1;
                             host.kill(id);
                             host.promote(id);
+                            // The promotion just appended its event; dump
+                            // the timeline that led to it while it is hot.
+                            crate::cluster::dump_flight(
+                                &host.obs,
+                                &format!("supervisor promoted {id}"),
+                            );
                             // tart-lint: allow(WALLCLOCK) -- ops-plane: detector reset after a failover is a real-time event
                             det.reset(Instant::now());
                             metrics_thread.lock().failovers += 1;

@@ -19,6 +19,7 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tart_codec::crc32;
@@ -187,6 +188,8 @@ pub struct Wal {
     group_opened: Option<Instant>,
     /// Reusable frame-encoding buffer for [`Wal::append_all`].
     scratch: Vec<u8>,
+    /// Telemetry: group-commit window occupancy at each fsync.
+    obs: Option<Arc<tart_obs::ObsHub>>,
 }
 
 impl Wal {
@@ -224,6 +227,7 @@ impl Wal {
             appends_since_sync: 0,
             group_opened: None,
             scratch: Vec::new(),
+            obs: None,
         })
     }
 
@@ -288,6 +292,7 @@ impl Wal {
             appends_since_sync: 0,
             group_opened: None,
             scratch: Vec::new(),
+            obs: None,
         };
         // A recovered active segment past the threshold seals immediately.
         if wal.active_len >= wal.segment_bytes {
@@ -393,10 +398,21 @@ impl Wal {
     ///
     /// Returns [`WalError::Io`] if the fsync fails.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        if let (Some(obs), n) = (&self.obs, self.appends_since_sync) {
+            if n > 0 {
+                obs.wal_group_commit(u64::from(n));
+            }
+        }
         self.active.sync_all()?;
         self.appends_since_sync = 0;
         self.group_opened = None;
         Ok(())
+    }
+
+    /// Attaches the observability hub: every subsequent fsync records how
+    /// many appends the closed window accumulated.
+    pub fn set_obs(&mut self, hub: Arc<tart_obs::ObsHub>) {
+        self.obs = Some(hub);
     }
 
     /// Seals the active segment (always fsynced — sealed segments are the

@@ -291,7 +291,7 @@ fn severed_tcp_link_reconnects_and_replay_restores_the_stream() {
     inbound_b.sever_connections();
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut nudge = 0u64;
-    while link_a_to_b.health().reconnects == 0 && Instant::now() < deadline {
+    while link_a_to_b.snapshot().reconnects == 0 && Instant::now() < deadline {
         if nudge < 2 {
             inject(WORKLOAD[2 + nudge as usize]);
             nudge += 1;
@@ -302,10 +302,10 @@ fn severed_tcp_link_reconnects_and_replay_restores_the_stream() {
         inject(*w);
     }
     let deadline = Instant::now() + Duration::from_secs(10);
-    while !link_a_to_b.health().connected && Instant::now() < deadline {
+    while !link_a_to_b.snapshot().connected && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
-    let health = link_a_to_b.health();
+    let health = link_a_to_b.snapshot();
     assert!(health.connected, "A→B link must self-heal");
     assert!(health.reconnects >= 1, "reconnect must be counted");
 

@@ -56,6 +56,10 @@ pub const TIERS: &[(&str, Tier)] = &[
     ("crates/engine/src/wal.rs", Tier::Ops),
     ("crates/engine/src/store.rs", Tier::Ops),
     ("crates/engine/src/config.rs", Tier::Ops),
+    // Observability: telemetry *about* the core, never state *inside* it.
+    // Wall-clock stamps are its purpose, so it lives on the ops plane; the
+    // engine core only ever calls opaque obs methods.
+    ("crates/obs/", Tier::Ops),
     // The auditor itself: no wall-clock or randomness either, but its rule
     // tables name hazards in string literals (which the lexer skips).
     ("crates/lint/", Tier::Ops),

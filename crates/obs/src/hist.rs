@@ -1,0 +1,264 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! The obs layer records latencies and occupancies on hot paths, so the
+//! histogram must be allocation-free, bounded, and mergeable. Buckets are
+//! powers of two: bucket 0 holds exactly the value `0`, bucket `i`
+//! (1 ≤ i ≤ [`LAST_BUCKET`]) holds values in `[2^(i-1), 2^i - 1]`, and the
+//! last bucket additionally absorbs everything beyond its range (overflow
+//! clamps, it never panics or drops a sample). With 41 buckets the range
+//! covers 1 ns up to ~18 minutes before clamping — wider than any latency
+//! this engine can legitimately produce.
+//!
+//! All arithmetic saturates: a histogram fed garbage (or fed forever)
+//! degrades to pegged counters instead of wrapping or aborting.
+
+use bytes::BytesMut;
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+
+/// Total bucket count: 1 zero bucket + 40 power-of-two ranges.
+pub const NUM_BUCKETS: usize = 41;
+
+/// Index of the final bucket, which also absorbs overflow.
+pub const LAST_BUCKET: usize = NUM_BUCKETS - 1;
+
+/// Returns the bucket index for a value: 0 for zero, otherwise
+/// `floor(log2(v)) + 1`, clamped to [`LAST_BUCKET`].
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(LAST_BUCKET)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow bucket).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= LAST_BUCKET {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A fixed-size power-of-two histogram with saturating totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Never fails: overflow values clamp into the last
+    /// bucket and totals saturate at `u64::MAX`.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_index(v);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one (saturating).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (i, *n))
+            .collect()
+    }
+}
+
+impl Encode for Histogram {
+    fn encode(&self, buf: &mut BytesMut) {
+        // Sparse encoding: only non-empty buckets, sorted by index — short
+        // and canonical (the index order is fixed by construction).
+        let sparse: Vec<(u64, u64)> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(i, n)| (i as u64, n))
+            .collect();
+        sparse.encode(buf);
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.max.encode(buf);
+    }
+}
+
+impl Decode for Histogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let sparse: Vec<(u64, u64)> = Vec::decode(r)?;
+        let mut counts = [0u64; NUM_BUCKETS];
+        let mut prev: Option<u64> = None;
+        for (i, n) in sparse {
+            let idx = usize::try_from(i).map_err(|_| DecodeError::VarintOverflow)?;
+            // Canonical form: strictly ascending indexes, no empty entries.
+            if idx >= NUM_BUCKETS || n == 0 || prev.is_some_and(|p| p >= i) {
+                return Err(DecodeError::InvalidTag {
+                    tag: idx.min(255) as u8,
+                    type_name: "Histogram",
+                });
+            }
+            counts[idx] = n;
+            prev = Some(i);
+        }
+        Ok(Histogram {
+            counts,
+            count: u64::decode(r)?,
+            sum: u64::decode(r)?,
+            max: u64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn power_of_two_edges_land_in_ascending_buckets() {
+        // 1 → bucket 1; 2..=3 → bucket 2; 4..=7 → bucket 3; …
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for i in 1..LAST_BUCKET {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+        }
+    }
+
+    #[test]
+    fn overflow_clamps_into_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        assert_eq!(h.bucket(LAST_BUCKET), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(bucket_upper_bound(LAST_BUCKET), u64::MAX);
+    }
+
+    #[test]
+    fn totals_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.count(), 2);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_adds_bucket_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.bucket(bucket_index(5)), 2);
+        assert_eq!(a.bucket(bucket_index(100)), 1);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 110);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 61_827, u64::MAX] {
+            h.record(v);
+        }
+        let bytes = h.to_bytes();
+        let back = Histogram::from_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_buckets() {
+        // Out-of-range index.
+        let mut h = Histogram::new();
+        h.record(7);
+        let mut bytes = BytesMut::new();
+        vec![(NUM_BUCKETS as u64, 1u64)].encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        assert!(Histogram::from_bytes(&bytes).is_err());
+        // Unsorted indexes.
+        let mut bytes = BytesMut::new();
+        vec![(3u64, 1u64), (1u64, 1u64)].encode(&mut bytes);
+        2u64.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        0u64.encode(&mut bytes);
+        assert!(Histogram::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! Canonical JSON rendering and a minimal parser for report validation.
+//!
+//! The obs report must be *canonical*: the same [`crate::ObsSnapshot`]
+//! always renders to the same bytes, so CI can diff reports and the
+//! round-trip property (decode → re-render → identical) is testable. The
+//! writer therefore emits no whitespace, fixed field order (callers write
+//! fields in declaration order), and RFC 8259 escapes with a fixed
+//! lowercase `\u00xx` form for control characters.
+//!
+//! The parser exists so `tart-obs --check-report` can validate a report
+//! with zero dependencies; it accepts standard JSON (it is *not* limited to
+//! the canonical subset the writer emits).
+
+/// Incremental canonical-JSON string builder.
+///
+/// Structure (`begin_obj`/`end_obj`, `begin_arr`/`end_arr`) is driven by
+/// the caller; commas are inserted automatically by [`JsonWriter::key`] and
+/// [`JsonWriter::arr_item`].
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    has_items: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the rendered JSON.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Opens an object (`{`). Use after [`JsonWriter::key`] /
+    /// [`JsonWriter::arr_item`] when nested.
+    pub fn begin_obj(&mut self) {
+        self.out.push('{');
+        self.has_items.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        self.has_items.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.out.push('[');
+        self.has_items.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.has_items.pop();
+        self.out.push(']');
+    }
+
+    fn comma(&mut self) {
+        if let Some(has) = self.has_items.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Writes `"key":`, inserting the separating comma when needed.
+    pub fn key(&mut self, key: &str) {
+        self.comma();
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes one array element via `f`, inserting the comma when needed.
+    pub fn arr_item(&mut self, f: impl FnOnce(&mut JsonWriter)) {
+        self.comma();
+        f(self);
+    }
+
+    /// Writes a bare unsigned integer value.
+    pub fn val_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a bare string value.
+    pub fn val_str(&mut self, v: &str) {
+        escape_into(&mut self.out, v);
+    }
+
+    /// `"key":123`
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.val_u64(v);
+    }
+
+    /// `"key":"value"`
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.val_str(v);
+    }
+}
+
+/// Appends `s` as a quoted, RFC 8259-escaped JSON string.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers above 2^53 lose precision,
+    /// which is acceptable for validation).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object fields.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (surrounding whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at offset {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling: combine when a high
+                            // surrogate is followed by `\uXXXX` low half.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or("invalid \\u escape")?);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid; find the char at this offset).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control char at offset {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(slice).map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_compact_json() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("a", 1);
+        w.field_str("b", "x\"y\n");
+        w.key("c");
+        w.begin_arr();
+        w.arr_item(|w| w.val_u64(2));
+        w.arr_item(|w| w.val_u64(3));
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":1,"b":"x\"y\n","c":[2,3]}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("count", 61_827);
+        w.field_str("name", "tab\there \u{1} and \u{1F600}");
+        w.key("empty");
+        w.begin_arr();
+        w.end_arr();
+        w.end_obj();
+        let text = w.finish();
+        let v = parse(&text).expect("parses");
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(61_827));
+        assert_eq!(
+            v.get("name").and_then(Json::as_str),
+            Some("tab\there \u{1} and \u{1F600}")
+        );
+        assert_eq!(
+            v.get("empty").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn parser_accepts_standard_json() {
+        let v = parse(" { \"a\" : [ 1 , -2.5 , true , null , \"\\u0041\\ud83d\\ude00\" ] } ")
+            .expect("parses");
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1], Json::Num(-2.5));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err(), "depth limit");
+    }
+}

@@ -1,0 +1,381 @@
+//! The flight recorder: a bounded ring of structured engine events.
+//!
+//! Chaos-soak failures used to come with a bare output diff; the flight
+//! recorder attaches a causal timeline — what was delivered, which silence
+//! adverts moved the watermark, which probes fired, which replays ran and
+//! which engines were promoted — so a diverging run can be read like a
+//! black-box transcript. The ring is bounded ([`FlightRecorder::new`] takes
+//! the capacity): old events are evicted, never allocated past the cap, and
+//! the eviction count is reported so a truncated timeline is visible as
+//! such.
+//!
+//! Events carry a wall-clock offset in nanoseconds since the owning hub was
+//! created. That stamp is *telemetry about* the run, taken on the ops
+//! plane; it never feeds back into virtual time or checkpointed state.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use bytes::BytesMut;
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+
+use crate::json::{self, JsonWriter};
+
+/// What happened. Field meanings follow the engine wire protocol: `wire` is
+/// the raw `WireId`, `vt`/`through`/`needed`/`from` are virtual-time ticks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// A message left the pessimistic gate and ran its handler.
+    Delivery {
+        /// Raw wire id the message arrived on.
+        wire: u32,
+        /// Virtual timestamp of the message.
+        vt: u64,
+    },
+    /// A silence advert moved a wire's watermark forward.
+    SilenceAdvance {
+        /// Raw wire id the advert covers.
+        wire: u32,
+        /// Silence watermark in ticks: no message at or before this vt.
+        through: u64,
+    },
+    /// A curiosity probe asked an upstream engine for silence.
+    Probe {
+        /// Raw wire id being probed.
+        wire: u32,
+        /// The vt the prober needs silence through.
+        needed: u64,
+    },
+    /// A replay of logged messages was requested after a gap was detected.
+    ReplayRequest {
+        /// Raw wire id with the gap.
+        wire: u32,
+        /// First missing vt (exclusive predecessor), in ticks.
+        from: u64,
+    },
+    /// A replica was promoted to primary (supervisor- or operator-driven).
+    FailoverPromotion,
+    /// A determinism fault: an estimator recalibration was scheduled.
+    RecalibrationFault {
+        /// Raw component id whose estimator misbehaved.
+        component: u32,
+        /// Virtual time the new estimator takes effect, in ticks.
+        vt: u64,
+    },
+}
+
+impl ObsEventKind {
+    fn tag(&self) -> u8 {
+        match self {
+            ObsEventKind::Delivery { .. } => 0,
+            ObsEventKind::SilenceAdvance { .. } => 1,
+            ObsEventKind::Probe { .. } => 2,
+            ObsEventKind::ReplayRequest { .. } => 3,
+            ObsEventKind::FailoverPromotion => 4,
+            ObsEventKind::RecalibrationFault { .. } => 5,
+        }
+    }
+
+    /// Stable snake_case name used in the JSON report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEventKind::Delivery { .. } => "delivery",
+            ObsEventKind::SilenceAdvance { .. } => "silence_advance",
+            ObsEventKind::Probe { .. } => "probe",
+            ObsEventKind::ReplayRequest { .. } => "replay_request",
+            ObsEventKind::FailoverPromotion => "failover_promotion",
+            ObsEventKind::RecalibrationFault { .. } => "recalibration_fault",
+        }
+    }
+}
+
+/// One flight-recorder entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Nanoseconds since the owning [`crate::ObsHub`] was created.
+    pub at_ns: u64,
+    /// Raw id of the engine the event happened on (`u32::MAX` for
+    /// cluster-level events recorded outside any engine).
+    pub engine: u32,
+    /// What happened.
+    pub kind: ObsEventKind,
+}
+
+impl ObsEvent {
+    /// Appends this event as one canonical JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.field_u64("at_ns", self.at_ns);
+        w.field_u64("engine", u64::from(self.engine));
+        w.field_str("kind", self.kind.name());
+        match &self.kind {
+            ObsEventKind::Delivery { wire, vt } => {
+                w.field_u64("wire", u64::from(*wire));
+                w.field_u64("vt", *vt);
+            }
+            ObsEventKind::SilenceAdvance { wire, through } => {
+                w.field_u64("wire", u64::from(*wire));
+                w.field_u64("through", *through);
+            }
+            ObsEventKind::Probe { wire, needed } => {
+                w.field_u64("wire", u64::from(*wire));
+                w.field_u64("needed", *needed);
+            }
+            ObsEventKind::ReplayRequest { wire, from } => {
+                w.field_u64("wire", u64::from(*wire));
+                w.field_u64("from", *from);
+            }
+            ObsEventKind::FailoverPromotion => {}
+            ObsEventKind::RecalibrationFault { component, vt } => {
+                w.field_u64("component", u64::from(*component));
+                w.field_u64("vt", *vt);
+            }
+        }
+        w.end_obj();
+    }
+}
+
+impl Encode for ObsEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.at_ns.encode(buf);
+        self.engine.encode(buf);
+        buf.extend_from_slice(&[self.kind.tag()]);
+        match &self.kind {
+            ObsEventKind::Delivery { wire, vt } => {
+                wire.encode(buf);
+                vt.encode(buf);
+            }
+            ObsEventKind::SilenceAdvance { wire, through } => {
+                wire.encode(buf);
+                through.encode(buf);
+            }
+            ObsEventKind::Probe { wire, needed } => {
+                wire.encode(buf);
+                needed.encode(buf);
+            }
+            ObsEventKind::ReplayRequest { wire, from } => {
+                wire.encode(buf);
+                from.encode(buf);
+            }
+            ObsEventKind::FailoverPromotion => {}
+            ObsEventKind::RecalibrationFault { component, vt } => {
+                component.encode(buf);
+                vt.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ObsEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at_ns = u64::decode(r)?;
+        let engine = u32::decode(r)?;
+        let kind = match r.read_u8()? {
+            0 => ObsEventKind::Delivery {
+                wire: u32::decode(r)?,
+                vt: u64::decode(r)?,
+            },
+            1 => ObsEventKind::SilenceAdvance {
+                wire: u32::decode(r)?,
+                through: u64::decode(r)?,
+            },
+            2 => ObsEventKind::Probe {
+                wire: u32::decode(r)?,
+                needed: u64::decode(r)?,
+            },
+            3 => ObsEventKind::ReplayRequest {
+                wire: u32::decode(r)?,
+                from: u64::decode(r)?,
+            },
+            4 => ObsEventKind::FailoverPromotion,
+            5 => ObsEventKind::RecalibrationFault {
+                component: u32::decode(r)?,
+                vt: u64::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::InvalidTag {
+                    tag,
+                    type_name: "ObsEventKind",
+                })
+            }
+        };
+        Ok(ObsEvent {
+            at_ns,
+            engine,
+            kind,
+        })
+    }
+}
+
+struct RecorderInner {
+    events: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of [`ObsEvent`]s, safe to push from any thread.
+pub struct FlightRecorder {
+    cap: usize,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            inner: Mutex::new(RecorderInner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: ObsEvent) {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        if inner.events.len() == self.cap {
+            inner.events.pop_front();
+            inner.dropped = inner.dropped.saturating_add(1);
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Copies out the current timeline, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        inner.events.iter().cloned().collect()
+    }
+
+    /// How many events have been evicted to stay within the cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("flight recorder poisoned").dropped
+    }
+
+    /// Renders the timeline as one canonical JSON object
+    /// (`{"events_dropped":…,"events":[…]}`), the dump format used on
+    /// panics, crashes and promotions.
+    pub fn dump_json(&self) -> String {
+        self.dump_json_tail(usize::MAX)
+    }
+
+    /// Like [`FlightRecorder::dump_json`], but keeps only the newest
+    /// `limit` events; everything older is folded into `events_dropped`.
+    /// Used where a full ring would drown the log (the stderr fallback).
+    pub fn dump_json_tail(&self, limit: usize) -> String {
+        let (events, dropped) = {
+            let inner = self.inner.lock().expect("flight recorder poisoned");
+            let skip = inner.events.len().saturating_sub(limit);
+            (
+                inner.events.iter().skip(skip).cloned().collect::<Vec<_>>(),
+                inner.dropped.saturating_add(skip as u64),
+            )
+        };
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("events_dropped", dropped);
+        w.key("events");
+        w.begin_arr();
+        for e in &events {
+            w.arr_item(|w| e.write_json(w));
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Convenience used by tests: parse a dump back into a JSON value.
+pub fn parse_dump(dump: &str) -> Result<json::Json, String> {
+    json::parse(dump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> ObsEvent {
+        ObsEvent {
+            at_ns: at,
+            engine: 0,
+            kind: ObsEventKind::Delivery { wire: 1, vt: at },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5 {
+            rec.push(ev(i));
+        }
+        let events: Vec<u64> = rec.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(events, vec![2, 3, 4]);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let kinds = [
+            ObsEventKind::Delivery {
+                wire: 3,
+                vt: 61_827,
+            },
+            ObsEventKind::SilenceAdvance {
+                wire: 0,
+                through: 99,
+            },
+            ObsEventKind::Probe { wire: 7, needed: 1 },
+            ObsEventKind::ReplayRequest { wire: 2, from: 0 },
+            ObsEventKind::FailoverPromotion,
+            ObsEventKind::RecalibrationFault {
+                component: 4,
+                vt: u64::MAX,
+            },
+        ];
+        for kind in kinds {
+            let event = ObsEvent {
+                at_ns: 5,
+                engine: 1,
+                kind,
+            };
+            let bytes = event.to_bytes();
+            assert_eq!(ObsEvent::from_bytes(&bytes).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn tail_dump_folds_older_events_into_the_drop_count() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..6 {
+            rec.push(ev(i));
+        }
+        let dump = rec.dump_json_tail(2);
+        let parsed = parse_dump(&dump).expect("valid json");
+        let events = parsed.get("events").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("at_ns").and_then(json::Json::as_u64), Some(4));
+        assert_eq!(
+            parsed.get("events_dropped").and_then(json::Json::as_u64),
+            Some(4),
+            "the four skipped events count as dropped"
+        );
+    }
+
+    #[test]
+    fn dump_is_parseable_json() {
+        let rec = FlightRecorder::new(8);
+        rec.push(ev(1));
+        rec.push(ObsEvent {
+            at_ns: 2,
+            engine: 9,
+            kind: ObsEventKind::FailoverPromotion,
+        });
+        let dump = rec.dump_json();
+        let parsed = parse_dump(&dump).expect("valid json");
+        let events = parsed.get("events").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].get("kind").and_then(json::Json::as_str),
+            Some("failover_promotion")
+        );
+    }
+}

@@ -143,7 +143,14 @@ fn recover(dir: &str) {
             .send(Value::from(*sentence));
     }
     cluster.finish_inputs();
+    // Snapshot only after shutdown() has drained the engines: the counters
+    // are live, and a report taken mid-drain undercounts deliveries.
+    let obs = std::sync::Arc::clone(cluster.obs());
     print_outputs(cluster.shutdown());
+    match tart::write_report(&obs.snapshot()) {
+        Ok(path) => eprintln!("obs report written to {}", path.display()),
+        Err(e) => eprintln!("obs report not written: {e}"),
+    }
 }
 
 fn main() {

@@ -148,8 +148,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(n, workload.len());
     println!(
         "\nlink A→B health: {:?}\nlink B→A health: {:?}",
-        link_a_to_b.health(),
-        link_b_to_a.health()
+        link_a_to_b.snapshot(),
+        link_b_to_a.snapshot()
     );
     println!("\nSame virtual times as any other transport — the network is invisible.");
     Ok(())

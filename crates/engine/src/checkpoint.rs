@@ -2,12 +2,14 @@
 
 use std::collections::BTreeMap;
 
+use std::fmt;
+
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tart_codec::{Decode, DecodeError, Encode, Reader};
 use tart_estimator::DeterminismFault;
-use tart_model::{Snapshot, Value};
+use tart_model::{Snapshot, StateHash, StateHasher, Value};
 use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
 
 /// A soft checkpoint of one engine's state (§II.F.2).
@@ -39,6 +41,22 @@ pub struct EngineCheckpoint {
     /// durability, where a whole-cluster crash voids the single-failure
     /// assumption and every upstream's volatile retention dies too.
     pub retention: BTreeMap<WireId, Vec<(VirtualTime, Value)>>,
+    /// Per-component state digests at capture time (verified replay,
+    /// DESIGN.md §15). Recomputed at every replay horizon; a mismatch is a
+    /// [`DivergenceFault`] attributed to the offending component.
+    pub component_hashes: BTreeMap<ComponentId, StateHash>,
+    /// Combined engine-state digest at capture time: the component digests
+    /// folded with the scheduler bookkeeping (clocks, consumed, sent) via
+    /// [`combined_state_hash`].
+    pub state_hash: StateHash,
+    /// Hash-chain seal: the digest of the previous checkpoint's seal folded
+    /// with this checkpoint's own canonical bytes (everything except this
+    /// field). The seal chain restarts ([`StateHash::ZERO`] predecessor) at
+    /// every self-contained checkpoint, so any chain beginning at a full
+    /// generation verifies independently. A flipped byte anywhere in a
+    /// stored member — snapshots, watermarks, or the recorded digests
+    /// themselves — breaks the seal of that member and every later delta.
+    pub chain_seal: StateHash,
 }
 
 impl EngineCheckpoint {
@@ -52,6 +70,9 @@ impl EngineCheckpoint {
             consumed: BTreeMap::new(),
             sent: BTreeMap::new(),
             retention: BTreeMap::new(),
+            component_hashes: BTreeMap::new(),
+            state_hash: StateHash::ZERO,
+            chain_seal: StateHash::ZERO,
         }
     }
 
@@ -67,10 +88,26 @@ impl EngineCheckpoint {
     pub fn is_self_contained(&self) -> bool {
         self.components.values().all(Snapshot::is_self_contained)
     }
-}
 
-impl Encode for EngineCheckpoint {
-    fn encode(&self, buf: &mut BytesMut) {
+    /// Computes the seal this checkpoint should carry when chained after a
+    /// predecessor whose seal is `prev`: the predecessor's seal folded with
+    /// this checkpoint's canonical bytes (everything except `chain_seal`).
+    pub fn seal_over(&self, prev: &StateHash) -> StateHash {
+        let mut h = StateHasher::new();
+        h.update_hash(prev);
+        let mut buf = BytesMut::new();
+        self.encode_sans_seal(&mut buf);
+        h.update(&buf);
+        h.finish()
+    }
+
+    /// Stamps `chain_seal` in place. Self-contained checkpoints restart the
+    /// seal chain; pass [`StateHash::ZERO`] for them.
+    pub fn seal(&mut self, prev: &StateHash) {
+        self.chain_seal = self.seal_over(prev);
+    }
+
+    fn encode_sans_seal(&self, buf: &mut BytesMut) {
         self.engine.encode(buf);
         self.seq.encode(buf);
         self.components.encode(buf);
@@ -78,6 +115,15 @@ impl Encode for EngineCheckpoint {
         self.consumed.encode(buf);
         self.sent.encode(buf);
         self.retention.encode(buf);
+        self.component_hashes.encode(buf);
+        self.state_hash.encode(buf);
+    }
+}
+
+impl Encode for EngineCheckpoint {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.encode_sans_seal(buf);
+        self.chain_seal.encode(buf);
     }
 }
 
@@ -91,9 +137,146 @@ impl Decode for EngineCheckpoint {
             consumed: BTreeMap::decode(r)?,
             sent: BTreeMap::decode(r)?,
             retention: BTreeMap::decode(r)?,
+            component_hashes: BTreeMap::decode(r)?,
+            state_hash: StateHash::decode(r)?,
+            chain_seal: StateHash::decode(r)?,
         })
     }
 }
+
+/// Folds the per-component digests and the scheduler bookkeeping into the
+/// engine-level digest recorded as [`EngineCheckpoint::state_hash`].
+///
+/// Retention is deliberately **outside** the hash domain: its contents
+/// depend on downstream `TrimAck` arrival timing, which is real-time
+/// nondeterministic and legitimately differs between a run and its replay.
+pub fn combined_state_hash(
+    component_hashes: &BTreeMap<ComponentId, StateHash>,
+    clocks: &BTreeMap<ComponentId, VirtualTime>,
+    consumed: &BTreeMap<WireId, VirtualTime>,
+    sent: &BTreeMap<WireId, VirtualTime>,
+) -> StateHash {
+    let mut buf = BytesMut::new();
+    component_hashes.encode(&mut buf);
+    clocks.encode(&mut buf);
+    consumed.encode(&mut buf);
+    sent.encode(&mut buf);
+    let mut h = StateHasher::new();
+    h.update(&buf);
+    h.finish()
+}
+
+/// A defect found while hash-verifying a checkpoint chain, before any state
+/// is restored from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainDefect {
+    /// Member `index` (checkpoint `seq`) fails its chain seal
+    /// ([`EngineCheckpoint::chain_seal`]): its bytes — snapshots,
+    /// watermarks or recorded digests — changed after sealing.
+    BrokenSeal {
+        /// Position in the chain (0 = oldest).
+        index: usize,
+        /// The checkpoint's sequence number.
+        seq: u64,
+    },
+    /// The chain opens with a delta: nothing to chain its seal from (and
+    /// nothing to restore it onto).
+    DeltaWithoutBase {
+        /// Position in the chain (0 = oldest).
+        index: usize,
+        /// The checkpoint's sequence number.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for ChainDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainDefect::BrokenSeal { index, seq } => {
+                write!(f, "checkpoint #{index} (seq {seq}) fails its chain seal")
+            }
+            ChainDefect::DeltaWithoutBase { index, seq } => {
+                write!(f, "checkpoint #{index} (seq {seq}) is a delta with no base")
+            }
+        }
+    }
+}
+
+/// Hash-verifies a checkpoint chain: every member's stored seal must match
+/// a recomputation over its own bytes chained from its predecessor
+/// (restarting at each self-contained member). Returns the first defect.
+///
+/// This is the chain-integrity half of verified replay; the semantic half —
+/// live state matching [`EngineCheckpoint::state_hash`] after the chain is
+/// applied — runs in `EngineCore::restore`.
+///
+/// # Errors
+///
+/// Returns the first [`ChainDefect`] encountered, oldest member first.
+pub fn verify_chain(chain: &[EngineCheckpoint]) -> Result<(), ChainDefect> {
+    let mut prev_seal = StateHash::ZERO;
+    for (index, ckpt) in chain.iter().enumerate() {
+        let expected_prev = if ckpt.is_self_contained() {
+            StateHash::ZERO
+        } else if index == 0 {
+            return Err(ChainDefect::DeltaWithoutBase {
+                index,
+                seq: ckpt.seq,
+            });
+        } else {
+            prev_seal
+        };
+        if ckpt.seal_over(&expected_prev) != ckpt.chain_seal {
+            return Err(ChainDefect::BrokenSeal {
+                index,
+                seq: ckpt.seq,
+            });
+        }
+        prev_seal = ckpt.chain_seal;
+    }
+    Ok(())
+}
+
+/// Raised when state recomputed at a replay horizon disagrees with the
+/// digest recorded at checkpoint time — the replica or restore chain did
+/// **not** reconverge to the checkpointed state (bit rot in a warm replica,
+/// an undetected nondeterministic handler, or corrupted scheduler
+/// bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DivergenceFault {
+    /// The component whose state diverged, or `None` when the mismatch is
+    /// in engine-level bookkeeping (clocks / consumed / sent watermarks).
+    pub component: Option<ComponentId>,
+    /// The virtual time of the replay horizon where the check ran.
+    pub vt: VirtualTime,
+    /// The digest recorded at checkpoint time.
+    pub expected: StateHash,
+    /// The digest recomputed from live state.
+    pub actual: StateHash,
+}
+
+impl fmt::Display for DivergenceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.component {
+            Some(c) => write!(
+                f,
+                "state divergence in component {c} at vt {}: expected {} got {}",
+                self.vt.as_ticks(),
+                self.expected.short_hex(),
+                self.actual.short_hex(),
+            ),
+            None => write!(
+                f,
+                "engine bookkeeping divergence at vt {}: expected {} got {}",
+                self.vt.as_ticks(),
+                self.expected.short_hex(),
+                self.actual.short_hex(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DivergenceFault {}
 
 /// The passive replica: holds checkpoint chains and the synchronously
 /// logged determinism faults, does no processing until promoted (§I.B,
@@ -256,6 +439,131 @@ mod tests {
         assert_eq!(faults.len(), 2);
         assert_eq!(faults[0], (ComponentId::new(0), f1));
         assert_eq!(faults[1], (ComponentId::new(1), f2));
+    }
+
+    fn delta_checkpoint(seq: u64) -> EngineCheckpoint {
+        let mut ckpt = EngineCheckpoint::new(EngineId::new(1), seq);
+        let mut snap = Snapshot::new(vt(200));
+        snap.put("counts", StateChunk::Delta(vec![9]));
+        ckpt.components.insert(ComponentId::new(0), snap);
+        ckpt
+    }
+
+    #[test]
+    fn seal_chain_verifies_and_detects_tampering() {
+        let mut full = sample_checkpoint(0);
+        assert!(full.is_self_contained());
+        full.seal(&StateHash::ZERO);
+        let mut delta = delta_checkpoint(1);
+        assert!(!delta.is_self_contained());
+        delta.seal(&full.chain_seal);
+        let chain = vec![full.clone(), delta.clone()];
+        assert_eq!(verify_chain(&chain), Ok(()));
+
+        // Tamper with the delta's recorded digest after sealing: the seal
+        // covers it, so verification pinpoints the delta.
+        let mut tampered = delta.clone();
+        tampered.state_hash = StateHash([0xEE; 32]);
+        assert_eq!(
+            verify_chain(&[full.clone(), tampered]),
+            Err(ChainDefect::BrokenSeal { index: 1, seq: 1 })
+        );
+
+        // Tamper with the full base instead: the base breaks first.
+        let mut bad_base = full.clone();
+        bad_base.consumed.insert(WireId::new(9), vt(1));
+        assert_eq!(
+            verify_chain(&[bad_base, delta.clone()]),
+            Err(ChainDefect::BrokenSeal { index: 0, seq: 0 })
+        );
+
+        // A chain opening with a delta has nothing to verify against.
+        assert_eq!(
+            verify_chain(&[delta]),
+            Err(ChainDefect::DeltaWithoutBase { index: 0, seq: 1 })
+        );
+        assert_eq!(verify_chain(&[]), Ok(()));
+    }
+
+    #[test]
+    fn seal_chain_restarts_at_full_members() {
+        let mut full1 = sample_checkpoint(0);
+        full1.seal(&StateHash::ZERO);
+        let mut delta1 = delta_checkpoint(1);
+        delta1.seal(&full1.chain_seal);
+        let mut full2 = sample_checkpoint(2);
+        full2.seal(&StateHash::ZERO);
+        let mut delta2 = delta_checkpoint(3);
+        delta2.seal(&full2.chain_seal);
+        // The whole history verifies...
+        assert_eq!(
+            verify_chain(&[full1, delta1, full2.clone(), delta2.clone()]),
+            Ok(())
+        );
+        // ...and so does the suffix starting at the newer full generation —
+        // exactly what the durable store loads after pruning.
+        assert_eq!(verify_chain(&[full2, delta2]), Ok(()));
+    }
+
+    #[test]
+    fn divergence_fault_displays() {
+        let fault = DivergenceFault {
+            component: Some(ComponentId::new(3)),
+            vt: vt(1_000),
+            expected: StateHash([0xAA; 32]),
+            actual: StateHash([0xBB; 32]),
+        };
+        let text = fault.to_string();
+        assert!(text.contains("divergence"));
+        assert!(text.contains("aaaa"));
+        assert!(text.contains("bbbb"));
+        let meta = DivergenceFault {
+            component: None,
+            ..fault
+        };
+        assert!(meta.to_string().contains("bookkeeping"));
+    }
+
+    #[test]
+    fn combined_hash_covers_every_section() {
+        let mut hashes = BTreeMap::new();
+        hashes.insert(ComponentId::new(0), StateHash([1; 32]));
+        let mut clocks = BTreeMap::new();
+        clocks.insert(ComponentId::new(0), vt(10));
+        let mut consumed = BTreeMap::new();
+        consumed.insert(WireId::new(0), vt(5));
+        let mut sent = BTreeMap::new();
+        sent.insert(WireId::new(1), vt(7));
+        let base = combined_state_hash(&hashes, &clocks, &consumed, &sent);
+
+        let mut hashes2 = hashes.clone();
+        hashes2.insert(ComponentId::new(0), StateHash([2; 32]));
+        assert_ne!(
+            base,
+            combined_state_hash(&hashes2, &clocks, &consumed, &sent)
+        );
+        let mut clocks2 = clocks.clone();
+        clocks2.insert(ComponentId::new(0), vt(11));
+        assert_ne!(
+            base,
+            combined_state_hash(&hashes, &clocks2, &consumed, &sent)
+        );
+        let mut consumed2 = consumed.clone();
+        consumed2.insert(WireId::new(0), vt(6));
+        assert_ne!(
+            base,
+            combined_state_hash(&hashes, &clocks, &consumed2, &sent)
+        );
+        let mut sent2 = sent.clone();
+        sent2.insert(WireId::new(1), vt(8));
+        assert_ne!(
+            base,
+            combined_state_hash(&hashes, &clocks, &consumed, &sent2)
+        );
+        assert_eq!(
+            base,
+            combined_state_hash(&hashes, &clocks, &consumed, &sent)
+        );
     }
 
     #[test]

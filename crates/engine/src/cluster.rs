@@ -16,13 +16,14 @@ use tart_model::{AppSpec, Value};
 use tart_vtime::{ComponentId, EngineId, VirtualTime, WireId};
 
 use crate::chaos::{ChaosHandle, ChaosPlan};
+use crate::checkpoint::{verify_chain, ChainDefect};
 use crate::core::{EngineCore, Flow};
 use crate::router::{EXTERNAL_ENGINE, SUPERVISOR_ENGINE};
 use crate::store::CheckpointStore;
 use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
-    ClusterConfig, DurabilityConfig, EngineMetrics, Envelope, MessageLog, OutputRecord, Placement,
-    ReplicaStore, Router,
+    ClusterConfig, DurabilityConfig, EngineCheckpoint, EngineMetrics, Envelope, MessageLog,
+    OutputRecord, Placement, ReplicaStore, Router,
 };
 
 /// Cap on envelopes an engine batches per loop iteration, so a saturated
@@ -413,10 +414,69 @@ impl EngineHost {
         }
     }
 
+    /// Builds a fresh core for `engine` and restores `chain` into it with
+    /// hash verification (DESIGN.md §15). A chain-seal defect truncates the
+    /// chain at the defective member before anything is restored; a
+    /// post-restore state-hash divergence discards the tainted core, drops
+    /// the chain's newest member, and retries — an empty chain restores
+    /// vacuously, so the loop always terminates. Discarding a core is safe
+    /// because `EngineCore::restore` verifies *before* its first router
+    /// send: a failed attempt is invisible to peers. Each rejection dumps
+    /// the flight ring for forensics (the divergence counter and timeline
+    /// event are recorded inside `restore` itself).
+    ///
+    /// Returns the restored core and whether verification forced a shorter
+    /// chain than the caller supplied.
+    fn restore_verified(
+        &self,
+        engine: EngineId,
+        replica: &ReplicaStore,
+        mut chain: Vec<EngineCheckpoint>,
+        faults: &[(ComponentId, tart_estimator::DeterminismFault)],
+    ) -> (EngineCore, bool) {
+        let mut fell_back = false;
+        if let Err(defect) = verify_chain(&chain) {
+            dump_flight(&self.obs, &format!("chain defect for {engine}: {defect}"));
+            let (ChainDefect::BrokenSeal { index, .. }
+            | ChainDefect::DeltaWithoutBase { index, .. }) = defect;
+            chain.truncate(index);
+            fell_back = true;
+        }
+        loop {
+            let mut core = EngineCore::new(
+                engine,
+                &self.spec,
+                &self.placement,
+                &self.config,
+                self.router.clone(),
+                replica.clone(),
+                self.outputs_tx.clone(),
+            );
+            if let Some(store) = &self.durable {
+                core.set_durable(Arc::clone(store));
+            }
+            core.set_obs(self.obs.engine(engine));
+            match core.restore(&chain, faults) {
+                Ok(()) => return (core, fell_back),
+                Err(fault) => {
+                    dump_flight(
+                        &self.obs,
+                        &format!("state divergence for {engine}: {fault}"),
+                    );
+                    chain.pop();
+                    fell_back = true;
+                }
+            }
+        }
+    }
+
     /// Promotes `engine`'s passive replica: rebuilds the components from the
     /// checkpoint chain and the determinism-fault log, re-registers the
     /// inbox, and replays — from upstream retention for internal wires and
-    /// from the message log for external wires (§II.F.3–4).
+    /// from the message log for external wires (§II.F.3–4). The chain is
+    /// hash-verified on the way in ([`EngineHost::restore_verified`]): a
+    /// corrupted or divergent suffix is discarded and the promotion restores
+    /// from the longest verified prefix instead of resuming corrupt state.
     ///
     /// # Panics
     ///
@@ -435,19 +495,6 @@ impl EngineHost {
         let faults = replica.faults();
 
         let fresh_replica = ReplicaStore::new();
-        let mut core = EngineCore::new(
-            engine,
-            &self.spec,
-            &self.placement,
-            &self.config,
-            self.router.clone(),
-            fresh_replica.clone(),
-            self.outputs_tx.clone(),
-        );
-        if let Some(store) = &self.durable {
-            core.set_durable(Arc::clone(store));
-        }
-        core.set_obs(self.obs.engine(engine));
         self.obs.failover(engine);
 
         // Register the new inbox FIRST so the replay responses triggered by
@@ -455,9 +502,10 @@ impl EngineHost {
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(engine, tx.clone());
 
-        // Restore state and issue replay requests — to upstream engines for
+        // Restore state (hash-verified, falling back to a shorter chain on
+        // divergence) and issue replay requests — to upstream engines for
         // internal wires, to the log-replay service for external ones.
-        core.restore(&chain, &faults);
+        let (core, _fell_back) = self.restore_verified(engine, &fresh_replica, chain, &faults);
 
         let metrics = core.metrics_handle();
         let thread = self.spawn_engine_loop(engine, core, rx, true);
@@ -759,18 +807,12 @@ impl Cluster {
                 (chain, faults, generation, fell_back)
             };
             let replica = ReplicaStore::new();
-            let mut core = EngineCore::new(
-                engine,
-                &host.spec,
-                &host.placement,
-                &host.config,
-                host.router.clone(),
-                replica.clone(),
-                host.outputs_tx.clone(),
-            );
-            core.set_durable(Arc::clone(&store));
-            core.set_obs(host.obs.engine(engine));
-            core.restore(&chain, &faults);
+            // Hash-verified cold restart: the loaded chain passed the
+            // store's CRC and seal checks, and restore re-derives the live
+            // state hash against the recorded one — a divergent suffix is
+            // discarded rather than resumed.
+            let (core, diverged) = host.restore_verified(engine, &replica, chain, &faults);
+            let fell_back = fell_back || diverged;
             let metrics = core.metrics_handle();
             let thread = host.spawn_engine_loop(engine, core, rx, true);
             host.engines.lock().insert(

@@ -217,6 +217,15 @@ pub struct ClusterConfig {
     /// whole-process crash is unrecoverable. Supersedes `log_path` when
     /// both are set.
     pub durability: Option<DurabilityConfig>,
+    /// Verified-replay hash cadence: additionally digest the engine's
+    /// deterministic bookkeeping (consumed and sent watermarks, component
+    /// clocks) every this many deliveries. Component *state* digests are
+    /// always computed at checkpoint time — `Component::checkpoint` is
+    /// journal-draining, so mid-interval component hashing would corrupt
+    /// the incremental chain — but the bookkeeping digest is pure and can
+    /// run between checkpoints. `None` (the default) keeps the delivery
+    /// hot path hash-free.
+    pub hash_state_every: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -237,6 +246,7 @@ impl ClusterConfig {
             auto_recalibrate_after: None,
             supervision: None,
             durability: None,
+            hash_state_every: None,
         }
     }
 
@@ -341,6 +351,19 @@ impl ClusterConfig {
             "suspicion timeout must exceed the heartbeat interval"
         );
         self.supervision = Some(supervision);
+        self
+    }
+
+    /// Enables the between-checkpoint verified-replay hash cadence
+    /// (builder style): digest the engine's deterministic bookkeeping every
+    /// `every` deliveries (see [`ClusterConfig::hash_state_every`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_hash_state_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "hash cadence must be positive");
+        self.hash_state_every = Some(every);
         self
     }
 

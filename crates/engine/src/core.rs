@@ -18,11 +18,13 @@ use tart_sched::{GateDecision, InputMux};
 use tart_silence::{ProbeTracker, SilenceAdvertiser, SilencePolicy};
 use tart_vtime::{ComponentId, EngineId, PortId, VirtualTime, WireId};
 
+use crate::checkpoint::{combined_state_hash, DivergenceFault};
 use crate::ctx::EngineCtx;
 use crate::{
     CheckpointStore, ClusterConfig, EngineCheckpoint, Envelope, Placement, ReplicaStore,
     RetentionBuffer, Router,
 };
+use tart_model::{StateHash, StateHasher};
 
 /// Where an incoming wire's ticks come from.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,6 +159,12 @@ pub struct EngineCore {
     processed_since_ckpt: u64,
     ckpt_seq: u64,
     next_ckpt_full: bool,
+    /// Seal of the most recent checkpoint in the hash chain; the next delta
+    /// generation seals over it ([`EngineCheckpoint::seal`]).
+    last_chain_seal: StateHash,
+    /// Deliveries since the last between-checkpoint bookkeeping digest
+    /// (only advanced when [`ClusterConfig::hash_state_every`] is set).
+    deliveries_since_hash: u64,
     /// Durable checkpoints since the last full generation, for the
     /// `full_checkpoint_every` cadence.
     ckpts_since_full: u32,
@@ -266,6 +274,8 @@ impl EngineCore {
             processed_since_ckpt: 0,
             ckpt_seq: 0,
             next_ckpt_full: true,
+            last_chain_seal: StateHash::ZERO,
+            deliveries_since_hash: 0,
             ckpts_since_full: 0,
             eos_sent: std::collections::BTreeSet::new(),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
@@ -851,9 +861,40 @@ impl EngineCore {
         }
 
         self.processed_since_ckpt += 1;
+        if let Some(every) = self.config.hash_state_every {
+            self.deliveries_since_hash += 1;
+            if self.deliveries_since_hash >= every {
+                self.deliveries_since_hash = 0;
+                self.hash_bookkeeping();
+            }
+        }
         if self.processed_since_ckpt >= self.config.checkpoint_every {
             self.take_checkpoint();
         }
+    }
+
+    /// Between-checkpoint verified-replay cadence: digests the engine's
+    /// deterministic bookkeeping — consumed and sent watermarks plus
+    /// component clocks — the pure slice of checkpointable state that can
+    /// be hashed without draining the components' incremental journals.
+    /// The digest itself is discarded (there is no recorded reference
+    /// between checkpoints); what it buys is a heartbeat in the
+    /// `state_hashes_computed` counter proving the hash cadence is alive.
+    fn hash_bookkeeping(&mut self) {
+        let clocks: BTreeMap<ComponentId, VirtualTime> = self
+            .mux
+            .component_ids()
+            .map(|c| (c, self.mux.gate(c).clock()))
+            .collect();
+        let mut buf = bytes::BytesMut::new();
+        use tart_codec::Encode;
+        self.consumed.encode(&mut buf);
+        self.sent_watermark.encode(&mut buf);
+        clocks.encode(&mut buf);
+        let mut h = StateHasher::new();
+        h.update(&buf);
+        let _ = h.finish();
+        self.obs.state_hashes_computed(1);
     }
 
     /// Stamps and transmits one output message on `out_wire`.
@@ -1215,6 +1256,38 @@ impl EngineCore {
                 }
             }
         }
+        // Verified replay: record every component's deterministic state
+        // digest and the combined engine digest, then seal the checkpoint
+        // into the hash chain. Self-contained generations restart the chain
+        // so any suffix anchored at a full verifies independently — exactly
+        // the shape `load_chain` can fall back to.
+        let hashed: Vec<ComponentId> = ckpt.components.keys().copied().collect();
+        for cid in hashed {
+            let clock = ckpt.clocks[&cid];
+            let component = self
+                .components
+                .get_mut(&cid)
+                .expect("hosted")
+                .as_mut()
+                .expect("not executing");
+            ckpt.component_hashes
+                .insert(cid, component.state_hash(clock));
+        }
+        ckpt.state_hash = combined_state_hash(
+            &ckpt.component_hashes,
+            &ckpt.clocks,
+            &ckpt.consumed,
+            &ckpt.sent,
+        );
+        let prev_seal = if ckpt.is_self_contained() {
+            StateHash::ZERO
+        } else {
+            self.last_chain_seal
+        };
+        ckpt.seal(&prev_seal);
+        self.last_chain_seal = ckpt.chain_seal;
+        self.obs
+            .state_hashes_computed(ckpt.component_hashes.len() as u64 + 1);
         let bytes = tart_codec::Encode::to_bytes(&ckpt).len() as u64;
         let mut m = self.metrics.lock();
         m.checkpoints += 1;
@@ -1276,11 +1349,21 @@ impl EngineCore {
     /// marks every input wire as recovering and issues replay requests —
     /// to upstream engines for internal wires, to the cluster supervisor
     /// (message log) for external wires.
+    ///
+    /// # Errors
+    ///
+    /// This is a verified-replay horizon: after the chain is applied, every
+    /// component's state digest — and the combined engine digest — is
+    /// recomputed and compared against the hashes the chain tail recorded
+    /// at checkpoint time. A mismatch (bit rot, a torn replica, or
+    /// nondeterministic re-execution) returns a [`DivergenceFault`]
+    /// *before* any recovered output escapes; the engine must not be run
+    /// after a divergent restore.
     pub fn restore(
         &mut self,
         chain: &[EngineCheckpoint],
         faults: &[(ComponentId, DeterminismFault)],
-    ) {
+    ) -> Result<(), DivergenceFault> {
         // Apply snapshots in shipped order.
         for ckpt in chain {
             for (cid, snap) in &ckpt.components {
@@ -1317,7 +1400,7 @@ impl EngineCore {
             for wire in wires {
                 self.enter_recovery(wire, VirtualTime::ZERO);
             }
-            return;
+            return Ok(());
         };
         // Scheduler bookkeeping from the last checkpoint.
         for (cid, clock) in &last.clocks {
@@ -1361,6 +1444,49 @@ impl EngineCore {
             .find(|c| c.is_self_contained())
             .unwrap_or(last);
         self.durable_acked = base.consumed.iter().map(|(w, vt)| (*w, *vt)).collect();
+        // Verified replay: the chain tail recorded a digest of every
+        // component's state and of the engine bookkeeping; the restored
+        // state must reproduce them exactly, or recovery did not
+        // reconverge. Checked before any recovered output escapes below.
+        self.last_chain_seal = last.chain_seal;
+        let mut recomputed = BTreeMap::new();
+        for (cid, expected) in &last.component_hashes {
+            let clock = last.clocks.get(cid).copied().unwrap_or(VirtualTime::ZERO);
+            let component = self
+                .components
+                .get_mut(cid)
+                .expect("checkpoint names hosted component")
+                .as_mut()
+                .expect("not executing");
+            let actual = component.state_hash(clock);
+            if actual != *expected {
+                self.obs.divergence(Some(*cid), clock);
+                return Err(DivergenceFault {
+                    component: Some(*cid),
+                    vt: clock,
+                    expected: *expected,
+                    actual,
+                });
+            }
+            recomputed.insert(*cid, actual);
+        }
+        self.obs.state_hashes_computed(recomputed.len() as u64 + 1);
+        let combined = combined_state_hash(&recomputed, &last.clocks, &last.consumed, &last.sent);
+        if combined != last.state_hash {
+            let vt = last
+                .clocks
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(VirtualTime::ZERO);
+            self.obs.divergence(None, vt);
+            return Err(DivergenceFault {
+                component: None,
+                vt,
+                expected: last.state_hash,
+                actual: combined,
+            });
+        }
         // External outputs: the channel the originals went down died with
         // the process, and their producing inputs are consumed per this
         // chain, so replay will never regenerate them — re-emit every
@@ -1403,6 +1529,7 @@ impl EngineCore {
             let from = consumed.map_or(VirtualTime::ZERO, VirtualTime::next);
             self.enter_recovery(wire, from);
         }
+        Ok(())
     }
 
     /// Feeds one measured handler execution to the component's calibrator;
@@ -1621,7 +1748,8 @@ mod tests {
 
         // Run B: a fresh core restored from A's replica — the failover path.
         let (mut b, outputs_b) = single_core();
-        b.restore(&replica.chain(), &replica.faults());
+        b.restore(&replica.chain(), &replica.faults())
+            .expect("restore verifies against recorded hashes");
         assert!(b.is_recovering());
         assert_eq!(
             b.metrics().replay_requests_sent,
@@ -1658,7 +1786,8 @@ mod tests {
     fn restore_without_any_checkpoint_replays_from_zero() {
         let (mut a, _out) = single_core();
         let replica = a.replica.clone();
-        a.restore(&replica.chain(), &[]);
+        a.restore(&replica.chain(), &[])
+            .expect("restore verifies against recorded hashes");
         assert!(a.is_recovering());
         assert_eq!(a.metrics().replay_requests_sent, 4);
     }
@@ -1693,7 +1822,8 @@ mod tests {
         // Restore: the fault log reinstalls the new coefficient, so the
         // re-executed message reproduces the same output time.
         let (mut b, _out_b) = single_core();
-        b.restore(&replica.chain(), &replica.faults());
+        b.restore(&replica.chain(), &replica.faults())
+            .expect("restore verifies against recorded hashes");
         assert_eq!(b.metrics().determinism_faults, 1);
         for wire in [w1, w2] {
             let frames = if wire == w1 {
@@ -1922,7 +2052,9 @@ mod tests {
             ReplicaStore::new(),
             tx2,
         );
-        restored.restore(&replica.chain(), &replica.faults());
+        restored
+            .restore(&replica.chain(), &replica.faults())
+            .expect("restore verifies against recorded hashes");
         assert!(restored.metrics().determinism_faults >= 1);
     }
 }

@@ -67,10 +67,13 @@ mod retention;
 mod router;
 mod store;
 mod supervise;
+mod verify;
 mod wal;
 
 pub use chaos::{ChaosEvent, ChaosHandle, ChaosOptions, ChaosPlan, ChaosReport, DiskFault};
-pub use checkpoint::{EngineCheckpoint, ReplicaStore};
+pub use checkpoint::{
+    combined_state_hash, verify_chain, ChainDefect, DivergenceFault, EngineCheckpoint, ReplicaStore,
+};
 pub use clock::{LogicalClock, RealClock, TimeSource};
 pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, RecoveryReport};
 pub use config::{ClusterConfig, DurabilityConfig, Placement, SupervisionConfig};
@@ -85,4 +88,5 @@ pub use tart_obs::{
     check_report, write_report, EngineObs, Histogram, ObsEvent, ObsEventKind, ObsHub, ObsSnapshot,
     ReportRequirements,
 };
+pub use verify::{verify_replay, ReplayVerdict};
 pub use wal::{FsyncPolicy, Wal, WalError, WalRecovery};

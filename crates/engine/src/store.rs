@@ -34,6 +34,8 @@ use tart_codec::{crc32, Decode, Encode};
 use tart_estimator::DeterminismFault;
 use tart_vtime::{ComponentId, EngineId};
 
+use tart_model::StateHash;
+
 use crate::checkpoint::EngineCheckpoint;
 use crate::wal::{scan_segment, sync_dir, FRAME_HEADER};
 
@@ -341,6 +343,12 @@ impl CheckpointStore {
         for (attempt, &generation) in fulls.iter().rev().take(KEPT_GENERATIONS).enumerate() {
             let path = self.dir.join(ckpt_name(engine.raw(), generation));
             if let Some(checkpoint) = read_framed_checkpoint(&path) {
+                // CRC guards the bytes; the seal guards the recorded state
+                // hash itself. A full whose seal does not recompute is as
+                // unusable as a torn one.
+                if checkpoint.seal_over(&StateHash::ZERO) != checkpoint.chain_seal {
+                    continue;
+                }
                 return Ok(Some(LoadedCheckpoint {
                     generation,
                     fell_back: attempt > 0,
@@ -355,10 +363,12 @@ impl CheckpointStore {
 
     /// Loads the newest restorable chain for `engine`: the newest full
     /// generation that verifies, plus every consecutive verified delta
-    /// after it. A damaged delta truncates the chain there (everything
-    /// before it is still a consistent restore point); a damaged full falls
-    /// back to the previous full's chain. `Ok(None)` when the engine has no
-    /// generations at all.
+    /// after it. Verification is two layers: the CRC frame (torn or
+    /// bit-rotted bytes) and the chain seal (a member whose recorded state
+    /// hash or payload was rewritten under a recomputed CRC). A damaged
+    /// delta truncates the chain there (everything before it is still a
+    /// consistent restore point); a damaged full falls back to the previous
+    /// full's chain. `Ok(None)` when the engine has no generations at all.
     ///
     /// # Errors
     ///
@@ -381,9 +391,13 @@ impl CheckpointStore {
             let Some(full) = read_framed_checkpoint(&head_path) else {
                 continue; // damaged full: fall back to the previous chain
             };
+            if full.seal_over(&StateHash::ZERO) != full.chain_seal {
+                continue; // seal-broken full: treated exactly like a torn one
+            }
             // Deltas that belong to this chain: after this full, before the
             // next-newer full (for the newest chain there is none).
             let upper = if i == 0 { u64::MAX } else { heads[i - 1] };
+            let mut prev_seal = full.chain_seal;
             let mut chain = vec![full];
             let mut top = head;
             for &g in gens.iter().filter(|&&g| g > head && g < upper) {
@@ -391,6 +405,20 @@ impl CheckpointStore {
                 let path = self.dir.join(ckpt_file_name(engine.raw(), g, is_full));
                 match read_framed_checkpoint(&path) {
                     Some(c) => {
+                        // The seal chains each member over its predecessor
+                        // and covers the recorded state hash, so a delta
+                        // whose stored hash was rewritten (CRC re-framed and
+                        // all) still fails here and truncates the chain,
+                        // mirroring the bad-CRC path below.
+                        let expected_prev = if c.is_self_contained() {
+                            StateHash::ZERO
+                        } else {
+                            prev_seal
+                        };
+                        if c.seal_over(&expected_prev) != c.chain_seal {
+                            break;
+                        }
+                        prev_seal = c.chain_seal;
                         chain.push(c);
                         top = g;
                     }
@@ -603,7 +631,25 @@ mod tests {
         ckpt.components.insert(ComponentId::new(0), snap);
         ckpt.clocks.insert(ComponentId::new(0), vt(seq * 10));
         ckpt.consumed.insert(WireId::new(1), vt(seq * 10));
+        // Full checkpoints are self-contained, so they can self-seal.
+        ckpt.seal(&StateHash::ZERO);
         ckpt
+    }
+
+    /// Seals `chain` in order, restarting the seal chain at every
+    /// self-contained member — exactly what `EngineCore::take_checkpoint`
+    /// produces live.
+    fn seal_chain(chain: &mut [EngineCheckpoint]) {
+        let mut prev = StateHash::ZERO;
+        for c in chain.iter_mut() {
+            let base = if c.is_self_contained() {
+                StateHash::ZERO
+            } else {
+                prev
+            };
+            c.seal(&base);
+            prev = c.chain_seal;
+        }
     }
 
     #[test]
@@ -772,18 +818,17 @@ mod tests {
         let dir = tmp("chain");
         let store = CheckpointStore::open(&dir).unwrap();
         let e = EngineId::new(4);
-        store.persist(&sample(4, 0)).unwrap(); // full g0
-        store.persist(&delta_sample(4, 1)).unwrap(); // delta g1
-        store.persist(&delta_sample(4, 2)).unwrap(); // delta g2
+        let mut want = vec![sample(4, 0), delta_sample(4, 1), delta_sample(4, 2)];
+        seal_chain(&mut want);
+        for c in &want {
+            store.persist(c).unwrap(); // full g0, delta g1, delta g2
+        }
         assert_eq!(store.full_generations(e), vec![0]);
 
         let loaded = store.load_chain(e).unwrap().unwrap();
         assert_eq!(loaded.generation, 2);
         assert!(!loaded.fell_back);
-        assert_eq!(
-            loaded.chain,
-            vec![sample(4, 0), delta_sample(4, 1), delta_sample(4, 2)]
-        );
+        assert_eq!(loaded.chain, want);
 
         // The kinds live in the filenames: stomp the manifest and the
         // rebuilt store still reconstructs the same chain.
@@ -798,9 +843,11 @@ mod tests {
         let dir = tmp("chain-trunc");
         let store = CheckpointStore::open(&dir).unwrap();
         let e = EngineId::new(5);
-        store.persist(&sample(5, 0)).unwrap();
-        store.persist(&delta_sample(5, 1)).unwrap();
-        store.persist(&delta_sample(5, 2)).unwrap();
+        let mut persisted = vec![sample(5, 0), delta_sample(5, 1), delta_sample(5, 2)];
+        seal_chain(&mut persisted);
+        for c in &persisted {
+            store.persist(c).unwrap();
+        }
         // Damage the middle delta: the chain must stop before it, even
         // though the newest delta is intact (it builds on the damaged one).
         let mid = dir.join(delta_ckpt_name(5, 1));
@@ -812,7 +859,53 @@ mod tests {
         let loaded = store.load_chain(e).unwrap().unwrap();
         assert!(loaded.fell_back);
         assert_eq!(loaded.generation, 0, "only the full head survives");
-        assert_eq!(loaded.chain, vec![sample(5, 0)]);
+        assert_eq!(loaded.chain, vec![persisted[0].clone()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite regression for verified replay: a delta whose *stored
+    /// state hash* was rewritten — with the CRC frame recomputed so the
+    /// byte-level check passes — must still truncate the chain at that
+    /// delta, exactly like a bad CRC would. Only the chain seal catches
+    /// this class of corruption.
+    #[test]
+    fn delta_with_rewritten_state_hash_is_truncated() {
+        let dir = tmp("chain-badhash");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let e = EngineId::new(9);
+        let mut persisted = vec![sample(9, 0), delta_sample(9, 1), delta_sample(9, 2)];
+        seal_chain(&mut persisted);
+        for c in &persisted {
+            store.persist(c).unwrap();
+        }
+        // Rewrite the middle delta's recorded state hash and re-frame it
+        // with a freshly computed CRC: the frame verifies, the seal cannot.
+        let mid = dir.join(delta_ckpt_name(9, 1));
+        let bytes = fs::read(&mid).unwrap();
+        let mut tampered = EngineCheckpoint::from_bytes(&bytes[FRAME_HEADER..]).unwrap();
+        tampered.state_hash = tart_model::hash_of(&u64::MAX);
+        fs::write(&mid, frame(&tampered.to_bytes())).unwrap();
+
+        let loaded = store.load_chain(e).unwrap().unwrap();
+        assert!(loaded.fell_back);
+        assert_eq!(loaded.generation, 0, "truncated at the rewritten delta");
+        assert_eq!(loaded.chain, vec![persisted[0].clone()]);
+
+        // The same rewrite on the full head is caught too: with only one
+        // full on disk, the chain load reports irrecoverable corruption.
+        let head = dir.join(ckpt_name(9, 0));
+        let bytes = fs::read(&head).unwrap();
+        let mut tampered = EngineCheckpoint::from_bytes(&bytes[FRAME_HEADER..]).unwrap();
+        tampered.state_hash = tart_model::hash_of(&u64::MAX);
+        fs::write(&head, frame(&tampered.to_bytes())).unwrap();
+        assert!(matches!(
+            store.load_chain(e),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            store.load_latest(e),
+            Err(StoreError::Corrupt { .. })
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -821,12 +914,18 @@ mod tests {
         let dir = tmp("chain-fallback");
         let store = CheckpointStore::open(&dir).unwrap();
         let e = EngineId::new(6);
-        store.persist(&sample(6, 0)).unwrap(); // full g0
-        store.persist(&delta_sample(6, 1)).unwrap(); // delta g1
-        store.persist(&sample(6, 2)).unwrap(); // full g2
-        store.persist(&delta_sample(6, 3)).unwrap(); // delta g3
-                                                     // Damage the newest full: its delta g3 is orphaned, and the store
-                                                     // must fall back to the older full chain g0+g1.
+        let mut persisted = vec![
+            sample(6, 0),       // full g0
+            delta_sample(6, 1), // delta g1
+            sample(6, 2),       // full g2
+            delta_sample(6, 3), // delta g3
+        ];
+        seal_chain(&mut persisted);
+        for c in &persisted {
+            store.persist(c).unwrap();
+        }
+        // Damage the newest full: its delta g3 is orphaned, and the store
+        // must fall back to the older full chain g0+g1.
         let newest_full = dir.join(ckpt_name(6, 2));
         let mut bytes = fs::read(&newest_full).unwrap();
         let last = bytes.len() - 1;
@@ -836,7 +935,7 @@ mod tests {
         let loaded = store.load_chain(e).unwrap().unwrap();
         assert!(loaded.fell_back);
         assert_eq!(loaded.generation, 1);
-        assert_eq!(loaded.chain, vec![sample(6, 0), delta_sample(6, 1)]);
+        assert_eq!(loaded.chain, persisted[..2].to_vec());
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -847,12 +946,18 @@ mod tests {
         let e = EngineId::new(7);
         // Chains: [F0 d1] [F2 d3] [F4 d5] — pruning floors at the
         // 2nd-newest full, so the g0 chain goes and both newer chains stay.
-        for seq in 0..6u64 {
-            if seq % 2 == 0 {
-                store.persist(&sample(7, seq)).unwrap();
-            } else {
-                store.persist(&delta_sample(7, seq)).unwrap();
-            }
+        let mut persisted: Vec<EngineCheckpoint> = (0..6u64)
+            .map(|seq| {
+                if seq % 2 == 0 {
+                    sample(7, seq)
+                } else {
+                    delta_sample(7, seq)
+                }
+            })
+            .collect();
+        seal_chain(&mut persisted);
+        for c in &persisted {
+            store.persist(c).unwrap();
         }
         assert_eq!(store.generations(e), vec![2, 3, 4, 5]);
         assert_eq!(store.full_generations(e), vec![2, 4]);

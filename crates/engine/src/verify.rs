@@ -1,0 +1,136 @@
+//! Offline replay verification — the `replay --verify` half of verified
+//! replay (DESIGN.md §15).
+//!
+//! The live path ([`crate::EngineCore::restore`]) answers a yes/no
+//! question: does restoring this chain reproduce the state the original
+//! run recorded? This module answers the forensic follow-up when it does
+//! not: **where** did replay first diverge? [`verify_replay`] binary-
+//! searches chain prefixes — each probe restores a prefix into a throwaway
+//! core wired to a router with no registered inboxes, so its replay
+//! requests drop harmlessly and nothing escapes the probe — and reports
+//! the first divergent member and its virtual time.
+//!
+//! The bisection relies on the **single-corruption assumption** the rest
+//! of the recovery design already makes (one whole chain may rot, see
+//! `KEPT_GENERATIONS`): once replay diverges at member *j*, every longer
+//! prefix keeps failing, because later recorded hashes describe the
+//! original run's state, not the corrupt restoration. With several
+//! independent corruptions the probe still lands on *a* divergent member,
+//! just not necessarily the oldest one.
+
+use tart_estimator::DeterminismFault;
+use tart_model::AppSpec;
+use tart_vtime::{ComponentId, EngineId};
+
+use crate::checkpoint::{verify_chain, ChainDefect, DivergenceFault, EngineCheckpoint};
+use crate::core::EngineCore;
+use crate::router::Router;
+use crate::{ClusterConfig, Placement, ReplicaStore};
+
+/// Outcome of [`verify_replay`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayVerdict {
+    /// Every chain member restored and hash-verified; replay of the whole
+    /// chain reconverges on the recorded state.
+    Clean {
+        /// Number of chain members verified (0 for an empty chain, which
+        /// verifies vacuously).
+        members: usize,
+    },
+    /// The chain failed structural verification before any restore ran:
+    /// a member's seal does not recompute, or the chain opens with a
+    /// delta. The defect names the offending member.
+    Defective(ChainDefect),
+    /// Replay reconverges through `index - 1` chain members and first
+    /// diverges at member `index`.
+    Diverged {
+        /// Position of the first divergent member (0 = oldest).
+        index: usize,
+        /// That member's checkpoint sequence number.
+        seq: u64,
+        /// The structured fault from the failing probe; `fault.vt` is the
+        /// first divergent virtual time.
+        fault: DivergenceFault,
+    },
+}
+
+/// Restores `chain[..len]` into a throwaway core and returns the restore
+/// verdict. The router has no registered inboxes, so the replay requests a
+/// successful restore emits drop at the transport and the probe is
+/// side-effect free.
+fn probe(
+    spec: &AppSpec,
+    placement: &Placement,
+    config: &ClusterConfig,
+    engine: EngineId,
+    chain: &[EngineCheckpoint],
+    faults: &[(ComponentId, DeterminismFault)],
+) -> Result<(), DivergenceFault> {
+    let router = Router::new(config.faults.clone());
+    let (outputs_tx, _outputs_rx) = crossbeam::channel::unbounded();
+    let mut core = EngineCore::new(
+        engine,
+        spec,
+        placement,
+        config,
+        router,
+        ReplicaStore::new(),
+        outputs_tx,
+    );
+    core.restore(chain, faults)
+}
+
+/// Bisects a checkpoint chain for the first divergent virtual time.
+///
+/// Runs the structural check first ([`verify_chain`]); a defective chain
+/// is reported without restoring anything. Then probes the full chain —
+/// the common clean case costs a single restore — and only on failure
+/// binary-searches prefix lengths for the oldest member whose restoration
+/// no longer matches its recorded state hash.
+///
+/// Probes are offline: they never touch the live cluster, its router, or
+/// its observability counters. Use this after a promotion or cold restart
+/// reported a divergence, with the same chain it rejected (e.g. from
+/// [`crate::ReplicaStore::chain`] or [`crate::CheckpointStore::load_chain`]).
+pub fn verify_replay(
+    spec: &AppSpec,
+    placement: &Placement,
+    config: &ClusterConfig,
+    engine: EngineId,
+    chain: &[EngineCheckpoint],
+    faults: &[(ComponentId, DeterminismFault)],
+) -> ReplayVerdict {
+    if let Err(defect) = verify_chain(chain) {
+        return ReplayVerdict::Defective(defect);
+    }
+    let full_fault = match probe(spec, placement, config, engine, chain, faults) {
+        Ok(()) => {
+            return ReplayVerdict::Clean {
+                members: chain.len(),
+            }
+        }
+        Err(fault) => fault,
+    };
+    // Invariant: every prefix shorter than `lo` passes, the prefix of
+    // length `hi` fails and `fault_at_hi` is its fault. An empty prefix
+    // passes vacuously and the full chain just failed.
+    let (mut lo, mut hi) = (1, chain.len());
+    let mut fault_at_hi = full_fault;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match probe(spec, placement, config, engine, &chain[..mid], faults) {
+            Ok(()) => lo = mid + 1,
+            Err(fault) => {
+                fault_at_hi = fault;
+                hi = mid;
+            }
+        }
+    }
+    // lo == hi: the shortest failing prefix; its last member diverged.
+    let index = hi - 1;
+    ReplayVerdict::Diverged {
+        index,
+        seq: chain[index].seq,
+        fault: fault_at_hi,
+    }
+}

@@ -153,12 +153,28 @@ fn chaos_run(seed: u64, opts: &ChaosOptions, pace: Duration) -> Vec<(u64, String
         snap.failovers >= 1,
         "failover promotions land in the obs timeline"
     );
+    // Verified replay (DESIGN.md §15): every checkpoint and every promotion
+    // hashed state, and in a clean soak — chaos only crashes engines, it
+    // never corrupts their state — replay must reconverge every time.
+    assert!(
+        snap.state_hashes_computed > 0,
+        "checkpoints and promotions record state hashes"
+    );
+    assert_eq!(
+        snap.divergences_detected, 0,
+        "a clean soak must replay without a single divergence"
+    );
+    eprintln!(
+        "chaos-soak seed {seed:#x}: state_hashes_computed={} divergences_detected={}",
+        snap.state_hashes_computed, snap.divergences_detected,
+    );
     let path = cluster.write_obs_report().expect("obs report written");
     let text = std::fs::read_to_string(&path).expect("obs report readable");
     let req = tart_engine::ReportRequirements {
         failover_event: true,
         pessimism_samples: true,
         silence_totals: true,
+        zero_divergence: true,
     };
     assert_eq!(
         tart_engine::check_report(&text, req),

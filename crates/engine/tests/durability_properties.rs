@@ -109,7 +109,9 @@ fn arb_checkpoint() -> impl Strategy<Value = EngineCheckpoint> {
 
 /// Forces every chunk full so the checkpoint persists as a self-contained
 /// generation — the store refuses a delta with no full base, and
-/// `load_latest` has full-only semantics.
+/// `load_latest` has full-only semantics. Seals it the way the live
+/// checkpoint path does (self-contained members restart the seal chain),
+/// since the store's loaders verify seals.
 fn self_contained(mut c: EngineCheckpoint) -> EngineCheckpoint {
     for snap in c.components.values_mut() {
         let fields: Vec<(String, Vec<u8>)> = snap
@@ -120,6 +122,7 @@ fn self_contained(mut c: EngineCheckpoint) -> EngineCheckpoint {
             snap.put(&k, StateChunk::Full(bytes));
         }
     }
+    c.seal(&tart_model::StateHash::ZERO);
     c
 }
 

@@ -191,7 +191,9 @@ proptest! {
         // replay the external log.
         let (mut restored, outputs_b, _replica_b) = build_core(checkpoint_every);
         let chain = replica.chain();
-        restored.restore(&chain, &replica.faults());
+        restored
+            .restore(&chain, &replica.faults())
+            .expect("restore verifies against recorded hashes");
         // The "cluster" serves each wire's replay request: everything in
         // the log from one past the checkpointed consumed watermark, with
         // the frame count of exactly that range (as the supervisor does).

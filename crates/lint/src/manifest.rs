@@ -48,6 +48,14 @@ pub const TIERS: &[(&str, Tier)] = &[
     // below are listed explicitly; anything new lands in the fenced tier
     // until someone consciously moves it.
     ("crates/engine/", Tier::Deterministic),
+    // Verified replay (DESIGN.md §15): the hashing, sealing and bisection
+    // paths must themselves be deterministic, or the divergence detector
+    // would raise phantoms. Listed explicitly — despite matching the
+    // deterministic defaults above — so a future re-tiering of their parent
+    // prefixes cannot silently unfence them.
+    ("crates/model/src/hash.rs", Tier::Deterministic),
+    ("crates/engine/src/checkpoint.rs", Tier::Deterministic),
+    ("crates/engine/src/verify.rs", Tier::Deterministic),
     ("crates/engine/src/supervise.rs", Tier::Ops),
     ("crates/engine/src/chaos.rs", Tier::Ops),
     ("crates/engine/src/router.rs", Tier::Ops),
@@ -104,6 +112,18 @@ mod tests {
     #[test]
     fn unknown_paths_fail_closed() {
         assert_eq!(tier_for("crates/brand_new/src/lib.rs"), Tier::Deterministic);
+    }
+
+    #[test]
+    fn verified_replay_modules_are_fenced() {
+        // The hash/seal/bisect paths are pinned Deterministic by explicit
+        // entries, independent of their crate-prefix defaults.
+        assert_eq!(tier_for("crates/model/src/hash.rs"), Tier::Deterministic);
+        assert_eq!(
+            tier_for("crates/engine/src/checkpoint.rs"),
+            Tier::Deterministic
+        );
+        assert_eq!(tier_for("crates/engine/src/verify.rs"), Tier::Deterministic);
     }
 
     #[test]

@@ -144,6 +144,26 @@ fn ops_tier_permits_hash_iter_but_not_wallclock() {
 }
 
 #[test]
+fn verified_replay_paths_audit_at_full_severity() {
+    // The hashing and bisection modules back the divergence detector; a
+    // wall-clock read there would make replay disagree with itself. Their
+    // explicit manifest entries must keep them fenced at error severity.
+    for path in [
+        "crates/model/src/hash.rs",
+        "crates/engine/src/checkpoint.rs",
+        "crates/engine/src/verify.rs",
+    ] {
+        let a = audit_at(path, include_str!("fixtures/wallclock_pos.rs"));
+        assert_eq!(a.errors(), 1, "{path}: {:?}", a.findings);
+        let h = audit_at(path, include_str!("fixtures/hash_iter_pos.rs"));
+        assert!(
+            !h.findings.is_empty(),
+            "{path}: hash-iteration hazards must fire in the fenced tier"
+        );
+    }
+}
+
+#[test]
 fn exempt_tier_is_not_scanned() {
     let a = audit_at(
         "crates/bench/src/lib.rs",

@@ -166,6 +166,24 @@ pub trait Component: Send {
     ///
     /// Returns a [`RestoreError`] if a chunk is corrupt or inconsistent.
     fn restore(&mut self, snapshot: &Snapshot) -> Result<(), RestoreError>;
+
+    /// A deterministic 32-byte digest of the component's complete state as
+    /// of `vt` — the basis of verified replay (DESIGN.md §15).
+    ///
+    /// The default derives it from a full-mode [`Component::checkpoint`],
+    /// whose canonical encoding is a pure function of logical state for
+    /// components built on the checkpointable containers. The capture
+    /// resets incremental-journal bookkeeping (journals are drained into
+    /// the discarded full image), which is harmless at the two call sites —
+    /// immediately after a recorded checkpoint, and immediately after a
+    /// restore — where the journals are already empty.
+    ///
+    /// Components with cheap state may override this with a side-effect-free
+    /// [`crate::FoldState`] walk of their fields; the override must remain a
+    /// pure function of logical state and `vt`.
+    fn state_hash(&mut self, vt: VirtualTime) -> crate::StateHash {
+        self.checkpoint(CheckpointMode::Full, vt).state_hash()
+    }
 }
 
 impl fmt::Display for BlockId {

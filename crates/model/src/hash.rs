@@ -1,0 +1,417 @@
+//! Deterministic 32-byte state hashing for verified replay.
+//!
+//! The paper's recovery argument is that deterministic re-execution
+//! reconverges to the pre-crash state; until now the repo only checked this
+//! indirectly, by diffing external outputs. [`StateHash`] makes
+//! reconvergence a *runtime-checked invariant*: every checkpoint records a
+//! hash of the complete engine state, and the recovery path recomputes and
+//! compares it at every replay horizon (restore, promotion, cold restart).
+//!
+//! The hash is **not cryptographic** — the threat model is bit rot, torn
+//! writes and replay divergence, not an adversary. What matters is that it
+//! is *deterministic* (a pure function of the canonical codec encoding,
+//! which the checkpointable containers already guarantee is identical for
+//! equal state) and *sensitive* (any single-byte difference in the folded
+//! stream flips the digest with overwhelming probability). It is built from
+//! four independently seeded 64-bit multiply-xor-rotate lanes — no external
+//! crates, in keeping with the workspace's zero-dependency core.
+
+use std::fmt;
+
+use bytes::{BufMut, BytesMut};
+use tart_codec::{Decode, DecodeError, Encode, Reader};
+
+/// A deterministic 32-byte digest of checkpointable state.
+///
+/// # Example
+///
+/// ```
+/// use tart_model::{StateHash, StateHasher};
+///
+/// let mut h = StateHasher::new();
+/// h.update(b"counts");
+/// let a = h.finish();
+/// assert_ne!(a, StateHash::ZERO);
+/// // Same bytes, same digest:
+/// let mut h2 = StateHasher::new();
+/// h2.update(b"counts");
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateHash(pub [u8; 32]);
+
+impl StateHash {
+    /// The all-zero digest — the seed of a hash chain, never produced by
+    /// [`StateHasher::finish`] for any input (the finalizer folds in a
+    /// nonzero length tag).
+    pub const ZERO: StateHash = StateHash([0u8; 32]);
+
+    /// The digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Abbreviated hex form for logs and fault reports (first 8 bytes).
+    pub fn short_hex(&self) -> String {
+        self.0[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for StateHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateHash({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for StateHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Encode for StateHash {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.0);
+    }
+}
+
+impl Decode for StateHash {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut bytes = [0u8; 32];
+        for b in &mut bytes {
+            *b = r.read_u8()?;
+        }
+        Ok(StateHash(bytes))
+    }
+}
+
+/// Distinct odd seeds per lane (digits of well-known constants) so the four
+/// lanes never agree even on empty input.
+const SEEDS: [u64; 4] = [
+    0x243F_6A88_85A3_08D3, // π
+    0x1319_8A2E_0370_7344, // π
+    0xA409_3822_299F_31D0, // π
+    0x082E_FA98_EC4E_6C89, // π
+];
+
+/// Multiplicative constants per lane (odd, high-entropy).
+const MULT: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15, // golden ratio
+    0xC2B2_AE3D_27D4_EB4F, // xxhash prime
+    0xFF51_AFD7_ED55_8CCD, // murmur3 fmix
+    0xC4CE_B9FE_1A85_EC53, // murmur3 fmix
+];
+
+/// Streaming hasher producing a [`StateHash`].
+///
+/// Feed it bytes in **canonical codec order** — the same discipline the
+/// checkpointable containers use for full images (sorted map iteration,
+/// fixed field order) — and the digest is a pure function of logical state,
+/// independent of insertion order or journal history.
+#[derive(Clone, Debug)]
+pub struct StateHasher {
+    lanes: [u64; 4],
+    /// Partial word awaiting its remaining bytes (the digest depends only
+    /// on the total byte stream, never on `update` call boundaries).
+    buf: [u8; 8],
+    buf_len: usize,
+    /// Completed 8-byte words absorbed so far (selects the lane).
+    words: u64,
+    /// Total bytes absorbed (folded into the finalizer so streams that are
+    /// prefixes of one another cannot collide trivially).
+    len: u64,
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        StateHasher::new()
+    }
+}
+
+impl StateHasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        StateHasher {
+            lanes: SEEDS,
+            buf: [0u8; 8],
+            buf_len: 0,
+            words: 0,
+            len: 0,
+        }
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        // Complete a pending partial word first.
+        if self.buf_len > 0 {
+            let need = 8 - self.buf_len;
+            let take = need.min(bytes.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&bytes[..take]);
+            self.buf_len += take;
+            bytes = &bytes[take..];
+            if self.buf_len == 8 {
+                let word = u64::from_le_bytes(self.buf);
+                self.absorb_word(word);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.absorb_word(word);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Absorbs another digest — used to fold per-section hashes into a
+    /// combined engine-level digest, and to build hash chains.
+    pub fn update_hash(&mut self, hash: &StateHash) {
+        self.update(&hash.0);
+    }
+
+    /// Finalizes the digest.
+    pub fn finish(mut self) -> StateHash {
+        // Absorb the trailing partial word (if any), tagged with its length
+        // so a short tail can never alias a zero-padded full word.
+        if self.buf_len > 0 {
+            let mut tail = [0u8; 8];
+            tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            tail[7] = tail[7].wrapping_add(self.buf_len as u8).wrapping_add(1);
+            self.absorb_word(u64::from_le_bytes(tail));
+        }
+        // Fold the length and cross-mix the lanes so every input byte
+        // affects all 32 output bytes.
+        let len = self.len;
+        for (i, mult) in MULT.iter().enumerate() {
+            self.absorb(i, len ^ mult);
+        }
+        for round in 0..2 {
+            for i in 0..4 {
+                let neighbour = self.lanes[(i + 1 + round) & 3];
+                self.absorb(i, neighbour);
+            }
+        }
+        let mut out = [0u8; 32];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&mix(*lane).to_le_bytes());
+        }
+        StateHash(out)
+    }
+
+    fn absorb_word(&mut self, word: u64) {
+        let lane = (self.words & 3) as usize;
+        self.words = self.words.wrapping_add(1);
+        self.absorb(lane, word);
+    }
+
+    fn absorb(&mut self, lane: usize, word: u64) {
+        let v = (self.lanes[lane] ^ word).wrapping_mul(MULT[lane]);
+        self.lanes[lane] = v.rotate_left(27) ^ (v >> 31);
+    }
+}
+
+/// Final avalanche (murmur3 fmix64): every input bit flips each output bit
+/// with probability ≈½.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+/// State that can fold itself into a [`StateHasher`] in canonical order
+/// without mutating itself (unlike `take_chunk`, which consumes journals).
+///
+/// Implemented by the checkpointable containers ([`crate::CkptCell`],
+/// [`crate::CkptMap`], [`crate::CkptVec`]) and by [`crate::Snapshot`];
+/// components built from the containers get a deterministic state hash by
+/// folding each field in declaration order.
+pub trait FoldState {
+    /// Folds this value's canonical encoding into `hasher`.
+    fn fold_state(&self, hasher: &mut StateHasher);
+}
+
+/// Convenience: the digest of one encodable value.
+pub fn hash_of(value: &impl Encode) -> StateHash {
+    let mut h = StateHasher::new();
+    h.update(&value.to_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{Snapshot, StateChunk};
+    use proptest::prelude::*;
+    use tart_codec::Decode;
+    use tart_vtime::VirtualTime;
+
+    fn arb_chunk() -> impl Strategy<Value = StateChunk> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..48).prop_map(StateChunk::Full),
+            proptest::collection::vec(any::<u8>(), 0..48).prop_map(StateChunk::Delta),
+        ]
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+        (
+            0u64..1_000_000,
+            proptest::collection::btree_map("[a-z]{1,8}", arb_chunk(), 0..4),
+        )
+            .prop_map(|(vt, fields)| {
+                let mut s = Snapshot::new(VirtualTime::from_ticks(vt));
+                for (k, c) in fields {
+                    s.put(&k, c);
+                }
+                s
+            })
+    }
+
+    proptest! {
+        /// The hash is a function of the canonical encoding, so shipping
+        /// state through the codec — exactly what soft checkpointing does —
+        /// must never change its digest. A hash that drifted across
+        /// serialization would raise phantom divergences on every restore.
+        #[test]
+        fn state_hash_is_stable_across_codec_round_trip(snap in arb_snapshot()) {
+            let back = Snapshot::from_bytes(&snap.to_bytes()).expect("snapshot decodes");
+            prop_assert_eq!(back.state_hash(), snap.state_hash());
+        }
+
+        /// Flipping any single byte of any state chunk changes the digest:
+        /// the divergence detector must not have blind spots at any offset
+        /// of the checkpointed payload.
+        #[test]
+        fn single_byte_state_mutation_changes_hash(
+            snap in arb_snapshot(),
+            field_seed in any::<u64>(),
+            pos_seed in any::<u64>(),
+            flip in 1u8..=255,
+        ) {
+            let mutable: Vec<String> = snap
+                .iter()
+                .filter(|(_, c)| !c.bytes().is_empty())
+                .map(|(k, _)| k.to_owned())
+                .collect();
+            // The proptest shim has no prop_assume; a snapshot with no
+            // mutable payload is vacuously out of scope for this property.
+            if mutable.is_empty() {
+                return;
+            }
+            let field = &mutable[(field_seed % mutable.len() as u64) as usize];
+            let original = snap.state_hash();
+
+            let mut mutated = snap.clone();
+            let chunk = snap
+                .iter()
+                .find(|(k, _)| k == field)
+                .map(|(_, c)| c.clone())
+                .expect("field present");
+            let mut bytes = chunk.bytes().to_vec();
+            let pos = (pos_seed % bytes.len() as u64) as usize;
+            bytes[pos] ^= flip;
+            let flipped = match chunk {
+                StateChunk::Full(_) => StateChunk::Full(bytes),
+                StateChunk::Delta(_) => StateChunk::Delta(bytes),
+            };
+            mutated.put(field, flipped);
+            prop_assert_ne!(mutated.state_hash(), original);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = StateHasher::new();
+        a.update(b"hello");
+        a.update(b"world");
+        let mut b = StateHasher::new();
+        b.update(b"helloworld");
+        // Same total stream, different call boundaries: same digest.
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = StateHasher::new();
+        c.update(b"worldhello");
+        let mut d = StateHasher::new();
+        d.update(b"helloworld");
+        assert_ne!(c.finish(), d.finish(), "order matters");
+    }
+
+    #[test]
+    fn empty_input_is_not_zero() {
+        assert_ne!(StateHasher::new().finish(), StateHash::ZERO);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let base: Vec<u8> = (0..97u8).collect();
+        let reference = {
+            let mut h = StateHasher::new();
+            h.update(&base);
+            h.finish()
+        };
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                let mut h = StateHasher::new();
+                h.update(&flipped);
+                assert_ne!(
+                    h.finish(),
+                    reference,
+                    "flipping byte {i} bit {bit} must change the digest"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn length_extension_prefixes_differ() {
+        let mut a = StateHasher::new();
+        a.update(b"abc");
+        let mut b = StateHasher::new();
+        b.update(b"abc\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let mut h = StateHasher::new();
+        h.update(b"state");
+        let digest = h.finish();
+        let bytes = digest.to_bytes();
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(StateHash::from_bytes(&bytes).unwrap(), digest);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let digest = StateHash([0xAB; 32]);
+        assert_eq!(digest.to_string().len(), 64);
+        assert!(digest.to_string().starts_with("abab"));
+        assert_eq!(digest.short_hex(), "abababababababab");
+        assert!(format!("{digest:?}").contains("abab"));
+    }
+
+    #[test]
+    fn update_hash_folds() {
+        let inner = hash_of(&42u64);
+        let mut a = StateHasher::new();
+        a.update_hash(&inner);
+        let mut b = StateHasher::new();
+        b.update(inner.as_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod component;
+mod hash;
 mod instrumented;
 pub mod reference;
 mod snapshot;
@@ -47,6 +48,7 @@ mod topology;
 mod value;
 
 pub use component::{BlockId, Component, Ctx, Features, RecordingCtx};
+pub use hash::{hash_of, FoldState, StateHash, StateHasher};
 pub use instrumented::{Instrumented, PAYLOAD_SIZE_BLOCK, PORT_BLOCK_BASE};
 pub use snapshot::{CheckpointMode, RestoreError, Snapshot, StateChunk};
 pub use state::{CkptCell, CkptMap, CkptVec};

@@ -157,6 +157,18 @@ impl Snapshot {
     pub fn is_self_contained(&self) -> bool {
         self.chunks.values().all(StateChunk::is_full)
     }
+
+    /// The deterministic digest of this snapshot's canonical encoding
+    /// (capture time, then chunks in field order).
+    ///
+    /// For a **full** snapshot this is a pure function of the component's
+    /// logical state at `vt` — the basis of verified replay: the engine
+    /// records it at checkpoint time and recomputes it at every replay
+    /// horizon, so a replica or restore chain that diverged (bit rot, torn
+    /// state, nondeterministic re-execution) is caught before it speaks.
+    pub fn state_hash(&self) -> crate::StateHash {
+        crate::hash_of(self)
+    }
 }
 
 impl Encode for Snapshot {

@@ -12,7 +12,7 @@ use std::fmt;
 use bytes::{BufMut, BytesMut};
 use tart_codec::{Decode, DecodeError, Encode, Reader};
 
-use crate::{CheckpointMode, StateChunk};
+use crate::{CheckpointMode, FoldState, StateChunk, StateHasher};
 
 /// A single checkpointable value.
 ///
@@ -114,6 +114,14 @@ impl<T: Encode + Decode> CkptCell<T> {
 impl<T: Default> Default for CkptCell<T> {
     fn default() -> Self {
         CkptCell::new(T::default())
+    }
+}
+
+impl<T: Encode> FoldState for CkptCell<T> {
+    /// Folds the value's canonical encoding — identical bytes to the cell's
+    /// full checkpoint image, but without touching the dirty flag.
+    fn fold_state(&self, hasher: &mut StateHasher) {
+        hasher.update(&self.value.to_bytes());
     }
 }
 
@@ -345,6 +353,22 @@ where
     }
 }
 
+impl<K: Encode, V: Encode> FoldState for CkptMap<K, V> {
+    /// Folds the canonical full image (length, then ascending-key pairs) —
+    /// identical bytes to a full checkpoint chunk, but without draining the
+    /// journal. Equal logical state always folds identically, whatever the
+    /// update history.
+    fn fold_state(&self, hasher: &mut StateHasher) {
+        let mut buf = BytesMut::new();
+        (self.map.len() as u64).encode(&mut buf);
+        for (k, v) in &self.map {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+        hasher.update(&buf);
+    }
+}
+
 impl<K, V> fmt::Debug for CkptMap<K, V>
 where
     K: fmt::Debug,
@@ -554,6 +578,14 @@ where
 impl<T: Clone + Encode + Decode> Default for CkptVec<T> {
     fn default() -> Self {
         CkptVec::new()
+    }
+}
+
+impl<T: Encode> FoldState for CkptVec<T> {
+    /// Folds the canonical full image — identical bytes to a full checkpoint
+    /// chunk, but without draining the journal.
+    fn fold_state(&self, hasher: &mut StateHasher) {
+        hasher.update(&self.vec.to_bytes());
     }
 }
 
@@ -774,6 +806,47 @@ mod tests {
         let ops: Vec<VecOp<u32>> = vec![VecOp::Set(5, 1)];
         let mut v: CkptVec<u32> = CkptVec::new();
         assert!(v.apply_chunk(&StateChunk::Delta(ops.to_bytes())).is_err());
+    }
+
+    #[test]
+    fn fold_state_matches_full_image_without_side_effects() {
+        use crate::StateHasher;
+        let hash_of_bytes = |bytes: &[u8]| {
+            let mut h = StateHasher::new();
+            h.update(bytes);
+            h.finish()
+        };
+
+        let mut m: CkptMap<String, u64> = CkptMap::new();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        let journal_before = m.journal_len();
+        let mut h = StateHasher::new();
+        m.fold_state(&mut h);
+        let folded = h.finish();
+        assert_eq!(
+            m.journal_len(),
+            journal_before,
+            "folding must not drain the journal"
+        );
+        let full = m.take_chunk(CheckpointMode::Full).unwrap();
+        assert_eq!(folded, hash_of_bytes(full.bytes()));
+
+        let mut v: CkptVec<u32> = CkptVec::new();
+        v.push(7);
+        let mut h = StateHasher::new();
+        v.fold_state(&mut h);
+        let folded = h.finish();
+        let full = v.take_chunk(CheckpointMode::Full).unwrap();
+        assert_eq!(folded, hash_of_bytes(full.bytes()));
+
+        let mut c = CkptCell::new(9u64);
+        let mut h = StateHasher::new();
+        c.fold_state(&mut h);
+        let folded = h.finish();
+        assert!(c.is_dirty(), "folding must not clear the dirty flag");
+        let full = c.take_chunk(CheckpointMode::Full).unwrap();
+        assert_eq!(folded, hash_of_bytes(full.bytes()));
     }
 
     #[test]

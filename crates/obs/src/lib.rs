@@ -68,6 +68,8 @@ struct Counters {
     recalibrations: AtomicU64,
     wal_syncs: AtomicU64,
     checkpoint_persists: AtomicU64,
+    state_hashes_computed: AtomicU64,
+    divergences_detected: AtomicU64,
 }
 
 #[derive(Default)]
@@ -148,6 +150,31 @@ impl ObsHub {
         inner.wal_group_occupancy.record(occupancy);
     }
 
+    /// Records `n` deterministic state hashes computed by verified replay
+    /// (per-component digests plus the combined engine digest).
+    pub fn state_hashes_computed(&self, n: u64) {
+        self.counters
+            .state_hashes_computed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a detected state divergence: a recomputed state hash that
+    /// did not match the digest recorded at checkpoint time. `component`
+    /// is `None` when engine-level bookkeeping (not any one component's
+    /// state) diverged.
+    pub fn divergence(&self, engine: EngineId, component: Option<ComponentId>, vt: VirtualTime) {
+        self.counters
+            .divergences_detected
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(
+            engine.raw(),
+            ObsEventKind::Divergence {
+                component: component.map_or(u32::MAX, |c| c.raw()),
+                vt: vt.as_ticks(),
+            },
+        );
+    }
+
     /// Records one durable checkpoint persist and its wall latency.
     pub fn checkpoint_persisted(&self, elapsed_ns: u64) {
         self.counters
@@ -182,6 +209,8 @@ impl ObsHub {
             recalibrations: self.counters.recalibrations.load(Ordering::Relaxed),
             wal_syncs: self.counters.wal_syncs.load(Ordering::Relaxed),
             checkpoint_persists: self.counters.checkpoint_persists.load(Ordering::Relaxed),
+            state_hashes_computed: self.counters.state_hashes_computed.load(Ordering::Relaxed),
+            divergences_detected: self.counters.divergences_detected.load(Ordering::Relaxed),
             events_dropped: self.recorder.dropped(),
             pessimism_wait_ns: inner.pessimism_wait_ns.clone(),
             estimator_residual_ns: inner.estimator_residual_ns.clone(),
@@ -312,6 +341,18 @@ impl EngineObs {
         inner
             .estimator_residual_ns
             .record(estimated_ns.abs_diff(measured_ns));
+    }
+
+    /// Records `n` deterministic state hashes computed on this engine.
+    pub fn state_hashes_computed(&self, n: u64) {
+        self.hub.state_hashes_computed(n);
+    }
+
+    /// Records a detected state divergence on this engine (see
+    /// [`ObsHub::divergence`]).
+    pub fn divergence(&self, component: Option<ComponentId>, vt: VirtualTime) {
+        self.hub
+            .divergence(EngineId::new(self.engine), component, vt);
     }
 
     /// Records a determinism fault: a recalibrated estimator scheduled for

@@ -1,15 +1,17 @@
 //! `tart-obs` — obs-report tooling for CI.
 //!
 //! ```text
-//! tart-obs --check-report <path> [--require-failover] [--require-pessimism] [--require-silence]
+//! tart-obs --check-report <path> [--require-failover] [--require-pessimism]
+//!          [--require-silence] [--require-zero-divergence]
 //! ```
 //!
 //! Validates an `obs-report.json` produced by the chaos soak, the
 //! cold-restart drill or the throughput bench: the full key schema, a
 //! nonzero delivered count, and optionally the chaos-specific requirements
 //! (a recorded failover promotion, pessimism-wait samples, per-wire
-//! silence totals). Exit code 0 on a valid report, 1 on violations (each printed
-//! on its own line), 2 on usage errors.
+//! silence totals, zero verified-replay divergences). Exit code 0 on a
+//! valid report, 1 on violations (each printed on its own line), 2 on
+//! usage errors.
 
 use std::process::ExitCode;
 
@@ -18,7 +20,8 @@ use tart_obs::{check_report, ReportRequirements};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tart-obs --check-report <path> \
-         [--require-failover] [--require-pessimism] [--require-silence]"
+         [--require-failover] [--require-pessimism] [--require-silence] \
+         [--require-zero-divergence]"
     );
     ExitCode::from(2)
 }
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
             "--require-failover" => req.failover_event = true,
             "--require-pessimism" => req.pessimism_samples = true,
             "--require-silence" => req.silence_totals = true,
+            "--require-zero-divergence" => req.zero_divergence = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown argument '{other}'");

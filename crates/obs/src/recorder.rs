@@ -62,6 +62,15 @@ pub enum ObsEventKind {
         /// Virtual time the new estimator takes effect, in ticks.
         vt: u64,
     },
+    /// Verified replay caught a state divergence: a recomputed state hash
+    /// did not match the one recorded at checkpoint time.
+    Divergence {
+        /// Raw component id whose state diverged (`u32::MAX` when the
+        /// mismatch is in engine-level bookkeeping, not any one component).
+        component: u32,
+        /// Virtual time of the divergent replay horizon, in ticks.
+        vt: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -73,6 +82,7 @@ impl ObsEventKind {
             ObsEventKind::ReplayRequest { .. } => 3,
             ObsEventKind::FailoverPromotion => 4,
             ObsEventKind::RecalibrationFault { .. } => 5,
+            ObsEventKind::Divergence { .. } => 6,
         }
     }
 
@@ -85,6 +95,7 @@ impl ObsEventKind {
             ObsEventKind::ReplayRequest { .. } => "replay_request",
             ObsEventKind::FailoverPromotion => "failover_promotion",
             ObsEventKind::RecalibrationFault { .. } => "recalibration_fault",
+            ObsEventKind::Divergence { .. } => "divergence",
         }
     }
 }
@@ -130,6 +141,10 @@ impl ObsEvent {
                 w.field_u64("component", u64::from(*component));
                 w.field_u64("vt", *vt);
             }
+            ObsEventKind::Divergence { component, vt } => {
+                w.field_u64("component", u64::from(*component));
+                w.field_u64("vt", *vt);
+            }
         }
         w.end_obj();
     }
@@ -162,6 +177,10 @@ impl Encode for ObsEvent {
                 component.encode(buf);
                 vt.encode(buf);
             }
+            ObsEventKind::Divergence { component, vt } => {
+                component.encode(buf);
+                vt.encode(buf);
+            }
         }
     }
 }
@@ -189,6 +208,10 @@ impl Decode for ObsEvent {
             },
             4 => ObsEventKind::FailoverPromotion,
             5 => ObsEventKind::RecalibrationFault {
+                component: u32::decode(r)?,
+                vt: u64::decode(r)?,
+            },
+            6 => ObsEventKind::Divergence {
                 component: u32::decode(r)?,
                 vt: u64::decode(r)?,
             },
@@ -329,6 +352,10 @@ mod tests {
             ObsEventKind::RecalibrationFault {
                 component: 4,
                 vt: u64::MAX,
+            },
+            ObsEventKind::Divergence {
+                component: u32::MAX,
+                vt: 42,
             },
         ];
         for kind in kinds {

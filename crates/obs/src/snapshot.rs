@@ -24,7 +24,10 @@ use crate::json::{self, Json, JsonWriter};
 use crate::recorder::ObsEvent;
 
 /// Current report schema version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the verified-replay counters (`state_hashes_computed`,
+/// `divergences_detected`).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Point-in-time export of every obs metric plus the flight-recorder
 /// timeline. See the module docs for the serialization contract.
@@ -48,6 +51,12 @@ pub struct ObsSnapshot {
     pub wal_syncs: u64,
     /// Checkpoints persisted to the durable store.
     pub checkpoint_persists: u64,
+    /// Deterministic state hashes computed by verified replay (per-component
+    /// digests plus combined engine digests).
+    pub state_hashes_computed: u64,
+    /// State divergences detected: recomputed hashes that did not match the
+    /// digest recorded at checkpoint time. Zero in any clean run.
+    pub divergences_detected: u64,
     /// Flight-recorder events evicted to stay within the ring cap.
     pub events_dropped: u64,
     /// Wall time a message sat released-but-blocked on silence, ns.
@@ -75,6 +84,8 @@ impl Encode for ObsSnapshot {
         self.recalibrations.encode(buf);
         self.wal_syncs.encode(buf);
         self.checkpoint_persists.encode(buf);
+        self.state_hashes_computed.encode(buf);
+        self.divergences_detected.encode(buf);
         self.events_dropped.encode(buf);
         self.pessimism_wait_ns.encode(buf);
         self.estimator_residual_ns.encode(buf);
@@ -97,6 +108,8 @@ impl Decode for ObsSnapshot {
             recalibrations: u64::decode(r)?,
             wal_syncs: u64::decode(r)?,
             checkpoint_persists: u64::decode(r)?,
+            state_hashes_computed: u64::decode(r)?,
+            divergences_detected: u64::decode(r)?,
             events_dropped: u64::decode(r)?,
             pessimism_wait_ns: Histogram::decode(r)?,
             estimator_residual_ns: Histogram::decode(r)?,
@@ -142,6 +155,8 @@ impl ObsSnapshot {
         w.field_u64("recalibrations", self.recalibrations);
         w.field_u64("wal_syncs", self.wal_syncs);
         w.field_u64("checkpoint_persists", self.checkpoint_persists);
+        w.field_u64("state_hashes_computed", self.state_hashes_computed);
+        w.field_u64("divergences_detected", self.divergences_detected);
         w.field_u64("events_dropped", self.events_dropped);
         write_hist(&mut w, "pessimism_wait_ns", &self.pessimism_wait_ns);
         write_hist(&mut w, "estimator_residual_ns", &self.estimator_residual_ns);
@@ -176,6 +191,10 @@ pub struct ReportRequirements {
     pub pessimism_samples: bool,
     /// Require at least one per-wire silence total.
     pub silence_totals: bool,
+    /// Require `divergences_detected` to be exactly zero: verified replay
+    /// recomputed state hashes and every one matched its recorded digest.
+    /// Clean soaks and gates set this; corruption drills must NOT.
+    pub zero_divergence: bool,
 }
 
 /// Top-level keys every report must carry.
@@ -189,6 +208,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "recalibrations",
     "wal_syncs",
     "checkpoint_persists",
+    "state_hashes_computed",
+    "divergences_detected",
     "events_dropped",
     "pessimism_wait_ns",
     "estimator_residual_ns",
@@ -276,6 +297,15 @@ pub fn check_report(text: &str, req: ReportRequirements) -> Result<(), Vec<Strin
     {
         problems.push("silence_per_wire has no totals".into());
     }
+    if req.zero_divergence {
+        match doc.get("divergences_detected").and_then(Json::as_u64) {
+            Some(0) => {}
+            Some(n) => problems.push(format!(
+                "{n} state divergence(s) detected: replay did not reconverge"
+            )),
+            None => problems.push("divergences_detected is missing or not a number".into()),
+        }
+    }
     if problems.is_empty() {
         Ok(())
     } else {
@@ -299,6 +329,8 @@ mod tests {
             recalibrations: 0,
             wal_syncs: 3,
             checkpoint_persists: 5,
+            state_hashes_computed: 20,
+            divergences_detected: 0,
             events_dropped: 0,
             ..ObsSnapshot::default()
         };
@@ -333,6 +365,7 @@ mod tests {
             failover_event: true,
             pessimism_samples: true,
             silence_totals: true,
+            zero_divergence: true,
         };
         assert_eq!(check_report(&json, req), Ok(()));
     }
@@ -359,9 +392,33 @@ mod tests {
             failover_event: true,
             pessimism_samples: true,
             silence_totals: true,
+            zero_divergence: false,
         };
         let errs = check_report(&snap.to_json(), req).unwrap_err();
         assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+
+    #[test]
+    fn zero_divergence_requirement_rejects_divergent_runs() {
+        let mut snap = sample();
+        let req = ReportRequirements {
+            zero_divergence: true,
+            ..ReportRequirements::default()
+        };
+        assert_eq!(check_report(&snap.to_json(), req), Ok(()));
+        snap.divergences_detected = 2;
+        let errs = check_report(&snap.to_json(), req).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("2 state divergence")),
+            "{errs:?}"
+        );
+        // A report predating the counters cannot satisfy the requirement.
+        let errs = check_report("{\"delivered\": 1}", req).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("divergences_detected is missing")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -21,6 +21,8 @@ fn arb_kind() -> impl Strategy<Value = ObsEventKind> {
         Just(ObsEventKind::FailoverPromotion),
         (any::<u32>(), any::<u64>())
             .prop_map(|(component, vt)| ObsEventKind::RecalibrationFault { component, vt }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(component, vt)| ObsEventKind::Divergence { component, vt }),
     ]
 }
 
@@ -44,7 +46,7 @@ fn arb_hist() -> impl Strategy<Value = Histogram> {
 
 fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
     (
-        proptest::collection::vec(any::<u64>(), 9),
+        proptest::collection::vec(any::<u64>(), 11),
         (arb_hist(), arb_hist(), arb_hist(), arb_hist()),
         proptest::collection::btree_map(any::<u32>(), any::<u64>(), 0..16),
         proptest::collection::vec(arb_event(), 0..24),
@@ -61,7 +63,9 @@ fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
                 recalibrations: counters[5],
                 wal_syncs: counters[6],
                 checkpoint_persists: counters[7],
-                events_dropped: counters[8],
+                state_hashes_computed: counters[8],
+                divergences_detected: counters[9],
+                events_dropped: counters[10],
                 pessimism_wait_ns: pessimism,
                 estimator_residual_ns: residual,
                 wal_group_occupancy: occupancy,

@@ -126,7 +126,9 @@ fn main() {
         // Recovery time: from starting the promotion until the restored
         // engine's first (replayed or fresh) output reaches the consumer.
         let promote_start = std::time::Instant::now();
-        cluster.promote(EngineId::new(1));
+        cluster
+            .promote(EngineId::new(1))
+            .expect("promotion of a killed engine succeeds");
         let recovery_us = loop {
             let fresh = cluster.take_outputs();
             if !fresh.is_empty() {

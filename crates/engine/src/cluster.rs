@@ -19,6 +19,7 @@ use crate::chaos::{ChaosHandle, ChaosPlan};
 use crate::checkpoint::{verify_chain, ChainDefect};
 use crate::core::{EngineCore, Flow};
 use crate::router::{EXTERNAL_ENGINE, SUPERVISOR_ENGINE};
+use crate::standby::{StandbyPlane, StandbyStatus, WarmCandidate};
 use crate::store::CheckpointStore;
 use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
@@ -82,6 +83,48 @@ impl fmt::Display for DeployError {
 }
 
 impl std::error::Error for DeployError {}
+
+/// Errors raised by [`Cluster::promote`].
+///
+/// A mistimed promotion — from a racing supervisor, an operator script, or
+/// a chaos drill — degrades to a structured error the caller can log and
+/// retry, instead of unwinding inside the host lock and poisoning every
+/// later cluster operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PromoteError {
+    /// The engine id was never deployed on this cluster.
+    UnknownEngine(EngineId),
+    /// The engine is still alive — fail-stop it ([`Cluster::kill`]) first.
+    EngineStillAlive(EngineId),
+    /// Hash verification discarded **every** generation of a non-empty
+    /// checkpoint chain: nothing restorable survives, and resuming from
+    /// scratch would silently discard the engine's entire history. The
+    /// engine is left dead; its flight-recorder dumps say which members
+    /// diverged.
+    ChainExhausted {
+        /// The engine whose chain was exhausted.
+        engine: EngineId,
+        /// Generations verification discarded on the way to empty.
+        discarded: usize,
+    },
+}
+
+impl fmt::Display for PromoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromoteError::UnknownEngine(e) => write!(f, "engine {e} was never deployed"),
+            PromoteError::EngineStillAlive(e) => {
+                write!(f, "engine {e} is still alive; kill it before promoting")
+            }
+            PromoteError::ChainExhausted { engine, discarded } => write!(
+                f,
+                "engine {engine}: all {discarded} checkpoint generations failed verification"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PromoteError {}
 
 /// Shared per-external-wire producer state: the timestamp floor (covering
 /// data and heartbeat silence) so data and silence never contradict.
@@ -221,6 +264,10 @@ pub(crate) struct EngineHost {
     /// checkpoint store record into it. Ops-plane only; nothing here ever
     /// feeds back into checkpointed state.
     pub(crate) obs: Arc<tart_obs::ObsHub>,
+    /// Warm-standby plane ([`ClusterConfig::with_warm_standby`]): receives
+    /// every engine's checkpoint/input stream and pre-applies it in the
+    /// background so promotion only replays the unapplied tail.
+    pub(crate) standby: Option<StandbyPlane>,
 }
 
 /// Dumps the engine's flight recorder if its thread unwinds — the timeline
@@ -427,13 +474,25 @@ impl EngineHost {
     ///
     /// Returns the restored core and whether verification forced a shorter
     /// chain than the caller supplied.
+    ///
+    /// # Errors
+    ///
+    /// When an **originally non-empty** chain is discarded down to nothing
+    /// — every generation defective or divergent — the error carries how
+    /// many generations were thrown away. Restoring vacuously in that case
+    /// would silently erase the engine's entire history; the caller decides
+    /// (promotion surfaces [`PromoteError::ChainExhausted`], cold restart
+    /// surfaces [`DeployError::DurabilityUnavailable`]). A chain that was
+    /// empty to begin with still restores vacuously: a never-checkpointed
+    /// engine legitimately restarts from scratch.
     fn restore_verified(
         &self,
         engine: EngineId,
         replica: &ReplicaStore,
         mut chain: Vec<EngineCheckpoint>,
         faults: &[(ComponentId, tart_estimator::DeterminismFault)],
-    ) -> (EngineCore, bool) {
+    ) -> Result<(EngineCore, bool), usize> {
+        let original_len = chain.len();
         let mut fell_back = false;
         if let Err(defect) = verify_chain(&chain) {
             dump_flight(&self.obs, &format!("chain defect for {engine}: {defect}"));
@@ -443,6 +502,15 @@ impl EngineHost {
             fell_back = true;
         }
         loop {
+            if chain.is_empty() && original_len > 0 {
+                dump_flight(
+                    &self.obs,
+                    &format!(
+                        "chain exhausted for {engine}: all {original_len} generations discarded"
+                    ),
+                );
+                return Err(original_len);
+            }
             let mut core = EngineCore::new(
                 engine,
                 &self.spec,
@@ -457,7 +525,7 @@ impl EngineHost {
             }
             core.set_obs(self.obs.engine(engine));
             match core.restore(&chain, faults) {
-                Ok(()) => return (core, fell_back),
+                Ok(()) => return Ok((core, fell_back)),
                 Err(fault) => {
                     dump_flight(
                         &self.obs,
@@ -473,22 +541,36 @@ impl EngineHost {
     /// Promotes `engine`'s passive replica: rebuilds the components from the
     /// checkpoint chain and the determinism-fault log, re-registers the
     /// inbox, and replays — from upstream retention for internal wires and
-    /// from the message log for external wires (§II.F.3–4). The chain is
-    /// hash-verified on the way in ([`EngineHost::restore_verified`]): a
-    /// corrupted or divergent suffix is discarded and the promotion restores
-    /// from the longest verified prefix instead of resuming corrupt state.
+    /// from the message log for external wires (§II.F.3–4).
     ///
-    /// # Panics
+    /// With a warm standby ([`ClusterConfig::with_warm_standby`]) whose
+    /// slot is anchored and undemoted, only the chain tail the standby has
+    /// not yet absorbed is seal-checked and applied before activation —
+    /// the sub-horizon promotion path, O(tail) rather than O(chain). The
+    /// warm core is discarded and promotion falls back to the cold drill
+    /// whenever the candidate is stale, the unabsorbed tail fails its seal
+    /// check, or the tail digests diverge. Cold promotion is
+    /// hash-verified the same way ([`EngineHost::restore_verified`]): a
+    /// corrupted or divergent suffix is discarded and the promotion
+    /// restores from the longest verified prefix instead of resuming
+    /// corrupt state.
     ///
-    /// Panics if the engine is still alive.
-    pub(crate) fn promote(&self, engine: EngineId) {
+    /// # Errors
+    ///
+    /// See [`PromoteError`]. On [`PromoteError::ChainExhausted`] the engine
+    /// is left dead and deregistered — resuming from nothing would silently
+    /// erase its history.
+    pub(crate) fn promote(&self, engine: EngineId) -> Result<(), PromoteError> {
+        // tart-lint: allow(WALLCLOCK) -- ops-plane: promotion latency is availability telemetry, never replayed state
+        let t0 = Instant::now();
         let replica = {
             let engines = self.engines.lock();
-            let slot = engines.get(&engine).expect("engine was deployed");
-            assert!(
-                !slot.alive,
-                "promote requires a dead engine (call kill first)"
-            );
+            let slot = engines
+                .get(&engine)
+                .ok_or(PromoteError::UnknownEngine(engine))?;
+            if slot.alive {
+                return Err(PromoteError::EngineStillAlive(engine));
+            }
             slot.replica.clone()
         };
         let chain = replica.chain();
@@ -497,15 +579,29 @@ impl EngineHost {
         let fresh_replica = ReplicaStore::new();
         self.obs.failover(engine);
 
+        // Taking the candidate resets the slot either way: the next
+        // incarnation re-anchors at its first (full) checkpoint, and a
+        // demotion verdict applies only to the incarnation that earned it.
+        let warm = self.standby.as_ref().and_then(|p| p.take(engine));
+
         // Register the new inbox FIRST so the replay responses triggered by
         // restore (and live traffic) reach the restored engine.
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(engine, tx.clone());
 
-        // Restore state (hash-verified, falling back to a shorter chain on
-        // divergence) and issue replay requests — to upstream engines for
-        // internal wires, to the log-replay service for external ones.
-        let (core, _fell_back) = self.restore_verified(engine, &fresh_replica, chain, &faults);
+        // Warm path first; any mismatch falls through to the cold drill,
+        // which restores the longest verified chain prefix from scratch.
+        let (core, warm_used) =
+            match self.warm_restore(engine, &fresh_replica, &chain, &faults, warm) {
+                Some(core) => (core, true),
+                None => match self.restore_verified(engine, &fresh_replica, chain, &faults) {
+                    Ok((core, _fell_back)) => (core, false),
+                    Err(discarded) => {
+                        self.router.deregister(engine);
+                        return Err(PromoteError::ChainExhausted { engine, discarded });
+                    }
+                },
+            };
 
         let metrics = core.metrics_handle();
         let thread = self.spawn_engine_loop(engine, core, rx, true);
@@ -519,6 +615,73 @@ impl EngineHost {
                 alive: true,
             },
         );
+        self.obs
+            .promotion_complete(engine, warm_used, t0.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// The warm-promotion attempt: locate the standby's last absorbed
+    /// member in the authoritative chain by `(seq, chain_seal)`, apply only
+    /// the tail after it, and run the ordinary activation (which verifies
+    /// the tail digests before any output escapes). Returns `None` — fall
+    /// back to cold — when there is no candidate, the candidate is stale,
+    /// the unabsorbed tail fails its seal check, or activation diverges.
+    fn warm_restore(
+        &self,
+        engine: EngineId,
+        fresh_replica: &ReplicaStore,
+        chain: &[EngineCheckpoint],
+        faults: &[(ComponentId, tart_estimator::DeterminismFault)],
+        warm: Option<WarmCandidate>,
+    ) -> Option<EngineCore> {
+        let cand = warm?;
+        let idx = chain
+            .iter()
+            .position(|c| c.seq == cand.applied_seq && c.chain_seal == cand.applied_seal)?;
+        // Seal-check only the tail the standby never absorbed. The prefix
+        // needs no re-hash: the standby verified every member it applied
+        // (seal continuity and state digests), and `chain_seal` at `idx`
+        // commits to the entire prefix through the seal chain, so the
+        // `(seq, chain_seal)` match above vouches for it transitively.
+        // This keeps warm promotion O(tail), not O(chain) — the whole
+        // point of the standby. A defective tail goes cold, where
+        // restore_verified owns the truncate-and-retry discipline.
+        let mut prev_seal = cand.applied_seal;
+        for member in &chain[idx + 1..] {
+            let expected_prev = if member.is_self_contained() {
+                tart_model::StateHash::ZERO
+            } else {
+                prev_seal
+            };
+            if member.seal_over(&expected_prev) != member.chain_seal {
+                dump_flight(
+                    &self.obs,
+                    &format!("standby for {engine} unusable: tail seal defect; going cold"),
+                );
+                return None;
+            }
+            prev_seal = member.chain_seal;
+        }
+        let mut core = cand.core;
+        core.set_replica(fresh_replica.clone());
+        if let Some(store) = &self.durable {
+            core.set_durable(Arc::clone(store));
+        }
+        core.set_obs(self.obs.engine(engine));
+        for ckpt in &chain[idx + 1..] {
+            core.apply_member_snapshots(ckpt);
+        }
+        core.apply_faults(faults);
+        match core.finish_restore(chain) {
+            Ok(()) => Some(core),
+            Err(fault) => {
+                dump_flight(
+                    &self.obs,
+                    &format!("warm restore for {engine} diverged ({fault}); going cold"),
+                );
+                None
+            }
+        }
     }
 
     fn engine_metrics(&self, engine: EngineId) -> Option<EngineMetrics> {
@@ -599,6 +762,17 @@ impl Cluster {
         if let Some(store) = &durable {
             store.set_obs(Arc::clone(&obs));
         }
+        let standby = config.standby.clone().map(|s| {
+            StandbyPlane::start(
+                s,
+                spec.clone(),
+                placement.clone(),
+                config.clone(),
+                router.clone(),
+                outputs_tx.clone(),
+                Arc::clone(&obs),
+            )
+        });
         let host = Arc::new(EngineHost {
             spec,
             placement,
@@ -608,6 +782,7 @@ impl Cluster {
             engines: Mutex::new(HashMap::new()),
             durable,
             obs,
+            standby,
         });
         let mut cluster = Cluster {
             host: Arc::clone(&host),
@@ -728,6 +903,17 @@ impl Cluster {
         let obs = Arc::new(tart_obs::ObsHub::new());
         log.set_obs(Arc::clone(&obs));
         store.set_obs(Arc::clone(&obs));
+        let standby = config.standby.clone().map(|s| {
+            StandbyPlane::start(
+                s,
+                spec.clone(),
+                placement.clone(),
+                config.clone(),
+                router.clone(),
+                outputs_tx.clone(),
+                Arc::clone(&obs),
+            )
+        });
         let host = Arc::new(EngineHost {
             spec,
             placement,
@@ -737,6 +923,7 @@ impl Cluster {
             engines: Mutex::new(HashMap::new()),
             durable: Some(Arc::clone(&store)),
             obs,
+            standby,
         });
         let mut cluster = Cluster {
             host: Arc::clone(&host),
@@ -810,8 +997,21 @@ impl Cluster {
             // Hash-verified cold restart: the loaded chain passed the
             // store's CRC and seal checks, and restore re-derives the live
             // state hash against the recorded one — a divergent suffix is
-            // discarded rather than resumed.
-            let (core, diverged) = host.restore_verified(engine, &replica, chain, &faults);
+            // discarded rather than resumed. A chain discarded to nothing
+            // is terminal: tear down whatever already started and report,
+            // rather than resuming an engine with its history erased.
+            let (core, diverged) = match host.restore_verified(engine, &replica, chain, &faults) {
+                Ok(restored) => restored,
+                Err(discarded) => {
+                    for started in host.engine_ids() {
+                        host.kill(started);
+                    }
+                    host.router.send(EXTERNAL_ENGINE, Envelope::Die);
+                    return Err(DeployError::DurabilityUnavailable(format!(
+                        "engine {engine}: all {discarded} restored checkpoint generations failed verification"
+                    )));
+                }
+            };
             let fell_back = fell_back || diverged;
             let metrics = core.metrics_handle();
             let thread = host.spawn_engine_loop(engine, core, rx, true);
@@ -971,13 +1171,37 @@ impl Cluster {
     }
 
     /// Promotes `engine`'s passive replica (the manual recovery drill; see
-    /// [`EngineHost::promote`]).
+    /// [`EngineHost::promote`]). Warm when a standby slot is anchored,
+    /// cold otherwise.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the engine is still alive.
-    pub fn promote(&mut self, engine: EngineId) {
-        self.host.promote(engine);
+    /// See [`PromoteError`] — promoting a live or unknown engine, or one
+    /// whose every checkpoint generation failed verification, reports
+    /// instead of panicking.
+    pub fn promote(&mut self, engine: EngineId) -> Result<(), PromoteError> {
+        self.host.promote(engine)
+    }
+
+    /// The warm-standby slot view for `engine`: `None` when no standby
+    /// plane is configured or no stream member has arrived yet.
+    pub fn standby_status(&self, engine: EngineId) -> Option<StandbyStatus> {
+        self.host.standby.as_ref().and_then(|p| p.status(engine))
+    }
+
+    /// Chaos hook: corrupt a recorded digest on the next checkpoint
+    /// `engine`'s warm standby applies, forcing a divergence demotion (the
+    /// standby-divergence drill). The authoritative replica chain is
+    /// untouched, so recovery still converges through the cold path.
+    /// Returns `false` when no standby plane is running.
+    pub fn corrupt_standby(&self, engine: EngineId) -> bool {
+        match &self.host.standby {
+            Some(plane) => {
+                plane.corrupt_next(engine);
+                true
+            }
+            None => false,
+        }
     }
 
     /// All deployed engine ids, ascending.

@@ -134,6 +134,40 @@ impl SupervisionConfig {
     }
 }
 
+/// Warm-standby (hot-failover) tuning.
+///
+/// Enabled via [`ClusterConfig::with_warm_standby`]. Each supervised engine
+/// streams its soft checkpoints and external-input head to a passive
+/// standby plane (LLFT-style leader-follower replication); the standby
+/// pre-applies checkpoints in the background once they trail the primary's
+/// virtual-time head by `trailing_horizon_ticks`, verifying every applied
+/// checkpoint against its recorded state hash. Promotion then replays only
+/// the unapplied tail, so recovery latency is bounded by the horizon
+/// instead of growing with log depth — the availability guarantee: *the
+/// replay starting point is never older than the trailing horizon*.
+#[derive(Clone, Debug)]
+pub struct StandbyConfig {
+    /// How far (in virtual-time ticks ≈ ns) the standby trails the
+    /// primary's head before pre-applying a streamed checkpoint. The
+    /// margin keeps the standby from racing ahead of retention trims while
+    /// bounding the replay tail a promotion must cover.
+    pub trailing_horizon_ticks: u64,
+    /// How often the standby plane drains its inbox and applies eligible
+    /// checkpoints.
+    pub apply_interval: Duration,
+}
+
+impl Default for StandbyConfig {
+    /// ~100 ms of virtual time (the documented availability bound), 5 ms
+    /// apply cadence.
+    fn default() -> Self {
+        StandbyConfig {
+            trailing_horizon_ticks: 100_000_000,
+            apply_interval: Duration::from_millis(5),
+        }
+    }
+}
+
 /// Where and how a cluster persists its crash-safe state.
 ///
 /// Enabled via [`ClusterConfig::with_durability`]. Inside `dir` the cluster
@@ -217,6 +251,11 @@ pub struct ClusterConfig {
     /// whole-process crash is unrecoverable. Supersedes `log_path` when
     /// both are set.
     pub durability: Option<DurabilityConfig>,
+    /// Warm-standby failover: stream checkpoints to a passive replica that
+    /// pre-applies them up to a trailing horizon, so promotion replays only
+    /// the unapplied tail. `None` (the default) keeps promotion on the cold
+    /// path (full chain replay through `restore_verified`).
+    pub standby: Option<StandbyConfig>,
     /// Verified-replay hash cadence: additionally digest the engine's
     /// deterministic bookkeeping (consumed and sent watermarks, component
     /// clocks) every this many deliveries. Component *state* digests are
@@ -246,6 +285,7 @@ impl ClusterConfig {
             auto_recalibrate_after: None,
             supervision: None,
             durability: None,
+            standby: None,
             hash_state_every: None,
         }
     }
@@ -354,6 +394,24 @@ impl ClusterConfig {
         self
     }
 
+    /// Enables warm-standby failover (builder style): checkpoints stream
+    /// to a passive standby plane that pre-applies them up to the
+    /// configured trailing horizon, bounding promotion latency (see
+    /// [`StandbyConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing horizon is zero — a zero-horizon standby
+    /// would race the primary's retention trims.
+    pub fn with_warm_standby(mut self, standby: StandbyConfig) -> Self {
+        assert!(
+            standby.trailing_horizon_ticks > 0,
+            "standby trailing horizon must be positive"
+        );
+        self.standby = Some(standby);
+        self
+    }
+
     /// Enables the between-checkpoint verified-replay hash cadence
     /// (builder style): digest the engine's deterministic bookkeeping every
     /// `every` deliveries (see [`ClusterConfig::hash_state_every`]).
@@ -411,6 +469,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("estimators", &self.estimators.len())
             .field("supervision", &self.supervision)
             .field("durability", &self.durability)
+            .field("standby", &self.standby)
             .finish()
     }
 }
@@ -501,6 +560,24 @@ mod tests {
         let cfg = cfg.with_supervision(SupervisionConfig::fast());
         let s = cfg.supervision.expect("enabled");
         assert!(s.suspicion_timeout > s.heartbeat_interval);
+    }
+
+    #[test]
+    fn warm_standby_is_off_by_default_and_opt_in() {
+        let cfg = ClusterConfig::logical_time();
+        assert!(cfg.standby.is_none(), "cold promotion is the default");
+        let cfg = cfg.with_warm_standby(StandbyConfig::default());
+        let s = cfg.standby.expect("enabled");
+        assert_eq!(s.trailing_horizon_ticks, 100_000_000, "~100ms of vt");
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing horizon must be positive")]
+    fn zero_standby_horizon_rejected() {
+        let _ = ClusterConfig::logical_time().with_warm_standby(StandbyConfig {
+            trailing_horizon_ticks: 0,
+            apply_interval: Duration::from_millis(1),
+        });
     }
 
     #[test]

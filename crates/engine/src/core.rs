@@ -323,6 +323,14 @@ impl EngineCore {
         self.obs = obs;
     }
 
+    /// Repoints this core at a different replica store. Used at warm
+    /// promotion: the standby plane builds its background core before the
+    /// promotion-time replica exists, so the fresh store is swapped in when
+    /// the core goes live.
+    pub(crate) fn set_replica(&mut self, replica: ReplicaStore) {
+        self.replica = replica;
+    }
+
     /// Shared handle to this engine's metrics.
     pub fn metrics_handle(&self) -> Arc<Mutex<EngineMetrics>> {
         Arc::clone(&self.metrics)
@@ -467,6 +475,10 @@ impl EngineCore {
             // Heartbeats are addressed to the supervisor inbox, never to an
             // engine; one arriving here (a mis-route) is ignored.
             Envelope::Heartbeat { .. } => Flow::Continue,
+            // Standby replication streams are addressed to the standby
+            // plane's sentinel inbox, never to an engine; one arriving here
+            // (a mis-route) is ignored.
+            Envelope::StandbyCheckpoint { .. } | Envelope::StandbyInput { .. } => Flow::Continue,
             Envelope::Die => Flow::Die,
             Envelope::Drain => Flow::Drain,
         }
@@ -474,6 +486,23 @@ impl EngineCore {
 
     fn on_data(&mut self, wire: WireId, vt: VirtualTime, prev_vt: VirtualTime, payload: Value) {
         self.metrics.lock().data_received += 1;
+        // Warm standby: every external arrival is already logged (and thus
+        // replayable), so advancing the standby plane's notion of this
+        // engine's input head costs one control-plane envelope and lets the
+        // plane pace its trailing-horizon pre-apply. Best-effort — with no
+        // plane registered the router drops the envelope silently.
+        if self.config.standby.is_some()
+            && self.wire_source.get(&wire) == Some(&WireSource::External)
+        {
+            self.router.send(
+                crate::router::STANDBY_ENGINE,
+                Envelope::StandbyInput {
+                    engine: self.id,
+                    wire,
+                    vt,
+                },
+            );
+        }
         if let Some(stash) = self.recovering.get_mut(&wire) {
             stash.data.insert(vt, (prev_vt, payload));
             return;
@@ -1303,6 +1332,18 @@ impl EngineCore {
             Some(store) => store.persist(&ckpt).is_ok(),
             None => true,
         };
+        // Warm standby: stream the checkpoint to the standby plane so the
+        // passive side can pre-apply it in the background. Fire-and-forget;
+        // the `ReplicaStore` push below remains the correctness path, so a
+        // lost or ignored stream member costs warmth, never recoverability.
+        if self.config.standby.is_some() {
+            self.router.send(
+                crate::router::STANDBY_ENGINE,
+                Envelope::StandbyCheckpoint {
+                    ckpt: Box::new(ckpt.clone()),
+                },
+            );
+        }
         self.replica.push_checkpoint(ckpt);
         if !persisted {
             // The disk refused the new generation: upstream retention must
@@ -1366,22 +1407,45 @@ impl EngineCore {
     ) -> Result<(), DivergenceFault> {
         // Apply snapshots in shipped order.
         for ckpt in chain {
-            for (cid, snap) in &ckpt.components {
-                let component = self
-                    .components
-                    .get_mut(cid)
-                    .expect("checkpoint names hosted component")
-                    .as_mut()
-                    .expect("not executing");
-                component
-                    .restore(snap)
-                    .expect("replica checkpoint chain is well-formed");
-            }
+            self.apply_member_snapshots(ckpt);
         }
-        // Determinism faults: reinstall re-calibrations in order (§II.G.4),
-        // whether or not a checkpoint was ever shipped — replay must use
-        // the old estimator up to each logged switch point and the new one
-        // after (the paper's time-100,000,000 example).
+        self.apply_faults(faults);
+        if chain.last().is_none() {
+            // No checkpoint ever shipped: restart from scratch; replay
+            // everything from the beginning.
+            let wires: Vec<WireId> = self.wire_source.keys().copied().collect();
+            for wire in wires {
+                self.enter_recovery(wire, VirtualTime::ZERO);
+            }
+            return Ok(());
+        }
+        self.finish_restore(chain)
+    }
+
+    /// Applies one chain member's component snapshots, in place. No
+    /// scheduler bookkeeping, no verification, no router traffic — safe to
+    /// run against a core that is not (yet) the live engine, which is
+    /// exactly how the warm-standby plane pre-applies the stream in the
+    /// background (`crate::standby`).
+    pub(crate) fn apply_member_snapshots(&mut self, ckpt: &EngineCheckpoint) {
+        for (cid, snap) in &ckpt.components {
+            let component = self
+                .components
+                .get_mut(cid)
+                .expect("checkpoint names hosted component")
+                .as_mut()
+                .expect("not executing");
+            component
+                .restore(snap)
+                .expect("replica checkpoint chain is well-formed");
+        }
+    }
+
+    /// Reinstalls the determinism-fault log: re-calibrations in order
+    /// (§II.G.4), whether or not a checkpoint was ever shipped — replay
+    /// must use the old estimator up to each logged switch point and the
+    /// new one after (the paper's time-100,000,000 example).
+    pub(crate) fn apply_faults(&mut self, faults: &[(ComponentId, DeterminismFault)]) {
         for (cid, fault) in faults {
             if let Some(schedule) = self.estimators.get_mut(cid) {
                 schedule
@@ -1393,15 +1457,80 @@ impl EngineCore {
             // the logged fault already covers this component.
             self.calibrators.remove(cid);
         }
-        let Some(last) = chain.last() else {
-            // No checkpoint ever shipped: restart from scratch; replay
-            // everything from the beginning.
-            let wires: Vec<WireId> = self.wire_source.keys().copied().collect();
-            for wire in wires {
-                self.enter_recovery(wire, VirtualTime::ZERO);
+    }
+
+    /// Verifies the digests `ckpt` recorded against live component state —
+    /// which must already reflect the chain up to and including `ckpt` —
+    /// then the combined engine digest over the checkpoint's own recorded
+    /// bookkeeping. Pure read of component state: no scheduler or router
+    /// side effects, so the standby plane runs it after every background
+    /// pre-apply and the cold path runs the identical check at the chain
+    /// tail inside [`EngineCore::finish_restore`].
+    pub(crate) fn verify_member(&mut self, ckpt: &EngineCheckpoint) -> Result<(), DivergenceFault> {
+        let mut recomputed = BTreeMap::new();
+        for (cid, expected) in &ckpt.component_hashes {
+            let clock = ckpt.clocks.get(cid).copied().unwrap_or(VirtualTime::ZERO);
+            let component = self
+                .components
+                .get_mut(cid)
+                .expect("checkpoint names hosted component")
+                .as_mut()
+                .expect("not executing");
+            let actual = component.state_hash(clock);
+            if actual != *expected {
+                self.obs.divergence(Some(*cid), clock);
+                return Err(DivergenceFault {
+                    component: Some(*cid),
+                    vt: clock,
+                    expected: *expected,
+                    actual,
+                });
             }
-            return Ok(());
-        };
+            recomputed.insert(*cid, actual);
+        }
+        self.obs.state_hashes_computed(recomputed.len() as u64 + 1);
+        let combined = combined_state_hash(&recomputed, &ckpt.clocks, &ckpt.consumed, &ckpt.sent);
+        if combined != ckpt.state_hash {
+            let vt = ckpt
+                .clocks
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(VirtualTime::ZERO);
+            self.obs.divergence(None, vt);
+            return Err(DivergenceFault {
+                component: None,
+                vt,
+                expected: ckpt.state_hash,
+                actual: combined,
+            });
+        }
+        Ok(())
+    }
+
+    /// Completes a restore whose component snapshots are already applied:
+    /// scheduler bookkeeping and retention from the chain, digest
+    /// verification at the tail, re-emission of retained external outputs,
+    /// and replay-request arming for every input wire. Factored out of
+    /// [`EngineCore::restore`] so a warm promotion — whose standby core
+    /// pre-applied most of the chain in the background — runs the same
+    /// activation over a chain it mostly already carries.
+    ///
+    /// # Errors
+    ///
+    /// A [`DivergenceFault`] when the applied state fails the tail digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain (the empty case restores vacuously in
+    /// [`EngineCore::restore`] and never reaches here).
+    pub(crate) fn finish_restore(
+        &mut self,
+        chain: &[EngineCheckpoint],
+    ) -> Result<(), DivergenceFault> {
+        let last = chain
+            .last()
+            .expect("finish_restore requires a non-empty chain");
         // Scheduler bookkeeping from the last checkpoint.
         for (cid, clock) in &last.clocks {
             self.mux.gate_mut(*cid).advance_clock(*clock);
@@ -1449,44 +1578,7 @@ impl EngineCore {
         // state must reproduce them exactly, or recovery did not
         // reconverge. Checked before any recovered output escapes below.
         self.last_chain_seal = last.chain_seal;
-        let mut recomputed = BTreeMap::new();
-        for (cid, expected) in &last.component_hashes {
-            let clock = last.clocks.get(cid).copied().unwrap_or(VirtualTime::ZERO);
-            let component = self
-                .components
-                .get_mut(cid)
-                .expect("checkpoint names hosted component")
-                .as_mut()
-                .expect("not executing");
-            let actual = component.state_hash(clock);
-            if actual != *expected {
-                self.obs.divergence(Some(*cid), clock);
-                return Err(DivergenceFault {
-                    component: Some(*cid),
-                    vt: clock,
-                    expected: *expected,
-                    actual,
-                });
-            }
-            recomputed.insert(*cid, actual);
-        }
-        self.obs.state_hashes_computed(recomputed.len() as u64 + 1);
-        let combined = combined_state_hash(&recomputed, &last.clocks, &last.consumed, &last.sent);
-        if combined != last.state_hash {
-            let vt = last
-                .clocks
-                .values()
-                .copied()
-                .max()
-                .unwrap_or(VirtualTime::ZERO);
-            self.obs.divergence(None, vt);
-            return Err(DivergenceFault {
-                component: None,
-                vt,
-                expected: last.state_hash,
-                actual: combined,
-            });
-        }
+        self.verify_member(last)?;
         // External outputs: the channel the originals went down died with
         // the process, and their producing inputs are consumed per this
         // chain, so replay will never regenerate them — re-emit every

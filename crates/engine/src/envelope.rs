@@ -8,6 +8,8 @@ use tart_silence::SilencePolicy;
 use tart_vtime::ComponentId;
 use tart_vtime::{EngineId, VirtualTime, WireId};
 
+use crate::checkpoint::EngineCheckpoint;
+
 /// Everything that travels between engines (and from injectors into
 /// engines).
 ///
@@ -124,6 +126,28 @@ pub enum Envelope {
         /// after failover, letting the supervisor spot the new incarnation).
         seq: u64,
     },
+    /// A soft checkpoint streamed from a primary engine to its warm
+    /// standby (LLFT-style leader-follower replication). Travels the
+    /// reliable control plane; the standby pre-applies it in the background
+    /// once it trails the primary's virtual-time head by the configured
+    /// horizon, verifying its recorded `state_hash` as it goes.
+    StandbyCheckpoint {
+        /// The streamed checkpoint (boxed: checkpoints are large relative
+        /// to every other envelope kind).
+        ckpt: Box<EngineCheckpoint>,
+    },
+    /// The primary's virtual-time head advancing: one logged external
+    /// input was delivered at `vt` on `wire`. The standby uses the head to
+    /// compute its trailing horizon and its replication lag; the payload
+    /// itself still replays from retention/log on promotion.
+    StandbyInput {
+        /// The primary engine whose head advanced.
+        engine: EngineId,
+        /// The external wire the input arrived on.
+        wire: WireId,
+        /// The input's virtual time (the new head).
+        vt: VirtualTime,
+    },
 }
 
 impl Envelope {
@@ -136,7 +160,8 @@ impl Envelope {
             | Envelope::ReplayRequest { wire, .. }
             | Envelope::ReplayDone { wire, .. }
             | Envelope::TrimAck { wire, .. }
-            | Envelope::Eos { wire, .. } => Some(*wire),
+            | Envelope::Eos { wire, .. }
+            | Envelope::StandbyInput { wire, .. } => Some(*wire),
             _ => None,
         }
     }
@@ -161,6 +186,8 @@ const TAG_RECALIBRATE: u8 = 9;
 const TAG_EOS: u8 = 10;
 const TAG_SET_SILENCE: u8 = 11;
 const TAG_HEARTBEAT: u8 = 12;
+const TAG_STANDBY_CHECKPOINT: u8 = 13;
+const TAG_STANDBY_INPUT: u8 = 14;
 
 impl Encode for Envelope {
     fn encode(&self, buf: &mut BytesMut) {
@@ -237,6 +264,16 @@ impl Encode for Envelope {
                 engine.encode(buf);
                 seq.encode(buf);
             }
+            Envelope::StandbyCheckpoint { ckpt } => {
+                buf.put_u8(TAG_STANDBY_CHECKPOINT);
+                ckpt.encode(buf);
+            }
+            Envelope::StandbyInput { engine, wire, vt } => {
+                buf.put_u8(TAG_STANDBY_INPUT);
+                engine.encode(buf);
+                wire.encode(buf);
+                vt.encode(buf);
+            }
         }
     }
 }
@@ -289,6 +326,14 @@ impl Decode for Envelope {
             TAG_HEARTBEAT => Ok(Envelope::Heartbeat {
                 engine: EngineId::decode(r)?,
                 seq: u64::decode(r)?,
+            }),
+            TAG_STANDBY_CHECKPOINT => Ok(Envelope::StandbyCheckpoint {
+                ckpt: Box::new(EngineCheckpoint::decode(r)?),
+            }),
+            TAG_STANDBY_INPUT => Ok(Envelope::StandbyInput {
+                engine: EngineId::decode(r)?,
+                wire: WireId::decode(r)?,
+                vt: VirtualTime::decode(r)?,
             }),
             tag => Err(DecodeError::InvalidTag {
                 tag,
@@ -356,6 +401,14 @@ mod tests {
                 engine: EngineId::new(5),
                 seq: u64::MAX,
             },
+            Envelope::StandbyCheckpoint {
+                ckpt: Box::new(EngineCheckpoint::new(EngineId::new(2), 7)),
+            },
+            Envelope::StandbyInput {
+                engine: EngineId::new(2),
+                wire: w,
+                vt: vt(123),
+            },
         ];
         for env in variants {
             let bytes = env.to_bytes();
@@ -421,6 +474,19 @@ mod tests {
             .faultable(),
             "the failure detector must not be confused by injected link faults"
         );
+        assert!(
+            !Envelope::StandbyCheckpoint {
+                ckpt: Box::new(EngineCheckpoint::new(EngineId::new(0), 0))
+            }
+            .faultable(),
+            "standby replication rides the reliable control plane"
+        );
+        assert!(!Envelope::StandbyInput {
+            engine: EngineId::new(0),
+            wire: w,
+            vt: vt(1)
+        }
+        .faultable());
     }
 
     #[test]

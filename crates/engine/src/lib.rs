@@ -65,6 +65,7 @@ mod log;
 pub mod net;
 mod retention;
 mod router;
+mod standby;
 mod store;
 mod supervise;
 mod verify;
@@ -75,13 +76,14 @@ pub use checkpoint::{
     combined_state_hash, verify_chain, ChainDefect, DivergenceFault, EngineCheckpoint, ReplicaStore,
 };
 pub use clock::{LogicalClock, RealClock, TimeSource};
-pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, RecoveryReport};
-pub use config::{ClusterConfig, DurabilityConfig, Placement, SupervisionConfig};
+pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, PromoteError, RecoveryReport};
+pub use config::{ClusterConfig, DurabilityConfig, Placement, StandbyConfig, SupervisionConfig};
 pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord};
 pub use envelope::Envelope;
 pub use log::{LogError, MessageLog};
 pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
+pub use standby::StandbyStatus;
 pub use store::{CheckpointStore, LoadedChain, LoadedCheckpoint, StoreError};
 pub use supervise::{FailureDetector, SupervisionMetrics};
 pub use tart_obs::{

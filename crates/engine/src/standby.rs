@@ -1,0 +1,362 @@
+//! The warm-standby plane: background pre-apply of streamed checkpoints.
+//!
+//! With [`crate::StandbyConfig`] enabled, every engine streams its soft
+//! checkpoints ([`Envelope::StandbyCheckpoint`]) and external-input head
+//! advances ([`Envelope::StandbyInput`]) to the sentinel inbox this plane
+//! owns ([`crate::router::STANDBY_ENGINE`]). A single background thread
+//! keeps one passive [`EngineCore`] per streaming engine and pre-applies
+//! each checkpoint's component snapshots once it is at least
+//! [`crate::StandbyConfig::trailing_horizon_ticks`] of virtual time behind
+//! the engine's observed input head — verifying every applied member
+//! against its recorded state digests ([`EngineCore::verify_member`]).
+//!
+//! A hash mismatch **demotes** the slot: the tainted core is dropped and
+//! the slot refuses further stream members, so promotion falls back to the
+//! cold `restore_verified` path instead of taking over with bad state
+//! (LLFT's leader/follower discipline, hardened by DESIGN.md §15's
+//! verified replay). A stream gap — a delta whose base was never applied —
+//! merely de-anchors the slot until the next self-contained generation;
+//! gaps cost warmth, never correctness, because the authoritative
+//! [`crate::ReplicaStore`] chain is untouched by any of this.
+//!
+//! At promotion, [`StandbyPlane::take`] hands the pre-applied core (plus
+//! the `(seq, chain_seal)` coordinates of the last member it absorbed) to
+//! `EngineHost::promote`, which applies only the unapplied chain tail and
+//! runs the ordinary tail-digest activation.
+
+// Ops-plane module (tart-lint tier: Ops): the standby plane runs on wall-clock pacing and never feeds state back into the replayable core until promotion swaps a verified core in. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use tart_model::{AppSpec, StateHash};
+use tart_vtime::{EngineId, VirtualTime};
+
+use crate::cluster::dump_flight;
+use crate::config::StandbyConfig;
+use crate::core::{EngineCore, OutputRecord};
+use crate::router::STANDBY_ENGINE;
+use crate::{ClusterConfig, EngineCheckpoint, Envelope, Placement, ReplicaStore, Router};
+
+/// Point-in-time view of one engine's standby slot (test and operator
+/// introspection; see [`crate::Cluster::standby_status`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StandbyStatus {
+    /// Stream members verified and pre-applied so far (across the slot's
+    /// current incarnation).
+    pub applied: u64,
+    /// Checkpoints received but still inside the trailing horizon.
+    pub pending: usize,
+    /// Whether the slot currently holds a chain-consistent core (a warm
+    /// takeover candidate).
+    pub anchored: bool,
+    /// Whether a digest mismatch demoted this slot to cold-replay mode.
+    pub demoted: bool,
+}
+
+/// What [`StandbyPlane::take`] hands to a warm promotion.
+pub(crate) struct WarmCandidate {
+    /// The pre-applied passive core.
+    pub(crate) core: EngineCore,
+    /// Sequence number of the last chain member the core absorbed.
+    pub(crate) applied_seq: u64,
+    /// Chain seal of that member — promotion locates it in the
+    /// authoritative replica chain by `(seq, seal)` and applies only what
+    /// follows.
+    pub(crate) applied_seal: StateHash,
+}
+
+/// One engine's passive slot.
+struct StandbySlot {
+    /// The background core; `None` until the first self-contained
+    /// checkpoint anchors it (or after demotion/takeover).
+    core: Option<EngineCore>,
+    /// Received checkpoints not yet old enough to apply (trailing horizon).
+    pending: VecDeque<EngineCheckpoint>,
+    /// Highest virtual time observed for this engine (checkpoint captures
+    /// and external-input arrivals both advance it).
+    head: VirtualTime,
+    /// Whether `core` reflects an unbroken seal chain through
+    /// `applied_seq`/`applied_seal`.
+    anchored: bool,
+    applied_seq: u64,
+    applied_seal: StateHash,
+    applied: u64,
+    demoted: bool,
+    /// Chaos hook: flip a recorded digest on the next member applied, to
+    /// drill the demotion path ([`StandbyPlane::corrupt_next`]).
+    tamper_next: bool,
+}
+
+impl Default for StandbySlot {
+    fn default() -> Self {
+        StandbySlot {
+            core: None,
+            pending: VecDeque::new(),
+            head: VirtualTime::ZERO,
+            anchored: false,
+            applied_seq: 0,
+            applied_seal: StateHash::ZERO,
+            applied: 0,
+            demoted: false,
+            tamper_next: false,
+        }
+    }
+}
+
+/// Everything the plane thread needs to build a passive core on demand.
+struct PlaneCtx {
+    cfg: StandbyConfig,
+    spec: AppSpec,
+    placement: Placement,
+    config: ClusterConfig,
+    router: Router,
+    outputs_tx: crossbeam::channel::Sender<OutputRecord>,
+    hub: Arc<tart_obs::ObsHub>,
+}
+
+struct PlaneShared {
+    slots: Mutex<BTreeMap<EngineId, StandbySlot>>,
+    stop: AtomicBool,
+}
+
+/// The cluster-wide warm-standby plane: one background thread, one slot
+/// per streaming engine. Owned by `EngineHost`; torn down on drop.
+pub(crate) struct StandbyPlane {
+    shared: Arc<PlaneShared>,
+    router: Router,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StandbyPlane {
+    /// Registers the sentinel inbox and starts the pre-apply thread.
+    pub(crate) fn start(
+        cfg: StandbyConfig,
+        spec: AppSpec,
+        placement: Placement,
+        config: ClusterConfig,
+        router: Router,
+        outputs_tx: crossbeam::channel::Sender<OutputRecord>,
+        hub: Arc<tart_obs::ObsHub>,
+    ) -> StandbyPlane {
+        let (tx, rx) = unbounded::<Envelope>();
+        router.register(STANDBY_ENGINE, tx);
+        let shared = Arc::new(PlaneShared {
+            slots: Mutex::new(BTreeMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        let ctx = PlaneCtx {
+            cfg,
+            spec,
+            placement,
+            config,
+            router: router.clone(),
+            outputs_tx,
+            hub,
+        };
+        let shared_thread = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("tart-standby".into())
+            .spawn(move || {
+                while !shared_thread.stop.load(Ordering::Relaxed) {
+                    match rx.recv_timeout(ctx.cfg.apply_interval) {
+                        Ok(env) => {
+                            on_envelope(&shared_thread, env);
+                            for env in rx.try_iter() {
+                                on_envelope(&shared_thread, env);
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                    apply_eligible(&shared_thread, &ctx);
+                }
+            })
+            .expect("spawn standby thread");
+        StandbyPlane {
+            shared,
+            router,
+            thread: Some(thread),
+        }
+    }
+
+    /// Takes the warm candidate for `engine`, if its slot holds an
+    /// anchored, undemoted core. Always resets the slot — the next
+    /// incarnation re-anchors at its first (full) checkpoint, and a
+    /// demoted slot's verdict applies only to the incarnation it watched.
+    pub(crate) fn take(&self, engine: EngineId) -> Option<WarmCandidate> {
+        let mut slots = self.shared.slots.lock();
+        let slot = slots.get_mut(&engine)?;
+        let was = std::mem::take(slot);
+        if was.demoted || !was.anchored {
+            return None;
+        }
+        Some(WarmCandidate {
+            core: was.core?,
+            applied_seq: was.applied_seq,
+            applied_seal: was.applied_seal,
+        })
+    }
+
+    /// The current slot view for `engine` (`None` before any stream member
+    /// arrived).
+    pub(crate) fn status(&self, engine: EngineId) -> Option<StandbyStatus> {
+        self.shared
+            .slots
+            .lock()
+            .get(&engine)
+            .map(|s| StandbyStatus {
+                applied: s.applied,
+                pending: s.pending.len(),
+                anchored: s.anchored,
+                demoted: s.demoted,
+            })
+    }
+
+    /// Chaos hook: corrupt a recorded digest on the next member the slot
+    /// applies, forcing the demotion drill without touching the
+    /// authoritative replica chain.
+    pub(crate) fn corrupt_next(&self, engine: EngineId) {
+        self.shared
+            .slots
+            .lock()
+            .entry(engine)
+            .or_default()
+            .tamper_next = true;
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.router.deregister(STANDBY_ENGINE);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StandbyPlane {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A checkpoint's capture-time virtual clock: the max across components.
+fn ckpt_vt(ckpt: &EngineCheckpoint) -> VirtualTime {
+    ckpt.clocks
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(VirtualTime::ZERO)
+}
+
+fn on_envelope(shared: &PlaneShared, env: Envelope) {
+    match env {
+        Envelope::StandbyCheckpoint { ckpt } => {
+            let mut slots = shared.slots.lock();
+            let slot = slots.entry(ckpt.engine).or_default();
+            if slot.demoted {
+                return; // cold-replay mode until the next incarnation
+            }
+            slot.head = slot.head.max_with(ckpt_vt(&ckpt));
+            slot.pending.push_back(*ckpt);
+        }
+        Envelope::StandbyInput { engine, vt, .. } => {
+            let mut slots = shared.slots.lock();
+            let slot = slots.entry(engine).or_default();
+            slot.head = slot.head.max_with(vt);
+        }
+        Envelope::Die => { /* plane shutdown rides the stop flag */ }
+        _ => { /* mis-routed traffic; the data plane never targets us */ }
+    }
+}
+
+/// Applies, per slot, every pending checkpoint that has fallen behind the
+/// trailing horizon. Holding the slots lock across the apply is fine: the
+/// only contended operations (`take`, `status`, `corrupt_next`) run at
+/// promotion or test cadence, not per-message.
+fn apply_eligible(shared: &PlaneShared, ctx: &PlaneCtx) {
+    let horizon = ctx.cfg.trailing_horizon_ticks;
+    let mut slots = shared.slots.lock();
+    for (engine, slot) in slots.iter_mut() {
+        while let Some(front) = slot.pending.front() {
+            if ckpt_vt(front).as_ticks().saturating_add(horizon) > slot.head.as_ticks() {
+                break; // still inside the horizon; stay trailing
+            }
+            let ckpt = slot.pending.pop_front().expect("front exists");
+            apply_one(*engine, slot, ckpt, ctx);
+            if slot.demoted {
+                break;
+            }
+        }
+    }
+}
+
+fn apply_one(engine: EngineId, slot: &mut StandbySlot, mut ckpt: EngineCheckpoint, ctx: &PlaneCtx) {
+    if ckpt.is_self_contained() {
+        // Full generations (re-)anchor the slot: a full restore overwrites
+        // component state completely, exactly as the cold path applies
+        // mid-chain fulls onto already-restored cores.
+        if slot.core.is_none() {
+            let mut core = EngineCore::new(
+                engine,
+                &ctx.spec,
+                &ctx.placement,
+                &ctx.config,
+                ctx.router.clone(),
+                ReplicaStore::new(),
+                ctx.outputs_tx.clone(),
+            );
+            core.set_obs(ctx.hub.engine(engine));
+            slot.core = Some(core);
+        }
+    } else if !(slot.anchored
+        && slot.core.is_some()
+        && ckpt.seq == slot.applied_seq + 1
+        && ckpt.seal_over(&slot.applied_seal) == ckpt.chain_seal)
+    {
+        // A delta whose base we never absorbed (stream gap, or a seal that
+        // does not continue from what we applied). Not divergence — the
+        // authoritative replica chain is intact — so just de-anchor and
+        // wait for the next full generation to restart the seal chain.
+        slot.anchored = false;
+        return;
+    }
+    if slot.tamper_next {
+        slot.tamper_next = false;
+        if let Some(hash) = ckpt.component_hashes.values_mut().next() {
+            hash.0[0] ^= 0xFF;
+        }
+    }
+    let vt = ckpt_vt(&ckpt);
+    let core = slot.core.as_mut().expect("anchored slots hold a core");
+    core.apply_member_snapshots(&ckpt);
+    match core.verify_member(&ckpt) {
+        Ok(()) => {
+            slot.anchored = true;
+            slot.applied_seq = ckpt.seq;
+            slot.applied_seal = ckpt.chain_seal;
+            slot.applied += 1;
+            ctx.hub
+                .standby_applied(slot.head.as_ticks().saturating_sub(vt.as_ticks()));
+        }
+        Err(fault) => {
+            // Demote: drop the tainted core and refuse the rest of this
+            // incarnation's stream. Promotion will go cold, which replays
+            // the verified chain from scratch — slower, never wrong.
+            slot.core = None;
+            slot.pending.clear();
+            slot.anchored = false;
+            slot.demoted = true;
+            ctx.hub.standby_demotion(engine, fault.vt);
+            dump_flight(
+                &ctx.hub,
+                &format!("standby for {engine} diverged, demoted to cold replay: {fault}"),
+            );
+        }
+    }
+}

@@ -175,29 +175,56 @@ impl Supervisor {
                     for id in host.engine_ids() {
                         // tart-lint: allow(WALLCLOCK) -- ops-plane: suspicion is judged against real elapsed time
                         let now = Instant::now();
-                        let det = detectors
-                            .entry(id)
-                            .or_insert_with(|| FailureDetector::new(cfg.heartbeat_interval, now));
-                        if !host.is_alive(id) {
-                            // Deliberately killed: recovery stays manual.
-                            // Keep the detector fresh so a later promote
-                            // is not instantly re-suspected.
-                            det.reset(now);
-                            continue;
-                        }
-                        if det.suspect(now, &cfg) {
+                        let suspected = {
+                            let det = detectors.entry(id).or_insert_with(|| {
+                                FailureDetector::new(cfg.heartbeat_interval, now)
+                            });
+                            if !host.is_alive(id) {
+                                // Deliberately killed: recovery stays
+                                // manual. Keep the detector fresh so a
+                                // later promote is not instantly
+                                // re-suspected.
+                                det.reset(now);
+                                continue;
+                            }
+                            det.suspect(now, &cfg)
+                        };
+                        if suspected {
                             metrics_thread.lock().suspicions += 1;
                             host.kill(id);
-                            host.promote(id);
-                            // The promotion just appended its event; dump
-                            // the timeline that led to it while it is hot.
-                            crate::cluster::dump_flight(
-                                &host.obs,
-                                &format!("supervisor promoted {id}"),
-                            );
+                            match host.promote(id) {
+                                Ok(()) => {
+                                    // The promotion just appended its
+                                    // event; dump the timeline that led to
+                                    // it while it is hot.
+                                    crate::cluster::dump_flight(
+                                        &host.obs,
+                                        &format!("supervisor promoted {id}"),
+                                    );
+                                    metrics_thread.lock().failovers += 1;
+                                }
+                                Err(err) => {
+                                    // Nothing restorable (or a racing
+                                    // promotion): leave the engine dead
+                                    // rather than thrash. The drill did not
+                                    // complete, so `failovers` stays put.
+                                    crate::cluster::dump_flight(
+                                        &host.obs,
+                                        &format!("supervisor promotion of {id} failed: {err}"),
+                                    );
+                                }
+                            }
+                            // Flapping guard: the kill → promote drill
+                            // blocked this loop, so EVERY detector's view
+                            // of "recent silence" is stale — not just the
+                            // promoted engine's. Reset them all, or the
+                            // next poll cascades one recovery into a storm
+                            // of spurious failovers.
                             // tart-lint: allow(WALLCLOCK) -- ops-plane: detector reset after a failover is a real-time event
-                            det.reset(Instant::now());
-                            metrics_thread.lock().failovers += 1;
+                            let fresh = Instant::now();
+                            for det in detectors.values_mut() {
+                                det.reset(fresh);
+                            }
                         }
                     }
                 }

@@ -14,7 +14,8 @@
 use std::time::{Duration, Instant};
 
 use tart_engine::{
-    ChaosOptions, ChaosPlan, Cluster, ClusterConfig, OutputRecord, Placement, SupervisionConfig,
+    ChaosOptions, ChaosPlan, Cluster, ClusterConfig, OutputRecord, Placement, StandbyConfig,
+    SupervisionConfig,
 };
 use tart_estimator::EstimatorSpec;
 use tart_model::reference::{self, fan_in_app};
@@ -84,10 +85,21 @@ fn failure_free_run(pace: Duration) -> Vec<(u64, String)> {
 }
 
 /// Soaks a supervised cluster under a seeded chaos plan and returns the
-/// normalized outputs. Panics if any crash went unrecovered.
-fn chaos_run(seed: u64, opts: &ChaosOptions, pace: Duration) -> Vec<(u64, String)> {
+/// normalized outputs. Panics if any crash went unrecovered. With
+/// `standby`, the warm plane runs alongside the supervisor, so automatic
+/// promotions mix warm takeovers (slot anchored at crash time) with cold
+/// replays (crash landed mid-catch-up) — both must stay transparent.
+fn chaos_run(
+    seed: u64,
+    opts: &ChaosOptions,
+    pace: Duration,
+    standby: Option<StandbyConfig>,
+) -> Vec<(u64, String)> {
     let spec = fan_in_app(2).expect("valid app");
-    let config = paper_config(&spec).with_supervision(SupervisionConfig::fast());
+    let mut config = paper_config(&spec).with_supervision(SupervisionConfig::fast());
+    if let Some(s) = standby {
+        config = config.with_warm_standby(s);
+    }
     let cluster =
         Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
 
@@ -165,8 +177,18 @@ fn chaos_run(seed: u64, opts: &ChaosOptions, pace: Duration) -> Vec<(u64, String
         "a clean soak must replay without a single divergence"
     );
     eprintln!(
-        "chaos-soak seed {seed:#x}: state_hashes_computed={} divergences_detected={}",
-        snap.state_hashes_computed, snap.divergences_detected,
+        "chaos-soak seed {seed:#x}: state_hashes_computed={} divergences_detected={} \
+         warm_promotions={} cold_promotions={} standby_applied={} standby_demotions={}",
+        snap.state_hashes_computed,
+        snap.divergences_detected,
+        snap.warm_promotions,
+        snap.cold_promotions,
+        snap.standby_applied,
+        snap.standby_demotions,
+    );
+    assert_eq!(
+        snap.standby_demotions, 0,
+        "chaos only crashes engines; it never corrupts standby state"
     );
     let path = cluster.write_obs_report().expect("obs report written");
     let text = std::fs::read_to_string(&path).expect("obs report readable");
@@ -208,7 +230,7 @@ fn chaos_soak_outputs_match_failure_free_run() {
     let clean = failure_free_run(pace);
     assert_eq!(clean.len(), SENTENCES.len(), "reference run is complete");
 
-    let tormented = chaos_run(0xC4A05, &opts, pace);
+    let tormented = chaos_run(0xC4A05, &opts, pace, None);
     assert_eq!(
         clean, tormented,
         "deduplicated chaos outputs must be byte-identical to the failure-free run"
@@ -220,14 +242,28 @@ fn fast_preset_smoke() {
     // The CI smoke configuration: sub-second, one of each disturbance.
     let pace = Duration::from_millis(80);
     let clean = failure_free_run(pace);
-    let tormented = chaos_run(7, &ChaosOptions::fast(), pace);
+    // Warm standby on in the CI smoke: automatic promotions take the warm
+    // path when the slot is anchored and must stay byte-identical either way.
+    let tormented = chaos_run(
+        7,
+        &ChaosOptions::fast(),
+        pace,
+        Some(StandbyConfig {
+            trailing_horizon_ticks: 50_000,
+            apply_interval: Duration::from_millis(1),
+        }),
+    );
     assert_eq!(clean, tormented);
 }
 
 /// The nightly soak: several times the CI window, more of every
 /// disturbance, seed taken from `$TART_SOAK_SEED` so the matrix in
-/// `soak-extended.yml` covers distinct schedules. Ignored by default —
-/// run explicitly with `-- --ignored`.
+/// `soak-extended.yml` covers distinct schedules. Even seeds run with the
+/// warm-standby plane enabled (a tight horizon, so automatic promotions mix
+/// warm takeovers with cold mid-catch-up fallbacks); odd seeds run the
+/// pure cold path — across the matrix both recovery modes soak nightly,
+/// and the zero-divergence gate holds for both. Ignored by default — run
+/// explicitly with `-- --ignored`.
 #[test]
 #[ignore = "nightly soak; run explicitly with -- --ignored"]
 fn extended_soak() {
@@ -244,10 +280,16 @@ fn extended_soak() {
         disturbance_len: Duration::from_millis(200),
         disk_faults: 0,
     };
+    // Even seeds soak with the warm plane, odd seeds stay pure cold — the
+    // seed matrix covers both recovery modes.
+    let standby = seed.is_multiple_of(2).then(|| StandbyConfig {
+        trailing_horizon_ticks: 50_000,
+        apply_interval: Duration::from_millis(1),
+    });
     // Spread the workload across most of the chaos window.
     let pace = Duration::from_millis(650);
     let clean = failure_free_run(pace);
-    let tormented = chaos_run(seed, &opts, pace);
+    let tormented = chaos_run(seed, &opts, pace, standby);
     assert_eq!(
         clean, tormented,
         "extended soak (seed {seed}) must stay byte-identical to the failure-free run"
@@ -302,7 +344,9 @@ fn manual_kills_stay_manual_under_supervision() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    cluster.promote(EngineId::new(1));
+    cluster
+        .promote(EngineId::new(1))
+        .expect("manual promotion of a killed engine succeeds");
     for (client, sentence) in &SENTENCES[4..] {
         cluster
             .injector(client)

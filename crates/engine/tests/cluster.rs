@@ -200,7 +200,9 @@ fn failover_is_transparent_modulo_stutter() {
             .send(Value::from(*sentence));
     }
     // Promote the passive replica: checkpoint restore + replay.
-    cluster.promote(EngineId::new(1));
+    cluster
+        .promote(EngineId::new(1))
+        .expect("promotion of a killed engine succeeds");
 
     cluster.finish_inputs();
     let mut outs = cluster.shutdown();
@@ -241,7 +243,9 @@ fn killing_a_sender_engine_recovers_too() {
     // Kill the SENDER engine this time: the merger survives and dedupes the
     // re-sent stream by timestamp.
     cluster.kill(EngineId::new(0));
-    cluster.promote(EngineId::new(0));
+    cluster
+        .promote(EngineId::new(0))
+        .expect("promotion of a killed engine succeeds");
     for (client, sentence) in &SENTENCES[4..] {
         cluster
             .injector(client)
@@ -375,7 +379,9 @@ fn same_engine_can_fail_and_recover_repeatedly() {
             std::thread::sleep(Duration::from_millis(30));
             outs.extend(cluster.take_outputs());
             cluster.kill(EngineId::new(1));
-            cluster.promote(EngineId::new(1));
+            cluster
+                .promote(EngineId::new(1))
+                .expect("promotion of a killed engine succeeds");
         }
     }
     cluster.finish_inputs();

@@ -299,6 +299,69 @@ fn corrupted_chain_is_detected_bisected_and_recovered_around() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Corrupts engine 0's durable chain **from its full head onward** — every
+/// generation's recorded clocks skewed, seals recomputed — so hash
+/// verification rejects the entire chain. Same shape as
+/// [`skew_chain_from_first_delta`], but nothing survives.
+fn skew_entire_chain(dir: &Path) {
+    let store = CheckpointStore::open(dir.join("ckpt")).expect("open store");
+    let loaded = store
+        .load_chain(EngineId::new(0))
+        .expect("chain loads")
+        .expect("engine 0 persisted a chain");
+    let base_generation = loaded.generation + 1 - loaded.chain.len() as u64;
+    let mut prev_seal = tart_model::StateHash::ZERO;
+    for (i, member) in loaded.chain.iter().enumerate() {
+        let mut skewed = member.clone();
+        for clock in skewed.clocks.values_mut() {
+            *clock = VirtualTime::from_ticks(clock.as_ticks() + 1);
+        }
+        let base = if skewed.is_self_contained() {
+            tart_model::StateHash::ZERO
+        } else {
+            prev_seal
+        };
+        skewed.seal(&base);
+        prev_seal = skewed.chain_seal;
+        rewrite_checkpoint(dir, 0, base_generation + i as u64, &skewed);
+    }
+}
+
+#[test]
+fn exhausted_chain_is_a_structured_terminal_error() {
+    // Every generation of engine 0's chain diverges: the restore loop must
+    // discard all of them and surface a structured error — NOT restore
+    // vacuously (which would silently erase the engine's history) and NOT
+    // panic (which would poison the host lock).
+    let dir = fresh_dir("exhaust");
+    let _ = run_and_crash(&dir);
+    skew_entire_chain(&dir);
+
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec)
+        .with_checkpoint_every(100_000)
+        .with_durability(&dir, FsyncPolicy::Always)
+        .with_full_checkpoint_every(4);
+    let outcome = Cluster::recover_from_disk(spec.clone(), two_engine_placement(&spec), config);
+    let Err(err) = outcome else {
+        panic!("an exhausted chain must refuse to recover");
+    };
+    match err {
+        tart_engine::DeployError::DurabilityUnavailable(msg) => {
+            assert!(
+                msg.contains("failed verification"),
+                "error names the verification failure, got: {msg}"
+            );
+            assert!(
+                msg.contains("all 3"),
+                "error reports how many generations were discarded, got: {msg}"
+            );
+        }
+        other => panic!("expected DurabilityUnavailable, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn clean_chain_replays_without_divergence() {
     let dir = fresh_dir("clean");

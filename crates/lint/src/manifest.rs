@@ -57,6 +57,7 @@ pub const TIERS: &[(&str, Tier)] = &[
     ("crates/engine/src/checkpoint.rs", Tier::Deterministic),
     ("crates/engine/src/verify.rs", Tier::Deterministic),
     ("crates/engine/src/supervise.rs", Tier::Ops),
+    ("crates/engine/src/standby.rs", Tier::Ops),
     ("crates/engine/src/chaos.rs", Tier::Ops),
     ("crates/engine/src/router.rs", Tier::Ops),
     ("crates/engine/src/cluster.rs", Tier::Ops),

@@ -70,6 +70,10 @@ struct Counters {
     checkpoint_persists: AtomicU64,
     state_hashes_computed: AtomicU64,
     divergences_detected: AtomicU64,
+    standby_applied: AtomicU64,
+    standby_demotions: AtomicU64,
+    warm_promotions: AtomicU64,
+    cold_promotions: AtomicU64,
 }
 
 #[derive(Default)]
@@ -78,6 +82,8 @@ struct Inner {
     estimator_residual_ns: Histogram,
     wal_group_occupancy: Histogram,
     checkpoint_persist_ns: Histogram,
+    standby_lag_ticks: Histogram,
+    promotion_latency_ns: Histogram,
     silence_per_wire: BTreeMap<u32, u64>,
     /// (engine, wire) → vt ticks → arrival stamp (ns since hub epoch).
     pending: BTreeMap<(u32, u32), BTreeMap<u64, u64>>,
@@ -140,6 +146,48 @@ impl ObsHub {
     pub fn failover(&self, engine: EngineId) {
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
         self.push_event(engine.raw(), ObsEventKind::FailoverPromotion);
+    }
+
+    /// Records one checkpoint the warm standby pre-applied (and hash-
+    /// verified) in the background, with its replication lag behind the
+    /// primary's head in virtual-time ticks.
+    pub fn standby_applied(&self, lag_ticks: u64) {
+        self.counters
+            .standby_applied
+            .fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock();
+        inner.standby_lag_ticks.record(lag_ticks);
+    }
+
+    /// Records a warm standby demoting itself to cold-replay mode after a
+    /// streamed checkpoint failed hash verification at `vt`.
+    pub fn standby_demotion(&self, engine: EngineId, vt: VirtualTime) {
+        self.counters
+            .standby_demotions
+            .fetch_add(1, Ordering::Relaxed);
+        self.push_event(
+            engine.raw(),
+            ObsEventKind::StandbyDemotion { vt: vt.as_ticks() },
+        );
+    }
+
+    /// Records a completed promotion: `warm` when it started from the
+    /// standby's pre-applied state, with its wall latency.
+    pub fn promotion_complete(&self, engine: EngineId, warm: bool, latency_ns: u64) {
+        let counter = if warm {
+            &self.counters.warm_promotions
+        } else {
+            &self.counters.cold_promotions
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.lock();
+            inner.promotion_latency_ns.record(latency_ns);
+        }
+        self.push_event(
+            engine.raw(),
+            ObsEventKind::PromotionComplete { warm, latency_ns },
+        );
     }
 
     /// Records one WAL group-commit window closing with `occupancy`
@@ -211,11 +259,17 @@ impl ObsHub {
             checkpoint_persists: self.counters.checkpoint_persists.load(Ordering::Relaxed),
             state_hashes_computed: self.counters.state_hashes_computed.load(Ordering::Relaxed),
             divergences_detected: self.counters.divergences_detected.load(Ordering::Relaxed),
+            standby_applied: self.counters.standby_applied.load(Ordering::Relaxed),
+            standby_demotions: self.counters.standby_demotions.load(Ordering::Relaxed),
+            warm_promotions: self.counters.warm_promotions.load(Ordering::Relaxed),
+            cold_promotions: self.counters.cold_promotions.load(Ordering::Relaxed),
             events_dropped: self.recorder.dropped(),
             pessimism_wait_ns: inner.pessimism_wait_ns.clone(),
             estimator_residual_ns: inner.estimator_residual_ns.clone(),
             wal_group_occupancy: inner.wal_group_occupancy.clone(),
             checkpoint_persist_ns: inner.checkpoint_persist_ns.clone(),
+            standby_lag_ticks: inner.standby_lag_ticks.clone(),
+            promotion_latency_ns: inner.promotion_latency_ns.clone(),
             silence_per_wire: inner.silence_per_wire.clone(),
             events: self.recorder.events(),
         }

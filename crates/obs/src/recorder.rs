@@ -71,6 +71,24 @@ pub enum ObsEventKind {
         /// Virtual time of the divergent replay horizon, in ticks.
         vt: u64,
     },
+    /// A warm standby demoted itself to cold-replay mode: a streamed
+    /// checkpoint failed hash verification (or broke the seal chain), so
+    /// the standby's pre-applied state can no longer be trusted.
+    StandbyDemotion {
+        /// Virtual time of the checkpoint that failed verification, in
+        /// ticks.
+        vt: u64,
+    },
+    /// A replica promotion completed, warm (standby pre-applied state plus
+    /// tail replay) or cold (full chain replay).
+    PromotionComplete {
+        /// `true` when the promotion started from the standby's
+        /// pre-applied state.
+        warm: bool,
+        /// Wall-clock promotion latency (kill acknowledged → restored
+        /// engine running), in nanoseconds.
+        latency_ns: u64,
+    },
 }
 
 impl ObsEventKind {
@@ -83,6 +101,8 @@ impl ObsEventKind {
             ObsEventKind::FailoverPromotion => 4,
             ObsEventKind::RecalibrationFault { .. } => 5,
             ObsEventKind::Divergence { .. } => 6,
+            ObsEventKind::StandbyDemotion { .. } => 7,
+            ObsEventKind::PromotionComplete { .. } => 8,
         }
     }
 
@@ -96,6 +116,8 @@ impl ObsEventKind {
             ObsEventKind::FailoverPromotion => "failover_promotion",
             ObsEventKind::RecalibrationFault { .. } => "recalibration_fault",
             ObsEventKind::Divergence { .. } => "divergence",
+            ObsEventKind::StandbyDemotion { .. } => "standby_demotion",
+            ObsEventKind::PromotionComplete { .. } => "promotion_complete",
         }
     }
 }
@@ -145,6 +167,13 @@ impl ObsEvent {
                 w.field_u64("component", u64::from(*component));
                 w.field_u64("vt", *vt);
             }
+            ObsEventKind::StandbyDemotion { vt } => {
+                w.field_u64("vt", *vt);
+            }
+            ObsEventKind::PromotionComplete { warm, latency_ns } => {
+                w.field_str("mode", if *warm { "warm" } else { "cold" });
+                w.field_u64("latency_ns", *latency_ns);
+            }
         }
         w.end_obj();
     }
@@ -181,6 +210,13 @@ impl Encode for ObsEvent {
                 component.encode(buf);
                 vt.encode(buf);
             }
+            ObsEventKind::StandbyDemotion { vt } => {
+                vt.encode(buf);
+            }
+            ObsEventKind::PromotionComplete { warm, latency_ns } => {
+                buf.extend_from_slice(&[u8::from(*warm)]);
+                latency_ns.encode(buf);
+            }
         }
     }
 }
@@ -214,6 +250,13 @@ impl Decode for ObsEvent {
             6 => ObsEventKind::Divergence {
                 component: u32::decode(r)?,
                 vt: u64::decode(r)?,
+            },
+            7 => ObsEventKind::StandbyDemotion {
+                vt: u64::decode(r)?,
+            },
+            8 => ObsEventKind::PromotionComplete {
+                warm: r.read_u8()? != 0,
+                latency_ns: u64::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::InvalidTag {
@@ -356,6 +399,15 @@ mod tests {
             ObsEventKind::Divergence {
                 component: u32::MAX,
                 vt: 42,
+            },
+            ObsEventKind::StandbyDemotion { vt: 9_000 },
+            ObsEventKind::PromotionComplete {
+                warm: true,
+                latency_ns: 1_500_000,
+            },
+            ObsEventKind::PromotionComplete {
+                warm: false,
+                latency_ns: 80_000_000,
             },
         ];
         for kind in kinds {

@@ -26,8 +26,11 @@ use crate::recorder::ObsEvent;
 /// Current report schema version.
 ///
 /// v2 added the verified-replay counters (`state_hashes_computed`,
-/// `divergences_detected`).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `divergences_detected`); v3 added the warm-standby counters
+/// (`standby_applied`, `standby_demotions`, `warm_promotions`,
+/// `cold_promotions`) and histograms (`standby_lag_ticks`,
+/// `promotion_latency_ns`).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Point-in-time export of every obs metric plus the flight-recorder
 /// timeline. See the module docs for the serialization contract.
@@ -57,6 +60,16 @@ pub struct ObsSnapshot {
     /// State divergences detected: recomputed hashes that did not match the
     /// digest recorded at checkpoint time. Zero in any clean run.
     pub divergences_detected: u64,
+    /// Checkpoints the warm standby pre-applied (and hash-verified) in the
+    /// background.
+    pub standby_applied: u64,
+    /// Warm standbys demoted to cold-replay mode after a streamed
+    /// checkpoint failed hash verification.
+    pub standby_demotions: u64,
+    /// Promotions that started from the standby's pre-applied state.
+    pub warm_promotions: u64,
+    /// Promotions that replayed the full chain (no usable standby).
+    pub cold_promotions: u64,
     /// Flight-recorder events evicted to stay within the ring cap.
     pub events_dropped: u64,
     /// Wall time a message sat released-but-blocked on silence, ns.
@@ -67,6 +80,12 @@ pub struct ObsSnapshot {
     pub wal_group_occupancy: Histogram,
     /// Wall-clock latency of `CheckpointStore::persist`, ns.
     pub checkpoint_persist_ns: Histogram,
+    /// Standby replication lag at each background apply: how far the
+    /// applied checkpoint trailed the primary's head, in vt ticks.
+    pub standby_lag_ticks: Histogram,
+    /// Wall-clock promotion latency (kill acknowledged → restored engine
+    /// running), ns; warm and cold promotions both record here.
+    pub promotion_latency_ns: Histogram,
     /// Silence adverts per raw wire id.
     pub silence_per_wire: BTreeMap<u32, u64>,
     /// Flight-recorder timeline, oldest first.
@@ -86,11 +105,17 @@ impl Encode for ObsSnapshot {
         self.checkpoint_persists.encode(buf);
         self.state_hashes_computed.encode(buf);
         self.divergences_detected.encode(buf);
+        self.standby_applied.encode(buf);
+        self.standby_demotions.encode(buf);
+        self.warm_promotions.encode(buf);
+        self.cold_promotions.encode(buf);
         self.events_dropped.encode(buf);
         self.pessimism_wait_ns.encode(buf);
         self.estimator_residual_ns.encode(buf);
         self.wal_group_occupancy.encode(buf);
         self.checkpoint_persist_ns.encode(buf);
+        self.standby_lag_ticks.encode(buf);
+        self.promotion_latency_ns.encode(buf);
         self.silence_per_wire.encode(buf);
         self.events.encode(buf);
     }
@@ -110,11 +135,17 @@ impl Decode for ObsSnapshot {
             checkpoint_persists: u64::decode(r)?,
             state_hashes_computed: u64::decode(r)?,
             divergences_detected: u64::decode(r)?,
+            standby_applied: u64::decode(r)?,
+            standby_demotions: u64::decode(r)?,
+            warm_promotions: u64::decode(r)?,
+            cold_promotions: u64::decode(r)?,
             events_dropped: u64::decode(r)?,
             pessimism_wait_ns: Histogram::decode(r)?,
             estimator_residual_ns: Histogram::decode(r)?,
             wal_group_occupancy: Histogram::decode(r)?,
             checkpoint_persist_ns: Histogram::decode(r)?,
+            standby_lag_ticks: Histogram::decode(r)?,
+            promotion_latency_ns: Histogram::decode(r)?,
             silence_per_wire: BTreeMap::decode(r)?,
             events: Vec::decode(r)?,
         })
@@ -157,11 +188,17 @@ impl ObsSnapshot {
         w.field_u64("checkpoint_persists", self.checkpoint_persists);
         w.field_u64("state_hashes_computed", self.state_hashes_computed);
         w.field_u64("divergences_detected", self.divergences_detected);
+        w.field_u64("standby_applied", self.standby_applied);
+        w.field_u64("standby_demotions", self.standby_demotions);
+        w.field_u64("warm_promotions", self.warm_promotions);
+        w.field_u64("cold_promotions", self.cold_promotions);
         w.field_u64("events_dropped", self.events_dropped);
         write_hist(&mut w, "pessimism_wait_ns", &self.pessimism_wait_ns);
         write_hist(&mut w, "estimator_residual_ns", &self.estimator_residual_ns);
         write_hist(&mut w, "wal_group_occupancy", &self.wal_group_occupancy);
         write_hist(&mut w, "checkpoint_persist_ns", &self.checkpoint_persist_ns);
+        write_hist(&mut w, "standby_lag_ticks", &self.standby_lag_ticks);
+        write_hist(&mut w, "promotion_latency_ns", &self.promotion_latency_ns);
         w.key("silence_per_wire");
         w.begin_obj();
         for (wire, n) in &self.silence_per_wire {
@@ -210,11 +247,17 @@ const REQUIRED_KEYS: &[&str] = &[
     "checkpoint_persists",
     "state_hashes_computed",
     "divergences_detected",
+    "standby_applied",
+    "standby_demotions",
+    "warm_promotions",
+    "cold_promotions",
     "events_dropped",
     "pessimism_wait_ns",
     "estimator_residual_ns",
     "wal_group_occupancy",
     "checkpoint_persist_ns",
+    "standby_lag_ticks",
+    "promotion_latency_ns",
     "silence_per_wire",
     "events",
 ];
@@ -246,6 +289,8 @@ pub fn check_report(text: &str, req: ReportRequirements) -> Result<(), Vec<Strin
         "estimator_residual_ns",
         "wal_group_occupancy",
         "checkpoint_persist_ns",
+        "standby_lag_ticks",
+        "promotion_latency_ns",
     ] {
         if let Some(hist) = doc.get(key) {
             for sub in HIST_KEYS {
@@ -331,6 +376,10 @@ mod tests {
             checkpoint_persists: 5,
             state_hashes_computed: 20,
             divergences_detected: 0,
+            standby_applied: 6,
+            standby_demotions: 0,
+            warm_promotions: 1,
+            cold_promotions: 1,
             events_dropped: 0,
             ..ObsSnapshot::default()
         };
@@ -338,6 +387,8 @@ mod tests {
         snap.estimator_residual_ns.record(0);
         snap.wal_group_occupancy.record(64);
         snap.checkpoint_persist_ns.record(80_000);
+        snap.standby_lag_ticks.record(120_000_000);
+        snap.promotion_latency_ns.record(2_000_000);
         snap.silence_per_wire.insert(0, 3);
         snap.silence_per_wire.insert(4, 1);
         snap.events.push(ObsEvent {

@@ -23,6 +23,9 @@ fn arb_kind() -> impl Strategy<Value = ObsEventKind> {
             .prop_map(|(component, vt)| ObsEventKind::RecalibrationFault { component, vt }),
         (any::<u32>(), any::<u64>())
             .prop_map(|(component, vt)| ObsEventKind::Divergence { component, vt }),
+        any::<u64>().prop_map(|vt| ObsEventKind::StandbyDemotion { vt }),
+        (any::<bool>(), any::<u64>())
+            .prop_map(|(warm, latency_ns)| ObsEventKind::PromotionComplete { warm, latency_ns }),
     ]
 }
 
@@ -46,13 +49,20 @@ fn arb_hist() -> impl Strategy<Value = Histogram> {
 
 fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
     (
-        proptest::collection::vec(any::<u64>(), 11),
-        (arb_hist(), arb_hist(), arb_hist(), arb_hist()),
+        proptest::collection::vec(any::<u64>(), 15),
+        (
+            arb_hist(),
+            arb_hist(),
+            arb_hist(),
+            arb_hist(),
+            arb_hist(),
+            arb_hist(),
+        ),
         proptest::collection::btree_map(any::<u32>(), any::<u64>(), 0..16),
         proptest::collection::vec(arb_event(), 0..24),
     )
         .prop_map(|(counters, hists, silence_per_wire, events)| {
-            let (pessimism, residual, occupancy, persist) = hists;
+            let (pessimism, residual, occupancy, persist, lag, promotion) = hists;
             ObsSnapshot {
                 version: SNAPSHOT_VERSION,
                 delivered: counters[0],
@@ -65,11 +75,17 @@ fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
                 checkpoint_persists: counters[7],
                 state_hashes_computed: counters[8],
                 divergences_detected: counters[9],
-                events_dropped: counters[10],
+                standby_applied: counters[10],
+                standby_demotions: counters[11],
+                warm_promotions: counters[12],
+                cold_promotions: counters[13],
+                events_dropped: counters[14],
                 pessimism_wait_ns: pessimism,
                 estimator_residual_ns: residual,
                 wal_group_occupancy: occupancy,
                 checkpoint_persist_ns: persist,
+                standby_lag_ticks: lag,
+                promotion_latency_ns: promotion,
                 silence_per_wire,
                 events,
             }

@@ -76,7 +76,9 @@ fn run(fail: bool) -> Vec<(u64, String)> {
             println!("  !! killing the merger's engine (checkpointed replica stays)");
             cluster.kill(EngineId::new(1));
             println!("  !! promoting the passive replica — replay begins");
-            cluster.promote(EngineId::new(1));
+            cluster
+                .promote(EngineId::new(1))
+                .expect("promotion of a killed engine succeeds");
         }
     }
     cluster.finish_inputs();

@@ -131,7 +131,9 @@ fn failover_under_load_is_transparent() {
     let mut outs = cluster.take_outputs();
     for engine in [EngineId::new(0), EngineId::new(1)] {
         cluster.kill(engine);
-        cluster.promote(engine);
+        cluster
+            .promote(engine)
+            .expect("promotion of a killed engine succeeds");
     }
     for (client, sentence) in &work[3..] {
         cluster
@@ -190,7 +192,9 @@ fn recalibration_mid_run_keeps_cluster_consistent() {
     std::thread::sleep(std::time::Duration::from_millis(30));
     let merger_engine = EngineId::new(0); // round_robin: c0=Merger→e0
     cluster.kill(merger_engine);
-    cluster.promote(merger_engine);
+    cluster
+        .promote(merger_engine)
+        .expect("promotion of a killed engine succeeds");
     for (client, sentence) in &work[3..] {
         cluster
             .injector(client)

@@ -13,7 +13,7 @@
 //! injecting a crash it waits for the supervisor to complete the failover
 //! before firing the next event.
 
-// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core; the interprocedural TAINT-FLOW pass fences the boundary, so raw reads need no per-line allows here.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::collections::BTreeSet;
@@ -383,12 +383,10 @@ pub(crate) fn launch(
     let thread = std::thread::Builder::new()
         .name("tart-chaos".into())
         .spawn(move || {
-            // tart-lint: allow(WALLCLOCK) -- chaos harness: fault-injection offsets are real-time by design and outside the replayable run
             let start = Instant::now();
             let mut report = ChaosReport::default();
             let mut disturbed: BTreeSet<EngineId> = BTreeSet::new();
             for (offset, event) in plan.events {
-                // tart-lint: allow(WALLCLOCK) -- chaos harness: real-time wait until the next scheduled fault
                 if let Some(wait) = (start + offset).checked_duration_since(Instant::now()) {
                     std::thread::sleep(wait);
                 }
@@ -401,9 +399,7 @@ pub(crate) fn launch(
                         report.crashes += 1;
                         // Single-failure assumption: hold further events
                         // until the supervisor finished this recovery.
-                        // tart-lint: allow(WALLCLOCK) -- chaos harness: recovery-timeout watchdog, observation only
                         let deadline = Instant::now() + RECOVERY_TIMEOUT;
-                        // tart-lint: allow(WALLCLOCK) -- chaos harness: watchdog poll against a real-time deadline
                         while supervision.lock().failovers <= before && Instant::now() < deadline {
                             std::thread::sleep(Duration::from_millis(2));
                         }

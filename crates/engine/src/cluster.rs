@@ -1,6 +1,6 @@
 //! Cluster deployment, external I/O, failover orchestration.
 
-// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core; the interprocedural TAINT-FLOW pass fences the boundary, so raw reads need no per-line allows here.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, HashMap};
@@ -391,11 +391,9 @@ impl EngineHost {
                 let _flight_guard = flight_guard;
                 let mut draining = false;
                 let mut seq = 0u64;
-                // tart-lint: allow(WALLCLOCK) -- ops-plane: heartbeat pacing runs on the wall clock; beacons are control-plane and never logged or replayed
                 let mut next_hb = Instant::now();
                 loop {
                     if let Some(interval) = heartbeat {
-                        // tart-lint: allow(WALLCLOCK) -- ops-plane: heartbeat pacing runs on the wall clock
                         let now = Instant::now();
                         if now >= next_hb {
                             router.send(SUPERVISOR_ENGINE, Envelope::Heartbeat { engine: id, seq });
@@ -561,7 +559,6 @@ impl EngineHost {
     /// is left dead and deregistered — resuming from nothing would silently
     /// erase its history.
     pub(crate) fn promote(&self, engine: EngineId) -> Result<(), PromoteError> {
-        // tart-lint: allow(WALLCLOCK) -- ops-plane: promotion latency is availability telemetry, never replayed state
         let t0 = Instant::now();
         let replica = {
             let engines = self.engines.lock();

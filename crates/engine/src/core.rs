@@ -279,6 +279,7 @@ impl EngineCore {
             ckpts_since_full: 0,
             eos_sent: std::collections::BTreeSet::new(),
             metrics: Arc::new(Mutex::new(EngineMetrics::default())),
+            // tart-lint: allow(TAINT-FLOW) -- obs handle construction: the hub's epoch stamp is telemetry zero-point, never read back by replayed logic
             obs: tart_obs::EngineObs::detached(id),
         }
     }
@@ -1329,6 +1330,7 @@ impl EngineCore {
         // Persist BEFORE shipping: once anyone can see this checkpoint, it
         // must be able to survive a whole-cluster crash.
         let persisted = match &self.durable {
+            // tart-lint: allow(TAINT-FLOW) -- durability ack only: persist's wall-clock read times the fsync; the bool gates shipping and restore re-derives from the store itself
             Some(store) => store.persist(&ckpt).is_ok(),
             None => true,
         };
@@ -1674,6 +1676,7 @@ impl EngineCore {
         // re-calibration entirely (keeping the old estimator is always
         // safe; using a spec a cold restart would never learn of is not).
         if let Some(store) = &self.durable {
+            // tart-lint: allow(TAINT-FLOW) -- fault-log ack only: the Err branch deterministically keeps the old estimator; the store's dir scan never reaches engine state
             if store.log_fault(self.id, component, &fault).is_err() {
                 self.calibrators.remove(&component);
                 return;

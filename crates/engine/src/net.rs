@@ -48,7 +48,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core; the interprocedural TAINT-FLOW pass fences the boundary, so raw reads need no per-line allows here.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::io::{self, Read, Write};
@@ -570,8 +570,12 @@ pub fn remote_engine_with(
     router.register(engine, tx);
     let stop = Arc::new(AtomicBool::new(false));
     let state = Arc::new(LinkState::default());
-    state.connected.store(true, Ordering::Relaxed);
-    state.epoch.store(1, Ordering::Relaxed);
+    // One update group: a snapshot racing with construction must never see
+    // `connected` without the epoch that made it true.
+    state.update(|st| {
+        st.connected.store(true, Ordering::SeqCst);
+        st.epoch.store(1, Ordering::SeqCst);
+    });
 
     let stop_writer = Arc::clone(&stop);
     let state_writer = Arc::clone(&state);
@@ -586,7 +590,6 @@ pub fn remote_engine_with(
             // working batch size once, then the hot path stops allocating.
             let mut scratch = BytesMut::with_capacity(4096);
             let mut batch: Vec<(EngineId, Envelope)> = Vec::new();
-            // tart-lint: allow(WALLCLOCK) -- transport ops-plane: reconnect backoff pacing is real-time; frame contents, not arrival times, enter the log
             let mut next_attempt = Instant::now();
             loop {
                 if stop_writer.load(Ordering::Relaxed) {
@@ -627,7 +630,6 @@ pub fn remote_engine_with(
                             if lost_connection {
                                 backoff = policy.initial_backoff;
                                 attempts = 0;
-                                // tart-lint: allow(WALLCLOCK) -- transport ops-plane: immediate-retry scheduling after a send failure
                                 next_attempt = Instant::now()
                                     + backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
                             }
@@ -638,9 +640,8 @@ pub fn remote_engine_with(
                 }
                 let give_up = policy.max_attempts > 0 && attempts >= policy.max_attempts;
                 if stream.is_none() && give_up {
-                    state_writer.gave_up.store(true, Ordering::Relaxed);
+                    state_writer.update(|st| st.gave_up.store(true, Ordering::SeqCst));
                 }
-                // tart-lint: allow(WALLCLOCK) -- transport ops-plane: backoff deadline check
                 if stream.is_none() && !give_up && Instant::now() >= next_attempt {
                     match TcpStream::connect(&addrs[..]) {
                         Ok(s) => {
@@ -660,7 +661,6 @@ pub fn remote_engine_with(
                             // `jitter` of itself — never shortens it, so
                             // backoff stays monotone under the cap.
                             let jittered = backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
-                            // tart-lint: allow(WALLCLOCK) -- transport ops-plane: next reconnect attempt scheduling
                             next_attempt = Instant::now() + jittered;
                             backoff = backoff
                                 .mul_f64(policy.multiplier.max(1.0))

@@ -24,7 +24,7 @@
 //! `EngineHost::promote`, which applies only the unapplied chain tail and
 //! runs the ordinary tail-digest activation.
 
-// Ops-plane module (tart-lint tier: Ops): the standby plane runs on wall-clock pacing and never feeds state back into the replayable core until promotion swaps a verified core in. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+// Ops-plane module (tart-lint tier: Ops): the standby plane runs on wall-clock pacing and never feeds state back into the replayable core until promotion swaps a verified core in; the interprocedural TAINT-FLOW pass fences the boundary, so raw reads need no per-line allows here.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, VecDeque};

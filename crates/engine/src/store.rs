@@ -281,7 +281,6 @@ impl CheckpointStore {
     /// such a generation could never restore.
     #[allow(clippy::disallowed_methods)] // timed below; ops-plane only
     pub fn persist(&self, ckpt: &EngineCheckpoint) -> Result<u64, StoreError> {
-        // tart-lint: allow(WALLCLOCK) -- ops-plane: persist latency is a durability metric; the reading never enters engine state
         let persist_started = std::time::Instant::now();
         let engine = ckpt.engine.raw();
         let is_full = ckpt.is_self_contained();

@@ -18,7 +18,7 @@
 //! still believes alive, so a test (or operator) that fail-stops an engine
 //! deliberately keeps control of when it comes back.
 
-// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core. Each wall-clock site also carries a line-scoped `tart-lint: allow`.
+// Ops-plane module (tart-lint tier: Ops): wall-clock reads and hash maps never flow into the replayable core; the interprocedural TAINT-FLOW pass fences the boundary, so raw reads need no per-line allows here.
 #![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::collections::{HashMap, VecDeque};
@@ -143,7 +143,6 @@ impl Supervisor {
         let thread = std::thread::Builder::new()
             .name("tart-supervisor".into())
             .spawn(move || {
-                // tart-lint: allow(WALLCLOCK) -- failure detection is ops-plane: phi-accrual needs real heartbeat inter-arrival times; never flows into virtual time
                 let start = Instant::now();
                 let mut detectors: HashMap<EngineId, FailureDetector> = host
                     .engine_ids()
@@ -159,7 +158,6 @@ impl Supervisor {
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                     }
                     beacons.extend(rx.try_iter());
-                    // tart-lint: allow(WALLCLOCK) -- ops-plane: beacon arrival instants feed the phi-accrual window only
                     let now = Instant::now();
                     for env in beacons {
                         if let Envelope::Heartbeat { engine, .. } = env {
@@ -173,7 +171,6 @@ impl Supervisor {
                         }
                     }
                     for id in host.engine_ids() {
-                        // tart-lint: allow(WALLCLOCK) -- ops-plane: suspicion is judged against real elapsed time
                         let now = Instant::now();
                         let suspected = {
                             let det = detectors.entry(id).or_insert_with(|| {
@@ -220,7 +217,6 @@ impl Supervisor {
                             // promoted engine's. Reset them all, or the
                             // next poll cascades one recovery into a storm
                             // of spurious failovers.
-                            // tart-lint: allow(WALLCLOCK) -- ops-plane: detector reset after a failover is a real-time event
                             let fresh = Instant::now();
                             for det in detectors.values_mut() {
                                 det.reset(fresh);

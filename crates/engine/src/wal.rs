@@ -359,7 +359,9 @@ impl Wal {
 
     /// Applies the fsync policy after `n` records landed in the active
     /// segment.
-    // Scoped clippy allow mirrors the line-scoped tart-lint allow below.
+    // Ops-plane clock read: legal in place (tart-lint fences the boundary
+    // via TAINT-FLOW); the scoped clippy allow covers the disallowed-method
+    // lint for `Instant::now`.
     #[allow(clippy::disallowed_methods)]
     fn commit(&mut self, n: u32) -> Result<(), WalError> {
         self.appends_since_sync = self.appends_since_sync.saturating_add(n);
@@ -377,7 +379,6 @@ impl Wal {
                 if self.appends_since_sync >= max_records.max(1) {
                     self.sync()?;
                 } else {
-                    // tart-lint: allow(WALLCLOCK) -- durability ops-plane: the group-commit window is a real-time durability bound; record contents, not commit times, enter the log
                     let now = Instant::now();
                     match self.group_opened {
                         Some(opened) if now.duration_since(opened) >= max_delay => self.sync()?,

@@ -18,9 +18,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::concurrency::concurrency_pass;
 use crate::lexer::{lex, CommentLine, Token, TokenKind};
 use crate::manifest::{tier_for, unsafe_allowed, Tier};
+use crate::protocol::protocol_pass;
 use crate::rules::{scan, RuleId, Severity};
+use crate::symbols::{FileUnit, SymbolGraph};
+use crate::taint::taint_pass;
 
 /// One diagnostic, post-suppression.
 #[derive(Clone, Debug)]
@@ -31,6 +35,9 @@ pub struct Finding {
     pub rule: RuleId,
     pub severity: Severity,
     pub message: String,
+    /// Witness for interprocedural findings (call path down to the raw
+    /// hazard, outermost frame first); empty for single-line rules.
+    pub path: Vec<String>,
 }
 
 /// One parsed `tart-lint: allow(...)` directive.
@@ -79,6 +86,13 @@ impl Audit {
 /// and fixture directories — the fence guards production code; test code
 /// may freely use wall clocks and hash maps.
 pub fn audit_workspace(root: &Path) -> io::Result<Audit> {
+    Ok(audit_sources(&collect_workspace_sources(root)?))
+}
+
+/// Reads every production source file under `root` as `(relative path,
+/// source)` pairs, in sorted order — the input shape of [`audit_sources`]
+/// and [`build_graph`].
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -95,7 +109,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<Audit> {
     }
     files.sort();
 
-    let mut audit = Audit::default();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -103,67 +117,204 @@ pub fn audit_workspace(root: &Path) -> io::Result<Audit> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(file)?;
-        audit_source(&rel, &src, &mut audit);
-        audit.files_scanned += 1;
+        sources.push((rel, src));
     }
+    Ok(sources)
+}
+
+/// Builds the workspace symbol graph for a set of sources without running
+/// the audit (used by `--symbols` and the self-inspection tests).
+pub fn build_graph(files: &[(String, String)]) -> SymbolGraph {
+    let units: Vec<FileUnit> = files
+        .iter()
+        .filter(|(rel, _)| tier_for(rel) != Tier::Exempt)
+        .map(|(rel, src)| make_unit(rel, src))
+        .collect();
+    SymbolGraph::build(&units)
+}
+
+fn make_unit(rel: &str, src: &str) -> FileUnit {
+    let lexed = lex(src);
+    let excluded = test_ranges(&lexed.tokens);
+    FileUnit {
+        rel: rel.to_string(),
+        tier: tier_for(rel),
+        lexed,
+        excluded,
+    }
+}
+
+/// Audits a set of `(workspace-relative path, source)` pairs as one
+/// workspace: per-file lexical rules plus the cross-file passes (taint,
+/// protocol exhaustiveness, concurrency discipline), all reconciled
+/// against the same in-source suppressions. This is the engine behind
+/// [`audit_workspace`]; fixture tests call it directly to exercise
+/// multi-file scenarios without a filesystem layout.
+pub fn audit_sources(files: &[(String, String)]) -> Audit {
+    let mut audit = Audit {
+        files_scanned: files.len(),
+        ..Audit::default()
+    };
+
+    // Phase 1: per-file preparation. Exempt files flush their directive
+    // hygiene immediately and do not join the workspace graph.
+    let mut units: Vec<FileUnit> = Vec::new();
+    let mut directives: Vec<Vec<Suppression>> = Vec::new();
+    for (rel, src) in files {
+        let tier = tier_for(rel);
+        let lexed = lex(src);
+        let parsed = parse_directives(rel, &lexed.comments);
+        if tier == Tier::Exempt {
+            flush_directives(rel, parsed, false, &mut audit);
+            continue;
+        }
+        let unit = make_unit(rel, src);
+        let mut parsed = parsed;
+        parsed.retain(|d| !unit.excluded.iter().any(|r| r.contains(&d.line)));
+        units.push(unit);
+        directives.push(parsed);
+    }
+
+    // Phase 2: per-file lexical rules.
+    for (unit, dirs) in units.iter().zip(directives.iter_mut()) {
+        let hits = scan(&unit.lexed.tokens, unit.tier, unsafe_allowed(&unit.rel));
+        for hit in hits {
+            if unit.is_test_line(hit.line) {
+                continue;
+            }
+            let severity = hit
+                .rule
+                .severity_in(unit.tier)
+                .expect("scan only emits applicable rules");
+            reconcile(
+                &unit.rel,
+                hit.line,
+                hit.rule,
+                severity,
+                hit.message,
+                Vec::new(),
+                dirs,
+                &mut audit,
+            );
+        }
+    }
+
+    // Phase 3: workspace passes over the symbol graph.
+    let graph = SymbolGraph::build(&units);
+    let mut pass_hits = taint_pass(&units, &graph);
+    pass_hits.extend(protocol_pass(&units, &graph));
+    pass_hits.extend(concurrency_pass(&units, &graph));
+    for hit in pass_hits {
+        let Some(idx) = units.iter().position(|u| u.rel == hit.file) else {
+            continue;
+        };
+        let Some(severity) = hit.rule.severity_in(units[idx].tier) else {
+            continue;
+        };
+        reconcile(
+            &hit.file.clone(),
+            hit.line,
+            hit.rule,
+            severity,
+            hit.message,
+            hit.path,
+            &mut directives[idx],
+            &mut audit,
+        );
+    }
+
+    // Phase 4: directive hygiene, after every pass had its chance to
+    // consume an allow.
+    for (unit, dirs) in units.into_iter().zip(directives) {
+        flush_directives(&unit.rel, dirs, true, &mut audit);
+    }
+
     // Deterministic report order (the auditor practices what it preaches).
     audit.findings.sort_by(|a, b| {
         (&a.file, a.line, a.rule.as_str()).cmp(&(&b.file, b.line, b.rule.as_str()))
     });
-    Ok(audit)
+    audit
 }
 
-/// Audits a single file's source text into `audit`. Public so fixture tests
-/// can drive the engine without touching the filesystem layout.
+/// Matches one pre-suppression hit against a file's directives: a
+/// directive on the hit's line or the line directly above consumes it;
+/// otherwise it becomes a finding.
+#[allow(clippy::too_many_arguments)]
+fn reconcile(
+    file: &str,
+    line: u32,
+    rule: RuleId,
+    severity: Severity,
+    message: String,
+    path: Vec<String>,
+    directives: &mut [Suppression],
+    audit: &mut Audit,
+) {
+    // Same-line (trailing) directives take precedence so that two adjacent
+    // annotated lines each consume their own directive.
+    let matched = directives
+        .iter()
+        .position(|d| d.line == line && d.rules.contains(&rule))
+        .or_else(|| {
+            directives
+                .iter()
+                .position(|d| d.line + 1 == line && d.rules.contains(&rule))
+        });
+    if let Some(idx) = matched {
+        directives[idx].hits += 1;
+        return;
+    }
+    audit.findings.push(Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        severity,
+        message,
+        path,
+    });
+}
+
+/// Audits a single file's source text into `audit` — per-file lexical
+/// rules only (the cross-file passes need the whole workspace; see
+/// [`audit_sources`]). Public so fixture tests can drive the engine
+/// without touching the filesystem layout.
 pub fn audit_source(rel_path: &str, src: &str, audit: &mut Audit) {
     let tier = tier_for(rel_path);
-    let lexed = lex(src);
-    let mut directives = parse_directives(rel_path, &lexed.comments);
-
     if tier == Tier::Exempt {
         // Exempt files are not scanned, but reasonless directives in them
         // are still hygiene errors (they'd rot silently otherwise). No
         // unused-check: nothing can match in an unscanned file.
+        let lexed = lex(src);
+        let directives = parse_directives(rel_path, &lexed.comments);
         flush_directives(rel_path, directives, false, audit);
         return;
     }
 
-    let excluded = test_ranges(&lexed.tokens);
+    let unit = make_unit(rel_path, src);
+    let mut directives = parse_directives(rel_path, &unit.lexed.comments);
     // Directives inside test code suppress nothing by construction; drop
     // them rather than flagging them as stale.
-    directives.retain(|d| !excluded.iter().any(|r| r.contains(&d.line)));
-    let hits = scan(&lexed.tokens, tier, unsafe_allowed(rel_path));
+    directives.retain(|d| !unit.excluded.iter().any(|r| r.contains(&d.line)));
+    let hits = scan(&unit.lexed.tokens, tier, unsafe_allowed(rel_path));
 
     for hit in hits {
-        if excluded.iter().any(|r| r.contains(&hit.line)) {
-            continue;
-        }
-        // A directive on the hit's line or the line above suppresses it.
-        // Same-line (trailing) directives take precedence so that two
-        // adjacent annotated lines each consume their own directive.
-        let matched = directives
-            .iter()
-            .position(|d| d.line == hit.line && d.rules.contains(&hit.rule))
-            .or_else(|| {
-                directives
-                    .iter()
-                    .position(|d| d.line + 1 == hit.line && d.rules.contains(&hit.rule))
-            });
-        if let Some(idx) = matched {
-            directives[idx].hits += 1;
+        if unit.is_test_line(hit.line) {
             continue;
         }
         let severity = hit
             .rule
             .severity_in(tier)
             .expect("scan only emits applicable rules");
-        audit.findings.push(Finding {
-            file: rel_path.to_string(),
-            line: hit.line,
-            rule: hit.rule,
+        reconcile(
+            rel_path,
+            hit.line,
+            hit.rule,
             severity,
-            message: hit.message,
-        });
+            hit.message,
+            Vec::new(),
+            &mut directives,
+            audit,
+        );
     }
 
     flush_directives(rel_path, directives, true, audit);
@@ -186,6 +337,7 @@ fn flush_directives(
                 message: "suppression without a reason: write \
                           `// tart-lint: allow(RULE) -- why this is sound`"
                     .to_string(),
+                path: Vec::new(),
             });
         } else if check_unused && d.hits == 0 {
             audit.findings.push(Finding {
@@ -201,6 +353,7 @@ fn flush_directives(
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
+                path: Vec::new(),
             });
         }
         audit.suppressions.push(d);
@@ -252,7 +405,7 @@ fn parse_directives(file: &str, comments: &[CommentLine]) -> Vec<Suppression> {
 /// `test`, skip any further attributes, then consume the next item — up to
 /// its matching close brace, or the terminating semicolon for brace-less
 /// items. Strings and comments are already gone, so brace counting is safe.
-fn test_ranges(tokens: &[Token]) -> Vec<std::ops::RangeInclusive<u32>> {
+pub(crate) fn test_ranges(tokens: &[Token]) -> Vec<std::ops::RangeInclusive<u32>> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {

@@ -1,0 +1,430 @@
+//! Concurrency discipline: two rules encoding lessons this codebase
+//! already paid for.
+//!
+//! **LOCK-ACROSS-SEND** (Deterministic tier): a `let`-bound mutex guard
+//! held live across a send or blocking-I/O call. In the replayable core,
+//! delivery order *is* the logged order — blocking inside a critical
+//! section can invert it under contention (and invites lock-ordering
+//! deadlocks with the router's own internals). The tracker is lexical:
+//! `let g = x.lock()…;` starts liveness, `drop(g)` or the end of the
+//! binding's block ends it, and temporaries (`x.lock().field += 1;`)
+//! never start it — they die at the statement's semicolon.
+//!
+//! **SEQLOCK-MISUSE** (everywhere): PR 5 fixed torn `LinkHealth` reads by
+//! bracketing related writes in `LinkState::update()` groups; PR 8 makes
+//! the bracket a rule. Any struct with a `seq: Atomic*` field is treated
+//! as a seqlock; atomic writes (`store` / `fetch_*` / `swap` / CAS) to its
+//! fields in the defining file are only legal inside the `update` method
+//! itself or lexically inside an `update(…)` call's argument list. A bare
+//! `state.connected.store(…)` outside a group is exactly the torn-read
+//! bug coming back.
+
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Tier;
+use crate::rules::{PassHit, RuleId};
+use crate::symbols::{FileUnit, SymbolGraph};
+
+/// Calls that move data out of the component (or block on I/O). Holding a
+/// lock across any of these in deterministic code is the hazard.
+const SEND_NAMES: &[&str] = &[
+    "send",
+    "try_send",
+    "send_timeout",
+    "broadcast",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+];
+
+/// Atomic mutating methods that constitute a seqlock "write".
+const ATOMIC_WRITES: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Runs both concurrency rules over the workspace.
+pub fn concurrency_pass(units: &[FileUnit], graph: &SymbolGraph) -> Vec<PassHit> {
+    let mut out = Vec::new();
+    for unit in units {
+        if unit.tier == Tier::Deterministic {
+            lock_across_send(unit, &mut out);
+        }
+        seqlock_misuse(unit, graph, &mut out);
+    }
+    out
+}
+
+/// One live `let`-bound guard.
+struct Guard {
+    name: String,
+    /// Brace depth at the `let`; the guard dies when depth drops below it.
+    depth: usize,
+    line: u32,
+}
+
+fn lock_across_send(unit: &FileUnit, out: &mut Vec<PassHit>) {
+    let toks = &unit.lexed.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                i += 1;
+            }
+            TokenKind::Ident(s) if s == "let" => {
+                let (next, bound) = parse_let(toks, i, depth);
+                if let Some(g) = bound {
+                    guards.retain(|held| held.name != g.name); // shadowing rebinds
+                    guards.push(g);
+                }
+                i = next;
+            }
+            TokenKind::Ident(s) if s == "drop" => {
+                // `drop(name)` explicitly ends a guard's liveness.
+                if toks
+                    .get(i + 1)
+                    .map(|t| t.kind.is_punct('('))
+                    .unwrap_or(false)
+                {
+                    if let Some(name) = toks.get(i + 2).and_then(|t| t.kind.as_ident()) {
+                        if toks
+                            .get(i + 3)
+                            .map(|t| t.kind.is_punct(')'))
+                            .unwrap_or(false)
+                        {
+                            guards.retain(|g| g.name != name);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokenKind::Ident(s)
+                if SEND_NAMES.contains(&s.as_str())
+                    && toks
+                        .get(i + 1)
+                        .map(|t| t.kind.is_punct('('))
+                        .unwrap_or(false)
+                    && !guards.is_empty()
+                    && !unit.is_test_line(toks[i].line) =>
+            {
+                let g = guards.last().unwrap();
+                out.push(PassHit {
+                    file: unit.rel.clone(),
+                    line: toks[i].line,
+                    rule: RuleId::LockAcrossSend,
+                    message: format!(
+                        "`{}()` called while mutex guard `{}` (bound at line {}) \
+                         is live: blocking or sending inside a critical section \
+                         can invert delivery order under contention. Drop the \
+                         guard first (`drop({})`) or narrow its scope.",
+                        s, g.name, g.line, g.name
+                    ),
+                    path: Vec::new(),
+                });
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses a `let` statement starting at `i`. Returns the index to resume
+/// at (just past the `let` keyword — the statement body is re-scanned by
+/// the main loop so nested sends/braces are still seen) and, if the
+/// statement binds the result of a `.lock()` / `.try_lock()` call to a
+/// simple identifier, the resulting guard.
+fn parse_let(toks: &[Token], i: usize, depth: usize) -> (usize, Option<Guard>) {
+    let mut j = i + 1;
+    if toks.get(j).and_then(|t| t.kind.as_ident()) == Some("mut") {
+        j += 1;
+    }
+    let Some(name) = toks.get(j).and_then(|t| t.kind.as_ident()) else {
+        return (i + 1, None); // destructuring patterns: not a guard binding
+    };
+    let name = name.to_string();
+    if name == "_" {
+        return (i + 1, None);
+    }
+    // Only a plain binding (`let g = …`, optionally `let g: T = …`) can
+    // name a guard. `let Some(x) = …` / `if let` patterns bind through a
+    // constructor and are skipped — treating `Some` as a guard name made
+    // the pass scan past the pattern into unrelated statements.
+    let mut j = j + 1;
+    if toks.get(j).map(|t| t.kind.is_punct(':')).unwrap_or(false)
+        && toks
+            .get(j + 1)
+            .map(|t| t.kind.is_punct(':'))
+            .unwrap_or(false)
+    {
+        return (i + 1, None); // `let Enum::Variant(..) = …` — a pattern
+    }
+    if toks.get(j).map(|t| t.kind.is_punct(':')).unwrap_or(false) {
+        let mut angle = 0i32;
+        loop {
+            j += 1;
+            match toks.get(j).map(|t| &t.kind) {
+                Some(TokenKind::Punct('<')) => angle += 1,
+                Some(TokenKind::Punct('>')) => angle -= 1,
+                Some(TokenKind::Punct('=')) if angle <= 0 => break,
+                Some(TokenKind::Punct(';')) | None => return (j, None),
+                _ => {}
+            }
+        }
+    }
+    if !toks.get(j).map(|t| t.kind.is_punct('=')).unwrap_or(false) {
+        return (i + 1, None);
+    }
+    // Scan the initializer to the statement's terminating `;` (at zero
+    // relative bracket depth), looking for `lock(` / `try_lock(`.
+    let mut k = j + 1;
+    let mut rel = 0i32;
+    let mut has_lock = false;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => rel += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                if rel == 0 {
+                    break; // malformed / end of enclosing block
+                }
+                rel -= 1;
+            }
+            TokenKind::Punct(';') if rel == 0 => break,
+            TokenKind::Ident(s)
+                if (s == "lock" || s == "try_lock")
+                    && toks
+                        .get(k + 1)
+                        .map(|t| t.kind.is_punct('('))
+                        .unwrap_or(false) =>
+            {
+                has_lock = true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let guard = has_lock.then(|| Guard {
+        name,
+        depth,
+        line: toks[i].line,
+    });
+    (i + 1, guard)
+}
+
+fn seqlock_misuse(unit: &FileUnit, graph: &SymbolGraph, out: &mut Vec<PassHit>) {
+    // Seqlock structs defined in this file: a `seq: Atomic*` field marks
+    // the discipline; every atomic field of such a struct is protected.
+    let mut protected: Vec<(&str, &str)> = Vec::new(); // (field, struct)
+    for s in graph.structs.iter().filter(|s| s.file == unit.rel) {
+        let atomic = |t: &[String]| t.first().is_some_and(|t| t.starts_with("Atomic"));
+        let is_seqlock = s.fields.iter().any(|(n, t)| n == "seq" && atomic(t));
+        if is_seqlock {
+            for (n, t) in &s.fields {
+                if atomic(t) {
+                    protected.push((n, &s.name));
+                }
+            }
+        }
+    }
+    if protected.is_empty() {
+        return;
+    }
+
+    let toks = &unit.lexed.tokens;
+    // Paren-depth tracking plus a stack of depths at which an `update(`
+    // call opened; writes inside any such span are bracketed.
+    let mut paren = 0usize;
+    let mut update_spans: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => {
+                paren = paren.saturating_sub(1);
+                while update_spans.last().map(|d| *d >= paren).unwrap_or(false) {
+                    update_spans.pop();
+                }
+            }
+            TokenKind::Ident(s)
+                if s == "update"
+                    && toks
+                        .get(i + 1)
+                        .map(|t| t.kind.is_punct('('))
+                        .unwrap_or(false) =>
+            {
+                update_spans.push(paren);
+            }
+            TokenKind::Ident(field) => {
+                // Pattern: `. field . WRITE (`
+                let hit = i > 0
+                    && toks[i - 1].kind.is_punct('.')
+                    && toks
+                        .get(i + 1)
+                        .map(|t| t.kind.is_punct('.'))
+                        .unwrap_or(false)
+                    && toks
+                        .get(i + 2)
+                        .and_then(|t| t.kind.as_ident())
+                        .map(|m| ATOMIC_WRITES.contains(&m))
+                        .unwrap_or(false)
+                    && toks
+                        .get(i + 3)
+                        .map(|t| t.kind.is_punct('('))
+                        .unwrap_or(false);
+                if hit {
+                    if let Some((_, owner)) = protected.iter().find(|(n, _)| n == field) {
+                        let line = toks[i].line;
+                        let in_update_method = graph
+                            .fn_at(&unit.rel, line)
+                            .map(|f| graph.fns[f].name == "update")
+                            .unwrap_or(false);
+                        if update_spans.is_empty() && !in_update_method && !unit.is_test_line(line)
+                        {
+                            out.push(PassHit {
+                                file: unit.rel.clone(),
+                                line,
+                                rule: RuleId::SeqlockMisuse,
+                                message: format!(
+                                    "write to seqlock-guarded field `{field}` of \
+                                     `{owner}` outside an `update()` group: a \
+                                     concurrent snapshot can tear. Wrap the write \
+                                     in `update(|s| …)`."
+                                ),
+                                path: Vec::new(),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::test_ranges;
+    use crate::lexer::lex;
+    use crate::manifest::tier_for;
+
+    fn run(files: &[(&str, &str)]) -> Vec<PassHit> {
+        let units: Vec<FileUnit> = files
+            .iter()
+            .map(|(rel, src)| {
+                let lexed = lex(src);
+                let excluded = test_ranges(&lexed.tokens);
+                FileUnit {
+                    rel: rel.to_string(),
+                    tier: tier_for(rel),
+                    lexed,
+                    excluded,
+                }
+            })
+            .collect();
+        let graph = SymbolGraph::build(&units);
+        concurrency_pass(&units, &graph)
+    }
+
+    #[test]
+    fn send_under_live_guard_fires_in_det_tier() {
+        let hits = run(&[(
+            "crates/engine/src/core.rs",
+            "fn f(&self) {\n    let m = self.metrics.lock();\n    self.router.send(1);\n}\n",
+        )]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RuleId::LockAcrossSend);
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn dropped_guard_before_send_is_clean() {
+        let hits = run(&[(
+            "crates/engine/src/core.rs",
+            "fn f(&self) {\n    let mut m = self.metrics.lock();\n    m.x += 1;\n    drop(m);\n    self.router.send(1);\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn scoped_guard_is_clean_and_temporaries_never_bind() {
+        let hits = run(&[(
+            "crates/engine/src/core.rs",
+            "fn f(&self) {\n    { let m = self.metrics.lock(); let _ = m; }\n    self.metrics.lock().x += 1;\n    self.router.send(1);\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn ops_tier_is_exempt_from_lock_across_send() {
+        let hits = run(&[(
+            "crates/engine/src/net.rs",
+            "fn f(&self) {\n    let m = self.state.lock();\n    tx.send(1);\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    const SEQLOCK: &str = "struct LinkState { seq: AtomicU64, connected: AtomicBool, epoch: AtomicU64 }\n\
+         impl LinkState {\n    fn update(&self, g: impl FnOnce(&Self)) {\n        self.seq.fetch_add(1, O);\n        g(self);\n        self.seq.fetch_add(1, O);\n    }\n}\n";
+
+    #[test]
+    fn bare_store_outside_update_fires() {
+        let hits = run(&[(
+            "crates/engine/src/net.rs",
+            &format!(
+                "{SEQLOCK}fn init(state: &LinkState) {{\n    state.connected.store(true, O);\n}}\n"
+            ),
+        )]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RuleId::SeqlockMisuse);
+        assert!(hits[0].message.contains("connected"));
+    }
+
+    #[test]
+    fn writes_inside_update_group_or_method_are_clean() {
+        let hits = run(&[(
+            "crates/engine/src/net.rs",
+            &format!(
+                "{SEQLOCK}fn reconnect(state: &LinkState) {{\n    state.update(|st| {{\n        st.connected.store(true, O);\n        st.epoch.fetch_add(1, O);\n    }});\n}}\n"
+            ),
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unrelated_atomics_in_same_file_are_fine() {
+        let hits = run(&[(
+            "crates/engine/src/net.rs",
+            &format!("{SEQLOCK}fn halt(stop: &AtomicBool) {{\n    stop.store(true, O);\n}}\n"),
+        )]);
+        // `stop` is not a LinkState field; and the bare `stop.store` has no
+        // leading `.` receiver-field shape.
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn loads_are_not_writes() {
+        let hits = run(&[(
+            "crates/engine/src/net.rs",
+            &format!(
+                "{SEQLOCK}fn read(state: &LinkState) -> bool {{\n    state.connected.load(O)\n}}\n"
+            ),
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

@@ -14,29 +14,44 @@
 //!   no `syn`),
 //! - a [tier manifest](manifest) declaring which paths are deterministic,
 //!   ops-plane, or exempt,
-//! - a [rule catalogue](rules) — `WALLCLOCK`, `AMBIENT-RAND`, `HASH-ITER`,
-//!   `AMBIENT-ENV`, `UNSAFE`, `FLOAT-ACCUM`,
+//! - a per-file [rule catalogue](rules) — `WALLCLOCK`, `AMBIENT-RAND`,
+//!   `HASH-ITER`, `AMBIENT-ENV`, `UNSAFE`, `FLOAT-ACCUM`,
+//! - a whole-workspace [symbol graph](symbols) (items + identifier-resolved
+//!   call edges) feeding three cross-file passes: [interprocedural
+//!   taint](taint) (`TAINT-FLOW`), [protocol
+//!   exhaustiveness](protocol) (`ENVELOPE-NONEXHAUSTIVE`), and
+//!   [concurrency discipline](concurrency) (`LOCK-ACROSS-SEND`,
+//!   `SEQLOCK-MISUSE`),
 //! - an [analysis engine](analyze) with explicit, counted
 //!   `// tart-lint: allow(RULE) -- reason` suppressions,
-//! - [text and JSON reporting](report).
+//! - [text and JSON reporting](report) with call-path witnesses.
 //!
-//! It ships three ways: the `tart-lint` binary (`--deny` for CI), the
-//! `workspace_audit` integration test (plain `cargo test` enforces the
-//! fence), and the `determinism-lint` CI job. See DESIGN.md §11 for the
-//! hazard taxonomy and tier table.
+//! It ships three ways: the `tart-lint` binary (`--deny` for CI, plus
+//! `--symbols` for the graph artifact), the `workspace_audit` integration
+//! test (plain `cargo test` enforces the fence), and the
+//! `determinism-lint` CI job. See DESIGN.md §12 for the hazard taxonomy
+//! and tier table, §17 for the symbol graph and workspace passes.
 
 #![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod concurrency;
 pub mod lexer;
 pub mod manifest;
+pub mod protocol;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
-pub use analyze::{audit_source, audit_workspace, Audit, Finding, Suppression};
+pub use analyze::{
+    audit_source, audit_sources, audit_workspace, build_graph, collect_workspace_sources, Audit,
+    Finding, Suppression,
+};
 pub use manifest::{tier_for, Tier};
 pub use report::{render_json, render_text};
 pub use rules::{RuleId, Severity};
+pub use symbols::SymbolGraph;
 
 use std::path::{Path, PathBuf};
 

@@ -2,22 +2,32 @@
 //!
 //! ```text
 //! tart-lint [--root PATH] [--format text|json] [--deny] [--quiet]
+//!           [--symbols PATH]
 //! ```
 //!
-//! Exit status: 0 when clean (or when only reporting), 1 under `--deny`
-//! when any error-severity finding survives suppression, 2 on usage or I/O
-//! errors. Warnings never fail the build.
+//! Exit status discipline (greppable in CI logs):
+//!
+//! - `0` — audit ran and is clean (or findings were only reported).
+//! - `1` — `--deny` and at least one error-severity finding survived
+//!   suppression. The last line on stderr is a one-line summary count.
+//! - `2` — the audit itself failed: bad usage, I/O errors, an empty file
+//!   set (a fence that scanned nothing proves nothing), or a `--symbols`
+//!   write failure. Never used for findings.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tart_lint::{audit_workspace, find_workspace_root, render_json, render_text};
+use tart_lint::{
+    audit_workspace, build_graph, collect_workspace_sources, find_workspace_root, render_json,
+    render_text, SymbolGraph,
+};
 
 struct Args {
     root: Option<PathBuf>,
     json: bool,
     deny: bool,
     quiet: bool,
+    symbols: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         deny: false,
         quiet: false,
+        symbols: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -41,9 +52,14 @@ fn parse_args() -> Result<Args, String> {
             },
             "--deny" => args.deny = true,
             "--quiet" => args.quiet = true,
+            "--symbols" => {
+                let v = it.next().ok_or("--symbols requires a path")?;
+                args.symbols = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: tart-lint [--root PATH] [--format text|json] [--deny] [--quiet]"
+                    "usage: tart-lint [--root PATH] [--format text|json] [--deny] [--quiet] \
+                     [--symbols PATH]"
                         .to_string(),
                 )
             }
@@ -79,13 +95,36 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if let Some(path) = &args.symbols {
+        let graph: SymbolGraph = match collect_workspace_sources(&root) {
+            Ok(sources) => build_graph(&sources),
+            Err(e) => {
+                eprintln!("tart-lint: failed to re-read sources for --symbols: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, graph.render_json()) {
+            eprintln!("tart-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if args.json {
         println!("{}", render_json(&audit));
     } else if !args.quiet || audit.errors() > 0 {
         print!("{}", render_text(&audit));
     }
-    if args.deny && audit.errors() > 0 {
-        return ExitCode::from(1);
+    if args.deny {
+        // One greppable line, win or lose, on stderr so it survives
+        // `--format json` on stdout.
+        eprintln!(
+            "tart-lint: deny: {} error(s), {} warning(s) across {} file(s)",
+            audit.errors(),
+            audit.warnings(),
+            audit.files_scanned
+        );
+        if audit.errors() > 0 {
+            return ExitCode::from(1);
+        }
     }
     ExitCode::SUCCESS
 }

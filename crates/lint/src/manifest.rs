@@ -19,10 +19,12 @@ pub enum Tier {
     /// Handlers, codecs, schedulers, checkpointed containers.
     Deterministic,
     /// Ops plane: runs *around* the replayable core (failure detection,
-    /// transport, chaos injection, durability I/O). Wall-clock and file I/O
-    /// are part of the job, but every wall-clock read still needs an
-    /// explicit in-source `tart-lint: allow` so a leak into the core can't
-    /// hide behind "it's just ops code".
+    /// transport, chaos injection, durability I/O). Wall-clock reads are
+    /// part of the job and allowed in place; what is fenced instead is the
+    /// *boundary*: the interprocedural taint pass (`TAINT-FLOW`) errors
+    /// when a deterministic-tier function obtains a value whose data flow
+    /// reaches an ops-plane clock/rand/env read, and ambient randomness
+    /// stays an error even here (a seeded `DetRng` exists on both planes).
     Ops,
     /// Not audited (measurement harnesses whose entire purpose is timing).
     Exempt,

@@ -6,9 +6,11 @@ use std::fmt::Write as _;
 use crate::analyze::Audit;
 
 /// The JSON schema version; bump when the shape changes.
-pub const JSON_VERSION: u32 = 1;
+/// v2: findings gained a `path` witness array (interprocedural rules).
+pub const JSON_VERSION: u32 = 2;
 
-/// Renders human-oriented diagnostics, one per line, plus a summary.
+/// Renders human-oriented diagnostics, one per line (plus indented
+/// call-path witness lines for interprocedural findings), and a summary.
 pub fn render_text(audit: &Audit) -> String {
     let mut out = String::new();
     for f in &audit.findings {
@@ -21,6 +23,9 @@ pub fn render_text(audit: &Audit) -> String {
             f.severity.as_str(),
             f.message
         );
+        for step in &f.path {
+            let _ = writeln!(out, "    | {step}");
+        }
     }
     let documented = audit
         .suppressions
@@ -45,10 +50,10 @@ pub fn render_text(audit: &Audit) -> String {
 ///
 /// ```json
 /// {
-///   "version": 1,
+///   "version": 2,
 ///   "files_scanned": 42,
 ///   "summary": {"errors": 0, "warnings": 1, "suppressed": 12},
-///   "findings": [{"file", "line", "rule", "severity", "message"}],
+///   "findings": [{"file", "line", "rule", "severity", "message", "path": [..]}],
 ///   "suppressions": [{"file", "line", "rules": [..], "reason", "hits"}]
 /// }
 /// ```
@@ -69,14 +74,16 @@ pub fn render_json(audit: &Audit) -> String {
         if i > 0 {
             out.push(',');
         }
+        let path: Vec<String> = f.path.iter().map(|p| json_str(p)).collect();
         let _ = write!(
             out,
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{},\"path\":[{}]}}",
             json_str(&f.file),
             f.line,
             json_str(f.rule.as_str()),
             json_str(f.severity.as_str()),
-            json_str(&f.message)
+            json_str(&f.message),
+            path.join(",")
         );
     }
     out.push_str("],\"suppressions\":[");
@@ -104,7 +111,7 @@ pub fn render_json(audit: &Audit) -> String {
 }
 
 /// Escapes a string per RFC 8259.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -48,6 +48,20 @@ pub enum RuleId {
     UndocAllow,
     /// An `allow` directive that suppressed nothing.
     UnusedAllow,
+    /// A call path from a Deterministic-tier function into an Ops-tier
+    /// function whose return value (transitively) carries wall-clock,
+    /// entropy, or environment data. Interprocedural; the finding prints
+    /// the full call path (see [`crate::taint`]).
+    TaintFlow,
+    /// A registered `Envelope` match site no longer handles every variant
+    /// in its registered set (see [`crate::protocol`]).
+    EnvelopeNonexhaustive,
+    /// A `Mutex` guard held live across a send or blocking-I/O call in
+    /// Deterministic-tier code (see [`crate::concurrency`]).
+    LockAcrossSend,
+    /// A write to a seqlock-guarded field outside an `update()` write
+    /// group: concurrent snapshots can tear (see [`crate::concurrency`]).
+    SeqlockMisuse,
 }
 
 impl RuleId {
@@ -61,6 +75,10 @@ impl RuleId {
             RuleId::FloatAccum => "FLOAT-ACCUM",
             RuleId::UndocAllow => "UNDOC-ALLOW",
             RuleId::UnusedAllow => "UNUSED-ALLOW",
+            RuleId::TaintFlow => "TAINT-FLOW",
+            RuleId::EnvelopeNonexhaustive => "ENVELOPE-NONEXHAUSTIVE",
+            RuleId::LockAcrossSend => "LOCK-ACROSS-SEND",
+            RuleId::SeqlockMisuse => "SEQLOCK-MISUSE",
         }
     }
 
@@ -73,6 +91,10 @@ impl RuleId {
             "AMBIENT-ENV" => Some(RuleId::AmbientEnv),
             "UNSAFE" => Some(RuleId::Unsafe),
             "FLOAT-ACCUM" => Some(RuleId::FloatAccum),
+            "TAINT-FLOW" => Some(RuleId::TaintFlow),
+            "ENVELOPE-NONEXHAUSTIVE" => Some(RuleId::EnvelopeNonexhaustive),
+            "LOCK-ACROSS-SEND" => Some(RuleId::LockAcrossSend),
+            "SEQLOCK-MISUSE" => Some(RuleId::SeqlockMisuse),
             _ => None,
         }
     }
@@ -84,9 +106,19 @@ impl RuleId {
         use Tier::*;
         match (self, tier) {
             (_, Exempt) => None,
-            // Wall-clock and ambient randomness poison replay wherever the
-            // result can flow; ops code must annotate each legitimate read.
-            (Wallclock | AmbientRand, Deterministic | Ops) => Some(Severity::Error),
+            // Wall-clock reads poison replay only where the result can flow
+            // into the fenced core. The deterministic tier bans the raw
+            // read; the ops plane reads clocks as part of its job, and the
+            // *boundary* is guarded path-sensitively by TAINT-FLOW instead
+            // of per-line allows (the pre-taint regime annotated every ops
+            // read, which proved pure noise — ~19 allows said "ops-plane:
+            // real time is fine here" without once finding a leak).
+            (Wallclock, Deterministic) => Some(Severity::Error),
+            (Wallclock, Ops) => None,
+            // Ambient randomness stays banned everywhere: even ops code
+            // must thread entropy through the seeded DetRng so chaos runs
+            // and reconnect jitter stay reproducible.
+            (AmbientRand, Deterministic | Ops) => Some(Severity::Error),
             // Hash-iteration order and env reads only corrupt the fenced
             // core; the ops plane legitimately reads disks and registries.
             (HashIter | AmbientEnv, Deterministic) => Some(Severity::Error),
@@ -96,6 +128,19 @@ impl RuleId {
             (FloatAccum, Ops) => None,
             // Directive hygiene is handled by the engine, tier-independent.
             (UndocAllow | UnusedAllow, _) => Some(Severity::Error),
+            // Interprocedural: a deterministic caller reaching tainted ops
+            // code is the leak itself; ops-to-ops flows are the job.
+            (TaintFlow, Deterministic) => Some(Severity::Error),
+            (TaintFlow, Ops) => None,
+            // Protocol drift corrupts replay wherever the match site lives.
+            (EnvelopeNonexhaustive, Deterministic | Ops) => Some(Severity::Error),
+            // Holding a lock across a send can invert delivery order under
+            // contention — fatal in the replayable core, routine in ops
+            // threads that own their queues.
+            (LockAcrossSend, Deterministic) => Some(Severity::Error),
+            (LockAcrossSend, Ops) => None,
+            // Torn seqlock reads corrupt whoever snapshots them.
+            (SeqlockMisuse, Deterministic | Ops) => Some(Severity::Error),
         }
     }
 }
@@ -106,6 +151,31 @@ pub struct Hit {
     pub line: u32,
     pub rule: RuleId,
     pub message: String,
+}
+
+/// A workspace-pass finding before suppression is applied. Unlike [`Hit`],
+/// pass findings carry their file (passes span files) and an optional
+/// call-path witness.
+#[derive(Clone, Debug)]
+pub struct PassHit {
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+    /// Human-readable witness, outermost frame first (empty when the
+    /// finding is self-evident at its line).
+    pub path: Vec<String>,
+}
+
+/// The raw-hazard subset used for taint seeding: these rules mark a
+/// function as *reading* nondeterministic inputs regardless of the tier's
+/// lexical severity (an ops-plane clock read is locally fine but still
+/// taints the value it returns).
+pub fn is_taint_source(rule: RuleId) -> bool {
+    matches!(
+        rule,
+        RuleId::Wallclock | RuleId::AmbientRand | RuleId::AmbientEnv
+    )
 }
 
 /// Runs every pattern rule over a token stream. `tier` selects which rules

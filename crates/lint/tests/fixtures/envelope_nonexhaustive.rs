@@ -1,0 +1,64 @@
+//! Positive fixture for ENVELOPE-NONEXHAUSTIVE: the enum grows a new
+//! `Bogus` variant, but `encode` and `decode` — whose registry entries
+//! demand coverage of *every* variant — hide the gap behind wildcard
+//! arms that rustc is perfectly happy with. The `wire` and `faultable`
+//! sites carry `Only(..)` requirements and stay satisfied, so exactly
+//! the two `All` sites must fire.
+
+pub enum Envelope {
+    Data,
+    Silence,
+    Probe,
+    ReplayRequest,
+    ReplayDone,
+    TrimAck,
+    Eos,
+    StandbyInput,
+    Bogus,
+}
+
+pub fn encode(e: &Envelope) -> u8 {
+    match e {
+        Envelope::Data => 0,
+        Envelope::Silence => 1,
+        Envelope::Probe => 2,
+        Envelope::ReplayRequest => 3,
+        Envelope::ReplayDone => 4,
+        Envelope::TrimAck => 5,
+        Envelope::Eos => 6,
+        Envelope::StandbyInput => 7,
+        _ => 255,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Envelope> {
+    Some(match tag {
+        0 => Envelope::Data,
+        1 => Envelope::Silence,
+        2 => Envelope::Probe,
+        3 => Envelope::ReplayRequest,
+        4 => Envelope::ReplayDone,
+        5 => Envelope::TrimAck,
+        6 => Envelope::Eos,
+        7 => Envelope::StandbyInput,
+        _ => return None,
+    })
+}
+
+pub fn wire(e: &Envelope) -> bool {
+    matches!(
+        e,
+        Envelope::Data
+            | Envelope::Silence
+            | Envelope::Probe
+            | Envelope::ReplayRequest
+            | Envelope::ReplayDone
+            | Envelope::TrimAck
+            | Envelope::Eos
+            | Envelope::StandbyInput
+    )
+}
+
+pub fn faultable(e: &Envelope) -> bool {
+    matches!(e, Envelope::Data | Envelope::Silence)
+}

@@ -1,0 +1,63 @@
+//! Suppressed fixture for ENVELOPE-NONEXHAUSTIVE: the same `Bogus` gap
+//! as the positive fixture, but both `All`-requirement sites carry a
+//! reasoned allow on the line above the `fn` — where the finding lands.
+
+pub enum Envelope {
+    Data,
+    Silence,
+    Probe,
+    ReplayRequest,
+    ReplayDone,
+    TrimAck,
+    Eos,
+    StandbyInput,
+    Bogus,
+}
+
+// tart-lint: allow(ENVELOPE-NONEXHAUSTIVE) -- fixture: Bogus is a staged variant behind a feature gate
+pub fn encode(e: &Envelope) -> u8 {
+    match e {
+        Envelope::Data => 0,
+        Envelope::Silence => 1,
+        Envelope::Probe => 2,
+        Envelope::ReplayRequest => 3,
+        Envelope::ReplayDone => 4,
+        Envelope::TrimAck => 5,
+        Envelope::Eos => 6,
+        Envelope::StandbyInput => 7,
+        _ => 255,
+    }
+}
+
+// tart-lint: allow(ENVELOPE-NONEXHAUSTIVE) -- fixture: Bogus is a staged variant behind a feature gate
+pub fn decode(tag: u8) -> Option<Envelope> {
+    Some(match tag {
+        0 => Envelope::Data,
+        1 => Envelope::Silence,
+        2 => Envelope::Probe,
+        3 => Envelope::ReplayRequest,
+        4 => Envelope::ReplayDone,
+        5 => Envelope::TrimAck,
+        6 => Envelope::Eos,
+        7 => Envelope::StandbyInput,
+        _ => return None,
+    })
+}
+
+pub fn wire(e: &Envelope) -> bool {
+    matches!(
+        e,
+        Envelope::Data
+            | Envelope::Silence
+            | Envelope::Probe
+            | Envelope::ReplayRequest
+            | Envelope::ReplayDone
+            | Envelope::TrimAck
+            | Envelope::Eos
+            | Envelope::StandbyInput
+    )
+}
+
+pub fn faultable(e: &Envelope) -> bool {
+    matches!(e, Envelope::Data | Envelope::Silence)
+}

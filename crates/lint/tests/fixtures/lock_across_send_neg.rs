@@ -1,0 +1,25 @@
+//! Negative fixture for LOCK-ACROSS-SEND: every send happens after the
+//! guard has died — by explicit `drop`, by scope exit, or because the
+//! binding was never a guard (pattern bindings are not guard names).
+
+pub fn flush_dropped(m: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = m.lock().unwrap();
+    let value = *guard;
+    drop(guard);
+    tx.send(value).ok();
+}
+
+pub fn flush_scoped(m: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let mut value = 0;
+    {
+        let guard = m.lock().unwrap();
+        value = *guard;
+    }
+    tx.send(value).ok();
+}
+
+pub fn patterns_are_not_guards(slots: &[Option<u64>], tx: &std::sync::mpsc::Sender<u64>) {
+    if let Some(first) = slots.first().copied().flatten() {
+        tx.send(first).ok();
+    }
+}

@@ -1,0 +1,9 @@
+//! Positive fixture for LOCK-ACROSS-SEND: a deterministic-tier handler
+//! sends on a channel while a mutex guard is still live. Under
+//! contention the send can block with the lock held and invert delivery
+//! order between components.
+
+pub fn flush_counter(m: &std::sync::Mutex<u64>, tx: &std::sync::mpsc::Sender<u64>) {
+    let guard = m.lock().unwrap();
+    tx.send(*guard).ok();
+}

@@ -1,0 +1,17 @@
+//! Suppressed fixture for SEQLOCK-MISUSE: the same unbracketed write as
+//! the positive fixture, fenced by a reasoned allow on the line above
+//! the store (where the finding lands).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct LinkState {
+    pub seq: AtomicU64,
+    pub epoch: AtomicU64,
+}
+
+impl LinkState {
+    pub fn poke(&self) {
+        // tart-lint: allow(SEQLOCK-MISUSE) -- fixture: called before the state is shared, no snapshot can race
+        self.epoch.store(1, Ordering::SeqCst);
+    }
+}

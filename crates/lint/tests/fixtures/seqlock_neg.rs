@@ -1,0 +1,24 @@
+//! Negative fixture for SEQLOCK-MISUSE: every write to a protected field
+//! happens inside the `update` method itself or inside an `update(|s| …)`
+//! call span — the two bracketed forms the discipline sanctions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct LinkState {
+    pub seq: AtomicU64,
+    pub epoch: AtomicU64,
+}
+
+impl LinkState {
+    pub fn update<F: FnOnce(&LinkState)>(&self, f: F) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        f(self);
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+pub fn reconnect(state: &LinkState) {
+    state.update(|st| {
+        st.epoch.store(1, Ordering::SeqCst);
+    });
+}

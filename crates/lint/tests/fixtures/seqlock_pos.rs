@@ -1,0 +1,17 @@
+//! Positive fixture for SEQLOCK-MISUSE: `LinkState` follows the seqlock
+//! discipline (a `seq: AtomicU64` field marks it), but `poke` writes a
+//! protected field outside any `update()` group — a concurrent snapshot
+//! can observe the new epoch without the sequence bump that frames it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct LinkState {
+    pub seq: AtomicU64,
+    pub epoch: AtomicU64,
+}
+
+impl LinkState {
+    pub fn poke(&self) {
+        self.epoch.store(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,7 @@
+//! Taint fixture, hop 1: an innocent-looking ops-plane helper whose
+//! return value is clock-derived one call away. Contains no hazard token
+//! itself — only the interprocedural pass can see through it.
+
+pub fn observed_latency() -> u64 {
+    (stamp_ns() / 2) as u64
+}

@@ -1,0 +1,8 @@
+//! Taint fixture, hop 2: a deterministic-tier scheduler function that
+//! imports the laundered clock reading. Audited as a `crates/sched/`
+//! file; the call below is the TAINT-FLOW finding, with a three-frame
+//! witness path ending at the raw read in `taint_source.rs`.
+
+pub fn schedule_deadline() -> u64 {
+    observed_latency() + 10
+}

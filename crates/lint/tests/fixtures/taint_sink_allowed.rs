@@ -1,0 +1,8 @@
+//! Suppressed variant of the taint sink: the same deterministic-tier
+//! import of a clock-derived value, fenced by a reasoned allow on the
+//! line above the call edge (where TAINT-FLOW findings land).
+
+pub fn schedule_deadline() -> u64 {
+    // tart-lint: allow(TAINT-FLOW) -- fixture: the value is logged before use, making replay see the same reading
+    observed_latency() + 10
+}

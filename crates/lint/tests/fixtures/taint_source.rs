@@ -1,0 +1,8 @@
+//! Taint fixture, hop 0: an ops-plane helper that reads the wall clock
+//! and returns a value derived from it. Audited as an `crates/obs/` file,
+//! where the raw read is locally legal — but it seeds the taint set.
+
+pub fn stamp_ns() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}

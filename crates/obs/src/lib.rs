@@ -110,7 +110,6 @@ impl ObsHub {
     #[allow(clippy::disallowed_methods)]
     pub fn new() -> Self {
         ObsHub {
-            // tart-lint: allow(WALLCLOCK) -- obs epoch: telemetry zero point; never read by replayed code
             epoch: Instant::now(),
             counters: Counters::default(),
             inner: Mutex::new(Inner::default()),
@@ -121,7 +120,6 @@ impl ObsHub {
     /// Nanoseconds since the hub was created.
     #[allow(clippy::disallowed_methods)]
     fn now_ns(&self) -> u64 {
-        // tart-lint: allow(WALLCLOCK) -- the one obs clock read: event stamps and wait measurement, ops plane only
         let elapsed = Instant::now().saturating_duration_since(self.epoch);
         u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
     }

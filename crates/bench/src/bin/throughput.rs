@@ -4,7 +4,12 @@
 //! root (committed — later sessions diff against it):
 //!
 //! 1. **Local pipeline** — messages/sec through a deployed two-engine
-//!    cluster on the in-process router (inject → process → output).
+//!    cluster on the in-process router (inject → process → output), run at
+//!    two message counts (short and 10x sustained). The sustained/short
+//!    ratio is a *scaling-flatness* probe: per-message cost that grows
+//!    with component state (the classic mistake is an O(state) hash or
+//!    scan on the delivery path) drives it toward zero, while honest
+//!    O(1) per-message work keeps it near 1 regardless of host speed.
 //! 2. **TCP loopback** — envelopes/sec over a real socket, one frame per
 //!    envelope (`write_frame`/`read_frame`) vs the batch frame
 //!    (`write_batch`/`read_batch`, 64 envelopes per `write_all`).
@@ -29,7 +34,7 @@ use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use tart_bench::{print_table, quick_mode};
+use tart_bench::{json_f64, print_table, quick_mode};
 use tart_engine::net::{read_batch, read_frame, write_batch, write_frame};
 use tart_engine::{Cluster, ClusterConfig, Envelope, FsyncPolicy, Placement, Wal};
 use tart_estimator::EstimatorSpec;
@@ -55,6 +60,9 @@ fn main() {
     };
 
     let local = local_pipeline(pipeline_msgs);
+    let sustained_msgs = pipeline_msgs * 10;
+    let sustained = local_pipeline(sustained_msgs);
+    let pipeline_scaling = sustained / local;
     let (unbatched, batched) = tcp_loopback(tcp_envelopes);
     let (wal_always, wal_group) = wal_appends(wal_records);
     let (full_bytes, delta_bytes) = checkpoint_bytes();
@@ -68,6 +76,14 @@ fn main() {
         &["measurement", "value"],
         &[
             vec!["local pipeline msgs/sec".into(), format!("{local:.0}")],
+            vec![
+                "local pipeline sustained (10x) msgs/sec".into(),
+                format!("{sustained:.0}"),
+            ],
+            vec![
+                "pipeline scaling (sustained/short)".into(),
+                format!("{pipeline_scaling:.2}"),
+            ],
             vec!["tcp unbatched env/sec".into(), format!("{unbatched:.0}")],
             vec!["tcp batched env/sec".into(), format!("{batched:.0}")],
             vec!["tcp batching speedup".into(), format!("{tcp_speedup:.2}x")],
@@ -90,7 +106,11 @@ fn main() {
     let baseline = std::fs::read_to_string("BENCH_throughput.json").ok();
     let mut regressions = Vec::new();
     if let Some(base) = &baseline {
-        for (key, now) in [("tcp_speedup", tcp_speedup), ("wal_speedup", wal_speedup)] {
+        for (key, now) in [
+            ("tcp_speedup", tcp_speedup),
+            ("wal_speedup", wal_speedup),
+            ("pipeline_scaling", pipeline_scaling),
+        ] {
             if let Some(was) = json_f64(base, key) {
                 if now < was / 2.0 {
                     regressions.push(format!("{key}: {now:.2}x vs committed {was:.2}x"));
@@ -107,6 +127,9 @@ fn main() {
         let json = format!(
             "{{\n  \"bench\": \"throughput\",\n  \"mode\": \"full\",\n  \
              \"local_pipeline_msgs_per_sec\": {local:.0},\n  \
+             \"local_pipeline_sustained_msgs_per_sec\": {sustained:.0},\n  \
+             \"local_pipeline_sustained_msgs\": {sustained_msgs},\n  \
+             \"pipeline_scaling\": {pipeline_scaling:.2},\n  \
              \"tcp_unbatched_env_per_sec\": {unbatched:.0},\n  \
              \"tcp_batched_env_per_sec\": {batched:.0},\n  \
              \"tcp_batch_size\": {BATCH},\n  \"tcp_speedup\": {tcp_speedup:.2},\n  \
@@ -136,10 +159,15 @@ fn main() {
             "a sparse delta must be far smaller than a full snapshot, got {ckpt_ratio:.1}x"
         );
         assert!(
+            pipeline_scaling >= 0.5,
+            "pipeline throughput must stay flat at 10x the message count \
+             (superlinear per-message cost?), got scaling {pipeline_scaling:.2}"
+        );
+        assert!(
             regressions.is_empty(),
             ">2x regression vs committed baseline: {regressions:?}"
         );
-        println!("quick gates passed (speedups ≥2x, no >2x baseline regression)");
+        println!("quick gates passed (speedups ≥2x, flat scaling, no >2x baseline regression)");
     }
 }
 
@@ -305,16 +333,4 @@ fn checkpoint_bytes() -> (usize, usize) {
         .bytes()
         .len();
     (full, delta)
-}
-
-/// Pulls `"key": <number>` out of a flat JSON document. Good enough for
-/// the baseline file this binary itself writes.
-fn json_f64(doc: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = doc.find(&needle)? + needle.len();
-    let rest = doc[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

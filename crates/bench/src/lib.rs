@@ -38,6 +38,19 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Pulls `"key": <number>` out of a flat JSON document — good enough for
+/// the committed `BENCH_*.json` baselines the bench binaries themselves
+/// write, which is all the quick-mode ratio gates ever parse.
+pub fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Prints a Markdown-style table: header row, separator, then rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

@@ -24,7 +24,7 @@ use crate::store::CheckpointStore;
 use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
     ClusterConfig, DurabilityConfig, EngineCheckpoint, EngineMetrics, Envelope, MessageLog,
-    OutputRecord, Placement, ReplicaStore, Router,
+    OutputRecord, Placement, ReplicaStore, Router, SharedEngineMetrics,
 };
 
 /// Cap on envelopes an engine batches per loop iteration, so a saturated
@@ -242,7 +242,7 @@ struct EngineSlot {
     sender: Sender<Envelope>,
     thread: Option<JoinHandle<()>>,
     replica: ReplicaStore,
-    metrics: Arc<Mutex<EngineMetrics>>,
+    metrics: Arc<SharedEngineMetrics>,
     alive: bool,
 }
 
@@ -392,6 +392,7 @@ impl EngineHost {
                 let mut draining = false;
                 let mut seq = 0u64;
                 let mut next_hb = Instant::now();
+                let mut batch: Vec<Envelope> = Vec::with_capacity(BATCH_LIMIT);
                 loop {
                     if let Some(interval) = heartbeat {
                         let now = Instant::now();
@@ -401,23 +402,18 @@ impl EngineHost {
                             next_hb = now + interval;
                         }
                     }
-                    match rx.recv_timeout(idle) {
-                        Ok(env) => {
-                            match core.handle(env) {
-                                Flow::Die => return, // fail-stop: drop everything
-                                Flow::Drain => draining = true,
-                                Flow::Continue => {}
-                            }
-                            // Batch whatever else is already queued (bounded
-                            // so heartbeats keep flowing under load).
-                            for _ in 0..BATCH_LIMIT {
-                                match rx.try_recv() {
-                                    Ok(env) => match core.handle(env) {
-                                        Flow::Die => return,
-                                        Flow::Drain => draining = true,
-                                        Flow::Continue => {}
-                                    },
-                                    Err(_) => break,
+                    // One wakeup drains up to BATCH_LIMIT queued envelopes
+                    // in a single channel-lock round-trip (bounded so
+                    // heartbeats keep flowing under load). A `Die` mid-batch
+                    // drops the rest — exactly the fail-stop inbox loss.
+                    batch.clear();
+                    match rx.recv_batch_timeout(&mut batch, BATCH_LIMIT, idle) {
+                        Ok(_) => {
+                            for env in batch.drain(..) {
+                                match core.handle(env) {
+                                    Flow::Die => return, // fail-stop: drop everything
+                                    Flow::Drain => draining = true,
+                                    Flow::Continue => {}
                                 }
                             }
                         }
@@ -685,7 +681,7 @@ impl EngineHost {
         self.engines
             .lock()
             .get(&engine)
-            .map(|s| s.metrics.lock().clone())
+            .map(|s| s.metrics.snapshot())
     }
 
     fn replica_depth(&self, engine: EngineId) -> usize {

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use tart_estimator::{Calibrator, DeterminismFault, EstimatorSchedule};
 use tart_model::{AppSpec, CheckpointMode, Component, Value};
@@ -96,6 +96,55 @@ pub struct EngineMetrics {
     pub data_received: u64,
 }
 
+/// The live, shared form of [`EngineMetrics`]: one relaxed atomic per
+/// counter, so the delivery hot path bumps counters without a lock (the
+/// same pattern as `tart-obs`'s counter registry). Readers take a
+/// [`SharedEngineMetrics::snapshot`]; counters are monotone and
+/// independent, so a snapshot is only ever behind, never torn into
+/// impossible states.
+///
+/// Metrics are telemetry: they are never read back by replayed logic and
+/// never enter checkpoints, so relaxed ordering is sufficient.
+#[derive(Debug, Default)]
+pub struct SharedEngineMetrics {
+    pub(crate) processed: AtomicU64,
+    pub(crate) duplicates_dropped: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) checkpoint_bytes: AtomicU64,
+    pub(crate) delta_checkpoints: AtomicU64,
+    pub(crate) delta_checkpoint_bytes: AtomicU64,
+    pub(crate) probes_sent: AtomicU64,
+    pub(crate) silence_sent: AtomicU64,
+    pub(crate) replays_served: AtomicU64,
+    pub(crate) replay_requests_sent: AtomicU64,
+    pub(crate) losses_detected: AtomicU64,
+    pub(crate) outputs_emitted: AtomicU64,
+    pub(crate) determinism_faults: AtomicU64,
+    pub(crate) data_received: AtomicU64,
+}
+
+impl SharedEngineMetrics {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> EngineMetrics {
+        EngineMetrics {
+            processed: self.processed.load(AtomicOrdering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(AtomicOrdering::Relaxed),
+            checkpoints: self.checkpoints.load(AtomicOrdering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(AtomicOrdering::Relaxed),
+            delta_checkpoints: self.delta_checkpoints.load(AtomicOrdering::Relaxed),
+            delta_checkpoint_bytes: self.delta_checkpoint_bytes.load(AtomicOrdering::Relaxed),
+            probes_sent: self.probes_sent.load(AtomicOrdering::Relaxed),
+            silence_sent: self.silence_sent.load(AtomicOrdering::Relaxed),
+            replays_served: self.replays_served.load(AtomicOrdering::Relaxed),
+            replay_requests_sent: self.replay_requests_sent.load(AtomicOrdering::Relaxed),
+            losses_detected: self.losses_detected.load(AtomicOrdering::Relaxed),
+            outputs_emitted: self.outputs_emitted.load(AtomicOrdering::Relaxed),
+            determinism_faults: self.determinism_faults.load(AtomicOrdering::Relaxed),
+            data_received: self.data_received.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
 /// In-flight recovery state for one input wire: arrivals are stashed until
 /// the replay burst completes, then applied in virtual-time order.
 #[derive(Debug, Default)]
@@ -141,6 +190,9 @@ pub struct EngineCore {
     /// Deterministic per-output-wire send watermark (checkpointed: replays
     /// must reproduce identical virtual times).
     sent_watermark: BTreeMap<WireId, VirtualTime>,
+    /// Reusable buffer for routing a handler's sends without a per-send
+    /// allocation (scratch only — never checkpointed).
+    out_wire_scratch: Vec<WireId>,
     router: Router,
     replica: ReplicaStore,
     /// On-disk checkpoint store, when the cluster runs with durability.
@@ -171,7 +223,7 @@ pub struct EngineCore {
     /// Output wires whose end-of-stream marker has been transmitted
     /// (graceful drain only).
     eos_sent: std::collections::BTreeSet<WireId>,
-    metrics: Arc<Mutex<EngineMetrics>>,
+    metrics: Arc<SharedEngineMetrics>,
     /// Telemetry handle (ops plane). Strictly write-only from the core's
     /// perspective: nothing recorded here is ever read back, so it cannot
     /// influence replayed decisions, and none of it enters checkpoints.
@@ -265,6 +317,7 @@ impl EngineCore {
             retention,
             advertisers,
             sent_watermark: BTreeMap::new(),
+            out_wire_scratch: Vec::new(),
             router,
             replica,
             durable: None,
@@ -278,7 +331,7 @@ impl EngineCore {
             deliveries_since_hash: 0,
             ckpts_since_full: 0,
             eos_sent: std::collections::BTreeSet::new(),
-            metrics: Arc::new(Mutex::new(EngineMetrics::default())),
+            metrics: Arc::new(SharedEngineMetrics::default()),
             // tart-lint: allow(TAINT-FLOW) -- obs handle construction: the hub's epoch stamp is telemetry zero-point, never read back by replayed logic
             obs: tart_obs::EngineObs::detached(id),
         }
@@ -333,13 +386,13 @@ impl EngineCore {
     }
 
     /// Shared handle to this engine's metrics.
-    pub fn metrics_handle(&self) -> Arc<Mutex<EngineMetrics>> {
+    pub fn metrics_handle(&self) -> Arc<SharedEngineMetrics> {
         Arc::clone(&self.metrics)
     }
 
     /// A snapshot of the current metrics.
     pub fn metrics(&self) -> EngineMetrics {
-        self.metrics.lock().clone()
+        self.metrics.snapshot()
     }
 
     /// Total messages pending in this engine's gates.
@@ -486,7 +539,9 @@ impl EngineCore {
     }
 
     fn on_data(&mut self, wire: WireId, vt: VirtualTime, prev_vt: VirtualTime, payload: Value) {
-        self.metrics.lock().data_received += 1;
+        self.metrics
+            .data_received
+            .fetch_add(1, AtomicOrdering::Relaxed);
         // Warm standby: every external arrival is already logged (and thus
         // replayable), so advancing the standby plane's notion of this
         // engine's input head costs one control-plane envelope and lets the
@@ -522,7 +577,9 @@ impl EngineCore {
             && prev_vt > VirtualTime::ZERO
             && (!heard || prev_vt > accounted);
         if gap {
-            self.metrics.lock().losses_detected += 1;
+            self.metrics
+                .losses_detected
+                .fetch_add(1, AtomicOrdering::Relaxed);
             let from = if heard {
                 accounted.next()
             } else {
@@ -541,7 +598,7 @@ impl EngineCore {
             // in real-time arrival order, no pessimism, no recoverability.
             let dequeue_vt = vt.max_with(self.mux.gate(target).clock());
             self.process_delivery(target, wire, vt, dequeue_vt, payload);
-            self.metrics.lock().processed += 1;
+            self.metrics.processed.fetch_add(1, AtomicOrdering::Relaxed);
             return;
         }
         match self.mux.push_message(wire, vt, payload) {
@@ -554,7 +611,9 @@ impl EngineCore {
                 // Timestamp at or below the accounted watermark: a replayed
                 // or link-duplicated message. "The duplicate messages will
                 // have duplicate timestamps and will be discarded" (§II.F.4).
-                self.metrics.lock().duplicates_dropped += 1;
+                self.metrics
+                    .duplicates_dropped
+                    .fetch_add(1, AtomicOrdering::Relaxed);
             }
         }
     }
@@ -583,7 +642,9 @@ impl EngineCore {
         let heard = gate.has_heard(wire);
         let accounted = gate.accounted_through(wire);
         if last_data > VirtualTime::ZERO && (!heard || last_data > accounted) {
-            self.metrics.lock().losses_detected += 1;
+            self.metrics
+                .losses_detected
+                .fetch_add(1, AtomicOrdering::Relaxed);
             let from = if heard {
                 accounted.next()
             } else {
@@ -609,7 +670,9 @@ impl EngineCore {
     }
 
     fn request_replay(&mut self, wire: WireId, from: VirtualTime) {
-        self.metrics.lock().replay_requests_sent += 1;
+        self.metrics
+            .replay_requests_sent
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.obs.replay_requested(wire, from);
         match &self.wire_source[&wire] {
             WireSource::Local => {
@@ -639,7 +702,9 @@ impl EngineCore {
         let Some(buf) = self.retention.get(&wire) else {
             return;
         };
-        self.metrics.lock().replays_served += 1;
+        self.metrics
+            .replays_served
+            .fetch_add(1, AtomicOrdering::Relaxed);
         let frames = buf.replay_from(from);
         let count = frames.len() as u64;
         let dest = self.wire_dest[&wire].clone();
@@ -708,7 +773,9 @@ impl EngineCore {
                 if self.mux.target_of(wire).is_some()
                     && self.mux.push_message(wire, vt, payload).is_err()
                 {
-                    self.metrics.lock().duplicates_dropped += 1;
+                    self.metrics
+                        .duplicates_dropped
+                        .fetch_add(1, AtomicOrdering::Relaxed);
                 }
             } else {
                 refeed.push((vt, prev_vt, payload));
@@ -755,7 +822,9 @@ impl EngineCore {
             .unwrap_or(bound);
         let dest = self.wire_dest[&wire].clone();
         let _ = changed;
-        self.metrics.lock().silence_sent += 1;
+        self.metrics
+            .silence_sent
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.obs.silence_sent(wire, through);
         let last_data = self
             .retention
@@ -827,7 +896,9 @@ impl EngineCore {
             }
         }
         if processed > 0 {
-            self.metrics.lock().processed += processed;
+            self.metrics
+                .processed
+                .fetch_add(processed, AtomicOrdering::Relaxed);
         }
         processed
     }
@@ -878,17 +949,7 @@ impl EngineCore {
         self.mux.gate_mut(cid).advance_clock(completion);
 
         // Route the outputs.
-        for (seq, (port, payload)) in sends.into_iter().enumerate() {
-            let out_wires: Vec<WireId> = self
-                .spec
-                .wires_from_port(cid, port)
-                .iter()
-                .map(|w| w.id())
-                .collect();
-            for out_wire in out_wires {
-                self.emit(out_wire, completion, seq as u64, payload.clone());
-            }
-        }
+        self.route_sends(cid, completion, sends);
 
         self.processed_since_ckpt += 1;
         if let Some(every) = self.config.hash_state_every {
@@ -950,7 +1011,9 @@ impl EngineCore {
             if let Some(buf) = self.retention.get_mut(&out_wire) {
                 buf.record(out_vt, payload.clone());
             }
-            self.metrics.lock().outputs_emitted += 1;
+            self.metrics
+                .outputs_emitted
+                .fetch_add(1, AtomicOrdering::Relaxed);
             let _ = self.outputs.send(OutputRecord {
                 consumer: consumer.clone(),
                 wire: out_wire,
@@ -1026,18 +1089,33 @@ impl EngineCore {
         let est = self.estimators[&callee].estimate_at(arrival, &features);
         let completion = arrival + est;
         self.mux.gate_mut(callee).advance_clock(completion);
-        for (seq, (p, payload)) in sends.into_iter().enumerate() {
-            let out_wires: Vec<WireId> = self
-                .spec
-                .wires_from_port(callee, p)
-                .iter()
-                .map(|w| w.id())
-                .collect();
-            for w in out_wires {
-                self.emit(w, completion, seq as u64, payload.clone());
+        self.route_sends(callee, completion, sends);
+        reply
+    }
+
+    /// Routes a handler's buffered sends: one emit per (send, out-wire)
+    /// pair. Reuses a scratch wire list and moves (rather than clones) the
+    /// payload into the last wire's emit — the common single-wire fan-out
+    /// never copies the payload.
+    fn route_sends(
+        &mut self,
+        from: ComponentId,
+        completion: VirtualTime,
+        sends: Vec<(PortId, Value)>,
+    ) {
+        let mut out_wires = std::mem::take(&mut self.out_wire_scratch);
+        for (seq, (port, payload)) in sends.into_iter().enumerate() {
+            out_wires.clear();
+            out_wires.extend(self.spec.wires_from_port(from, port).iter().map(|w| w.id()));
+            if let Some((&last, rest)) = out_wires.split_last() {
+                for &w in rest {
+                    self.emit(w, completion, seq as u64, payload.clone());
+                }
+                self.emit(last, completion, seq as u64, payload);
             }
         }
-        reply
+        out_wires.clear();
+        self.out_wire_scratch = out_wires;
     }
 
     /// Sends curiosity probes for every blocked gate's lagging wires.
@@ -1076,7 +1154,9 @@ impl EngineCore {
                     WireSource::Remote(engine) => {
                         let engine = *engine;
                         if self.probes.should_probe(wire, needed) {
-                            self.metrics.lock().probes_sent += 1;
+                            self.metrics
+                                .probes_sent
+                                .fetch_add(1, AtomicOrdering::Relaxed);
                             self.obs.probe_sent(wire, needed);
                             self.router.send(
                                 engine,
@@ -1119,7 +1199,9 @@ impl EngineCore {
             match self.wire_source[&wire].clone() {
                 WireSource::Remote(engine) => {
                     if self.probes.should_probe(wire, needed) {
-                        self.metrics.lock().probes_sent += 1;
+                        self.metrics
+                            .probes_sent
+                            .fetch_add(1, AtomicOrdering::Relaxed);
                         self.obs.probe_sent(wire, needed);
                         self.router.send(
                             engine,
@@ -1176,7 +1258,9 @@ impl EngineCore {
                 .get_mut(&wire)
                 .and_then(|adv| adv.advance_to(bound));
             if let Some(through) = advance {
-                self.metrics.lock().silence_sent += 1;
+                self.metrics
+                    .silence_sent
+                    .fetch_add(1, AtomicOrdering::Relaxed);
                 self.obs.silence_sent(wire, through);
                 let dest = self.wire_dest[&wire].clone();
                 let last_data = self
@@ -1319,14 +1403,20 @@ impl EngineCore {
         self.obs
             .state_hashes_computed(ckpt.component_hashes.len() as u64 + 1);
         let bytes = tart_codec::Encode::to_bytes(&ckpt).len() as u64;
-        let mut m = self.metrics.lock();
-        m.checkpoints += 1;
-        m.checkpoint_bytes += bytes;
+        self.metrics
+            .checkpoints
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.metrics
+            .checkpoint_bytes
+            .fetch_add(bytes, AtomicOrdering::Relaxed);
         if mode == CheckpointMode::Incremental {
-            m.delta_checkpoints += 1;
-            m.delta_checkpoint_bytes += bytes;
+            self.metrics
+                .delta_checkpoints
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.metrics
+                .delta_checkpoint_bytes
+                .fetch_add(bytes, AtomicOrdering::Relaxed);
         }
-        drop(m);
         // Persist BEFORE shipping: once anyone can see this checkpoint, it
         // must be able to survive a whole-cluster crash.
         let persisted = match &self.durable {
@@ -1453,7 +1543,9 @@ impl EngineCore {
                 schedule
                     .apply_fault(fault)
                     .expect("fault log is monotone per component");
-                self.metrics.lock().determinism_faults += 1;
+                self.metrics
+                    .determinism_faults
+                    .fetch_add(1, AtomicOrdering::Relaxed);
             }
             // Replay must not re-tune a second time at a different point:
             // the logged fault already covers this component.
@@ -1600,7 +1692,9 @@ impl EngineCore {
                 None => Vec::new(),
             };
             for (vt, payload) in frames {
-                self.metrics.lock().outputs_emitted += 1;
+                self.metrics
+                    .outputs_emitted
+                    .fetch_add(1, AtomicOrdering::Relaxed);
                 let _ = self.outputs.send(OutputRecord {
                     consumer: consumer.clone(),
                     wire: w,
@@ -1688,7 +1782,9 @@ impl EngineCore {
             .expect("checked above")
             .apply_fault(&fault)
             .expect("switch time is past every earlier switch");
-        self.metrics.lock().determinism_faults += 1;
+        self.metrics
+            .determinism_faults
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.obs.recalibration(component, vt);
     }
 }

@@ -63,6 +63,7 @@ mod ctx;
 mod envelope;
 mod log;
 pub mod net;
+mod reactor;
 mod retention;
 mod router;
 mod standby;
@@ -78,7 +79,7 @@ pub use checkpoint::{
 pub use clock::{LogicalClock, RealClock, TimeSource};
 pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, PromoteError, RecoveryReport};
 pub use config::{ClusterConfig, DurabilityConfig, Placement, StandbyConfig, SupervisionConfig};
-pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord};
+pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord, SharedEngineMetrics};
 pub use envelope::Envelope;
 pub use log::{LogError, MessageLog};
 pub use retention::RetentionBuffer;

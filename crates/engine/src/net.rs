@@ -13,16 +13,22 @@
 //! [`remote_engine`] proxy in that router for every engine hosted
 //! elsewhere. Wires between hosts then work exactly like local ones.
 //!
-//! The outbound proxy is *self-healing*: when the connection breaks, its
-//! writer reconnects with exponential backoff and jitter (see
+//! The outbound proxy is *self-healing*: when the connection breaks, the
+//! link reconnects with exponential backoff and jitter (see
 //! [`ReconnectPolicy`]) while counting — never hiding — the frames lost in
 //! the gap. Lost frames are exactly in-transit loss under the §II.A
 //! failure model, so the replay protocol restores the stream once the link
 //! heals; [`RemoteLink::health`] exposes the drop/reconnect counters so
 //! operators can see it happening.
 //!
-//! Hot path: the writer drains its whole outbound queue per flush window
-//! into a single **batch frame** (one `write_all`, one CRC — see
+//! I/O model: there is no thread per connection in either direction. Every
+//! outbound [`RemoteLink`] and every accepted [`TcpInbound`] stream is
+//! serviced by the process-wide **reactor** (see [`crate::reactor`] and
+//! DESIGN.md §18) — one thread multiplexing all sockets in nonblocking
+//! mode, so connection count costs a buffer, not a stack.
+//!
+//! Hot path: the reactor drains a link's whole outbound queue per flush
+//! window into a single **batch frame** (one write stream, one CRC — see
 //! [`write_batch`]/[`read_batch`] and DESIGN.md §13), encoding envelopes
 //! *by reference* into a reusable scratch buffer — no clone, no per-send
 //! allocation. Superseded silence adverts are coalesced per wire before
@@ -55,28 +61,22 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::BytesMut;
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 use tart_codec::{crc32, Decode, Encode, Reader};
-use tart_stats::DetRng;
 use tart_vtime::EngineId;
 
 use crate::{Envelope, Router};
 
 /// Maximum accepted frame body, guarding against corrupt length prefixes.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
-
-/// How long the writer thread blocks on its queue between housekeeping
-/// passes (reconnect attempts, stop-flag checks).
-const WRITER_TICK: Duration = Duration::from_millis(10);
+pub(crate) const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 /// Cap on envelopes coalesced into one batch frame, bounding frame size
 /// and the blast radius of a torn batch.
-const MAX_BATCH: usize = 1024;
+pub(crate) const MAX_BATCH: usize = 1024;
 
 /// Encodes one `(target, envelope)` frame into `buf` **by reference** —
 /// no envelope clone, no intermediate allocation:
@@ -205,9 +205,16 @@ pub fn read_batch(r: &mut impl Read) -> io::Result<Option<Vec<(EngineId, Envelop
     let Some(body) = read_verified_body(r)? else {
         return Ok(None);
     };
+    decode_batch_body(&body).map(Some)
+}
+
+/// Decodes a CRC-verified batch body into its `(target, envelope)` pairs.
+/// Shared by the blocking [`read_batch`] and the reactor's incremental
+/// frame parser (`crate::reactor`).
+pub(crate) fn decode_batch_body(body: &[u8]) -> io::Result<Vec<(EngineId, Envelope)>> {
     let invalid =
         |e: tart_codec::DecodeError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
-    let mut rd = Reader::new(&body);
+    let mut rd = Reader::new(body);
     let count = u64::decode(&mut rd).map_err(invalid)?;
     if count > MAX_BATCH as u64 {
         return Err(io::Error::new(
@@ -227,7 +234,7 @@ pub fn read_batch(r: &mut impl Read) -> io::Result<Option<Vec<(EngineId, Envelop
             "trailing bytes after batch body",
         ));
     }
-    Ok(Some(batch))
+    Ok(batch)
 }
 
 /// Drops every silence advert superseded by a later one for the same
@@ -236,7 +243,7 @@ pub fn read_batch(r: &mut impl Read) -> io::Result<Option<Vec<(EngineId, Envelop
 /// promises "no data through `through`", so the newest advert subsumes
 /// every earlier one and dropping them loses no information (DESIGN.md
 /// §13). Data, probes and control envelopes are never touched.
-fn coalesce_silence(batch: &mut Vec<(EngineId, Envelope)>) {
+pub(crate) fn coalesce_silence(batch: &mut Vec<(EngineId, Envelope)>) {
     let mut last: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
     let mut adverts = 0usize;
     for (i, (target, env)) in batch.iter().enumerate() {
@@ -261,15 +268,20 @@ fn coalesce_silence(batch: &mut Vec<(EngineId, Envelope)>) {
 
 /// Accepts TCP connections and feeds every arriving frame into the local
 /// router — the receive half of a multi-host deployment.
+///
+/// Connections are *not* threads: the listener and every accepted stream
+/// are handed to the process-wide [`crate::reactor`], whose single thread
+/// multiplexes them (nonblocking reads, incremental frame reassembly)
+/// alongside every outbound [`RemoteLink`].
 pub struct TcpInbound {
     local: SocketAddr,
     stop: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
-    accept_thread: Option<JoinHandle<()>>,
+    streams: Arc<Mutex<Vec<(u64, TcpStream)>>>,
 }
 
 impl TcpInbound {
-    /// Binds `addr` and starts accepting.
+    /// Binds `addr` and registers the listener with the process-wide
+    /// reactor, which accepts and reads on its multiplexing thread.
     ///
     /// # Errors
     ///
@@ -279,57 +291,17 @@ impl TcpInbound {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let stop_accept = Arc::clone(&stop);
-        let streams_accept = Arc::clone(&streams);
-        let accept_thread = std::thread::Builder::new()
-            .name("tart-tcp-accept".into())
-            .spawn(move || {
-                let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                while !stop_accept.load(Ordering::Relaxed) {
-                    // Reap finished connection threads so a long-lived
-                    // acceptor doesn't accumulate handles forever.
-                    conns.retain(|h| !h.is_finished());
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            stream.set_nonblocking(false).ok();
-                            if let Ok(clone) = stream.try_clone() {
-                                streams_accept.lock().push(clone);
-                            }
-                            let router = router.clone();
-                            let handle = std::thread::Builder::new()
-                                .name("tart-tcp-conn".into())
-                                .spawn(move || {
-                                    let mut stream = stream;
-                                    loop {
-                                        match read_batch(&mut stream) {
-                                            Ok(Some(batch)) => {
-                                                for (target, env) in batch {
-                                                    router.send(target, env);
-                                                }
-                                            }
-                                            Ok(None) | Err(_) => return,
-                                        }
-                                    }
-                                })
-                                .expect("spawn connection thread");
-                            conns.push(handle);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => return,
-                    }
-                }
-                // Connection threads exit when their peers disconnect.
-                drop(conns);
-            })
-            .expect("spawn accept thread");
+        let streams: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        crate::reactor::global().add_inbound(crate::reactor::InboundTask::new(
+            listener,
+            router,
+            Arc::clone(&streams),
+            Arc::clone(&stop),
+        ));
         Ok(TcpInbound {
             local,
             stop,
             streams,
-            accept_thread: Some(accept_thread),
         })
     }
 
@@ -349,7 +321,7 @@ impl TcpInbound {
     /// reconnect loop.
     pub fn sever_connections(&self) {
         let mut streams = self.streams.lock();
-        for s in streams.drain(..) {
+        for (_, s) in streams.drain(..) {
             let _ = s.shutdown(Shutdown::Both);
         }
     }
@@ -357,12 +329,10 @@ impl TcpInbound {
 
 impl Drop for TcpInbound {
     fn drop(&mut self) {
+        // The reactor drops the listener and every accepted stream on its
+        // next pass; severing here makes in-flight reads fail immediately.
         self.stop.store(true, Ordering::Relaxed);
-        // Unblock connection threads stuck mid-read.
         self.sever_connections();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
     }
 }
 
@@ -418,25 +388,25 @@ pub struct LinkHealth {
 }
 
 #[derive(Default)]
-struct LinkState {
+pub(crate) struct LinkState {
     /// Seqlock sequence: odd while the writer is inside an update group.
     /// Readers that overlap a group retry, so related counters (e.g.
     /// `batches_sent` / `envelopes_batched`, or `connected` /
     /// `reconnects`) can never tear apart in a [`LinkHealth`] snapshot.
     seq: AtomicU64,
-    connected: AtomicBool,
-    epoch: AtomicU64,
-    reconnects: AtomicU64,
-    dropped_frames: AtomicU64,
-    gave_up: AtomicBool,
-    batches_sent: AtomicU64,
-    envelopes_batched: AtomicU64,
+    pub(crate) connected: AtomicBool,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) reconnects: AtomicU64,
+    pub(crate) dropped_frames: AtomicU64,
+    pub(crate) gave_up: AtomicBool,
+    pub(crate) batches_sent: AtomicU64,
+    pub(crate) envelopes_batched: AtomicU64,
 }
 
 impl LinkState {
     /// Runs `group` as one atomic update with respect to
     /// [`LinkState::snapshot`].
-    fn update(&self, group: impl FnOnce(&Self)) {
+    pub(crate) fn update(&self, group: impl FnOnce(&Self)) {
         self.seq.fetch_add(1, Ordering::SeqCst);
         group(self);
         self.seq.fetch_add(1, Ordering::SeqCst);
@@ -466,13 +436,14 @@ impl LinkState {
     }
 }
 
-/// Handle on the background writer created by [`remote_engine`]: exposes
-/// link health and stops the writer (dropping the handle also stops it).
+/// Handle on an outbound link created by [`remote_engine`]: exposes link
+/// health and detaches the link from the reactor (dropping the handle also
+/// detaches it). There is no thread per link — every link is serviced by
+/// the process-wide [`crate::reactor`] thread.
 pub struct RemoteLink {
     engine: EngineId,
     stop: Arc<AtomicBool>,
     state: Arc<LinkState>,
-    thread: Option<JoinHandle<()>>,
 }
 
 impl RemoteLink {
@@ -494,22 +465,14 @@ impl RemoteLink {
         self.snapshot()
     }
 
-    /// Stops the writer thread and waits for it to exit.
-    pub fn stop(mut self) {
-        self.halt();
-    }
-
-    fn halt(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
+    /// Detaches the link: the reactor drops its stream and queue on the
+    /// next pass.
+    pub fn stop(self) {}
 }
 
 impl Drop for RemoteLink {
     fn drop(&mut self) {
-        self.halt();
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
@@ -537,15 +500,15 @@ pub fn remote_engine(
 }
 
 /// Registers `engine` in `router` as a remote engine reachable at `addr`:
-/// envelopes routed to it are forwarded over a dedicated TCP connection by
-/// a background writer thread.
+/// envelopes routed to it are forwarded over a dedicated TCP connection
+/// serviced by the process-wide [`crate::reactor`] thread.
 ///
 /// The initial connection is made synchronously (so a misconfigured
-/// address fails fast). Afterwards the writer self-heals: on a broken
-/// connection it drops queued envelopes (counting them — in-transit loss,
-/// recovered by replay) while reconnecting under `policy`'s exponential
-/// backoff with jitter. If `policy.max_attempts` is exhausted the link
-/// gives up for good and only counts drops.
+/// address fails fast). Afterwards the link self-heals: on a broken
+/// connection the reactor drops queued envelopes (counting them —
+/// in-transit loss, recovered by replay) while reconnecting under
+/// `policy`'s exponential backoff with jitter. If `policy.max_attempts` is
+/// exhausted the link gives up for good and only counts drops.
 ///
 /// # Errors
 ///
@@ -565,6 +528,7 @@ pub fn remote_engine_with(
     }
     let stream = TcpStream::connect(&addrs[..])?;
     stream.set_nodelay(true).ok();
+    stream.set_nonblocking(true)?;
 
     let (tx, rx) = unbounded::<Envelope>();
     router.register(engine, tx);
@@ -576,106 +540,19 @@ pub fn remote_engine_with(
         st.connected.store(true, Ordering::SeqCst);
         st.epoch.store(1, Ordering::SeqCst);
     });
-
-    let stop_writer = Arc::clone(&stop);
-    let state_writer = Arc::clone(&state);
-    let thread = std::thread::Builder::new()
-        .name(format!("tart-tcp-out-{}", engine.raw()))
-        .spawn(move || {
-            let mut rng = DetRng::seed_from(0x9e3779b9 ^ u64::from(engine.raw()));
-            let mut stream = Some(stream);
-            let mut backoff = policy.initial_backoff;
-            let mut attempts: u32 = 0;
-            // Reused across flushes: the encode scratch grows to the
-            // working batch size once, then the hot path stops allocating.
-            let mut scratch = BytesMut::with_capacity(4096);
-            let mut batch: Vec<(EngineId, Envelope)> = Vec::new();
-            let mut next_attempt = Instant::now();
-            loop {
-                if stop_writer.load(Ordering::Relaxed) {
-                    return;
-                }
-                match rx.recv_timeout(WRITER_TICK) {
-                    Ok(env) => {
-                        // Flush window: drain everything queued since the
-                        // last flush into one batch frame — one write_all,
-                        // one CRC — after dropping superseded silence
-                        // adverts.
-                        batch.clear();
-                        batch.push((engine, env));
-                        batch.extend(rx.try_iter().take(MAX_BATCH - 1).map(|e| (engine, e)));
-                        coalesce_silence(&mut batch);
-                        let count = batch.len() as u64;
-                        let wrote = match stream.as_mut() {
-                            Some(s) => write_batch(s, &batch, &mut scratch).is_ok(),
-                            None => false,
-                        };
-                        if wrote {
-                            state_writer.update(|st| {
-                                st.batches_sent.fetch_add(1, Ordering::SeqCst);
-                                st.envelopes_batched.fetch_add(count, Ordering::SeqCst);
-                            });
-                        } else {
-                            // Broken or absent connection: the whole batch
-                            // is in-transit loss (replay recovers the
-                            // stream); never exit silently.
-                            let mut lost_connection = false;
-                            state_writer.update(|st| {
-                                st.dropped_frames.fetch_add(count, Ordering::SeqCst);
-                                if stream.take().is_some() {
-                                    st.connected.store(false, Ordering::SeqCst);
-                                    lost_connection = true;
-                                }
-                            });
-                            if lost_connection {
-                                backoff = policy.initial_backoff;
-                                attempts = 0;
-                                next_attempt = Instant::now()
-                                    + backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
-                            }
-                        }
-                    }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                }
-                let give_up = policy.max_attempts > 0 && attempts >= policy.max_attempts;
-                if stream.is_none() && give_up {
-                    state_writer.update(|st| st.gave_up.store(true, Ordering::SeqCst));
-                }
-                if stream.is_none() && !give_up && Instant::now() >= next_attempt {
-                    match TcpStream::connect(&addrs[..]) {
-                        Ok(s) => {
-                            s.set_nodelay(true).ok();
-                            stream = Some(s);
-                            state_writer.update(|st| {
-                                st.connected.store(true, Ordering::SeqCst);
-                                st.epoch.fetch_add(1, Ordering::SeqCst);
-                                st.reconnects.fetch_add(1, Ordering::SeqCst);
-                            });
-                            backoff = policy.initial_backoff;
-                            attempts = 0;
-                        }
-                        Err(_) => {
-                            attempts += 1;
-                            // Jitter stretches the delay by up to
-                            // `jitter` of itself — never shortens it, so
-                            // backoff stays monotone under the cap.
-                            let jittered = backoff.mul_f64(1.0 + policy.jitter * rng.next_f64());
-                            next_attempt = Instant::now() + jittered;
-                            backoff = backoff
-                                .mul_f64(policy.multiplier.max(1.0))
-                                .min(policy.max_backoff);
-                        }
-                    }
-                }
-            }
-        })
-        .expect("spawn writer thread");
+    crate::reactor::global().add_link(crate::reactor::LinkTask::new(
+        engine,
+        rx,
+        stream,
+        addrs,
+        policy,
+        Arc::clone(&state),
+        Arc::clone(&stop),
+    ));
     Ok(RemoteLink {
         engine,
         stop,
         state,
-        thread: Some(thread),
     })
 }
 
@@ -684,6 +561,7 @@ mod tests {
     use super::*;
     use crate::FaultPlan;
     use crossbeam::channel::unbounded;
+    use std::time::Instant;
     use tart_model::Value;
     use tart_vtime::{VirtualTime, WireId};
 

@@ -58,12 +58,21 @@ pub const TIERS: &[(&str, Tier)] = &[
     ("crates/model/src/hash.rs", Tier::Deterministic),
     ("crates/engine/src/checkpoint.rs", Tier::Deterministic),
     ("crates/engine/src/verify.rs", Tier::Deterministic),
+    // The scheduler/replay heart of the engine, pinned for the same reason:
+    // it must never drift onto the ops plane by a parent re-tier.
+    ("crates/engine/src/core.rs", Tier::Deterministic),
     ("crates/engine/src/supervise.rs", Tier::Ops),
     ("crates/engine/src/standby.rs", Tier::Ops),
     ("crates/engine/src/chaos.rs", Tier::Ops),
+    // The router decides *which inbox*, never message content or per-link
+    // order; its chaos-latency stalls read the wall clock, so it lives on
+    // the ops plane (DESIGN.md §18 has the determinism argument).
     ("crates/engine/src/router.rs", Tier::Ops),
     ("crates/engine/src/cluster.rs", Tier::Ops),
     ("crates/engine/src/net.rs", Tier::Ops),
+    // The socket reactor (DESIGN.md §18): transport timing — reconnect
+    // backoff, idle ticks — is its whole job.
+    ("crates/engine/src/reactor.rs", Tier::Ops),
     ("crates/engine/src/wal.rs", Tier::Ops),
     ("crates/engine/src/store.rs", Tier::Ops),
     ("crates/engine/src/config.rs", Tier::Ops),
@@ -110,6 +119,7 @@ mod tests {
         assert_eq!(tier_for("crates/engine/src/core.rs"), Tier::Deterministic);
         assert_eq!(tier_for("crates/engine/src/supervise.rs"), Tier::Ops);
         assert_eq!(tier_for("crates/engine/src/chaos.rs"), Tier::Ops);
+        assert_eq!(tier_for("crates/engine/src/reactor.rs"), Tier::Ops);
     }
 
     #[test]

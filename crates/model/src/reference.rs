@@ -13,7 +13,7 @@ use tart_vtime::{PortId, VirtualTime};
 
 use crate::{
     AppSpec, BlockId, CheckpointMode, CkptCell, CkptMap, Component, Ctx, RestoreError, Snapshot,
-    TopologyError, Value,
+    StateHash, StateHasher, TopologyError, Value,
 };
 
 /// Conventional input port (0) used by the reference components.
@@ -132,6 +132,18 @@ impl Component for WordCountSender {
             }
         }
         Ok(())
+    }
+
+    /// The word-count table grows with the message history, so the default
+    /// full-image hash would make every checkpoint O(all words ever seen).
+    /// The incremental [`CkptMap::digest`] keeps verified replay O(words
+    /// touched since the last checkpoint) — a pure function of logical
+    /// state and `vt`, as the contract requires.
+    fn state_hash(&mut self, vt: VirtualTime) -> StateHash {
+        let mut h = StateHasher::new();
+        h.update(&self.counts.digest().to_le_bytes());
+        h.update(&vt.as_ticks().to_le_bytes());
+        h.finish()
     }
 }
 

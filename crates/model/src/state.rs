@@ -6,7 +6,7 @@
 //! while transparently journaling updates so the runtime can take cheap
 //! *incremental* checkpoints (§II.F.2) between full ones.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use bytes::{BufMut, BytesMut};
@@ -201,6 +201,13 @@ pub struct CkptMap<K, V> {
     /// Set when the journal alone cannot reconstruct the state (fresh
     /// container that has never shipped a full image).
     needs_full: bool,
+    /// Incremental content digest: the mod-2⁶⁴ sum of one contribution per
+    /// entry. Keys touched since the last [`CkptMap::digest`] wait in
+    /// `digest_dirty`; their cached contributions are swapped out lazily,
+    /// so a digest costs O(touched entries), not O(map).
+    digest_acc: u64,
+    digest_cache: BTreeMap<K, u64>,
+    digest_dirty: BTreeSet<K>,
 }
 
 impl<K, V> CkptMap<K, V>
@@ -214,6 +221,9 @@ where
             map: BTreeMap::new(),
             journal: Vec::new(),
             needs_full: true,
+            digest_acc: 0,
+            digest_cache: BTreeMap::new(),
+            digest_dirty: BTreeSet::new(),
         }
     }
 
@@ -221,6 +231,9 @@ where
     /// value, if any.
     pub fn insert(&mut self, k: K, v: V) -> Option<V> {
         self.journal.push(MapOp::Insert(k.clone(), v.clone()));
+        if !self.digest_dirty.contains(&k) {
+            self.digest_dirty.insert(k.clone());
+        }
         self.map.insert(k, v)
     }
 
@@ -229,6 +242,7 @@ where
         let prev = self.map.remove(k);
         if prev.is_some() {
             self.journal.push(MapOp::Remove(k.clone()));
+            self.digest_dirty.insert(k.clone());
         }
         prev
     }
@@ -239,6 +253,44 @@ where
             self.journal.push(MapOp::Clear);
             self.map.clear();
         }
+        self.reset_digest();
+    }
+
+    fn reset_digest(&mut self) {
+        self.digest_acc = 0;
+        self.digest_cache.clear();
+        self.digest_dirty.clear();
+    }
+
+    /// A deterministic 64-bit digest of the current content, maintained
+    /// incrementally: each entry contributes a hash of its canonical
+    /// `(key, value)` encoding, and contributions sum mod 2⁶⁴ — a pure,
+    /// order-independent function of logical state. Amortized cost is
+    /// O(entries touched since the last call), which is what makes
+    /// per-checkpoint state hashing affordable on maps that grow with the
+    /// message history (see DESIGN.md §15).
+    pub fn digest(&mut self) -> u64 {
+        for k in std::mem::take(&mut self.digest_dirty) {
+            if let Some(old) = self.digest_cache.remove(&k) {
+                self.digest_acc = self.digest_acc.wrapping_sub(old);
+            }
+            if let Some(v) = self.map.get(&k) {
+                let c = Self::entry_digest(&k, v);
+                self.digest_acc = self.digest_acc.wrapping_add(c);
+                self.digest_cache.insert(k, c);
+            }
+        }
+        self.digest_acc
+    }
+
+    fn entry_digest(k: &K, v: &V) -> u64 {
+        let mut buf = BytesMut::new();
+        k.encode(&mut buf);
+        v.encode(&mut buf);
+        let mut h = StateHasher::new();
+        h.update(&buf);
+        let hash = h.finish();
+        u64::from_le_bytes(hash.as_bytes()[..8].try_into().expect("8 bytes"))
     }
 
     /// Looks up a key.
@@ -322,6 +374,10 @@ where
                 self.map = BTreeMap::from_bytes(bytes)?;
                 self.journal.clear();
                 self.needs_full = false;
+                // Restored content replaces everything: rebuild the digest
+                // lazily by marking every surviving key touched.
+                self.reset_digest();
+                self.digest_dirty = self.map.keys().cloned().collect();
                 Ok(())
             }
             StateChunk::Delta(bytes) => {
@@ -329,12 +385,17 @@ where
                 for op in ops {
                     match op {
                         MapOp::Insert(k, v) => {
+                            self.digest_dirty.insert(k.clone());
                             self.map.insert(k, v);
                         }
                         MapOp::Remove(k) => {
+                            self.digest_dirty.insert(k.clone());
                             self.map.remove(&k);
                         }
-                        MapOp::Clear => self.map.clear(),
+                        MapOp::Clear => {
+                            self.map.clear();
+                            self.reset_digest();
+                        }
                     }
                 }
                 Ok(())
@@ -608,6 +669,52 @@ impl<T: PartialEq> PartialEq for CkptVec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn map_digest_tracks_content_not_history() {
+        let mut a: CkptMap<String, u64> = CkptMap::new();
+        let mut b: CkptMap<String, u64> = CkptMap::new();
+        a.insert("x".into(), 1);
+        a.insert("y".into(), 2);
+        a.insert("x".into(), 3);
+        b.insert("y".into(), 2);
+        b.insert("x".into(), 3);
+        b.insert("z".into(), 9);
+        b.remove(&"z".to_string());
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "equal content must digest equally, whatever the update history"
+        );
+        a.insert("y".into(), 5);
+        assert_ne!(a.digest(), b.digest(), "divergent content must differ");
+        a.clear();
+        let fresh: u64 = CkptMap::<String, u64>::new().digest();
+        assert_eq!(a.digest(), fresh, "cleared map digests like an empty one");
+    }
+
+    #[test]
+    fn map_digest_survives_checkpoint_restore_round_trip() {
+        let mut primary: CkptMap<String, u64> = CkptMap::new();
+        for (i, w) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            primary.insert((*w).into(), i as u64);
+        }
+        let full = primary.take_chunk(CheckpointMode::Full).expect("full");
+        primary.insert("delta".into(), 7);
+        primary.remove(&"beta".to_string());
+        let delta = primary
+            .take_chunk(CheckpointMode::Incremental)
+            .expect("delta");
+
+        let mut replica: CkptMap<String, u64> = CkptMap::new();
+        replica.apply_chunk(&full).expect("applies full");
+        replica.apply_chunk(&delta).expect("applies delta");
+        assert_eq!(
+            replica.digest(),
+            primary.digest(),
+            "a restored replica must digest identically to the primary"
+        );
+    }
 
     #[test]
     fn cell_dirty_tracking() {

@@ -78,15 +78,37 @@ struct Counters {
 
 #[derive(Default)]
 struct Inner {
-    pessimism_wait_ns: Histogram,
-    estimator_residual_ns: Histogram,
     wal_group_occupancy: Histogram,
     checkpoint_persist_ns: Histogram,
     standby_lag_ticks: Histogram,
     promotion_latency_ns: Histogram,
+}
+
+/// Hot-path recording state, sharded per engine so the per-delivery path
+/// (arrival stamp, pessimism match, timeline event, residual) takes one
+/// mutex that only its own engine thread contends on. The cluster-wide
+/// `Inner` mutex is reserved for cold paths (WAL, checkpoints, standby).
+#[derive(Default)]
+struct Shard {
+    pessimism_wait_ns: Histogram,
+    estimator_residual_ns: Histogram,
     silence_per_wire: BTreeMap<u32, u64>,
-    /// (engine, wire) → vt ticks → arrival stamp (ns since hub epoch).
-    pending: BTreeMap<(u32, u32), BTreeMap<u64, u64>>,
+    /// wire → vt ticks → arrival stamp (ns since hub epoch).
+    pending: BTreeMap<u32, BTreeMap<u64, u64>>,
+    /// Per-engine slice of the flight-recorder timeline, bounded at
+    /// [`RECORDER_CAP`] events like the cluster-level ring.
+    events: std::collections::VecDeque<ObsEvent>,
+    events_dropped: u64,
+}
+
+impl Shard {
+    fn push_event(&mut self, event: ObsEvent) {
+        if self.events.len() == RECORDER_CAP {
+            self.events.pop_front();
+            self.events_dropped = self.events_dropped.saturating_add(1);
+        }
+        self.events.push_back(event);
+    }
 }
 
 /// The shared metrics registry + flight recorder. One hub serves a whole
@@ -95,6 +117,7 @@ pub struct ObsHub {
     epoch: Instant,
     counters: Counters,
     inner: Mutex<Inner>,
+    shards: Mutex<Vec<(u32, Arc<Mutex<Shard>>)>>,
     recorder: FlightRecorder,
 }
 
@@ -113,6 +136,7 @@ impl ObsHub {
             epoch: Instant::now(),
             counters: Counters::default(),
             inner: Mutex::new(Inner::default()),
+            shards: Mutex::new(Vec::new()),
             recorder: FlightRecorder::new(RECORDER_CAP),
         }
     }
@@ -124,12 +148,39 @@ impl ObsHub {
         u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
     }
 
-    /// A recording handle bound to one engine.
+    /// A recording handle bound to one engine. Handles for the same engine
+    /// id share one hot-path shard.
     pub fn engine(self: &Arc<Self>, id: EngineId) -> EngineObs {
+        let shard = {
+            let mut shards = self.shards.lock().expect("obs shards poisoned");
+            match shards.iter().find(|(e, _)| *e == id.raw()) {
+                Some((_, shard)) => Arc::clone(shard),
+                None => {
+                    let shard = Arc::new(Mutex::new(Shard::default()));
+                    shards.push((id.raw(), Arc::clone(&shard)));
+                    shard
+                }
+            }
+        };
         EngineObs {
             hub: Arc::clone(self),
             engine: id.raw(),
+            shard,
         }
+    }
+
+    /// The full timeline — cluster-level ring plus every engine shard's
+    /// slice — merged in stamp order, with the total evicted-event count.
+    fn merged_events(&self) -> (Vec<ObsEvent>, u64) {
+        let mut events = self.recorder.events();
+        let mut dropped = self.recorder.dropped();
+        for (_, shard) in self.shards.lock().expect("obs shards poisoned").iter() {
+            let shard = shard.lock().expect("obs shard poisoned");
+            events.extend(shard.events.iter().cloned());
+            dropped = dropped.saturating_add(shard.events_dropped);
+        }
+        events.sort_by_key(|e| e.at_ns);
+        (events, dropped)
     }
 
     fn push_event(&self, engine: u32, kind: ObsEventKind) {
@@ -233,17 +284,30 @@ impl ObsHub {
     /// The flight-recorder dump (`{"events_dropped":…,"events":[…]}`),
     /// emitted on panics, crash drills and promotions.
     pub fn dump_events_json(&self) -> String {
-        self.recorder.dump_json()
+        self.dump_events_json_tail(usize::MAX)
     }
 
     /// Like [`ObsHub::dump_events_json`] but bounded to the newest `limit`
     /// events (older ones fold into the dump's `events_dropped`).
     pub fn dump_events_json_tail(&self, limit: usize) -> String {
-        self.recorder.dump_json_tail(limit)
+        let (events, dropped) = self.merged_events();
+        recorder::render_dump(&events, dropped, limit)
     }
 
     /// Copies every metric and the event timeline into an [`ObsSnapshot`].
     pub fn snapshot(&self) -> ObsSnapshot {
+        let mut pessimism_wait_ns = Histogram::new();
+        let mut estimator_residual_ns = Histogram::new();
+        let mut silence_per_wire: BTreeMap<u32, u64> = BTreeMap::new();
+        for (_, shard) in self.shards.lock().expect("obs shards poisoned").iter() {
+            let shard = shard.lock().expect("obs shard poisoned");
+            pessimism_wait_ns.merge(&shard.pessimism_wait_ns);
+            estimator_residual_ns.merge(&shard.estimator_residual_ns);
+            for (wire, n) in &shard.silence_per_wire {
+                *silence_per_wire.entry(*wire).or_insert(0) += n;
+            }
+        }
+        let (events, events_dropped) = self.merged_events();
         let inner = self.lock();
         ObsSnapshot {
             version: SNAPSHOT_VERSION,
@@ -261,15 +325,15 @@ impl ObsHub {
             standby_demotions: self.counters.standby_demotions.load(Ordering::Relaxed),
             warm_promotions: self.counters.warm_promotions.load(Ordering::Relaxed),
             cold_promotions: self.counters.cold_promotions.load(Ordering::Relaxed),
-            events_dropped: self.recorder.dropped(),
-            pessimism_wait_ns: inner.pessimism_wait_ns.clone(),
-            estimator_residual_ns: inner.estimator_residual_ns.clone(),
+            events_dropped,
+            pessimism_wait_ns,
+            estimator_residual_ns,
             wal_group_occupancy: inner.wal_group_occupancy.clone(),
             checkpoint_persist_ns: inner.checkpoint_persist_ns.clone(),
             standby_lag_ticks: inner.standby_lag_ticks.clone(),
             promotion_latency_ns: inner.promotion_latency_ns.clone(),
-            silence_per_wire: inner.silence_per_wire.clone(),
-            events: self.recorder.events(),
+            silence_per_wire,
+            events,
         }
     }
 
@@ -285,6 +349,9 @@ impl ObsHub {
 pub struct EngineObs {
     hub: Arc<ObsHub>,
     engine: u32,
+    /// This engine's hot-path shard: the per-delivery recording path locks
+    /// only this, never the cluster-wide hub mutex.
+    shard: Arc<Mutex<Shard>>,
 }
 
 impl EngineObs {
@@ -300,13 +367,17 @@ impl EngineObs {
         &self.hub
     }
 
+    fn shard_lock(&self) -> std::sync::MutexGuard<'_, Shard> {
+        self.shard.lock().expect("obs shard poisoned")
+    }
+
     /// Stamps a message's arrival at the pessimistic gate. The stamp is
     /// matched (by wire and vt) when the message is delivered; the
     /// difference is its pessimism wait.
     pub fn message_arrived(&self, wire: WireId, vt: VirtualTime) {
         let now = self.hub.now_ns();
-        let mut inner = self.hub.lock();
-        let pending = inner.pending.entry((self.engine, wire.raw())).or_default();
+        let mut shard = self.shard_lock();
+        let pending = shard.pending.entry(wire.raw()).or_default();
         if pending.len() >= PENDING_CAP {
             pending.pop_first();
         }
@@ -318,18 +389,16 @@ impl EngineObs {
     pub fn message_delivered(&self, wire: WireId, vt: VirtualTime) {
         self.hub.counters.delivered.fetch_add(1, Ordering::Relaxed);
         let now = self.hub.now_ns();
+        let mut shard = self.shard_lock();
+        if let Some(arrived) = shard
+            .pending
+            .get_mut(&wire.raw())
+            .and_then(|p| p.remove(&vt.as_ticks()))
         {
-            let mut inner = self.hub.lock();
-            if let Some(arrived) = inner
-                .pending
-                .get_mut(&(self.engine, wire.raw()))
-                .and_then(|p| p.remove(&vt.as_ticks()))
-            {
-                let wait = now.saturating_sub(arrived);
-                inner.pessimism_wait_ns.record(wait);
-            }
+            let wait = now.saturating_sub(arrived);
+            shard.pessimism_wait_ns.record(wait);
         }
-        self.hub.recorder.push(ObsEvent {
+        shard.push_event(ObsEvent {
             at_ns: now,
             engine: self.engine,
             kind: ObsEventKind::Delivery {
@@ -346,29 +415,31 @@ impl EngineObs {
             .counters
             .silence_adverts
             .fetch_add(1, Ordering::Relaxed);
-        {
-            let mut inner = self.hub.lock();
-            *inner.silence_per_wire.entry(wire.raw()).or_insert(0) += 1;
-        }
-        self.hub.push_event(
-            self.engine,
-            ObsEventKind::SilenceAdvance {
+        let now = self.hub.now_ns();
+        let mut shard = self.shard_lock();
+        *shard.silence_per_wire.entry(wire.raw()).or_insert(0) += 1;
+        shard.push_event(ObsEvent {
+            at_ns: now,
+            engine: self.engine,
+            kind: ObsEventKind::SilenceAdvance {
                 wire: wire.raw(),
                 through: through.as_ticks(),
             },
-        );
+        });
     }
 
     /// Records a curiosity probe asking for silence through `needed`.
     pub fn probe_sent(&self, wire: WireId, needed: VirtualTime) {
         self.hub.counters.probes.fetch_add(1, Ordering::Relaxed);
-        self.hub.push_event(
-            self.engine,
-            ObsEventKind::Probe {
+        let now = self.hub.now_ns();
+        self.shard_lock().push_event(ObsEvent {
+            at_ns: now,
+            engine: self.engine,
+            kind: ObsEventKind::Probe {
                 wire: wire.raw(),
                 needed: needed.as_ticks(),
             },
-        );
+        });
     }
 
     /// Records a replay request for the gap starting after `from`.
@@ -377,20 +448,21 @@ impl EngineObs {
             .counters
             .replay_requests
             .fetch_add(1, Ordering::Relaxed);
-        self.hub.push_event(
-            self.engine,
-            ObsEventKind::ReplayRequest {
+        let now = self.hub.now_ns();
+        self.shard_lock().push_event(ObsEvent {
+            at_ns: now,
+            engine: self.engine,
+            kind: ObsEventKind::ReplayRequest {
                 wire: wire.raw(),
                 from: from.as_ticks(),
             },
-        );
+        });
     }
 
     /// Records the estimator residual for one handler run: the estimate in
     /// vt ticks (≡ ns) against the measured wall cost in ns.
     pub fn estimator_residual(&self, estimated_ns: u64, measured_ns: u64) {
-        let mut inner = self.hub.lock();
-        inner
+        self.shard_lock()
             .estimator_residual_ns
             .record(estimated_ns.abs_diff(measured_ns));
     }
@@ -507,8 +579,8 @@ mod tests {
         for vt in 0..(PENDING_CAP as u64 + 10) {
             obs.message_arrived(wire(0), VirtualTime::from_ticks(vt));
         }
-        let inner = hub.lock();
-        assert_eq!(inner.pending[&(0, 0)].len(), PENDING_CAP);
+        let shard = obs.shard_lock();
+        assert_eq!(shard.pending[&0].len(), PENDING_CAP);
     }
 
     #[test]

@@ -330,24 +330,32 @@ impl FlightRecorder {
     pub fn dump_json_tail(&self, limit: usize) -> String {
         let (events, dropped) = {
             let inner = self.inner.lock().expect("flight recorder poisoned");
-            let skip = inner.events.len().saturating_sub(limit);
             (
-                inner.events.iter().skip(skip).cloned().collect::<Vec<_>>(),
-                inner.dropped.saturating_add(skip as u64),
+                inner.events.iter().cloned().collect::<Vec<_>>(),
+                inner.dropped,
             )
         };
-        let mut w = JsonWriter::new();
-        w.begin_obj();
-        w.field_u64("events_dropped", dropped);
-        w.key("events");
-        w.begin_arr();
-        for e in &events {
-            w.arr_item(|w| e.write_json(w));
-        }
-        w.end_arr();
-        w.end_obj();
-        w.finish()
+        render_dump(&events, dropped, limit)
     }
+}
+
+/// Renders an event timeline as the canonical dump object
+/// (`{"events_dropped":…,"events":[…]}`), keeping only the newest `limit`
+/// events and folding everything older into `events_dropped`.
+pub fn render_dump(events: &[ObsEvent], dropped: u64, limit: usize) -> String {
+    let skip = events.len().saturating_sub(limit);
+    let dropped = dropped.saturating_add(skip as u64);
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_u64("events_dropped", dropped);
+    w.key("events");
+    w.begin_arr();
+    for e in &events[skip..] {
+        w.arr_item(|w| e.write_json(w));
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
 /// Convenience used by tests: parse a dump back into a JSON value.

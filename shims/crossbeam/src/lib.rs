@@ -20,7 +20,7 @@ pub mod channel {
 
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
@@ -29,6 +29,20 @@ pub mod channel {
         ready: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Receivers currently parked in `ready`. Senders skip the condvar
+        /// notification entirely while this is zero — on a busy channel the
+        /// receiver is draining, not parked, so the common-case send is
+        /// push + unlock with no futex wake.
+        waiting: AtomicUsize,
+        /// Set when a `notify_one` has been issued for a parked receiver
+        /// that has not yet woken. With exactly one parked receiver a
+        /// second notify is redundant — the woken receiver re-checks the
+        /// queue under the lock before parking again — so senders skip
+        /// the futex wake while this is set. On a single-CPU host a
+        /// sender can run a long burst before a woken receiver is
+        /// scheduled; without this flag every send in the burst pays a
+        /// wake syscall for the same parked thread.
+        wake_pending: AtomicBool,
     }
 
     /// Creates an unbounded channel.
@@ -38,6 +52,8 @@ pub mod channel {
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            waiting: AtomicUsize::new(0),
+            wake_pending: AtomicBool::new(false),
         });
         (
             Sender {
@@ -133,7 +149,19 @@ pub mod channel {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.push_back(msg);
             drop(q);
-            self.shared.ready.notify_one();
+            // `waiting` is only incremented under the queue lock before
+            // parking, so a receiver either saw this message while holding
+            // the lock or its increment is visible here — no lost wakeup.
+            let waiting = self.shared.waiting.load(Ordering::Relaxed);
+            if waiting > 0 {
+                // A pending wake can only stand in for this one when it
+                // targets the *same* receiver, i.e. exactly one is parked.
+                // With several parked receivers every send must notify.
+                let first = !self.shared.wake_pending.swap(true, Ordering::AcqRel);
+                if first || waiting > 1 {
+                    self.shared.ready.notify_one();
+                }
+            }
             Ok(())
         }
     }
@@ -179,11 +207,11 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .shared
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                self.shared.waiting.fetch_add(1, Ordering::Relaxed);
+                let waited = self.shared.ready.wait(q);
+                self.shared.waiting.fetch_sub(1, Ordering::Relaxed);
+                self.shared.wake_pending.store(false, Ordering::Release);
+                q = waited.unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -202,11 +230,53 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _res) = self
-                    .shared
-                    .ready
-                    .wait_timeout(q, deadline - now)
-                    .unwrap_or_else(|e| e.into_inner());
+                self.shared.waiting.fetch_add(1, Ordering::Relaxed);
+                let waited = self.shared.ready.wait_timeout(q, deadline - now);
+                self.shared.waiting.fetch_sub(1, Ordering::Relaxed);
+                self.shared.wake_pending.store(false, Ordering::Release);
+                let (guard, _res) = waited.unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Batch receive: blocks up to `timeout` for the first message,
+        /// then drains up to `max` queued messages into `buf` under a
+        /// **single** lock acquisition. Returns the number appended.
+        ///
+        /// This is the inbox hot path: an engine waking up under load pays
+        /// one mutex round-trip for a whole batch instead of one per
+        /// message (`crossbeam-channel` proper has no such API — its
+        /// lock-free list makes per-message `try_recv` cheap; this shim's
+        /// `Mutex<VecDeque>` does not).
+        pub fn recv_batch_timeout(
+            &self,
+            buf: &mut Vec<T>,
+            max: usize,
+            timeout: Duration,
+        ) -> Result<usize, RecvTimeoutError> {
+            let mut deadline: Option<Instant> = None;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !q.is_empty() {
+                    let take = q.len().min(max);
+                    buf.extend(q.drain(..take));
+                    return Ok(take);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                // The deadline is computed lazily: a wakeup that finds
+                // messages queued never reads the clock at all.
+                let now = Instant::now();
+                let deadline = *deadline.get_or_insert(now + timeout);
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                self.shared.waiting.fetch_add(1, Ordering::Relaxed);
+                let waited = self.shared.ready.wait_timeout(q, deadline - now);
+                self.shared.waiting.fetch_sub(1, Ordering::Relaxed);
+                self.shared.wake_pending.store(false, Ordering::Release);
+                let (guard, _res) = waited.unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
         }
@@ -353,6 +423,47 @@ pub mod channel {
             std::thread::sleep(Duration::from_millis(10));
             tx.send(42u64).unwrap();
             assert_eq!(t.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn recv_batch_drains_up_to_max_in_one_call() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let mut buf = Vec::new();
+            let n = rx
+                .recv_batch_timeout(&mut buf, 4, Duration::from_millis(10))
+                .unwrap();
+            assert_eq!((n, buf.as_slice()), (4, &[0, 1, 2, 3][..]));
+            let n = rx
+                .recv_batch_timeout(&mut buf, 100, Duration::from_millis(10))
+                .unwrap();
+            assert_eq!(n, 6, "remaining messages drain in one batch");
+            assert_eq!(buf, (0..10).collect::<Vec<_>>());
+            assert_eq!(
+                rx.recv_batch_timeout(&mut buf, 4, Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_batch_timeout(&mut buf, 4, Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_batch_wakes_on_cross_thread_send() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                rx.recv_batch_timeout(&mut buf, 8, Duration::from_secs(5))
+                    .unwrap();
+                buf
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u64).unwrap();
+            assert_eq!(t.join().unwrap(), vec![42]);
         }
 
         #[test]

@@ -371,6 +371,10 @@ fn main() {
     }
 
     if quick {
+        tart_bench::write_quick_ratios(
+            "failover",
+            &[("speedup_p50", speedup_p50), ("speedup_p99", speedup_p99)],
+        );
         assert!(
             speedup_p99 >= 5.0,
             "warm p99 must be ≥5x faster than cold, got {speedup_p99:.1}x \

@@ -179,6 +179,7 @@ fn main() {
     }
 
     if quick {
+        tart_bench::write_quick_ratios("mesh", &[("scaling_1_to_8", scaling_1_to_8)]);
         assert!(
             scaling_1_to_8 >= 5.0,
             "8 engines must sustain ≥5x the 1-engine aggregate rate, got {scaling_1_to_8:.2}x"

@@ -146,6 +146,14 @@ fn main() {
     }
 
     if quick {
+        tart_bench::write_quick_ratios(
+            "throughput",
+            &[
+                ("tcp_speedup", tcp_speedup),
+                ("wal_speedup", wal_speedup),
+                ("pipeline_scaling", pipeline_scaling),
+            ],
+        );
         assert!(
             tcp_speedup >= 2.0,
             "batched TCP must be ≥2x over per-envelope frames, got {tcp_speedup:.2}x"

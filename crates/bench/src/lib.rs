@@ -51,6 +51,25 @@ pub fn json_f64(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Writes `BENCH_<bench>.quick.json` with the ratios a quick run measured,
+/// so CI can tabulate measured-vs-committed in the job step summary (the
+/// `bench-summary` composite action greps these keys out of both files).
+/// Quick files are never committed — the committed `BENCH_<bench>.json`
+/// baseline only ever comes from a full run.
+pub fn write_quick_ratios(bench: &str, ratios: &[(&str, f64)]) {
+    let body: Vec<String> = ratios
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.2}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"mode\": \"quick\",\n{}\n}}\n",
+        body.join(",\n")
+    );
+    let path = format!("BENCH_{bench}.quick.json");
+    std::fs::write(&path, json).expect("write quick ratio report");
+    println!("wrote {path}");
+}
+
 /// Prints a Markdown-style table: header row, separator, then rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

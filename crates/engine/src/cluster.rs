@@ -23,8 +23,8 @@ use crate::standby::{StandbyPlane, StandbyStatus, WarmCandidate};
 use crate::store::CheckpointStore;
 use crate::supervise::{SupervisionMetrics, Supervisor};
 use crate::{
-    ClusterConfig, DurabilityConfig, EngineCheckpoint, EngineMetrics, Envelope, MessageLog,
-    OutputRecord, Placement, ReplicaStore, Router, SharedEngineMetrics,
+    ClusterConfig, DurabilityConfig, DurabilityPolicy, EngineCheckpoint, EngineMetrics, Envelope,
+    MessageLog, OutputRecord, Placement, ReplicaStore, Router, SharedEngineMetrics,
 };
 
 /// Cap on envelopes an engine batches per loop iteration, so a saturated
@@ -327,6 +327,42 @@ impl EngineHost {
         self.engines.lock().get(&engine).is_some_and(|s| s.alive)
     }
 
+    /// The durability tier an engine's persistence plane runs at: the
+    /// **strictest** tier across its hosted components (one Strict
+    /// component on an engine pins the whole engine's checkpoints to
+    /// fsynced persists — engines checkpoint atomically, so the plane
+    /// cannot split one engine's generation across tiers). `None` — the
+    /// legacy always-durable path — when durability is off or any hosted
+    /// component resolves to no tier.
+    fn engine_tier(&self, engine: EngineId) -> Option<DurabilityPolicy> {
+        let d = self.config.durability.as_ref()?;
+        let mut tier: Option<DurabilityPolicy> = None;
+        for c in self.placement.components_on(engine) {
+            match d.tier_for(c, Some(engine)) {
+                Some(t) => tier = Some(tier.map_or(t, |cur| cur.max(t))),
+                None => return None,
+            }
+        }
+        tier
+    }
+
+    /// Wires the checkpoint store into a core per the engine's resolved
+    /// tier: Strict (and legacy) persist-and-fsync before shipping,
+    /// Buffered persists without the fsync, InMemory skips the store
+    /// entirely — its only recovery sources are the passive replica and
+    /// peer replay, so a whole-process crash restarts it from scratch.
+    fn attach_durability(&self, engine: EngineId, core: &mut EngineCore) {
+        let Some(store) = &self.durable else { return };
+        match self.engine_tier(engine) {
+            Some(DurabilityPolicy::InMemory) => {}
+            Some(DurabilityPolicy::Buffered { .. }) => {
+                core.set_durable(Arc::clone(store));
+                core.set_durable_sync(false);
+            }
+            Some(DurabilityPolicy::Strict) | None => core.set_durable(Arc::clone(store)),
+        }
+    }
+
     fn start_engine(&self, id: EngineId) {
         let (tx, rx) = unbounded::<Envelope>();
         self.router.register(id, tx.clone());
@@ -340,9 +376,7 @@ impl EngineHost {
             replica.clone(),
             self.outputs_tx.clone(),
         );
-        if let Some(store) = &self.durable {
-            core.set_durable(Arc::clone(store));
-        }
+        self.attach_durability(id, &mut core);
         core.set_obs(self.obs.engine(id));
         let metrics = core.metrics_handle();
         let thread = self.spawn_engine_loop(id, core, rx, false);
@@ -514,9 +548,7 @@ impl EngineHost {
                 replica.clone(),
                 self.outputs_tx.clone(),
             );
-            if let Some(store) = &self.durable {
-                core.set_durable(Arc::clone(store));
-            }
+            self.attach_durability(engine, &mut core);
             core.set_obs(self.obs.engine(engine));
             match core.restore(&chain, faults) {
                 Ok(()) => return Ok((core, fell_back)),
@@ -657,9 +689,7 @@ impl EngineHost {
         }
         let mut core = cand.core;
         core.set_replica(fresh_replica.clone());
-        if let Some(store) = &self.durable {
-            core.set_durable(Arc::clone(store));
-        }
+        self.attach_durability(engine, &mut core);
         core.set_obs(self.obs.engine(engine));
         for ckpt in &chain[idx + 1..] {
             core.apply_member_snapshots(ckpt);
@@ -738,7 +768,8 @@ impl Cluster {
         let obs = Arc::new(tart_obs::ObsHub::new());
         let (log, durable) = match &config.durability {
             Some(d) => {
-                let (log, store) = open_fresh_durability(d)?;
+                let (mut log, store) = open_fresh_durability(d)?;
+                apply_wire_tiers(&spec, &placement, d, &mut log);
                 (Arc::new(Mutex::new(log)), Some(store))
             }
             None => {
@@ -860,6 +891,7 @@ impl Cluster {
         let (mut log, wal_recovery) =
             MessageLog::durable(d.dir.join("wal"), d.wal_segment_bytes, d.policy)
                 .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?;
+        apply_wire_tiers(&spec, &placement, &d, &mut log);
         let store = Arc::new(
             CheckpointStore::open(d.dir.join("ckpt"))
                 .map_err(|e| DeployError::DurabilityUnavailable(e.to_string()))?,
@@ -971,11 +1003,13 @@ impl Cluster {
         }
         cluster.spawn_replay_service();
         // Phase 2: restore each engine and start its loop.
+        let components = component_recoveries(&host.spec, &host.placement, &d, &cluster.log.lock());
         let mut report = RecoveryReport {
             wal_records: wal_recovery.records.len(),
             wal_truncated_bytes: wal_recovery.truncated_bytes,
             wal_segments: wal_recovery.segments,
             engines: Vec::new(),
+            components,
         };
         for (engine, tx, rx) in inboxes {
             let (chain, faults, generation, fell_back) = {
@@ -1303,6 +1337,25 @@ impl Cluster {
     /// disk at this instant is all a later [`Cluster::recover_from_disk`]
     /// gets. Returns the outputs that had already been collected.
     pub fn crash(mut self) -> Vec<OutputRecord> {
+        self.crash_inner(false).0
+    }
+
+    /// [`Cluster::crash`], plus per-component loss accounting: the WAL's
+    /// open group-commit window is dropped on the floor (a plain `crash`
+    /// lets the backend flush it on drop, which a real `SIGKILL` would
+    /// not), and the report says exactly how many external inputs each
+    /// component had inside that window ([`CrashReport::lost_inputs`]) and
+    /// how many were on memory-only wires and were never persisted at all
+    /// ([`CrashReport::memory_only_inputs`]).
+    ///
+    /// This is the drill behind the tier loss bounds in `DURABILITY.md`:
+    /// Strict components must never appear in `lost_inputs`, Buffered
+    /// components lose at most one open window.
+    pub fn crash_with_report(mut self) -> (Vec<OutputRecord>, CrashReport) {
+        self.crash_inner(true)
+    }
+
+    fn crash_inner(&mut self, discard_open_window: bool) -> (Vec<OutputRecord>, CrashReport) {
         dump_flight(&self.host.obs, "cluster crash drill");
         if let Some(supervisor) = self.supervisor.take() {
             supervisor.stop();
@@ -1310,11 +1363,32 @@ impl Cluster {
         for id in self.host.engine_ids() {
             self.host.kill(id);
         }
+        let mut report = CrashReport::default();
+        if discard_open_window {
+            let log_crash = self.log.lock().crash_discard();
+            let component_of: BTreeMap<WireId, ComponentId> = self
+                .host
+                .spec
+                .external_inputs()
+                .iter()
+                .filter_map(|w| Some((w.id(), w.to().component()?)))
+                .collect();
+            for (bucket, wires) in [
+                (&mut report.lost_inputs, log_crash.lost),
+                (&mut report.memory_only_inputs, log_crash.memory_only),
+            ] {
+                for (wire, n) in wires {
+                    if let Some(c) = component_of.get(&wire) {
+                        *bucket.entry(*c).or_insert(0) += n;
+                    }
+                }
+            }
+        }
         self.host.router.send(EXTERNAL_ENGINE, Envelope::Die);
         if let Some(t) = self.replay_service.take() {
             let _ = t.join();
         }
-        self.outputs_rx.try_iter().collect()
+        (self.outputs_rx.try_iter().collect(), report)
     }
 
     /// Gracefully drains and joins every engine, returning all external
@@ -1373,6 +1447,85 @@ pub struct RecoveryReport {
     pub wal_segments: usize,
     /// Per-engine restart points, in engine-id order.
     pub engines: Vec<EngineRecovery>,
+    /// Per-component external-input accounting, in component-id order.
+    pub components: Vec<ComponentRecovery>,
+}
+
+/// One component's external-input recovery accounting in a
+/// [`RecoveryReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentRecovery {
+    /// The component.
+    pub component: ComponentId,
+    /// Its resolved durability tier; `None` means the legacy engine-wide
+    /// fsync policy governed its inputs.
+    pub tier: Option<DurabilityPolicy>,
+    /// External-input records recovered from the WAL for this component's
+    /// wires. Compared against the pre-crash append count, the shortfall
+    /// is exactly what sat inside the open flush window (Buffered) or was
+    /// never persisted (InMemory).
+    pub recovered_inputs: u64,
+    /// `true` for [`DurabilityPolicy::InMemory`] components: nothing was
+    /// on disk by design, and peer replay is the only recovery source.
+    pub replay_from_peers_only: bool,
+}
+
+/// Per-component cost of a [`Cluster::crash_with_report`] drill. Absent
+/// components lost nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Buffered-tier external inputs inside the open group-commit window
+    /// at the instant of the crash — bounded by one flush window
+    /// ([`crate::BUFFERED_MAX_RECORDS`] records) per wire. A Strict
+    /// component appearing here is a durability-contract violation.
+    pub lost_inputs: BTreeMap<ComponentId, u64>,
+    /// InMemory-tier external inputs, never persisted by design.
+    pub memory_only_inputs: BTreeMap<ComponentId, u64>,
+}
+
+/// Pins every tiered external-input wire of `log` to its resolved
+/// durability tier (component → engine → cluster default). Unresolved
+/// wires keep the legacy engine-wide fsync-policy path.
+fn apply_wire_tiers(
+    spec: &AppSpec,
+    placement: &Placement,
+    d: &DurabilityConfig,
+    log: &mut MessageLog,
+) {
+    for w in spec.external_inputs() {
+        let Some(c) = w.to().component() else {
+            continue;
+        };
+        if let Some(tier) = d.tier_for(c, placement.engine_of(c)) {
+            log.set_wire_tier(w.id(), tier);
+        }
+    }
+}
+
+/// Builds the per-component recovery accounting for a cold restart: how
+/// many external inputs each component got back from the WAL, under which
+/// tier.
+fn component_recoveries(
+    spec: &AppSpec,
+    placement: &Placement,
+    d: &DurabilityConfig,
+    log: &MessageLog,
+) -> Vec<ComponentRecovery> {
+    let mut per: BTreeMap<ComponentId, ComponentRecovery> = BTreeMap::new();
+    for w in spec.external_inputs() {
+        let Some(c) = w.to().component() else {
+            continue;
+        };
+        let tier = d.tier_for(c, placement.engine_of(c));
+        let entry = per.entry(c).or_insert_with(|| ComponentRecovery {
+            component: c,
+            tier,
+            recovered_inputs: 0,
+            replay_from_peers_only: matches!(tier, Some(DurabilityPolicy::InMemory)),
+        });
+        entry.recovered_inputs += log.wire_len(w.id()) as u64;
+    }
+    per.into_values().collect()
 }
 
 /// One engine's restart point in a [`RecoveryReport`].

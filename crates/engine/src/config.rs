@@ -9,7 +9,7 @@ use tart_model::{AppSpec, BlockId};
 use tart_silence::SilencePolicy;
 use tart_vtime::{ComponentId, EngineId, VirtualDuration, WireId};
 
-use crate::{FaultPlan, FsyncPolicy, LogicalClock, RealClock, TimeSource};
+use crate::{DurabilityPolicy, FaultPlan, FsyncPolicy, LogicalClock, RealClock, TimeSource};
 
 /// Assigns components to execution engines — the placement service of
 /// §II.C ("a placement service assigns individual components to execution
@@ -179,11 +179,21 @@ impl Default for StandbyConfig {
 /// and lag one full generation (recovery may fall back a whole chain), and
 /// [`crate::Cluster::recover_from_disk`] can cold-restart the whole cluster
 /// from `dir`.
+///
+/// The tier table (`component_tiers` / `engine_tiers` / `default_tier`)
+/// refines the single cluster-wide `policy` into per-component
+/// [`DurabilityPolicy`] contracts (see `DURABILITY.md`): a component's tier
+/// decides how its external inputs ride the shared WAL (Strict closes the
+/// group-commit window, Buffered rides it, InMemory skips the log) and how
+/// its engine's checkpoints persist. Components with no resolved tier keep
+/// the legacy behaviour: WAL appends follow `policy` and checkpoint
+/// persists fsync.
 #[derive(Clone, Debug)]
 pub struct DurabilityConfig {
     /// Root directory for all persistent state.
     pub dir: std::path::PathBuf,
-    /// When WAL appends are forced to disk.
+    /// When WAL appends are forced to disk (legacy cluster-wide lane, used
+    /// by wires whose destination component resolves to no tier).
     pub policy: FsyncPolicy,
     /// WAL segment rotation threshold in bytes.
     pub wal_segment_bytes: u64,
@@ -193,6 +203,51 @@ pub struct DurabilityConfig {
     /// replay length (at most one full + `full_checkpoint_every - 1`
     /// deltas) for much smaller steady-state checkpoint writes.
     pub full_checkpoint_every: u32,
+    /// Cluster-wide default durability tier for components without a more
+    /// specific entry. `None` keeps the legacy (untiered) contract.
+    pub default_tier: Option<DurabilityPolicy>,
+    /// Per-engine tier overrides: apply to every component placed on the
+    /// engine unless the component has its own entry.
+    pub engine_tiers: BTreeMap<EngineId, DurabilityPolicy>,
+    /// Per-component tier overrides — the most specific level, wins over
+    /// engine and cluster defaults.
+    pub component_tiers: BTreeMap<ComponentId, DurabilityPolicy>,
+}
+
+impl DurabilityConfig {
+    /// A durability config rooted at `dir` with the given legacy fsync
+    /// policy, default segment threshold (1 MiB), full-checkpoint cadence
+    /// (4) and an empty tier table.
+    pub fn new(dir: impl Into<std::path::PathBuf>, policy: FsyncPolicy) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            policy,
+            wal_segment_bytes: 1 << 20,
+            full_checkpoint_every: 4,
+            default_tier: None,
+            engine_tiers: BTreeMap::new(),
+            component_tiers: BTreeMap::new(),
+        }
+    }
+
+    /// Resolves `component`'s durability tier: component entry, else its
+    /// engine's entry, else the cluster default, else `None` (legacy
+    /// untiered contract).
+    pub fn tier_for(
+        &self,
+        component: ComponentId,
+        engine: Option<EngineId>,
+    ) -> Option<DurabilityPolicy> {
+        if let Some(t) = self.component_tiers.get(&component) {
+            return Some(*t);
+        }
+        if let Some(e) = engine {
+            if let Some(t) = self.engine_tiers.get(&e) {
+                return Some(*t);
+            }
+        }
+        self.default_tier
+    }
 }
 
 /// Cluster-wide runtime tuning (§II.G's controls).
@@ -342,12 +397,52 @@ impl ClusterConfig {
         dir: impl Into<std::path::PathBuf>,
         policy: FsyncPolicy,
     ) -> Self {
-        self.durability = Some(DurabilityConfig {
-            dir: dir.into(),
-            policy,
-            wal_segment_bytes: 1 << 20,
-            full_checkpoint_every: 4,
-        });
+        self.durability = Some(DurabilityConfig::new(dir, policy));
+        self
+    }
+
+    /// Sets the cluster-wide default durability tier (builder style): every
+    /// component without a more specific engine or component entry resolves
+    /// to `tier`. See `DURABILITY.md` for the contract each tier carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not enabled.
+    pub fn with_default_tier(mut self, tier: DurabilityPolicy) -> Self {
+        self.durability
+            .as_mut()
+            .expect("enable durability before assigning tiers")
+            .default_tier = Some(tier);
+        self
+    }
+
+    /// Assigns a durability tier to every component placed on `engine`
+    /// (builder style); per-component entries still win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not enabled.
+    pub fn with_engine_tier(mut self, engine: EngineId, tier: DurabilityPolicy) -> Self {
+        self.durability
+            .as_mut()
+            .expect("enable durability before assigning tiers")
+            .engine_tiers
+            .insert(engine, tier);
+        self
+    }
+
+    /// Assigns a durability tier to one component (builder style) — the
+    /// most specific level of the tier table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is not enabled.
+    pub fn with_component_tier(mut self, component: ComponentId, tier: DurabilityPolicy) -> Self {
+        self.durability
+            .as_mut()
+            .expect("enable durability before assigning tiers")
+            .component_tiers
+            .insert(component, tier);
         self
     }
 
@@ -589,5 +684,53 @@ mod tests {
             phi_threshold: None,
             poll_interval: Duration::from_millis(5),
         });
+    }
+
+    #[test]
+    fn tier_resolution_is_component_then_engine_then_default() {
+        let c0 = ComponentId::new(0);
+        let c1 = ComponentId::new(1);
+        let c2 = ComponentId::new(2);
+        let e0 = EngineId::new(0);
+        let e1 = EngineId::new(1);
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_millis(5),
+        };
+        let cfg = ClusterConfig::logical_time()
+            .with_durability("/tmp/unused", FsyncPolicy::Always)
+            .with_default_tier(buffered)
+            .with_engine_tier(e1, DurabilityPolicy::InMemory)
+            .with_component_tier(c0, DurabilityPolicy::Strict);
+        let d = cfg.durability.expect("enabled");
+        // Component entry wins over everything, even its engine's.
+        assert_eq!(d.tier_for(c0, Some(e1)), Some(DurabilityPolicy::Strict));
+        // Engine entry wins over the cluster default.
+        assert_eq!(d.tier_for(c1, Some(e1)), Some(DurabilityPolicy::InMemory));
+        // Default covers the rest, with or without a known engine.
+        assert_eq!(d.tier_for(c1, Some(e0)), Some(buffered));
+        assert_eq!(d.tier_for(c2, None), Some(buffered));
+        // No default → legacy untiered contract.
+        let bare = DurabilityConfig::new("/tmp/unused", FsyncPolicy::Always);
+        assert_eq!(bare.tier_for(c2, Some(e0)), None);
+    }
+
+    #[test]
+    fn tier_ordering_tracks_strictness() {
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_millis(5),
+        };
+        assert!(DurabilityPolicy::InMemory < buffered);
+        assert!(buffered < DurabilityPolicy::Strict);
+        // Engine tier = max over hosted components relies on this order.
+        assert_eq!(
+            DurabilityPolicy::InMemory.max(DurabilityPolicy::Strict),
+            DurabilityPolicy::Strict
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "enable durability before assigning tiers")]
+    fn tiers_without_durability_rejected() {
+        let _ = ClusterConfig::logical_time().with_default_tier(DurabilityPolicy::Strict);
     }
 }

@@ -198,6 +198,10 @@ pub struct EngineCore {
     /// On-disk checkpoint store, when the cluster runs with durability.
     /// Checkpoints tee here; `TrimAck`s wait for the persist to succeed.
     durable: Option<Arc<CheckpointStore>>,
+    /// Whether checkpoint persists fsync before shipping (`true`, the
+    /// Strict/legacy path) or leave writeback to the kernel (`false`, the
+    /// Buffered tier — see [`CheckpointStore::persist_with`]).
+    durable_sync: bool,
     /// Consumed watermarks as of the *previous* durable full generation —
     /// the watermarks `TrimAck`s are allowed to carry. Recovery may fall
     /// back a whole restore chain (to the previous full), so upstream
@@ -321,6 +325,7 @@ impl EngineCore {
             router,
             replica,
             durable: None,
+            durable_sync: true,
             durable_acked: BTreeMap::new(),
             outputs,
             calibrators,
@@ -367,6 +372,15 @@ impl EngineCore {
                     .or_insert_with(|| RetentionBuffer::new(*w));
             }
         }
+    }
+
+    /// Chooses between fsynced (`true`, default — the Strict/legacy
+    /// durability behaviour) and kernel-scheduled (`false` — the
+    /// [`crate::DurabilityPolicy::Buffered`] tier) checkpoint persists.
+    /// Persist-before-ship ordering and TrimAck gating are unchanged either
+    /// way; only the fsync on the checkpoint file moves.
+    pub fn set_durable_sync(&mut self, sync: bool) {
+        self.durable_sync = sync;
     }
 
     /// Attaches the cluster's observability handle. Obs state is telemetry
@@ -1421,7 +1435,7 @@ impl EngineCore {
         // must be able to survive a whole-cluster crash.
         let persisted = match &self.durable {
             // tart-lint: allow(TAINT-FLOW) -- durability ack only: persist's wall-clock read times the fsync; the bool gates shipping and restore re-derives from the store itself
-            Some(store) => store.persist(&ckpt).is_ok(),
+            Some(store) => store.persist_with(&ckpt, self.durable_sync).is_ok(),
             None => true,
         };
         // Warm standby: stream the checkpoint to the standby plane so the

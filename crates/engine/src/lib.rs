@@ -77,11 +77,14 @@ pub use checkpoint::{
     combined_state_hash, verify_chain, ChainDefect, DivergenceFault, EngineCheckpoint, ReplicaStore,
 };
 pub use clock::{LogicalClock, RealClock, TimeSource};
-pub use cluster::{Cluster, DeployError, EngineRecovery, Injector, PromoteError, RecoveryReport};
+pub use cluster::{
+    Cluster, ComponentRecovery, CrashReport, DeployError, EngineRecovery, Injector, PromoteError,
+    RecoveryReport,
+};
 pub use config::{ClusterConfig, DurabilityConfig, Placement, StandbyConfig, SupervisionConfig};
 pub use core::{EngineCore, EngineMetrics, Flow, OutputRecord, SharedEngineMetrics};
 pub use envelope::Envelope;
-pub use log::{LogError, MessageLog};
+pub use log::{LogCrash, LogError, MessageLog};
 pub use retention::RetentionBuffer;
 pub use router::{FaultPlan, Router};
 pub use standby::StandbyStatus;
@@ -92,4 +95,4 @@ pub use tart_obs::{
     ReportRequirements,
 };
 pub use verify::{verify_replay, ReplayVerdict};
-pub use wal::{FsyncPolicy, Wal, WalError, WalRecovery};
+pub use wal::{DurabilityPolicy, FsyncPolicy, Wal, WalError, WalRecovery, BUFFERED_MAX_RECORDS};

@@ -6,7 +6,7 @@
 //! (§II.E). The log is the replay source for external wires after a
 //! failover.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Write};
@@ -17,7 +17,7 @@ use tart_codec::{crc32, Decode, DecodeError, Encode};
 use tart_model::Value;
 use tart_vtime::{VirtualTime, WireId};
 
-use crate::wal::{FsyncPolicy, Wal, WalError, WalRecovery};
+use crate::wal::{DurabilityPolicy, FsyncPolicy, Wal, WalError, WalRecovery};
 
 /// Errors from the message log.
 #[derive(Debug)]
@@ -129,6 +129,30 @@ pub struct MessageLog {
     /// wire → (vt → payload); BTreeMap gives range replay directly.
     entries: BTreeMap<WireId, BTreeMap<VirtualTime, Value>>,
     backend: Backend,
+    /// Per-wire durability tier overriding the backend-wide policy. Wires
+    /// absent from the map use the legacy engine-wide [`FsyncPolicy`] path.
+    wire_tiers: BTreeMap<WireId, DurabilityPolicy>,
+    /// Buffered-lane appends that may still be inside the open flush
+    /// window: `(wal record index, wire)`. Pruned lazily against the WAL's
+    /// durable index; consumed by [`MessageLog::crash_discard`] for the
+    /// per-wire loss report.
+    window: VecDeque<(u64, WireId)>,
+    /// Per-wire count of appends routed memory-only ([`DurabilityPolicy::InMemory`]).
+    memory_only: BTreeMap<WireId, u64>,
+}
+
+/// Per-wire loss accounting from [`MessageLog::crash_discard`]: what a
+/// crash at this instant costs each durability tier.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogCrash {
+    /// Buffered-lane records that were still inside the open flush window
+    /// (staged in user space, never handed to the kernel), per wire. This
+    /// is the *exact* Buffered loss: closed windows already queued for the
+    /// flusher drain to the kernel before the report is taken.
+    pub lost: BTreeMap<WireId, u64>,
+    /// Appends on [`DurabilityPolicy::InMemory`] wires, per wire. Never
+    /// persisted by design; recovery must replay them from peers.
+    pub memory_only: BTreeMap<WireId, u64>,
 }
 
 /// Where appended records are persisted.
@@ -147,6 +171,9 @@ impl MessageLog {
         MessageLog {
             entries: BTreeMap::new(),
             backend: Backend::Memory,
+            wire_tiers: BTreeMap::new(),
+            window: VecDeque::new(),
+            memory_only: BTreeMap::new(),
         }
     }
 
@@ -164,10 +191,9 @@ impl MessageLog {
             .truncate(true)
             // tart-lint: allow(TAINT-FLOW) -- identifier collision: `OpenOptions::open`, see above
             .open(path)?;
-        Ok(MessageLog {
-            entries: BTreeMap::new(),
-            backend: Backend::File(file),
-        })
+        let mut log = MessageLog::in_memory();
+        log.backend = Backend::File(file);
+        Ok(log)
     }
 
     /// Opens (or creates) a log backed by the segmented [`Wal`] in `dir`,
@@ -196,12 +222,22 @@ impl MessageLog {
     }
 
     /// Attaches the observability hub to the WAL backend (no-op for the
-    /// in-memory and flat-file flavours): group-commit window occupancy is
-    /// recorded at every fsync.
+    /// in-memory and flat-file flavours): group-commit window occupancy and
+    /// per-tier fsync latency are recorded at every sync.
     pub fn set_obs(&mut self, hub: std::sync::Arc<tart_obs::ObsHub>) {
         if let Backend::Wal(wal) = &mut self.backend {
             wal.set_obs(hub);
         }
+    }
+
+    /// Pins `wire` to a durability tier. Appends on pinned wires bypass the
+    /// engine-wide [`FsyncPolicy`]: [`DurabilityPolicy::Strict`] blocks
+    /// until the record is fsynced, [`DurabilityPolicy::Buffered`] rides
+    /// the group-commit window, and [`DurabilityPolicy::InMemory`] skips
+    /// persistence entirely (recovery replays those wires from peers).
+    /// Unpinned wires keep the legacy policy-driven path.
+    pub fn set_wire_tier(&mut self, wire: WireId, tier: DurabilityPolicy) {
+        self.wire_tiers.insert(wire, tier);
     }
 
     /// Recovers a log from a previously written flat file, verifying every
@@ -289,6 +325,12 @@ impl MessageLog {
         };
         let body = record.to_bytes();
         self.insert(record)?;
+        let tier = self.wire_tiers.get(&wire).copied();
+        if tier == Some(DurabilityPolicy::InMemory) {
+            // Memory-only tier: never persisted, whatever the backend.
+            *self.memory_only.entry(wire).or_insert(0) += 1;
+            return Ok(());
+        }
         match &mut self.backend {
             Backend::Memory => {}
             Backend::File(file) => {
@@ -299,10 +341,50 @@ impl MessageLog {
                 file.write_all(&frame)?;
                 file.flush()?;
             }
-            // tart-lint: allow(TAINT-FLOW) -- durable append: the WAL ack carries no clock reading; record bytes, not group-commit times, enter the log
-            Backend::Wal(wal) => wal.append(&body)?,
+            Backend::Wal(wal) => match tier {
+                // tart-lint: allow(TAINT-FLOW) -- durable append: the WAL ack carries no clock reading; record bytes, not group-commit times, enter the log
+                None => wal.append(&body)?,
+                Some(t) => {
+                    // tart-lint: allow(TAINT-FLOW) -- durable append (tiered lane): same boundary as above; only record bytes flow back
+                    let idx = wal.append_lane(&body, t)?;
+                    if matches!(t, DurabilityPolicy::Buffered { .. }) {
+                        // Prune entries the flusher has already made
+                        // durable, then track this one until it is.
+                        let durable = wal.durable_index();
+                        while self.window.front().is_some_and(|(i, _)| *i <= durable) {
+                            self.window.pop_front();
+                        }
+                        self.window.push_back((idx, wire));
+                    }
+                }
+            },
         }
         Ok(())
+    }
+
+    /// Simulates a hard crash of the logging process: the WAL's open flush
+    /// window is dropped on the floor (closed windows already queued for
+    /// the flusher still drain to the kernel) and the per-wire cost is
+    /// reported. In-memory and flat-file backends lose nothing extra — the
+    /// flat file is flushed on every append — but memory-only wires are
+    /// still reported.
+    ///
+    /// After this call the log refuses further appends on the WAL backend;
+    /// it exists for crash drills, not production shutdown.
+    pub fn crash_discard(&mut self) -> LogCrash {
+        let mut crash = LogCrash {
+            lost: BTreeMap::new(),
+            memory_only: std::mem::take(&mut self.memory_only),
+        };
+        if let Backend::Wal(wal) = &mut self.backend {
+            let written = wal.crash_discard();
+            for (idx, wire) in self.window.drain(..) {
+                if idx > written {
+                    *crash.lost.entry(wire).or_insert(0) += 1;
+                }
+            }
+        }
+        crash
     }
 
     /// Forces any buffered appends to stable storage regardless of the
@@ -335,6 +417,11 @@ impl MessageLog {
         self.entries
             .get(&wire)
             .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Number of logged records on `wire`.
+    pub fn wire_len(&self, wire: WireId) -> usize {
+        self.entries.get(&wire).map_or(0, BTreeMap::len)
     }
 
     /// Total records across all wires.
@@ -533,6 +620,85 @@ mod tests {
         assert!(rec.segments > 1, "tiny threshold forces rotation");
         assert_eq!(log.len(), 8);
         assert_eq!(log.last_vt(w(0)), Some(vt(8)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_wires_route_to_their_lanes() {
+        use std::time::Duration;
+        let dir = std::env::temp_dir().join(format!("tart-log-tiers-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lost_on_w1;
+        {
+            let (mut log, rec) = MessageLog::durable(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+            assert!(rec.records.is_empty());
+            log.set_wire_tier(w(0), DurabilityPolicy::Strict);
+            log.set_wire_tier(
+                w(1),
+                DurabilityPolicy::Buffered {
+                    flush_window: Duration::from_secs(3600),
+                },
+            );
+            log.set_wire_tier(w(2), DurabilityPolicy::InMemory);
+            for t in 1..=4 {
+                log.append(w(0), vt(t), &Value::from(format!("strict-{t}")))
+                    .unwrap();
+                log.append(w(1), vt(t), &Value::from(format!("buffered-{t}")))
+                    .unwrap();
+                log.append(w(2), vt(t), &Value::from(format!("memory-{t}")))
+                    .unwrap();
+            }
+            // All three tiers replay locally before the crash.
+            assert_eq!(log.len(), 12);
+            let crash = log.crash_discard();
+            assert_eq!(crash.memory_only.get(&w(2)), Some(&4));
+            assert!(
+                crash.lost.keys().all(|wire| *wire == w(1)),
+                "only the buffered wire can lose inside the open window: {crash:?}"
+            );
+            lost_on_w1 = crash.lost.get(&w(1)).copied().unwrap_or(0);
+            assert!(lost_on_w1 <= 4);
+        }
+        let (log, rec) = MessageLog::durable(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+        // Strict records all survive; InMemory never touched the WAL.
+        assert_eq!(log.replay_from(w(0), VirtualTime::ZERO).len(), 4);
+        assert!(log.replay_from(w(2), VirtualTime::ZERO).is_empty());
+        // Buffered loses exactly what the crash report claimed.
+        assert_eq!(
+            log.replay_from(w(1), VirtualTime::ZERO).len() as u64 + lost_on_w1,
+            4
+        );
+        assert_eq!(rec.records.len(), log.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_append_pins_interleaved_buffered_records() {
+        use std::time::Duration;
+        let dir = std::env::temp_dir().join(format!("tart-log-pin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut log, _) = MessageLog::durable(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+            log.set_wire_tier(w(0), DurabilityPolicy::Strict);
+            log.set_wire_tier(
+                w(1),
+                DurabilityPolicy::Buffered {
+                    flush_window: Duration::from_secs(3600),
+                },
+            );
+            // Buffered first, then a strict append: the strict barrier
+            // forces the open window closed, so the buffered record is
+            // durable too and the crash report shows zero loss.
+            log.append(w(1), vt(1), &Value::from("riding")).unwrap();
+            log.append(w(0), vt(1), &Value::from("barrier")).unwrap();
+            let crash = log.crash_discard();
+            assert!(
+                crash.lost.is_empty(),
+                "strict barrier pinned the window: {crash:?}"
+            );
+        }
+        let (log, _) = MessageLog::durable(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+        assert_eq!(log.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -167,6 +167,16 @@ fn frame(body: &[u8]) -> Vec<u8> {
 /// Writes `bytes` to `path` durably: temp file in the same directory,
 /// fsync, rename over the target, fsync the directory.
 fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    write_atomic_with(dir, path, bytes, true)
+}
+
+/// [`write_atomic`] with the fsyncs optional: `sync = false` keeps the
+/// temp-file-then-rename atomicity (a reader never sees a torn file) but
+/// lets the kernel schedule the writeback — the Buffered durability tier's
+/// checkpoint persist, which trades a machine-crash window for not paying
+/// two fsyncs per generation. Process crashes lose nothing either way:
+/// renamed data survives the process.
+fn write_atomic_with(dir: &Path, path: &Path, bytes: &[u8], sync: bool) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = OpenOptions::new()
@@ -175,10 +185,14 @@ fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError>
             .truncate(true)
             .open(&tmp)?;
         f.write_all(bytes)?;
-        f.sync_all()?;
+        if sync {
+            f.sync_all()?;
+        }
     }
     fs::rename(&tmp, path)?;
-    sync_dir(dir)?;
+    if sync {
+        sync_dir(dir)?;
+    }
     Ok(())
 }
 
@@ -279,8 +293,24 @@ impl CheckpointStore {
     /// previous generation remains the manifest's newest in that case), or
     /// [`StoreError::Corrupt`] for a delta with no full base on disk —
     /// such a generation could never restore.
-    #[allow(clippy::disallowed_methods)] // timed below; ops-plane only
     pub fn persist(&self, ckpt: &EngineCheckpoint) -> Result<u64, StoreError> {
+        self.persist_with(ckpt, true)
+    }
+
+    /// [`CheckpointStore::persist`] with the checkpoint-file fsync
+    /// optional. `sync = false` is the [`crate::DurabilityPolicy::Buffered`]
+    /// tier's persist: the file still lands atomically (readers never see a
+    /// torn generation, and a *process* crash loses nothing), but the data
+    /// fsync is left to the kernel, so a *machine* crash may roll the engine
+    /// back to an older generation. The manifest update is always fsynced —
+    /// it is tiny, shared across engines, and a stale manifest would orphan
+    /// every tier's generations, not just the buffered engine's.
+    ///
+    /// # Errors
+    ///
+    /// As [`CheckpointStore::persist`].
+    #[allow(clippy::disallowed_methods)] // timed below; ops-plane only
+    pub fn persist_with(&self, ckpt: &EngineCheckpoint, sync: bool) -> Result<u64, StoreError> {
         let persist_started = std::time::Instant::now();
         let engine = ckpt.engine.raw();
         let is_full = ckpt.is_self_contained();
@@ -294,7 +324,7 @@ impl CheckpointStore {
         }
         let generation = gens.last().map_or(0, |g| g + 1);
         let path = self.dir.join(ckpt_file_name(engine, generation, is_full));
-        write_atomic(&self.dir, &path, &frame(&ckpt.to_bytes()))?;
+        write_atomic_with(&self.dir, &path, &frame(&ckpt.to_bytes()), sync)?;
         gens.push(generation);
         if is_full {
             fulls.push(generation);

@@ -1,11 +1,39 @@
-//! A segmented, CRC-framed write-ahead log.
+//! A segmented, CRC-framed write-ahead log with tiered append lanes.
 //!
 //! The paper requires external messages to be logged "either to external
 //! stable storage, or to the backup machine" (§II.E). This module is the
 //! stable-storage half done properly: an append-only log split into
 //! fixed-threshold **segments**, each record framed as
 //! `u32 length (BE) | u32 crc32 (BE) | body`, with a pluggable
-//! [`FsyncPolicy`] governing when appends are forced to disk.
+//! [`FsyncPolicy`] governing when appends are forced to disk and a
+//! per-record [`DurabilityPolicy`] lane API ([`Wal::append_lane`]) layered
+//! on top of the same log.
+//!
+//! # Write path
+//!
+//! Appends **frame into a user-space staging buffer** and hand completed
+//! commit windows to a background flusher thread as jobs; the flusher owns
+//! all file I/O (seek + write + fsync + rotation). Encoding therefore never
+//! blocks on `sync_all` — while one buffer is being synced the next window
+//! accumulates in a recycled spare (double buffering). Lanes share the one
+//! log, so record order on disk is exactly append order across tiers:
+//!
+//! - [`DurabilityPolicy::Strict`] promotes the staging buffer with an fsync
+//!   and blocks until the record is durable. A strict record riding behind
+//!   buffered records forces the whole open window to disk with it.
+//! - [`DurabilityPolicy::Buffered`] stages and returns immediately; the
+//!   flusher closes the window when its `flush_window` deadline expires or
+//!   when [`BUFFERED_MAX_RECORDS`] records have accumulated.
+//! - [`DurabilityPolicy::InMemory`] records never reach the WAL at all
+//!   (callers skip it; the lane API refuses them).
+//!
+//! Segments are **preallocated** to the rotation threshold (up to 1 GiB) so
+//! steady-state appends never extend the file, and the flusher keeps one
+//! preallocated spare (`wal-NNNNNNNN.pre`) ready to rename into place at
+//! rotation — a one-deep recycle pool. Sealing truncates the segment to its
+//! logical length, so sealed segments are always exact-sized.
+//!
+//! # Recovery
 //!
 //! Recovery ([`Wal::open`]) scans every segment in order. Sealed segments
 //! (every segment but the last) were fsynced at rotation and must parse
@@ -13,19 +41,46 @@
 //! *final* segment may legitimately end in a torn record (the crash the log
 //! exists to survive): the scan stops at the first invalid record, truncates
 //! the file back to the last valid one, and reports how many bytes were
-//! discarded in the [`WalRecovery`] report.
+//! discarded in the [`WalRecovery`] report. An **all-zero tail** is
+//! preallocation padding, not a torn record: it is kept in place and
+//! reported as zero truncated bytes.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tart_codec::crc32;
 
 /// Per-record frame overhead: u32 length + u32 crc.
 pub(crate) const FRAME_HEADER: usize = 8;
+
+/// Record cap on a [`DurabilityPolicy::Buffered`] commit window: the window
+/// closes early once this many records have staged, whatever the
+/// `flush_window` deadline says. This is the "one flush window" that bounds
+/// Buffered loss in DURABILITY.md, and the cap the durability bench gates
+/// against.
+pub const BUFFERED_MAX_RECORDS: u32 = 512;
+
+/// Segments at or below this size are preallocated to the rotation
+/// threshold at creation (and recycled through the spare pool). Larger
+/// thresholds — e.g. the `u64::MAX` used by single-segment tests — grow on
+/// demand instead.
+const PREALLOC_LIMIT: u64 = 1 << 30;
+
+/// The single wall-clock read of the WAL plane. Group-commit windows,
+/// per-tier flush deadlines, and fsync-latency telemetry all take their
+/// `Instant`s here — this is the one reasoned TAINT-FLOW boundary for the
+/// module. Commit pacing decides *when* bytes reach disk, never *which*
+/// bytes, so replayed logic cannot observe it.
+#[allow(clippy::disallowed_methods)]
+fn wall_now() -> Instant {
+    Instant::now()
+}
 
 /// When appended records are forced to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,23 +92,48 @@ pub enum FsyncPolicy {
     /// acknowledged records.
     Interval(u32),
     /// Group commit: one fsync amortized across a commit window. The log
-    /// syncs when `max_records` appends have accumulated, or at the first
-    /// append after `max_delay` has elapsed since the window opened —
-    /// whichever comes first. Loss is bounded to the open window (at most
-    /// `max_records - 1` records, and in a steadily appending system at
-    /// most ~`max_delay` of them); rotation and [`Wal::sync`] still force
-    /// everything down regardless.
+    /// syncs when `max_records` appends have accumulated, or when the
+    /// oldest staged append turns `max_delay` old (the flusher thread wakes
+    /// on the deadline — no follow-up append is needed). Loss is bounded to
+    /// the open window; rotation and [`Wal::sync`] still force everything
+    /// down regardless.
     GroupCommit {
         /// Appends that force a sync (clamped to at least 1).
         max_records: u32,
-        /// Age of the oldest unsynced append that forces a sync at the
-        /// next append.
+        /// Age of the oldest unsynced append that forces a sync.
         max_delay: Duration,
     },
     /// Never fsync explicitly; the OS flushes when it pleases. Fastest, and
     /// a whole-machine crash may lose everything since the last rotation
     /// (rotation always seals with an fsync).
     Never,
+}
+
+/// Per-component durability tier (ROADMAP item 3; see DURABILITY.md for the
+/// normative contract table).
+///
+/// The derived ordering is by strictness — `InMemory < Buffered < Strict` —
+/// so the strictest tier hosted by an engine is the `max()` of its
+/// components' tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DurabilityPolicy {
+    /// No stable storage at all: the component's inputs live only in
+    /// memory and its recovery source is peer replay (upstream retention
+    /// buffers). A machine crash loses whatever peers cannot resend.
+    InMemory,
+    /// Inputs ride the shared group-commit window and are acknowledged
+    /// before they are durable: a crash loses at most the open window
+    /// (`flush_window` of time, capped at [`BUFFERED_MAX_RECORDS`]
+    /// records).
+    Buffered {
+        /// Maximum age of a staged record before the flusher forces the
+        /// window closed.
+        flush_window: Duration,
+    },
+    /// Every input is fsynced before the append returns: acknowledged
+    /// records are never lost, and a strict append forces any riding
+    /// buffered records down with it.
+    Strict,
 }
 
 /// Errors from the write-ahead log.
@@ -103,7 +183,7 @@ pub struct WalRecovery {
     /// Records recovered, oldest first, with frames already verified.
     pub records: Vec<Vec<u8>>,
     /// Bytes discarded from the torn/corrupt tail of the final segment
-    /// (zero on a clean shutdown).
+    /// (zero on a clean shutdown; preallocation padding does not count).
     pub truncated_bytes: u64,
     /// Number of segment files scanned.
     pub segments: usize,
@@ -127,6 +207,12 @@ pub(crate) fn scan_segment(bytes: &[u8]) -> SegmentScan {
         }
         let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len == 0 && crc == 0 {
+            // Eight zero bytes are preallocation padding, never a record:
+            // empty bodies are refused at append time precisely so the
+            // scanner can tell padding from data.
+            break;
+        }
         let end = pos + FRAME_HEADER + len;
         if end > bytes.len() {
             break; // torn body
@@ -149,12 +235,297 @@ fn segment_name(index: u64) -> String {
     format!("wal-{index:08}.seg")
 }
 
+fn spare_name(index: u64) -> String {
+    format!("wal-{index:08}.pre")
+}
+
 /// Appends one `u32 length | u32 crc32 | body` frame to `buf`.
 fn frame_into(buf: &mut Vec<u8>, body: &[u8]) {
     buf.reserve(body.len() + FRAME_HEADER);
     buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
     buf.extend_from_slice(&crc32(body).to_be_bytes());
     buf.extend_from_slice(body);
+}
+
+/// One unit of flusher work: a closed commit window (or a bare fsync /
+/// rotation marker) bound for a specific segment offset.
+struct Job {
+    segment: u64,
+    offset: u64,
+    buf: Vec<u8>,
+    /// Highest record index covered once this job lands.
+    high: u64,
+    /// Records carried in `buf` (zero for bare fsync / seal jobs).
+    records: u32,
+    sync: bool,
+    /// Whether a strict-lane append closed this window (telemetry only).
+    strict: bool,
+    rotate_after: bool,
+    /// Logical length to seal the segment at when rotating.
+    seal_len: u64,
+}
+
+/// Everything the appender and the flusher share, under one mutex.
+struct State {
+    /// Open commit window: frames staged in user space, not yet handed to
+    /// the flusher.
+    staging: Vec<u8>,
+    staging_records: u32,
+    /// When the flusher must force the open window closed.
+    staging_deadline: Option<Instant>,
+    /// Segment the staging buffer will land in.
+    staging_segment: u64,
+    /// Bytes of that segment already promoted to the flusher.
+    staging_offset: u64,
+    segment_bytes: u64,
+    segment_count: u64,
+    /// Records assigned an index so far (1-based; 0 = none).
+    assigned: u64,
+    /// Highest index handed to the kernel (written, maybe unsynced).
+    written_index: u64,
+    /// Highest index covered by a completed fsync.
+    durable_index: u64,
+    jobs: VecDeque<Job>,
+    inflight: bool,
+    /// First flusher I/O failure; sticky — surfaces on every later call.
+    error: Option<(std::io::ErrorKind, String)>,
+    shutdown: bool,
+    /// Set by [`Wal::crash_discard`]: the open window is gone and shutdown
+    /// must not flush or tidy the files.
+    crashed: bool,
+    /// Recycled window buffers (double buffering).
+    spare_bufs: Vec<Vec<u8>>,
+    obs: Option<Arc<tart_obs::ObsHub>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the flusher: new job, new deadline, shutdown, crash.
+    work: Condvar,
+    /// Wakes appenders waiting on durability or drain.
+    done: Condvar,
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stages one framed record into the open window; returns its index.
+fn stage(st: &mut State, body: &[u8]) -> u64 {
+    frame_into(&mut st.staging, body);
+    st.staging_records += 1;
+    st.assigned += 1;
+    st.assigned
+}
+
+/// Closes the open window into a flusher job. Rotation is decided here — a
+/// window that pushes the segment past its threshold seals it (sealing
+/// always fsyncs, whatever `sync` says). No-op when there is nothing to
+/// write and no rotation due.
+fn promote_locked(st: &mut State, sync: bool, strict: bool) {
+    let rotate = st.staging_offset + st.staging.len() as u64 >= st.segment_bytes;
+    if st.staging.is_empty() && !rotate {
+        return;
+    }
+    let buf = std::mem::replace(&mut st.staging, st.spare_bufs.pop().unwrap_or_default());
+    let seal_len = st.staging_offset + buf.len() as u64;
+    let job = Job {
+        segment: st.staging_segment,
+        offset: st.staging_offset,
+        high: st.assigned,
+        records: st.staging_records,
+        sync: sync || rotate,
+        strict,
+        rotate_after: rotate,
+        seal_len,
+        buf,
+    };
+    st.staging_records = 0;
+    st.staging_deadline = None;
+    if rotate {
+        st.staging_segment += 1;
+        st.staging_offset = 0;
+        st.segment_count += 1;
+    } else {
+        st.staging_offset = seal_len;
+    }
+    st.jobs.push_back(job);
+}
+
+/// The flusher's side of the world: file handles and the spare-segment
+/// recycle pool. Lives on the flusher thread; never touches the mutex.
+struct FlusherIo {
+    dir: PathBuf,
+    segment_bytes: u64,
+    prealloc: bool,
+    current: Option<(u64, File)>,
+    spare: Option<(u64, PathBuf)>,
+}
+
+impl FlusherIo {
+    fn file_for(&mut self, segment: u64) -> std::io::Result<&File> {
+        let cached = matches!(&self.current, Some((idx, _)) if *idx == segment);
+        if !cached {
+            let path = self.dir.join(segment_name(segment));
+            let file = OpenOptions::new().write(true).open(&path)?;
+            self.current = Some((segment, file));
+        }
+        Ok(&self.current.as_ref().expect("segment file cached").1)
+    }
+
+    fn create_segment(&self, path: &Path) -> std::io::Result<File> {
+        let f = OpenOptions::new().create_new(true).write(true).open(path)?;
+        if self.prealloc {
+            f.set_len(self.segment_bytes)?;
+        }
+        Ok(f)
+    }
+
+    /// Makes segment `index` the current file: renames the preallocated
+    /// spare into place when it matches, creates fresh otherwise, and
+    /// fsyncs the directory so the new name is durable.
+    fn install_segment(&mut self, index: u64) -> std::io::Result<()> {
+        let path = self.dir.join(segment_name(index));
+        let file = match self.spare.take() {
+            Some((spare_idx, spare_path)) if spare_idx == index => {
+                fs::rename(&spare_path, &path)?;
+                OpenOptions::new().write(true).open(&path)?
+            }
+            Some((_, spare_path)) => {
+                let _ = fs::remove_file(&spare_path);
+                self.create_segment(&path)?
+            }
+            None => self.create_segment(&path)?,
+        };
+        sync_dir(&self.dir)?;
+        self.current = Some((index, file));
+        Ok(())
+    }
+
+    /// Best-effort: keep one preallocated `.pre` file ready for the next
+    /// rotation. Failure here never fails an append — the rotation path
+    /// just falls back to `create_new`.
+    fn replenish_spare(&mut self, index: u64) {
+        if !self.prealloc || self.spare.is_some() {
+            return;
+        }
+        let path = self.dir.join(spare_name(index));
+        match OpenOptions::new().create_new(true).write(true).open(&path) {
+            Ok(f) if f.set_len(self.segment_bytes).is_ok() => {
+                self.spare = Some((index, path));
+            }
+            Ok(_) => {
+                let _ = fs::remove_file(&path);
+            }
+            Err(_) => {}
+        }
+    }
+
+    fn discard_spare(&mut self) {
+        if let Some((_, path)) = self.spare.take() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    fn process(&mut self, job: &Job, obs: Option<&tart_obs::ObsHub>) -> std::io::Result<()> {
+        {
+            let mut file = self.file_for(job.segment)?;
+            if !job.buf.is_empty() {
+                file.seek(SeekFrom::Start(job.offset))?;
+                file.write_all(&job.buf)?;
+            }
+            if job.sync {
+                let t0 = wall_now();
+                file.sync_data()?;
+                let ns = wall_now().duration_since(t0).as_nanos() as u64;
+                if let Some(hub) = obs {
+                    if job.records > 0 {
+                        hub.wal_group_commit(u64::from(job.records));
+                    }
+                    hub.wal_fsync_ns(job.strict, ns);
+                }
+            }
+            if job.rotate_after {
+                file.set_len(job.seal_len)?;
+                file.sync_all()?;
+            }
+        }
+        if job.rotate_after {
+            self.current = None;
+            self.install_segment(job.segment + 1)?;
+            self.replenish_spare(job.segment + 2);
+        }
+        Ok(())
+    }
+}
+
+fn run_flusher(shared: Arc<Shared>, mut io: FlusherIo) {
+    let mut g = lock_state(&shared);
+    loop {
+        if let Some(mut job) = g.jobs.pop_front() {
+            g.inflight = true;
+            let obs = g.obs.clone();
+            drop(g);
+            let result = io.process(&job, obs.as_deref());
+            g = lock_state(&shared);
+            g.inflight = false;
+            match result {
+                Ok(()) => {
+                    g.written_index = g.written_index.max(job.high);
+                    if job.sync {
+                        g.durable_index = g.durable_index.max(job.high);
+                    }
+                    let mut buf = std::mem::take(&mut job.buf);
+                    if !buf.is_empty() && g.spare_bufs.len() < 2 {
+                        buf.clear();
+                        g.spare_bufs.push(buf);
+                    }
+                }
+                Err(e) => {
+                    if g.error.is_none() {
+                        g.error = Some((e.kind(), e.to_string()));
+                    }
+                }
+            }
+            shared.done.notify_all();
+            continue;
+        }
+        if g.shutdown {
+            break;
+        }
+        if !g.staging.is_empty() && !g.crashed {
+            if let Some(deadline) = g.staging_deadline {
+                let now = wall_now();
+                if now >= deadline {
+                    promote_locked(&mut g, true, false);
+                    continue;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = guard;
+                continue;
+            }
+        }
+        g = shared.work.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    let crashed = g.crashed;
+    drop(g);
+    if !crashed {
+        io.discard_spare();
+    }
+}
+
+/// Removes stray preallocated spares; they are advisory and never hold data.
+fn clear_spares(dir: &Path) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".pre") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
 }
 
 /// A segmented, CRC-framed append-only log of opaque byte records.
@@ -177,19 +548,9 @@ fn frame_into(buf: &mut Vec<u8>, body: &[u8]) {
 /// ```
 pub struct Wal {
     dir: PathBuf,
-    segment_bytes: u64,
     policy: FsyncPolicy,
-    active: File,
-    active_index: u64,
-    active_len: u64,
-    appends_since_sync: u32,
-    /// When the current group-commit window opened (first unsynced
-    /// append); `None` when everything is synced.
-    group_opened: Option<Instant>,
-    /// Reusable frame-encoding buffer for [`Wal::append_all`].
-    scratch: Vec<u8>,
-    /// Telemetry: group-commit window occupancy at each fsync.
-    obs: Option<Arc<tart_obs::ObsHub>>,
+    shared: Arc<Shared>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl Wal {
@@ -213,27 +574,23 @@ impl Wal {
                 "wal directory already contains segments; use Wal::open to recover",
             )));
         }
-        let active = OpenOptions::new()
+        clear_spares(&dir)?;
+        let segment_bytes = segment_bytes.max(FRAME_HEADER as u64 + 1);
+        let first = OpenOptions::new()
             .create_new(true)
             .write(true)
             .open(dir.join(segment_name(0)))?;
-        Ok(Wal {
-            dir,
-            segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
-            policy,
-            active,
-            active_index: 0,
-            active_len: 0,
-            appends_since_sync: 0,
-            group_opened: None,
-            scratch: Vec::new(),
-            obs: None,
-        })
+        if segment_bytes <= PREALLOC_LIMIT {
+            first.set_len(segment_bytes)?;
+        }
+        drop(first);
+        Ok(Wal::start(dir, segment_bytes, policy, 0, 0, 1))
     }
 
     /// Opens an existing WAL, verifying every record. Sealed segments must
     /// be fully valid; a torn or corrupt tail of the final segment is
-    /// truncated away and reported.
+    /// truncated away and reported. An all-zero tail is preallocation
+    /// padding and is kept.
     ///
     /// # Errors
     ///
@@ -246,6 +603,7 @@ impl Wal {
     ) -> Result<(Self, WalRecovery), WalError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        clear_spares(&dir)?;
         let segments = list_segments(&dir)?;
         if segments.is_empty() {
             let wal = Wal::create(&dir, segment_bytes, policy)?;
@@ -262,43 +620,180 @@ impl Wal {
             File::open(path)?.read_to_end(&mut bytes)?;
             let scan = scan_segment(&bytes);
             if scan.valid_len < scan.file_len {
-                if i < last {
+                let tail_is_padding = bytes[scan.valid_len as usize..].iter().all(|b| *b == 0);
+                if tail_is_padding {
+                    // Preallocation padding past the last record — clean.
+                } else if i < last {
                     return Err(WalError::Corrupt {
                         segment: segment_name(*index),
                         offset: scan.valid_len,
                     });
+                } else {
+                    // Torn or corrupt tail of the active segment: truncate
+                    // back to the last valid record so appends continue
+                    // cleanly.
+                    recovery.truncated_bytes = scan.file_len - scan.valid_len;
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(scan.valid_len)?;
+                    f.sync_all()?;
                 }
-                // Torn or corrupt tail of the active segment: truncate back
-                // to the last valid record so appends continue cleanly.
-                recovery.truncated_bytes = scan.file_len - scan.valid_len;
-                let f = OpenOptions::new().write(true).open(path)?;
-                f.set_len(scan.valid_len)?;
-                f.sync_all()?;
             }
             if i == last {
                 last_valid_len = scan.valid_len;
             }
             recovery.records.extend(scan.records);
         }
-        let (active_index, last_path) = segments[last].clone();
-        let active = OpenOptions::new().append(true).open(last_path)?;
-        let mut wal = Wal {
+        let segment_bytes = segment_bytes.max(FRAME_HEADER as u64 + 1);
+        let active_index = segments[last].0;
+        let wal = Wal::start(
             dir,
-            segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
+            segment_bytes,
             policy,
-            active,
             active_index,
-            active_len: last_valid_len,
-            appends_since_sync: 0,
-            group_opened: None,
-            scratch: Vec::new(),
-            obs: None,
-        };
-        // A recovered active segment past the threshold seals immediately.
-        if wal.active_len >= wal.segment_bytes {
-            wal.rotate()?;
+            last_valid_len,
+            segments.len() as u64,
+        );
+        // A recovered active segment past the threshold seals immediately
+        // (an empty promote still rotates when the offset is past the
+        // threshold).
+        {
+            let mut g = wal.lock();
+            if g.staging_offset >= g.segment_bytes {
+                promote_locked(&mut g, true, false);
+                wal.shared.work.notify_one();
+            }
         }
         Ok((wal, recovery))
+    }
+
+    fn start(
+        dir: PathBuf,
+        segment_bytes: u64,
+        policy: FsyncPolicy,
+        staging_segment: u64,
+        staging_offset: u64,
+        segment_count: u64,
+    ) -> Self {
+        let state = State {
+            staging: Vec::new(),
+            staging_records: 0,
+            staging_deadline: None,
+            staging_segment,
+            staging_offset,
+            segment_bytes,
+            segment_count,
+            assigned: 0,
+            written_index: 0,
+            durable_index: 0,
+            jobs: VecDeque::new(),
+            inflight: false,
+            error: None,
+            shutdown: false,
+            crashed: false,
+            spare_bufs: Vec::new(),
+            obs: None,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let io = FlusherIo {
+            dir: dir.clone(),
+            segment_bytes,
+            prealloc: segment_bytes <= PREALLOC_LIMIT,
+            current: None,
+            spare: None,
+        };
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tart-wal-flusher".into())
+                .spawn(move || run_flusher(shared, io))
+                .expect("spawn wal flusher thread")
+        };
+        Wal {
+            dir,
+            policy,
+            shared,
+            flusher: Some(flusher),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        lock_state(&self.shared)
+    }
+
+    fn check_error(st: &State) -> Result<(), WalError> {
+        if let Some((kind, msg)) = &st.error {
+            return Err(WalError::Io(std::io::Error::new(*kind, msg.clone())));
+        }
+        Ok(())
+    }
+
+    fn reject_empty(body: &[u8]) -> Result<(), WalError> {
+        if body.is_empty() {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "empty record bodies are not supported (an all-zero frame is \
+                 indistinguishable from preallocation padding)",
+            )));
+        }
+        Ok(())
+    }
+
+    /// Blocks until every record up to `idx` is fsynced (or the flusher has
+    /// failed).
+    fn wait_durable(&self, idx: u64) -> Result<(), WalError> {
+        let mut g = self.lock();
+        loop {
+            if g.durable_index >= idx {
+                return Ok(());
+            }
+            Self::check_error(&g)?;
+            g = self
+                .shared
+                .done
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Applies the legacy [`FsyncPolicy`] after records landed in staging.
+    /// Returns whether the caller must block for durability.
+    fn apply_policy(&self, g: &mut State) -> bool {
+        let rotate_pending = g.staging_offset + g.staging.len() as u64 >= g.segment_bytes;
+        match self.policy {
+            FsyncPolicy::Always => {
+                promote_locked(g, true, false);
+                true
+            }
+            FsyncPolicy::Interval(n) => {
+                if g.staging_records >= n.max(1) || rotate_pending {
+                    promote_locked(g, true, false);
+                }
+                false
+            }
+            FsyncPolicy::GroupCommit {
+                max_records,
+                max_delay,
+            } => {
+                if g.staging_records >= max_records.max(1) || rotate_pending {
+                    promote_locked(g, true, false);
+                } else {
+                    let d = wall_now() + max_delay;
+                    g.staging_deadline = Some(match g.staging_deadline {
+                        Some(cur) => cur.min(d),
+                        None => d,
+                    });
+                }
+                false
+            }
+            FsyncPolicy::Never => {
+                promote_locked(g, false, false);
+                false
+            }
+        }
     }
 
     /// Appends one record, framing it with length and CRC, honouring the
@@ -307,129 +802,193 @@ impl Wal {
     /// # Errors
     ///
     /// Returns [`WalError::Io`] if the write (or a policy-mandated fsync)
-    /// fails.
+    /// fails, or if `body` is empty.
     pub fn append(&mut self, body: &[u8]) -> Result<(), WalError> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        frame_into(&mut scratch, body);
-        self.active.write_all(&scratch)?;
-        self.active_len += scratch.len() as u64;
-        self.scratch = scratch;
-        self.commit(1)?;
-        if self.active_len >= self.segment_bytes {
-            self.rotate()?;
+        Self::reject_empty(body)?;
+        let (idx, wait) = {
+            let mut g = self.lock();
+            Self::check_error(&g)?;
+            let idx = stage(&mut g, body);
+            let wait = self.apply_policy(&mut g);
+            self.shared.work.notify_one();
+            (idx, wait)
+        };
+        if wait {
+            self.wait_durable(idx)?;
         }
         Ok(())
     }
 
-    /// Appends a whole batch of records with **one** `write_all`, applying
-    /// the fsync policy once for the batch and checking the rotation
-    /// threshold once at the end (never mid-batch): a batch that straddles
-    /// the threshold seals exactly one segment. Returns the number of
-    /// records appended.
+    /// Appends a whole batch of records with **one** staged window,
+    /// applying the fsync policy once for the batch and checking the
+    /// rotation threshold once at the end (never mid-batch): a batch that
+    /// straddles the threshold seals exactly one segment. Returns the
+    /// number of records appended.
     ///
     /// # Errors
     ///
     /// Returns [`WalError::Io`] if the write (or a policy-mandated fsync)
-    /// fails.
+    /// fails, or if any body is empty.
     pub fn append_all<'a, I>(&mut self, bodies: I) -> Result<u32, WalError>
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        let mut count: u32 = 0;
-        for body in bodies {
-            frame_into(&mut scratch, body);
-            count += 1;
-        }
-        if count == 0 {
-            self.scratch = scratch;
-            return Ok(0);
-        }
-        self.active.write_all(&scratch)?;
-        self.active_len += scratch.len() as u64;
-        self.scratch = scratch;
-        self.commit(count)?;
-        if self.active_len >= self.segment_bytes {
-            self.rotate()?;
+        let (idx, count, wait) = {
+            let mut g = self.lock();
+            Self::check_error(&g)?;
+            let mut count: u32 = 0;
+            for body in bodies {
+                Self::reject_empty(body)?;
+                stage(&mut g, body);
+                count += 1;
+            }
+            if count == 0 {
+                return Ok(0);
+            }
+            let wait = self.apply_policy(&mut g);
+            self.shared.work.notify_one();
+            (g.assigned, count, wait)
+        };
+        if wait {
+            self.wait_durable(idx)?;
         }
         Ok(count)
     }
 
-    /// Applies the fsync policy after `n` records landed in the active
-    /// segment.
-    // Ops-plane clock read: legal in place (tart-lint fences the boundary
-    // via TAINT-FLOW); the scoped clippy allow covers the disallowed-method
-    // lint for `Instant::now`.
-    #[allow(clippy::disallowed_methods)]
-    fn commit(&mut self, n: u32) -> Result<(), WalError> {
-        self.appends_since_sync = self.appends_since_sync.saturating_add(n);
-        match self.policy {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::Interval(n) => {
-                if self.appends_since_sync >= n.max(1) {
-                    self.sync()?;
-                }
+    /// Appends one record on an explicit durability lane, bypassing the
+    /// log-wide [`FsyncPolicy`]. All lanes share the same segments, so disk
+    /// order is append order across tiers. Returns the record's 1-based
+    /// index within this process's session (compare with
+    /// [`Wal::durable_index`]).
+    ///
+    /// - [`DurabilityPolicy::Strict`]: forces the open window (including
+    ///   any riding buffered records) to disk and blocks until durable.
+    /// - [`DurabilityPolicy::Buffered`]: stages and returns; the flusher
+    ///   closes the window at the `flush_window` deadline or at
+    ///   [`BUFFERED_MAX_RECORDS`] staged records, whichever comes first.
+    /// - [`DurabilityPolicy::InMemory`]: refused — such records must never
+    ///   reach the WAL; the caller keeps them in memory only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] on write/fsync failure, for an empty body,
+    /// or for the `InMemory` tier.
+    pub fn append_lane(&mut self, body: &[u8], tier: DurabilityPolicy) -> Result<u64, WalError> {
+        Self::reject_empty(body)?;
+        match tier {
+            DurabilityPolicy::InMemory => Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "InMemory records never reach the WAL",
+            ))),
+            DurabilityPolicy::Strict => {
+                let idx = {
+                    let mut g = self.lock();
+                    Self::check_error(&g)?;
+                    let idx = stage(&mut g, body);
+                    promote_locked(&mut g, true, true);
+                    self.shared.work.notify_one();
+                    idx
+                };
+                self.wait_durable(idx)?;
+                Ok(idx)
             }
-            FsyncPolicy::GroupCommit {
-                max_records,
-                max_delay,
-            } => {
-                if self.appends_since_sync >= max_records.max(1) {
-                    self.sync()?;
+            DurabilityPolicy::Buffered { flush_window } => {
+                let mut g = self.lock();
+                Self::check_error(&g)?;
+                let idx = stage(&mut g, body);
+                let rotate_pending = g.staging_offset + g.staging.len() as u64 >= g.segment_bytes;
+                if g.staging_records >= BUFFERED_MAX_RECORDS || rotate_pending {
+                    promote_locked(&mut g, true, false);
                 } else {
-                    let now = Instant::now();
-                    match self.group_opened {
-                        Some(opened) if now.duration_since(opened) >= max_delay => self.sync()?,
-                        Some(_) => {}
-                        None => self.group_opened = Some(now),
-                    }
+                    let d = wall_now() + flush_window;
+                    g.staging_deadline = Some(match g.staging_deadline {
+                        Some(cur) => cur.min(d),
+                        None => d,
+                    });
                 }
+                self.shared.work.notify_one();
+                Ok(idx)
             }
-            FsyncPolicy::Never => {}
         }
-        Ok(())
     }
 
     /// Forces everything appended so far to stable storage and closes any
-    /// open group-commit window.
+    /// open commit window. Blocks until the fsync completes.
     ///
     /// # Errors
     ///
     /// Returns [`WalError::Io`] if the fsync fails.
     pub fn sync(&mut self) -> Result<(), WalError> {
-        if let (Some(obs), n) = (&self.obs, self.appends_since_sync) {
-            if n > 0 {
-                obs.wal_group_commit(u64::from(n));
+        let target = {
+            let mut g = self.lock();
+            Self::check_error(&g)?;
+            let target = g.assigned;
+            if !g.staging.is_empty() {
+                promote_locked(&mut g, true, false);
+                self.shared.work.notify_one();
+            } else if g.durable_index < target || !g.jobs.is_empty() {
+                // Everything staged is already queued or written; a bare
+                // fsync job (FIFO behind any pending writes) covers it.
+                let job = Job {
+                    segment: g.staging_segment,
+                    offset: g.staging_offset,
+                    buf: Vec::new(),
+                    high: target,
+                    records: 0,
+                    sync: true,
+                    strict: false,
+                    rotate_after: false,
+                    seal_len: g.staging_offset,
+                };
+                g.jobs.push_back(job);
+                self.shared.work.notify_one();
             }
+            target
+        };
+        self.wait_durable(target)
+    }
+
+    /// Simulates a process crash for recovery drills: the open commit
+    /// window (records staged but not yet handed to the kernel) is
+    /// discarded, queued windows drain to the file, and the WAL refuses
+    /// further tidying on drop — files are left exactly as the "crash"
+    /// found them, preallocation padding included. Returns the highest
+    /// record index that reached the kernel (what [`Wal::open`] will
+    /// recover after an in-process crash).
+    pub fn crash_discard(&mut self) -> u64 {
+        let mut g = self.lock();
+        g.crashed = true;
+        g.staging.clear();
+        g.staging_records = 0;
+        g.staging_deadline = None;
+        self.shared.work.notify_all();
+        while !g.jobs.is_empty() || g.inflight {
+            g = self
+                .shared
+                .done
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        self.active.sync_all()?;
-        self.appends_since_sync = 0;
-        self.group_opened = None;
-        Ok(())
+        g.written_index
     }
 
-    /// Attaches the observability hub: every subsequent fsync records how
-    /// many appends the closed window accumulated.
+    /// Attaches the observability hub: every subsequent fsync records its
+    /// latency (split by strict vs buffered lane) and how many appends the
+    /// closed window accumulated.
     pub fn set_obs(&mut self, hub: Arc<tart_obs::ObsHub>) {
-        self.obs = Some(hub);
+        self.lock().obs = Some(hub);
     }
 
-    /// Seals the active segment (always fsynced — sealed segments are the
-    /// durability floor whatever the policy) and starts the next one.
-    fn rotate(&mut self) -> Result<(), WalError> {
-        self.active.sync_all()?;
-        self.active_index += 1;
-        self.active = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(self.dir.join(segment_name(self.active_index)))?;
-        self.active_len = 0;
-        self.appends_since_sync = 0;
-        self.group_opened = None;
-        sync_dir(&self.dir)?;
-        Ok(())
+    /// Highest record index covered by a completed fsync (1-based; 0 =
+    /// none). Indices count appends within this process's session.
+    pub fn durable_index(&self) -> u64 {
+        self.lock().durable_index
+    }
+
+    /// Records staged in the open commit window, not yet handed to the
+    /// flusher.
+    pub fn staged_records(&self) -> u32 {
+        self.lock().staging_records
     }
 
     /// The directory this WAL lives in.
@@ -439,16 +998,45 @@ impl Wal {
 
     /// Number of segment files (sealed + active).
     pub fn segment_count(&self) -> u64 {
-        self.active_index + 1
+        self.lock().segment_count
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let (segment, len, crashed) = {
+            let mut g = self.lock();
+            if !g.crashed && !g.staging.is_empty() {
+                promote_locked(&mut g, false, false);
+            }
+            g.shutdown = true;
+            self.shared.work.notify_all();
+            (g.staging_segment, g.staging_offset, g.crashed)
+        };
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        if !crashed {
+            // Clean close: trim preallocation padding so the active
+            // segment's file length equals its logical length.
+            if let Ok(f) = OpenOptions::new()
+                .write(true)
+                .open(self.dir.join(segment_name(segment)))
+            {
+                let _ = f.set_len(len);
+            }
+        }
     }
 }
 
 impl fmt::Debug for Wal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.lock();
         f.debug_struct("Wal")
             .field("dir", &self.dir)
-            .field("segments", &(self.active_index + 1))
-            .field("active_len", &self.active_len)
+            .field("segments", &g.segment_count)
+            .field("assigned", &g.assigned)
+            .field("durable", &g.durable_index)
             .field("policy", &self.policy)
             .finish()
     }
@@ -492,6 +1080,16 @@ mod tests {
         dir
     }
 
+    /// Polls for an asynchronous flusher effect (deadline syncs land on the
+    /// flusher's clock, not the appender's).
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = wall_now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(wall_now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     #[test]
     fn round_trip_and_reopen() {
         let dir = tmp("roundtrip");
@@ -520,7 +1118,7 @@ mod tests {
     fn rotation_seals_segments_at_threshold() {
         let dir = tmp("rotate");
         let mut wal = Wal::create(&dir, 32, FsyncPolicy::Never).unwrap();
-        for i in 0..10u8 {
+        for i in 1..=10u8 {
             wal.append(&[i; 16]).unwrap();
         }
         assert!(wal.segment_count() > 1, "threshold forces rotation");
@@ -578,11 +1176,33 @@ mod tests {
     }
 
     #[test]
+    fn preallocated_padding_is_not_a_torn_tail() {
+        let dir = tmp("padding");
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        let survived = wal.crash_discard();
+        assert_eq!(survived, 2);
+        drop(wal);
+        let seg = dir.join(segment_name(0));
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len(),
+            4096,
+            "a crash leaves the preallocated padding in place"
+        );
+        let (_, rec) = Wal::open(&dir, 4096, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(rec.truncated_bytes, 0, "zero padding is not a torn tail");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn sealed_segment_corruption_is_fatal() {
         let dir = tmp("sealed");
         {
             let mut wal = Wal::create(&dir, 24, FsyncPolicy::Always).unwrap();
-            for i in 0..6u8 {
+            for i in 1..=6u8 {
                 wal.append(&[i; 16]).unwrap();
             }
             assert!(wal.segment_count() > 1);
@@ -603,16 +1223,17 @@ mod tests {
     }
 
     #[test]
-    fn interval_policy_counts_appends() {
+    fn interval_policy_stages_between_syncs() {
         let dir = tmp("interval");
         let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Interval(3)).unwrap();
         for _ in 0..7 {
             wal.append(b"x").unwrap();
         }
-        // 7 appends, syncs at 3 and 6: one pending.
-        assert_eq!(wal.appends_since_sync, 1);
+        // 7 appends, windows promoted at 3 and 6: one record still staged.
+        assert_eq!(wal.staged_records(), 1);
         wal.sync().unwrap();
-        assert_eq!(wal.appends_since_sync, 0);
+        assert_eq!(wal.staged_records(), 0);
+        assert_eq!(wal.durable_index(), 7);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -627,11 +1248,10 @@ mod tests {
         for _ in 0..3 {
             wal.append(b"x").unwrap();
         }
-        assert_eq!(wal.appends_since_sync, 3, "window still open");
-        assert!(wal.group_opened.is_some());
+        assert_eq!(wal.staged_records(), 3, "window still open");
         wal.append(b"x").unwrap();
-        assert_eq!(wal.appends_since_sync, 0, "fourth append forced the sync");
-        assert!(wal.group_opened.is_none());
+        assert_eq!(wal.staged_records(), 0, "fourth append closed the window");
+        wait_for("group-commit fsync", || wal.durable_index() == 4);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -644,10 +1264,146 @@ mod tests {
         };
         let mut wal = Wal::create(&dir, 4096, policy).unwrap();
         wal.append(b"opens-the-window").unwrap();
-        assert_eq!(wal.appends_since_sync, 1);
-        std::thread::sleep(Duration::from_millis(20));
-        wal.append(b"lands-past-the-deadline").unwrap();
-        assert_eq!(wal.appends_since_sync, 0, "stale window forced the sync");
+        assert_eq!(wal.staged_records(), 1);
+        // The flusher's own deadline timer forces the sync — no second
+        // append is needed.
+        wait_for("deadline fsync", || wal.durable_index() == 1);
+        assert_eq!(wal.staged_records(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_lane_blocks_until_durable() {
+        let dir = tmp("strict");
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+        let idx = wal
+            .append_lane(b"ledger", DurabilityPolicy::Strict)
+            .unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(
+            wal.durable_index(),
+            1,
+            "a strict append returns only after its fsync completed"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_append_closes_the_buffered_window() {
+        let dir = tmp("strict-closes");
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_secs(3600),
+        };
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+        wal.append_lane(b"buffered-1", buffered).unwrap();
+        wal.append_lane(b"buffered-2", buffered).unwrap();
+        assert_eq!(wal.staged_records(), 2);
+        wal.append_lane(b"strict", DurabilityPolicy::Strict)
+            .unwrap();
+        assert_eq!(wal.staged_records(), 0);
+        assert_eq!(
+            wal.durable_index(),
+            3,
+            "the strict fsync carried the riding buffered records with it"
+        );
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 4096, FsyncPolicy::Never).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![
+                b"buffered-1".to_vec(),
+                b"buffered-2".to_vec(),
+                b"strict".to_vec()
+            ],
+            "lanes share one log: disk order is append order"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn buffered_lane_flushes_at_record_cap() {
+        let dir = tmp("buffered-cap");
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_secs(3600),
+        };
+        let mut wal = Wal::create(&dir, 1 << 24, FsyncPolicy::Never).unwrap();
+        for _ in 0..BUFFERED_MAX_RECORDS {
+            wal.append_lane(b"x", buffered).unwrap();
+        }
+        assert_eq!(wal.staged_records(), 0, "the cap closed the window");
+        wait_for("cap fsync", || {
+            wal.durable_index() == u64::from(BUFFERED_MAX_RECORDS)
+        });
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn buffered_lane_flushes_at_deadline() {
+        let dir = tmp("buffered-deadline");
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_millis(10),
+        };
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+        wal.append_lane(b"hot-path", buffered).unwrap();
+        assert_eq!(wal.staged_records(), 1, "buffered append returns open");
+        wait_for("flush-window fsync", || wal.durable_index() == 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_discard_drops_the_open_window() {
+        let dir = tmp("crash-discard");
+        let buffered = DurabilityPolicy::Buffered {
+            flush_window: Duration::from_secs(3600),
+        };
+        let mut wal = Wal::create(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+        wal.append(b"written").unwrap();
+        wal.sync().unwrap();
+        wal.append_lane(b"still-staged", buffered).unwrap();
+        let survived = wal.crash_discard();
+        assert_eq!(survived, 1, "the open window never reached the kernel");
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, u64::MAX, FsyncPolicy::Never).unwrap();
+        assert_eq!(rec.records, vec![b"written".to_vec()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_lane_is_refused() {
+        let dir = tmp("in-memory");
+        let mut wal = Wal::create(&dir, 4096, FsyncPolicy::Never).unwrap();
+        assert!(matches!(
+            wal.append_lane(b"x", DurabilityPolicy::InMemory),
+            Err(WalError::Io(_))
+        ));
+        assert!(matches!(wal.append(b""), Err(WalError::Io(_))));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_maintains_a_preallocated_spare() {
+        let dir = tmp("spare");
+        let mut wal = Wal::create(&dir, 32, FsyncPolicy::Never).unwrap();
+        for i in 1..=4u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() > 1, "rotation happened");
+        let spares = |d: &Path| {
+            fs::read_dir(d)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".pre")
+                })
+                .count()
+        };
+        assert_eq!(spares(&dir), 1, "one recycled spare stands ready");
+        drop(wal);
+        assert_eq!(spares(&dir), 0, "clean shutdown tidies the spare");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,8 +14,8 @@
 use std::time::{Duration, Instant};
 
 use tart_engine::{
-    ChaosOptions, ChaosPlan, Cluster, ClusterConfig, OutputRecord, Placement, StandbyConfig,
-    SupervisionConfig,
+    ChaosOptions, ChaosPlan, Cluster, ClusterConfig, DurabilityPolicy, FsyncPolicy, OutputRecord,
+    Placement, StandbyConfig, SupervisionConfig,
 };
 use tart_estimator::EstimatorSpec;
 use tart_model::reference::{self, fan_in_app};
@@ -31,6 +31,31 @@ fn paper_config(spec: &AppSpec) -> ClusterConfig {
             EstimatorSpec::per_iteration(BlockId(0), 400_000)
         };
         config = config.with_estimator(c.id(), est);
+    }
+    config
+}
+
+/// With `TART_SOAK_TIERS=mixed` in the environment, the soaked cluster runs
+/// with disk durability enabled and a mixed tier assignment — the ledger-like
+/// Merger Strict, one ingest-like sender Buffered, the other cache-like
+/// sender InMemory — so the nightly matrix proves the zero-divergence gate
+/// holds when all three durability tiers persist side by side.
+fn with_soak_tiers(spec: &AppSpec, mut config: ClusterConfig, seed: u64) -> ClusterConfig {
+    if std::env::var("TART_SOAK_TIERS").as_deref() != Ok("mixed") {
+        return config;
+    }
+    let dir = std::env::temp_dir().join(format!("tart-soak-tiers-{}-{seed:x}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    config = config.with_durability(dir, FsyncPolicy::Always);
+    for c in spec.components() {
+        let tier = match c.name() {
+            "Merger" => DurabilityPolicy::Strict,
+            "Sender1" => DurabilityPolicy::Buffered {
+                flush_window: Duration::from_millis(50),
+            },
+            _ => DurabilityPolicy::InMemory,
+        };
+        config = config.with_component_tier(c.id(), tier);
     }
     config
 }
@@ -100,6 +125,7 @@ fn chaos_run(
     if let Some(s) = standby {
         config = config.with_warm_standby(s);
     }
+    config = with_soak_tiers(&spec, config, seed);
     let cluster =
         Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
 

@@ -535,10 +535,8 @@ fn sealed_segment_rot_is_refused() {
     let spec = fan_in_app(2).expect("valid app");
     let mut config = paper_config(&spec);
     config.durability = Some(DurabilityConfig {
-        dir: dir.clone(),
-        policy: FsyncPolicy::Always,
         wal_segment_bytes: 64,
-        full_checkpoint_every: 4,
+        ..DurabilityConfig::new(dir.clone(), FsyncPolicy::Always)
     });
     let cluster = Cluster::deploy(spec.clone(), two_engine_placement(&spec), config.clone())
         .expect("deploys");
@@ -598,6 +596,177 @@ fn losing_the_checkpoint_dir_mid_run_degrades_gracefully() {
         failure_free_run(),
         "disk loss must not corrupt outputs"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Component id by name — tier assignment needs ids, specs name components.
+fn component_id(spec: &AppSpec, name: &str) -> tart_vtime::ComponentId {
+    spec.components()
+        .iter()
+        .find(|c| c.name() == name)
+        .unwrap_or_else(|| panic!("component {name} exists"))
+        .id()
+}
+
+#[test]
+fn mixed_tier_crash_reports_and_recovers_per_component_loss() {
+    // The tiered durability contract, end to end: Sender1's inputs ride the
+    // Strict lane (fsynced before the send returns), Sender2's ride the
+    // Buffered lane (acknowledged inside the open group-commit window), and
+    // the crash drill reports per component exactly what the open window
+    // cost. Recovery then accounts for every component's recovered inputs,
+    // the producer re-drives only the lost tail, and the deduplicated
+    // outputs converge to the failure-free run — a Buffered record is never
+    // applied twice, a Strict record never lost.
+    use tart_engine::DurabilityPolicy;
+    let dir = fresh_dir("mixed-tier");
+    let spec = fan_in_app(2).expect("valid app");
+    let strict = component_id(&spec, "Sender1");
+    let buffered = component_id(&spec, "Sender2");
+    let tiered = |spec: &AppSpec| {
+        paper_config(spec)
+            .with_durability(&dir, FsyncPolicy::Always)
+            .with_default_tier(DurabilityPolicy::Strict)
+            .with_component_tier(
+                buffered,
+                DurabilityPolicy::Buffered {
+                    // A window far wider than the test: only Strict barriers
+                    // (and the crash) close it, so the loss is deterministic.
+                    flush_window: Duration::from_secs(3600),
+                },
+            )
+    };
+    let cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), tiered(&spec)).expect("deploys");
+    for (client, sentence) in SENTENCES {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    for engine in cluster.engine_ids() {
+        cluster.checkpoint_now(engine);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let (pre, crash) = cluster.crash_with_report();
+
+    assert!(
+        !crash.lost_inputs.contains_key(&strict),
+        "a Strict component must never lose an acknowledged input: {crash:?}"
+    );
+    assert!(
+        crash.memory_only_inputs.is_empty(),
+        "no InMemory tier in this drill: {crash:?}"
+    );
+    // SENTENCES alternate client1 (Strict) / client2 (Buffered) and end on
+    // client2: every earlier Buffered send was pinned down by the next
+    // Strict barrier, so the open window holds exactly the final send.
+    let lost = crash.lost_inputs.get(&buffered).copied().unwrap_or(0);
+    assert_eq!(lost, 1, "exactly the open window is lost: {crash:?}");
+
+    let (cluster, report) =
+        Cluster::recover_from_disk(spec.clone(), two_engine_placement(&spec), tiered(&spec))
+            .expect("recovers");
+    let recovered = |id| {
+        report
+            .components
+            .iter()
+            .find(|c| c.component == id)
+            .unwrap_or_else(|| panic!("component {id} in recovery report"))
+    };
+    let client1_sends = SENTENCES.iter().filter(|(c, _)| *c == "client1").count() as u64;
+    let client2_sends = SENTENCES.len() as u64 - client1_sends;
+    assert_eq!(recovered(strict).tier, Some(DurabilityPolicy::Strict));
+    assert_eq!(recovered(strict).recovered_inputs, client1_sends);
+    assert!(!recovered(strict).replay_from_peers_only);
+    assert_eq!(
+        recovered(buffered).recovered_inputs,
+        client2_sends - lost,
+        "the recovered shortfall is exactly the crash report's loss"
+    );
+
+    // The producer re-drives its unacknowledged tail (the final sentence),
+    // as a real client does when a send was never acked.
+    for (client, sentence) in &SENTENCES[SENTENCES.len() - lost as usize..] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    cluster.finish_inputs();
+    let post = cluster.shutdown();
+
+    let mut all = pre;
+    all.extend(post);
+    assert_eq!(
+        normalize(all),
+        failure_free_run(),
+        "mixed-tier crash + recovery must converge: no Strict loss, no Buffered double-apply"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn in_memory_component_recovers_via_peer_replay_byte_identically() {
+    // The InMemory tier persists nothing — its external inputs never touch
+    // the WAL and its engines never persist a checkpoint — yet single-engine
+    // failure is still transparent: the passive replica restores state and
+    // peer replay (the in-process message log and upstream retention)
+    // regenerates the gap, byte-identically.
+    use tart_engine::{DurabilityPolicy, Wal};
+    let dir = fresh_dir("inmem-tier");
+    let spec = fan_in_app(2).expect("valid app");
+    let config = paper_config(&spec)
+        .with_durability(&dir, FsyncPolicy::Always)
+        .with_default_tier(DurabilityPolicy::InMemory);
+    let mut cluster =
+        Cluster::deploy(spec.clone(), two_engine_placement(&spec), config).expect("deploys");
+    for (client, sentence) in &SENTENCES[..6] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    for engine in cluster.engine_ids() {
+        cluster.checkpoint_now(engine);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    // Fail-stop the engine hosting both senders: its state and every
+    // in-flight envelope die with it. Promotion restores the replica and
+    // replays the senders' external wires from the in-process log.
+    cluster.kill(EngineId::new(0));
+    cluster.promote(EngineId::new(0)).expect("promotes");
+    for (client, sentence) in &SENTENCES[6..] {
+        cluster
+            .injector(client)
+            .expect("injector")
+            .send(Value::from(*sentence));
+    }
+    cluster.finish_inputs();
+    let outs = normalize(cluster.shutdown());
+    assert_eq!(
+        outs,
+        failure_free_run(),
+        "InMemory-tier failover must be byte-identical to the failure-free run"
+    );
+    // And the disk really was left out of it: the WAL holds zero records
+    // and the checkpoint store persisted zero generations.
+    let (wal, recovery) =
+        Wal::open(dir.join("wal"), 1 << 20, FsyncPolicy::Always).expect("reopen wal");
+    drop(wal);
+    assert_eq!(
+        recovery.records.len(),
+        0,
+        "InMemory inputs never hit the WAL"
+    );
+    let persisted = std::fs::read_dir(dir.join("ckpt"))
+        .expect("ckpt dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+        .count();
+    assert_eq!(persisted, 0, "InMemory engines never persist checkpoints");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -79,6 +79,8 @@ struct Counters {
 #[derive(Default)]
 struct Inner {
     wal_group_occupancy: Histogram,
+    wal_fsync_strict_ns: Histogram,
+    wal_fsync_buffered_ns: Histogram,
     checkpoint_persist_ns: Histogram,
     standby_lag_ticks: Histogram,
     promotion_latency_ns: Histogram,
@@ -247,6 +249,20 @@ impl ObsHub {
         inner.wal_group_occupancy.record(occupancy);
     }
 
+    /// Records one WAL fsync's wall latency, split by durability lane:
+    /// `strict` when a Strict-tier append forced the window closed,
+    /// buffered otherwise (flush-window deadlines, record caps, legacy
+    /// policies). The per-tier p50/p99 in `BENCH_durability.json` come from
+    /// these histograms.
+    pub fn wal_fsync_ns(&self, strict: bool, ns: u64) {
+        let mut inner = self.lock();
+        if strict {
+            inner.wal_fsync_strict_ns.record(ns);
+        } else {
+            inner.wal_fsync_buffered_ns.record(ns);
+        }
+    }
+
     /// Records `n` deterministic state hashes computed by verified replay
     /// (per-component digests plus the combined engine digest).
     pub fn state_hashes_computed(&self, n: u64) {
@@ -329,6 +345,8 @@ impl ObsHub {
             pessimism_wait_ns,
             estimator_residual_ns,
             wal_group_occupancy: inner.wal_group_occupancy.clone(),
+            wal_fsync_strict_ns: inner.wal_fsync_strict_ns.clone(),
+            wal_fsync_buffered_ns: inner.wal_fsync_buffered_ns.clone(),
             checkpoint_persist_ns: inner.checkpoint_persist_ns.clone(),
             standby_lag_ticks: inner.standby_lag_ticks.clone(),
             promotion_latency_ns: inner.promotion_latency_ns.clone(),

@@ -29,8 +29,9 @@ use crate::recorder::ObsEvent;
 /// `divergences_detected`); v3 added the warm-standby counters
 /// (`standby_applied`, `standby_demotions`, `warm_promotions`,
 /// `cold_promotions`) and histograms (`standby_lag_ticks`,
-/// `promotion_latency_ns`).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// `promotion_latency_ns`); v4 added the per-tier WAL fsync-latency
+/// histograms (`wal_fsync_strict_ns`, `wal_fsync_buffered_ns`).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Point-in-time export of every obs metric plus the flight-recorder
 /// timeline. See the module docs for the serialization contract.
@@ -78,6 +79,11 @@ pub struct ObsSnapshot {
     pub estimator_residual_ns: Histogram,
     /// Records per WAL group-commit window at fsync time.
     pub wal_group_occupancy: Histogram,
+    /// Wall-clock latency of WAL fsyncs forced by Strict-tier appends, ns.
+    pub wal_fsync_strict_ns: Histogram,
+    /// Wall-clock latency of every other WAL fsync (flush-window deadlines,
+    /// record caps, legacy policies), ns.
+    pub wal_fsync_buffered_ns: Histogram,
     /// Wall-clock latency of `CheckpointStore::persist`, ns.
     pub checkpoint_persist_ns: Histogram,
     /// Standby replication lag at each background apply: how far the
@@ -113,6 +119,8 @@ impl Encode for ObsSnapshot {
         self.pessimism_wait_ns.encode(buf);
         self.estimator_residual_ns.encode(buf);
         self.wal_group_occupancy.encode(buf);
+        self.wal_fsync_strict_ns.encode(buf);
+        self.wal_fsync_buffered_ns.encode(buf);
         self.checkpoint_persist_ns.encode(buf);
         self.standby_lag_ticks.encode(buf);
         self.promotion_latency_ns.encode(buf);
@@ -143,6 +151,8 @@ impl Decode for ObsSnapshot {
             pessimism_wait_ns: Histogram::decode(r)?,
             estimator_residual_ns: Histogram::decode(r)?,
             wal_group_occupancy: Histogram::decode(r)?,
+            wal_fsync_strict_ns: Histogram::decode(r)?,
+            wal_fsync_buffered_ns: Histogram::decode(r)?,
             checkpoint_persist_ns: Histogram::decode(r)?,
             standby_lag_ticks: Histogram::decode(r)?,
             promotion_latency_ns: Histogram::decode(r)?,
@@ -196,6 +206,8 @@ impl ObsSnapshot {
         write_hist(&mut w, "pessimism_wait_ns", &self.pessimism_wait_ns);
         write_hist(&mut w, "estimator_residual_ns", &self.estimator_residual_ns);
         write_hist(&mut w, "wal_group_occupancy", &self.wal_group_occupancy);
+        write_hist(&mut w, "wal_fsync_strict_ns", &self.wal_fsync_strict_ns);
+        write_hist(&mut w, "wal_fsync_buffered_ns", &self.wal_fsync_buffered_ns);
         write_hist(&mut w, "checkpoint_persist_ns", &self.checkpoint_persist_ns);
         write_hist(&mut w, "standby_lag_ticks", &self.standby_lag_ticks);
         write_hist(&mut w, "promotion_latency_ns", &self.promotion_latency_ns);
@@ -255,6 +267,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "pessimism_wait_ns",
     "estimator_residual_ns",
     "wal_group_occupancy",
+    "wal_fsync_strict_ns",
+    "wal_fsync_buffered_ns",
     "checkpoint_persist_ns",
     "standby_lag_ticks",
     "promotion_latency_ns",
@@ -288,6 +302,8 @@ pub fn check_report(text: &str, req: ReportRequirements) -> Result<(), Vec<Strin
         "pessimism_wait_ns",
         "estimator_residual_ns",
         "wal_group_occupancy",
+        "wal_fsync_strict_ns",
+        "wal_fsync_buffered_ns",
         "checkpoint_persist_ns",
         "standby_lag_ticks",
         "promotion_latency_ns",
@@ -386,6 +402,8 @@ mod tests {
         snap.pessimism_wait_ns.record(1_500);
         snap.estimator_residual_ns.record(0);
         snap.wal_group_occupancy.record(64);
+        snap.wal_fsync_strict_ns.record(900_000);
+        snap.wal_fsync_buffered_ns.record(400_000);
         snap.checkpoint_persist_ns.record(80_000);
         snap.standby_lag_ticks.record(120_000_000);
         snap.promotion_latency_ns.record(2_000_000);

@@ -50,19 +50,20 @@ fn arb_hist() -> impl Strategy<Value = Histogram> {
 fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
     (
         proptest::collection::vec(any::<u64>(), 15),
+        // Two nested 4-tuples: the proptest shim implements `Strategy` for
+        // tuples of limited arity, so eight histograms ride as 4 + 4.
         (
-            arb_hist(),
-            arb_hist(),
-            arb_hist(),
-            arb_hist(),
-            arb_hist(),
-            arb_hist(),
+            (arb_hist(), arb_hist(), arb_hist(), arb_hist()),
+            (arb_hist(), arb_hist(), arb_hist(), arb_hist()),
         ),
         proptest::collection::btree_map(any::<u32>(), any::<u64>(), 0..16),
         proptest::collection::vec(arb_event(), 0..24),
     )
         .prop_map(|(counters, hists, silence_per_wire, events)| {
-            let (pessimism, residual, occupancy, persist, lag, promotion) = hists;
+            let (
+                (pessimism, residual, occupancy, fsync_strict),
+                (fsync_buffered, persist, lag, promotion),
+            ) = hists;
             ObsSnapshot {
                 version: SNAPSHOT_VERSION,
                 delivered: counters[0],
@@ -83,6 +84,8 @@ fn arb_snapshot() -> impl Strategy<Value = ObsSnapshot> {
                 pessimism_wait_ns: pessimism,
                 estimator_residual_ns: residual,
                 wal_group_occupancy: occupancy,
+                wal_fsync_strict_ns: fsync_strict,
+                wal_fsync_buffered_ns: fsync_buffered,
                 checkpoint_persist_ns: persist,
                 standby_lag_ticks: lag,
                 promotion_latency_ns: promotion,
